@@ -1,0 +1,148 @@
+package microscope
+
+import (
+	"fmt"
+
+	"microscope/internal/collector"
+	"microscope/internal/nfsim"
+	"microscope/internal/packet"
+)
+
+// NFSpec declares one NF instance for a custom deployment.
+type NFSpec struct {
+	Name string
+	Kind string
+	Rate Rate
+	// QueueCap overrides the input ring size (1024 if 0).
+	QueueCap int
+}
+
+// Chooser selects the next hop for a flow among a fixed set of declared
+// downstream NFs, by name. It must return one of the names passed to
+// Connect / Source (routing is flow-level, as NFV load balancing is).
+type Chooser func(FiveTuple) string
+
+// Builder assembles a custom NF DAG: any topology the paper's model allows —
+// one bounded input queue per NF, flow-level routing between NFs, traffic
+// sources at the roots, egress at the leaves.
+type Builder struct {
+	seed     int64
+	specs    []NFSpec
+	srcTo    []string
+	srcPick  Chooser
+	links    map[string][]string
+	pickers  map[string]Chooser
+	explicit map[string]bool
+}
+
+// NewBuilder starts a custom deployment.
+func NewBuilder(seed int64) *Builder {
+	return &Builder{
+		seed:     seed,
+		links:    make(map[string][]string),
+		pickers:  make(map[string]Chooser),
+		explicit: make(map[string]bool),
+	}
+}
+
+// AddNF declares an NF instance.
+func (b *Builder) AddNF(spec NFSpec) *Builder {
+	b.specs = append(b.specs, spec)
+	return b
+}
+
+// Source wires the traffic source to the named NFs; pick chooses per flow
+// (defaults to flow-hash balancing when nil).
+func (b *Builder) Source(pick Chooser, to ...string) *Builder {
+	b.srcPick = pick
+	b.srcTo = to
+	return b
+}
+
+// Connect wires an NF to downstream NFs; pick chooses per flow (defaults to
+// flow-hash balancing when nil). NFs never connected are egress.
+func (b *Builder) Connect(from string, pick Chooser, to ...string) *Builder {
+	b.links[from] = to
+	b.pickers[from] = pick
+	b.explicit[from] = true
+	return b
+}
+
+// Build constructs the deployment with the collector attached.
+func (b *Builder) Build() *Deployment {
+	if len(b.specs) == 0 {
+		panic("microscope: builder needs at least one NF")
+	}
+	if len(b.srcTo) == 0 {
+		panic("microscope: builder needs Source(...) wiring")
+	}
+	col := collector.New(collector.Config{})
+	sim := nfsim.New(col)
+	names := make([]string, len(b.specs))
+	for i, sp := range b.specs {
+		if sp.Rate <= 0 {
+			panic(fmt.Sprintf("microscope: NF %q needs a positive rate", sp.Name))
+		}
+		names[i] = sp.Name
+		sim.AddNF(nfsim.NFConfig{
+			Name:       sp.Name,
+			Kind:       sp.Kind,
+			PeakRate:   sp.Rate,
+			JitterFrac: 0.05,
+			QueueCap:   sp.QueueCap,
+			Seed:       b.seed + int64(i)*104729,
+		})
+	}
+
+	sim.ConnectSource(routeFunc(b.srcPick, b.srcTo), b.srcTo...)
+	for _, sp := range b.specs {
+		to := b.links[sp.Name]
+		if len(to) == 0 {
+			sim.Connect(sp.Name, func(*packet.Packet) int { return nfsim.Egress })
+			continue
+		}
+		sim.Connect(sp.Name, routeFunc(b.pickers[sp.Name], to), to...)
+	}
+
+	meta := collector.Meta{MaxBatch: nfsim.DefaultMaxBatch}
+	meta.Components = append(meta.Components, collector.ComponentMeta{
+		Name: collector.SourceName, Kind: "source",
+	})
+	for _, sp := range b.specs {
+		meta.Components = append(meta.Components, collector.ComponentMeta{
+			Name:     sp.Name,
+			Kind:     sp.Kind,
+			PeakRate: sp.Rate,
+			Egress:   len(b.links[sp.Name]) == 0,
+		})
+	}
+	for _, to := range b.srcTo {
+		meta.Edges = append(meta.Edges, collector.Edge{From: collector.SourceName, To: to})
+	}
+	for _, sp := range b.specs {
+		for _, to := range b.links[sp.Name] {
+			meta.Edges = append(meta.Edges, collector.Edge{From: sp.Name, To: to})
+		}
+	}
+	return &Deployment{sim: sim, col: col, names: names, meta: meta}
+}
+
+// routeFunc converts a name-based Chooser into the simulator's index-based
+// routing, falling back to flow-hash balancing.
+func routeFunc(pick Chooser, to []string) nfsim.RouteFunc {
+	idx := make(map[string]int, len(to))
+	for i, name := range to {
+		idx[name] = i
+	}
+	if pick == nil {
+		return nfsim.FlowHashRoute(len(to))
+	}
+	return func(p *packet.Packet) int {
+		name := pick(p.Flow)
+		i, ok := idx[name]
+		if !ok {
+			panic(fmt.Sprintf("microscope: chooser returned %q, not a declared downstream of this hop", name))
+		}
+		return i
+	}
+}

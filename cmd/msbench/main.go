@@ -1,0 +1,207 @@
+// Command msbench regenerates the paper's evaluation artifacts: every
+// figure and table of §6, printed as the rows/series the paper reports.
+//
+//	msbench -fig 11          # one artifact
+//	msbench -all             # everything (takes a while)
+//	msbench -all -scale 0.5  # scaled-down durations
+//
+// Artifact ids: 1, 2, 3, 11, 12, 13, 14, 15, t2, t3, overhead, sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"microscope/internal/experiments"
+	"microscope/internal/plot"
+	"microscope/internal/report"
+	"microscope/internal/simtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msbench: ")
+
+	var (
+		fig   = flag.String("fig", "", "artifact to regenerate (1,2,3,11,12,13,14,15,t2,t3,overhead,sweeps,ablations,perfsight)")
+		all   = flag.Bool("all", false, "regenerate everything")
+		scale = flag.Float64("scale", 1.0, "duration scale factor (0.25 = quarter-length runs)")
+		seed  = flag.Int64("seed", 42, "random seed")
+		svg   = flag.String("svg", "", "also write SVG charts into this directory")
+	)
+	flag.Parse()
+	if *fig == "" && !*all {
+		flag.Usage()
+		return
+	}
+
+	ids := []string{*fig}
+	if *all {
+		ids = []string{"1", "2", "3", "11", "12", "13", "14", "15", "t2", "t3", "overhead", "sweeps", "ablations", "perfsight"}
+	}
+	if *svg != "" {
+		if err := os.MkdirAll(*svg, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		run(id, *scale, *seed, *svg)
+		fmt.Printf("\n[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// savePlot writes a chart when -svg is set.
+func savePlot(dir, name string, cfg plot.Config, series ...*report.Series) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name+".svg")
+	if err := plot.WriteSVG(path, cfg, series...); err != nil {
+		log.Printf("svg %s: %v", name, err)
+		return
+	}
+	fmt.Printf("(chart written to %s)\n", path)
+}
+
+func accuracyCfg(scale float64, seed int64) experiments.AccuracyConfig {
+	slots := int(12 * scale)
+	if slots < 3 {
+		slots = 3
+	}
+	return experiments.AccuracyConfig{Seed: seed, Slots: slots}
+}
+
+func run(id string, scale float64, seed int64, svgDir string) {
+	switch id {
+	case "1":
+		res := experiments.Figure1(seed)
+		fmt.Println("=== Figure 1: lasting impact of a traffic burst ===")
+		fmt.Printf("queue drain time after burst: %v\n\n", res.DrainTime)
+		fmt.Println(res.Latency.Downsample(25).Render())
+		fmt.Println(res.QueueLen.Downsample(10).Render())
+		savePlot(svgDir, "fig1a_latency", plot.Config{Title: "Figure 1a: packet latency", Scatter: true}, res.Latency)
+		savePlot(svgDir, "fig1b_queue", plot.Config{Title: "Figure 1b: queue length"}, res.QueueLen)
+	case "2":
+		res := experiments.Figure2(seed)
+		fmt.Println("=== Figure 2: impact propagation across NFs ===")
+		fmt.Printf("flow A worst post-interrupt throughput: %.3f Mpps (steady 0.05)\n\n", res.MinAThroughput)
+		fmt.Println(res.ThroughputNAT.Render())
+		fmt.Println(res.ThroughputA.Render())
+		fmt.Println(res.QueueLen.Downsample(10).Render())
+		savePlot(svgDir, "fig2b_throughput", plot.Config{Title: "Figure 2b: throughput at the VPN"}, res.ThroughputNAT, res.ThroughputA)
+		savePlot(svgDir, "fig2c_queue", plot.Config{Title: "Figure 2c: VPN queue length"}, res.QueueLen)
+	case "3":
+		res := experiments.Figure3(seed)
+		fmt.Println("=== Figure 3: different impacts from similar behaviors ===")
+		fmt.Printf("post-interrupt input peaks: NAT %.3f Mpps vs Monitor %.3f Mpps; %d drops\n\n",
+			res.PeakInputNAT, res.PeakInputMon, res.TotalDrops)
+		fmt.Println(res.Drops.Render())
+		fmt.Println(res.InputNAT.Render())
+		fmt.Println(res.InputMon.Render())
+		savePlot(svgDir, "fig3b_drops", plot.Config{Title: "Figure 3b: drops at the VPN"}, res.Drops)
+		savePlot(svgDir, "fig3c_input", plot.Config{Title: "Figure 3c: VPN input rates"}, res.InputNAT, res.InputMon)
+	case "11":
+		res := experiments.Figure11(accuracyCfg(scale, seed))
+		fmt.Println("=== Figure 11: overall diagnostic accuracy ===")
+		fmt.Printf("rank-1 rate: Microscope %.1f%% vs NetMedic %.1f%% (%d victims)\n",
+			res.MicroRank1*100, res.NetRank1*100, res.Victims)
+		fmt.Printf("(paper: 89.7%% vs 36%%)\n\n")
+		fmt.Println(res.Microscope.Downsample(res.Microscope.Len()/20 + 1).Render())
+		fmt.Println(res.NetMedic.Downsample(res.NetMedic.Len()/20 + 1).Render())
+		savePlot(svgDir, "fig11_accuracy", plot.Config{Title: "Figure 11: rank of correct cause"}, res.Microscope, res.NetMedic)
+	case "12":
+		res := experiments.Figure12(accuracyCfg(scale, seed))
+		fmt.Println("=== Figure 12: accuracy per injected culprit ===")
+		for _, kind := range []experiments.InjKind{experiments.InjBurst, experiments.InjInterrupt, experiments.InjBug} {
+			if pair, ok := res.Rank1[kind]; ok {
+				fmt.Printf("%-10s Microscope %.1f%%  NetMedic %.1f%%\n", kind, pair[0]*100, pair[1]*100)
+			}
+		}
+	case "13":
+		res := experiments.Figure13(accuracyCfg(scale, seed), nil)
+		fmt.Println("=== Figure 13: NetMedic correct rate vs window size ===")
+		fmt.Printf("best window: %v (paper: 10ms)\n\n", res.Best)
+		fmt.Println(res.Series.Render())
+		savePlot(svgDir, "fig13_window", plot.Config{Title: "Figure 13: NetMedic window sweep"}, res.Series)
+	case "14":
+		dur := simtime.Duration(float64(200*simtime.Millisecond) * scale)
+		res := experiments.Figure14(experiments.Figure14Config{Seed: seed, Duration: dur})
+		fmt.Println("=== Figure 14 / §6.4: pattern aggregation ===")
+		fmt.Printf("%d causal relations -> %d patterns in %v; %d patterns pinpoint the bug-trigger flows at %s\n\n",
+			res.Relations, len(res.Patterns), res.AggregationTime.Round(time.Millisecond),
+			res.TriggerPatterns, res.BugFW)
+		fmt.Print(res.Rendered)
+	case "15", "t2", "t3":
+		dur := simtime.Duration(float64(200*simtime.Millisecond) * scale)
+		run := experiments.RunWild(experiments.WildConfig{Seed: seed, Duration: dur})
+		switch id {
+		case "15":
+			res := experiments.Figure15(run)
+			fmt.Println("=== Figure 15: culprit-victim time gap CDF ===")
+			fmt.Printf("median %v, max %v\n\n", experiments.FmtDur(res.MedianGap), experiments.FmtDur(res.MaxGap))
+			fmt.Println(res.CDF.Downsample(res.CDF.Len()/30 + 1).Render())
+			savePlot(svgDir, "fig15_gap_cdf", plot.Config{Title: "Figure 15: culprit-victim gap CDF"}, res.CDF)
+		case "t2":
+			res := experiments.Table2(run)
+			fmt.Println("=== Table 2: culprit x victim breakdown ===")
+			fmt.Printf("propagated: %.1f%% (paper: 21.7%%); >=2 hops: %.1f%% (paper: 10.9%%)\n\n",
+				res.Propagated*100, res.MultiHop*100)
+			fmt.Print(res.Table.Render())
+		case "t3":
+			res := experiments.Table3(run)
+			fmt.Println("=== Table 3: per-NAT-instance culprit frequencies ===")
+			fmt.Printf("max/min spread across NATs: %.2fx\n\n", res.Spread)
+			fmt.Print(res.Table.Render())
+		}
+	case "overhead":
+		res := experiments.Overhead(experiments.OverheadConfig{Seed: seed})
+		fmt.Println("=== §6.2: runtime collection overhead ===")
+		fmt.Printf("range %.2f%%–%.2f%% (paper: 0.88%%–2.33%%)\n\n", res.MinPct, res.MaxPct)
+		fmt.Print(res.Table.Render())
+	case "perfsight":
+		res := experiments.RunPerfSightComparison(seed)
+		fmt.Println("=== PerfSight vs Microscope (§8 positioning) ===")
+		fmt.Print(res.Table.Render())
+		fmt.Println()
+		fmt.Println("persistent-scenario counters:")
+		fmt.Print(res.PersistentReport)
+		fmt.Println("transient-scenario counters:")
+		fmt.Print(res.TransientReport)
+	case "ablations":
+		fmt.Println("=== Ablations (beyond the paper's evaluation) ===")
+		base := accuracyCfg(scale, seed)
+		base.Slots = int(6 * scale)
+		if base.Slots < 3 {
+			base.Slots = 3
+		}
+		rd := experiments.AblationRecursionDepth(base, nil)
+		fmt.Println(rd.Series.Render())
+		qt := experiments.AblationQueueThreshold(experiments.StandingQueueConfig{Seed: seed})
+		fmt.Println(qt.Series.Render())
+		fmt.Printf("mean diagnosed period per threshold (ms): %v\n", qt.MeanPeriodMs)
+	case "sweeps":
+		base := accuracyCfg(scale, seed)
+		base.Slots = int(6 * scale)
+		if base.Slots < 3 {
+			base.Slots = 3
+		}
+		fmt.Println("=== §6.3: parameter sweeps ===")
+		bs := experiments.SweepBurstSize(base, nil)
+		il := experiments.SweepInterruptLen(base, nil)
+		fmt.Println(bs.Series.Render())
+		fmt.Println(il.Series.Render())
+		run := experiments.SweepHopsRun(accuracyCfg(scale, seed))
+		hp := experiments.SweepHops(run)
+		fmt.Println(hp.Series.Render())
+		savePlot(svgDir, "sweep_burst", plot.Config{Title: "Accuracy vs burst size"}, bs.Series)
+		savePlot(svgDir, "sweep_interrupt", plot.Config{Title: "Accuracy vs interrupt length"}, il.Series)
+		savePlot(svgDir, "sweep_hops", plot.Config{Title: "Accuracy vs propagation hops"}, hp.Series)
+	default:
+		log.Fatalf("unknown artifact %q (want 1,2,3,11,12,13,14,15,t2,t3,overhead,sweeps)", id)
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"microscope/internal/simtime"
+)
+
+func TestParseTime(t *testing.T) {
+	cases := map[string]simtime.Time{
+		"800us": simtime.Time(800 * simtime.Microsecond),
+		"20ms":  simtime.Time(20 * simtime.Millisecond),
+		"1s":    simtime.Time(simtime.Second),
+	}
+	for in, want := range cases {
+		if got := parseTime(in); got != want {
+			t.Errorf("parseTime(%q): got %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseBurst(t *testing.T) {
+	at, n := parseBurst("30ms:1500")
+	if at != simtime.Time(30*simtime.Millisecond) || n != 1500 {
+		t.Errorf("parseBurst: got %v, %d", at, n)
+	}
+}
+
+func TestParseInterrupt(t *testing.T) {
+	nf, at, d := parseInterrupt("nat1@20ms:800us")
+	if nf != "nat1" || at != simtime.Time(20*simtime.Millisecond) || d != 800*simtime.Microsecond {
+		t.Errorf("parseInterrupt: got %q, %v, %v", nf, at, d)
+	}
+}

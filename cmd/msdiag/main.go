@@ -1,0 +1,122 @@
+// Command msdiag runs Microscope's offline diagnosis on a trace directory
+// produced by mschain (or any collector of the same format): journey
+// reconstruction, queuing-period causal analysis, and pattern aggregation.
+//
+//	msdiag -trace /tmp/trace -threshold 0.01 -percentile 99
+//
+// With -netmedic it additionally prints the baseline's per-victim ranking
+// for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"microscope/internal/collector"
+	"microscope/internal/core"
+	"microscope/internal/netmedic"
+	"microscope/internal/patterns"
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msdiag: ")
+
+	var (
+		traceDir   = flag.String("trace", "trace", "trace directory")
+		threshold  = flag.Float64("threshold", 0.01, "pattern aggregation threshold")
+		percentile = flag.Float64("percentile", 99, "victim latency percentile")
+		maxVictims = flag.Int("max-victims", 1000, "cap on diagnosed victims (0 = all)")
+		showPats   = flag.Int("patterns", 15, "patterns to print")
+		showDiags  = flag.Int("victims", 5, "sample victim diagnoses to print")
+		explain    = flag.Int("explain", -1, "print the full causal tree for this victim index")
+		alignClk   = flag.Bool("align", false, "estimate and correct per-component clock offsets before diagnosis (§7)")
+		withNM     = flag.Bool("netmedic", false, "also run the NetMedic baseline")
+		nmWindow   = flag.Duration("netmedic-window", 10*time.Millisecond, "NetMedic window")
+	)
+	flag.Parse()
+
+	tr, err := collector.ReadTrace(*traceDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d records from %s\n", len(tr.Records), *traceDir)
+
+	if *alignClk {
+		offsets, fixed := tracestore.AlignClocks(tr)
+		tr = fixed
+		fmt.Print("clock offsets:")
+		for comp, off := range offsets {
+			if off > simtime.Duration(simtime.Microsecond) || off < -simtime.Duration(simtime.Microsecond) {
+				fmt.Printf(" %s=%v", comp, off)
+			}
+		}
+		fmt.Println()
+	}
+
+	start := time.Now()
+	st := tracestore.Build(tr)
+	st.Reconstruct()
+	fmt.Printf("%s (%v)\n", st.String(), time.Since(start).Round(time.Millisecond))
+
+	eng := core.NewEngine(core.Config{
+		VictimPercentile: *percentile,
+		MaxVictims:       *maxVictims,
+	})
+	start = time.Now()
+	diags := eng.Diagnose(st)
+	fmt.Printf("diagnosed %d victims (%v)\n", len(diags), time.Since(start).Round(time.Millisecond))
+
+	for i := 0; i < len(diags) && i < *showDiags; i++ {
+		d := &diags[i]
+		fmt.Printf("\nvictim #%d: %s at %s (t=%v, queue delay %v)\n",
+			i, d.Victim.Kind, d.Victim.Comp, d.Victim.ArriveAt, d.Victim.QueueDelay)
+		for r, c := range d.Causes {
+			if r >= 4 {
+				break
+			}
+			fmt.Printf("  rank %d: %s/%s score=%.1f onset=%v\n", r+1, c.Comp, c.Kind, c.Score, c.At)
+		}
+	}
+
+	if *explain >= 0 && *explain < len(diags) {
+		fmt.Printf("\ncausal tree for victim #%d:\n", *explain)
+		fmt.Print(eng.Explain(st, diags[*explain].Victim).Render())
+	}
+
+	pcfg := patterns.Config{Threshold: *threshold}
+	rels := patterns.RelationsFromDiagnoses(st, diags, pcfg)
+	start = time.Now()
+	pats := patterns.Aggregate(rels, pcfg)
+	fmt.Printf("\naggregated %d causal relations into %d patterns (%v)\n",
+		len(rels), len(pats), time.Since(start).Round(time.Millisecond))
+	limit := len(pats)
+	if limit > *showPats {
+		limit = *showPats
+	}
+	fmt.Print(patterns.Render(pats[:limit]))
+
+	if *withNM {
+		victims := make([]core.Victim, len(diags))
+		for i := range diags {
+			victims[i] = diags[i].Victim
+		}
+		nm := netmedic.New(st, netmedic.Config{Window: simtime.Duration(nmWindow.Nanoseconds())})
+		res := nm.Diagnose(victims)
+		fmt.Printf("\nNetMedic baseline (window %v), first victims:\n", *nmWindow)
+		for i := 0; i < len(res) && i < *showDiags; i++ {
+			fmt.Printf("  victim #%d:", i)
+			for r, rc := range res[i].Ranked {
+				if r >= 4 {
+					break
+				}
+				fmt.Printf(" %d:%s(%.2g)", r+1, rc.Comp, rc.Score)
+			}
+			fmt.Println()
+		}
+	}
+}

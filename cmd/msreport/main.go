@@ -1,0 +1,79 @@
+// Command msreport turns a collected trace into a single self-contained
+// HTML diagnosis report: ranked culprits, causal patterns, the worst
+// victim's causal tree, and reconstructed queue-occupancy charts.
+//
+//	msreport -trace /tmp/trace -o report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"microscope/internal/collector"
+	"microscope/internal/core"
+	"microscope/internal/htmlreport"
+	"microscope/internal/patterns"
+	"microscope/internal/tracestore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msreport: ")
+
+	var (
+		traceDir   = flag.String("trace", "trace", "trace directory")
+		out        = flag.String("o", "report.html", "output HTML file")
+		threshold  = flag.Float64("threshold", 0.01, "pattern aggregation threshold")
+		percentile = flag.Float64("percentile", 99, "victim latency percentile")
+		maxVictims = flag.Int("max-victims", 500, "cap on diagnosed victims")
+		title      = flag.String("title", "", "report title")
+		align      = flag.Bool("align", false, "correct per-component clock offsets first")
+	)
+	flag.Parse()
+
+	tr, err := collector.ReadTrace(*traceDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *align {
+		_, tr = tracestore.AlignClocks(tr)
+	}
+	st := tracestore.Build(tr)
+	st.Reconstruct()
+
+	eng := core.NewEngine(core.Config{
+		VictimPercentile: *percentile,
+		MaxVictims:       *maxVictims,
+	})
+	diags := eng.Diagnose(st)
+
+	pcfg := patterns.Config{Threshold: *threshold}
+	rels := patterns.RelationsFromDiagnoses(st, diags, pcfg)
+	pats := patterns.Aggregate(rels, pcfg)
+
+	in := htmlreport.Input{
+		Store:     st,
+		Diagnoses: diags,
+		Patterns:  pats,
+		Title:     *title,
+	}
+	// Explain the worst victim (largest queue delay).
+	worst := -1
+	for i := range diags {
+		if worst < 0 || diags[i].Victim.QueueDelay > diags[worst].Victim.QueueDelay {
+			worst = i
+		}
+	}
+	if worst >= 0 {
+		in.Explanation = eng.Explain(st, diags[worst].Victim)
+	}
+
+	page := htmlreport.Render(in)
+	if err := os.WriteFile(*out, []byte(page), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report: %d victims, %d patterns -> %s (%d bytes)\n",
+		len(diags), len(pats), *out, len(page))
+}

@@ -1,0 +1,81 @@
+package microscope_test
+
+import (
+	"fmt"
+
+	"microscope"
+)
+
+// ExampleDiagnose runs the full pipeline on a small chain with an injected
+// burst and prints the top culprit class.
+func ExampleDiagnose() {
+	dep := microscope.NewChainDeployment(1,
+		microscope.ChainNF{Name: "fw1", Kind: "fw", Rate: microscope.MPPS(0.5)},
+		microscope.ChainNF{Name: "vpn1", Kind: "vpn", Rate: microscope.MPPS(0.6)},
+	)
+	wl := microscope.NewWorkload(microscope.WorkloadConfig{
+		Rate:     microscope.MPPS(0.25),
+		Duration: 8 * microscope.Millisecond,
+		Flows:    256,
+		Seed:     7,
+	})
+	wl.InjectBurst(microscope.Burst{
+		At:    microscope.Time(2 * microscope.Millisecond),
+		Flow:  wl.PickFlow(0),
+		Count: 700,
+	})
+	dep.Replay(wl)
+	dep.Run(100 * microscope.Millisecond)
+
+	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+	top := rep.TopCauses(1)
+	fmt.Printf("top culprit: %s/%s\n", top[0].Comp, top[0].Kind)
+	// Output: top culprit: source/traffic
+}
+
+// ExampleNewBuilder assembles a custom DAG: one NF pair sharing a
+// downstream VPN.
+func ExampleNewBuilder() {
+	dep := microscope.NewBuilder(42).
+		AddNF(microscope.NFSpec{Name: "nat", Kind: "nat", Rate: microscope.MPPS(1.0)}).
+		AddNF(microscope.NFSpec{Name: "mon", Kind: "mon", Rate: microscope.MPPS(0.8)}).
+		AddNF(microscope.NFSpec{Name: "vpn", Kind: "vpn", Rate: microscope.MPPS(0.6)}).
+		Source(func(ft microscope.FiveTuple) string {
+			if ft.DstPort == 53 {
+				return "mon"
+			}
+			return "nat"
+		}, "nat", "mon").
+		Connect("nat", nil, "vpn").
+		Connect("mon", nil, "vpn").
+		Build()
+	fmt.Println(dep)
+	// Output: deployment(3 NFs)
+}
+
+// ExampleDeployment_InjectBug shows the §6.4 workflow: plant a slow-path
+// bug, diagnose, and read the verdict.
+func ExampleDeployment_InjectBug() {
+	dep := microscope.NewChainDeployment(9,
+		microscope.ChainNF{Name: "fw1", Kind: "fw", Rate: microscope.MPPS(0.8)},
+	)
+	bugFlow := microscope.FiveTuple{
+		SrcIP: microscope.IP(100, 0, 0, 1), DstIP: microscope.IP(32, 0, 0, 1),
+		SrcPort: 2004, DstPort: 6004, Proto: 6,
+	}
+	dep.InjectBug("fw1", microscope.SlowPathBug{
+		Match: func(ft microscope.FiveTuple) bool { return ft == bugFlow },
+		Rate:  microscope.PPS(20_000),
+	})
+	wl := microscope.NewWorkload(microscope.WorkloadConfig{
+		Rate: microscope.MPPS(0.3), Duration: 4 * microscope.Millisecond, Flows: 64, Seed: 8,
+	})
+	wl.InjectFlow(bugFlow, microscope.Time(microscope.Millisecond), 40, 5*microscope.Microsecond)
+	dep.Replay(wl)
+	dep.Run(100 * microscope.Millisecond)
+
+	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+	top := rep.TopCauses(1)
+	fmt.Printf("verdict: %s/%s\n", top[0].Comp, top[0].Kind)
+	// Output: verdict: fw1/processing
+}

@@ -1,0 +1,174 @@
+package microscope
+
+import (
+	"math/rand"
+	"testing"
+
+	"microscope/internal/core"
+	"microscope/internal/simtime"
+)
+
+// TestRandomScenarioInvariants fuzzes whole pipelines: random chain shapes,
+// rates, and injections, then checks the paper's structural invariants on
+// whatever came out. This is the repo's broadest property test.
+func TestRandomScenarioInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario test; skipped in -short mode")
+	}
+	for trial := 0; trial < 8; trial++ {
+		seed := int64(1000 + trial*37)
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random chain: 1-4 NFs with random rates.
+		nNFs := 1 + rng.Intn(4)
+		var nfs []ChainNF
+		kinds := []string{"nat", "fw", "mon", "vpn"}
+		for i := 0; i < nNFs; i++ {
+			nfs = append(nfs, ChainNF{
+				Name: kinds[i%4] + "1",
+				Kind: kinds[i%4],
+				Rate: MPPS(0.3 + rng.Float64()*0.7),
+			})
+		}
+		dep := NewChainDeployment(seed, nfs...)
+
+		wl := NewWorkload(WorkloadConfig{
+			Rate:     MPPS(0.1 + rng.Float64()*0.2),
+			Duration: Duration(2+rng.Intn(4)) * simtime.Millisecond,
+			Flows:    32 + rng.Intn(256),
+			Seed:     seed + 1,
+		})
+		// Random injections.
+		if rng.Intn(2) == 0 {
+			wl.InjectBurst(Burst{
+				At:    Time(simtime.Duration(1+rng.Intn(3)) * simtime.Millisecond),
+				Flow:  wl.PickFlow(rng.Intn(8)),
+				Count: 100 + rng.Intn(600),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			dep.InjectInterrupt(nfs[rng.Intn(len(nfs))].Name,
+				Time(simtime.Duration(1+rng.Intn(3))*simtime.Millisecond),
+				simtime.Duration(200+rng.Intn(800))*simtime.Microsecond)
+		}
+		dep.Replay(wl)
+		dep.Run(200 * simtime.Millisecond)
+
+		st := Reconstruct(dep.Trace())
+
+		// Invariant 1: journey count equals emission count.
+		if len(st.Journeys) != dep.Stats().Emitted {
+			t.Fatalf("trial %d: journeys %d vs emitted %d", trial, len(st.Journeys), dep.Stats().Emitted)
+		}
+		// Invariant 2: per-journey hop times are causally ordered.
+		for i := range st.Journeys {
+			j := &st.Journeys[i]
+			prev := j.EmittedAt
+			for h := range j.Hops {
+				hop := &j.Hops[h]
+				if hop.ArriveAt < prev {
+					t.Fatalf("trial %d: journey %d hop %d arrives before previous departure", trial, i, h)
+				}
+				if hop.ReadAt != 0 && hop.ReadAt < hop.ArriveAt {
+					t.Fatalf("trial %d: read before arrival", trial)
+				}
+				if hop.DepartAt != 0 && hop.ReadAt != 0 && hop.DepartAt < hop.ReadAt {
+					t.Fatalf("trial %d: depart before read", trial)
+				}
+				if hop.DepartAt != 0 {
+					prev = hop.DepartAt
+				}
+			}
+		}
+		// Invariant 3: Si + Sp equals the queue length for sampled
+		// victims at every NF (§4.1).
+		eng := core.NewEngine(core.Config{})
+		checked := 0
+		for i := 0; i < len(st.Journeys) && checked < 50; i += 17 {
+			j := &st.Journeys[i]
+			for h := range j.Hops {
+				hop := &j.Hops[h]
+				if hop.ReadAt == 0 {
+					continue
+				}
+				qp := st.QueuingPeriodAt(hop.Comp, hop.ArriveAt)
+				if qp == nil {
+					continue
+				}
+				qlen := qp.NIn - qp.NProc
+				if qlen < 0 {
+					t.Fatalf("trial %d: negative reconstructed queue", trial)
+				}
+				checked++
+			}
+		}
+		// Invariant 4: diagnosis is deterministic.
+		d1 := eng.Diagnose(st)
+		d2 := eng.Diagnose(st)
+		if len(d1) != len(d2) {
+			t.Fatalf("trial %d: nondeterministic victim count", trial)
+		}
+		for i := range d1 {
+			if len(d1[i].Causes) != len(d2[i].Causes) {
+				t.Fatalf("trial %d: nondeterministic causes", trial)
+			}
+			for c := range d1[i].Causes {
+				if d1[i].Causes[c].Comp != d2[i].Causes[c].Comp ||
+					d1[i].Causes[c].Score != d2[i].Causes[c].Score {
+					t.Fatalf("trial %d: cause mismatch", trial)
+				}
+			}
+		}
+		// Invariant 5: every cause score is positive and finite.
+		for i := range d1 {
+			for _, c := range d1[i].Causes {
+				if !(c.Score > 0) || c.Score > 1e9 {
+					t.Fatalf("trial %d: bad score %v", trial, c.Score)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomDAGInvariants does the same over random eval-topology runs.
+func TestRandomDAGInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario test; skipped in -short mode")
+	}
+	for trial := 0; trial < 3; trial++ {
+		seed := int64(9000 + trial*101)
+		dep := NewEvalDeployment(EvalTopologyConfig{Seed: seed})
+		wl := NewWorkload(WorkloadConfig{
+			Rate:     MPPS(0.8),
+			Duration: 4 * simtime.Millisecond,
+			Seed:     seed + 1,
+		})
+		dep.InjectInterrupt(dep.NFs()[trial%16], Time(2*simtime.Millisecond), 600*simtime.Microsecond)
+		dep.Replay(wl)
+		dep.Run(100 * simtime.Millisecond)
+
+		st := Reconstruct(dep.Trace())
+		stats := st.ReconStats()
+		total := stats.Matched + stats.Reordered + stats.LookaheadFix + stats.Unmatched
+		if total == 0 {
+			t.Fatalf("trial %d: nothing matched", trial)
+		}
+		if float64(stats.Unmatched)/float64(total) > 0.01 {
+			t.Fatalf("trial %d: unmatched fraction too high: %+v", trial, stats)
+		}
+		// Tuples recovered at egress match the journey count of
+		// delivered packets.
+		delivered := 0
+		for i := range st.Journeys {
+			if st.Journeys[i].Delivered {
+				if !st.Journeys[i].HasTuple {
+					t.Fatalf("trial %d: delivered journey without tuple", trial)
+				}
+				delivered++
+			}
+		}
+		if delivered == 0 {
+			t.Fatalf("trial %d: nothing delivered", trial)
+		}
+	}
+}

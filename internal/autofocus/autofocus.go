@@ -1,0 +1,391 @@
+// Package autofocus implements the multidimensional hierarchical
+// heavy-hitter clustering Microscope's pattern aggregation builds on
+// (AutoFocus, Estan et al. [25]; paper §4.4).
+//
+// Items are weighted <five-tuple, NF> pairs. The algorithm reports the most
+// specific aggregates — across source/destination prefix hierarchies, port
+// ranges, protocol, and NF instance/type — whose residual weight (after
+// consuming the weight already explained by more-specific reported
+// aggregates) exceeds a threshold fraction of the total. Like the paper's
+// implementation, port generalization uses single ports or the static
+// registered/ephemeral ranges, and prefixes step through a fixed ladder;
+// the paper notes the same limitation when discussing Figure 14.
+package autofocus
+
+import (
+	"fmt"
+	"sort"
+
+	"microscope/internal/packet"
+)
+
+// Item is one weighted observation.
+type Item struct {
+	Flow packet.FiveTuple
+	// NF is the component instance ("fw2", "source").
+	NF string
+	// Kind is the component type ("fw"), enabling instance→type rollup.
+	Kind   string
+	Weight float64
+}
+
+// PortRange is an inclusive port interval. Lo==0 && Hi==65535 means any.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// Contains reports whether p falls inside the range.
+func (r PortRange) Contains(p uint16) bool { return p >= r.Lo && p <= r.Hi }
+
+// Any reports whether the range covers all ports.
+func (r PortRange) Any() bool { return r.Lo == 0 && r.Hi == 65535 }
+
+// String renders the range as the paper's listings do.
+func (r PortRange) String() string {
+	if r.Any() {
+		return "*"
+	}
+	if r.Lo == r.Hi {
+		return fmt.Sprintf("%d", r.Lo)
+	}
+	return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+}
+
+// FlowAgg is a flow aggregate: prefixes, port ranges, and a protocol set
+// (single protocol or any).
+type FlowAgg struct {
+	SrcPrefix uint32
+	SrcLen    uint8
+	DstPrefix uint32
+	DstLen    uint8
+	SrcPort   PortRange
+	DstPort   PortRange
+	Proto     int16 // -1 = any
+}
+
+// Matches reports whether a concrete tuple falls inside the aggregate.
+func (a FlowAgg) Matches(ft packet.FiveTuple) bool {
+	if a.SrcLen > 0 && ft.SrcIP>>(32-a.SrcLen) != a.SrcPrefix>>(32-a.SrcLen) {
+		return false
+	}
+	if a.DstLen > 0 && ft.DstIP>>(32-a.DstLen) != a.DstPrefix>>(32-a.DstLen) {
+		return false
+	}
+	if !a.SrcPort.Contains(ft.SrcPort) || !a.DstPort.Contains(ft.DstPort) {
+		return false
+	}
+	if a.Proto >= 0 && uint8(a.Proto) != ft.Proto {
+		return false
+	}
+	return true
+}
+
+// String renders "srcPrefix dstPrefix proto sport dport" like Figure 14.
+func (a FlowAgg) String() string {
+	return fmt.Sprintf("%s %s %s %s %s",
+		prefixString(a.SrcPrefix, a.SrcLen), prefixString(a.DstPrefix, a.DstLen),
+		protoString(a.Proto), a.SrcPort, a.DstPort)
+}
+
+func prefixString(p uint32, l uint8) string {
+	if l == 0 {
+		return "*"
+	}
+	return fmt.Sprintf("%s/%d", packet.IPString(maskPrefix(p, l)), l)
+}
+
+func protoString(p int16) string {
+	if p < 0 {
+		return "*"
+	}
+	return fmt.Sprintf("%d", p)
+}
+
+func maskPrefix(ip uint32, l uint8) uint32 {
+	if l == 0 {
+		return 0
+	}
+	return ip &^ (1<<(32-uint32(l)) - 1)
+}
+
+// NFAgg is an NF aggregate: a specific instance, all instances of a type,
+// or any component.
+type NFAgg struct {
+	Name string // instance, "" when aggregated
+	Kind string // type, "" when fully general
+}
+
+// Any reports whether the aggregate covers every component.
+func (a NFAgg) Any() bool { return a.Name == "" && a.Kind == "" }
+
+// String implements fmt.Stringer.
+func (a NFAgg) String() string {
+	switch {
+	case a.Name != "":
+		return a.Name
+	case a.Kind != "":
+		return a.Kind + "*"
+	default:
+		return "*"
+	}
+}
+
+// Pattern is one reported aggregate.
+type Pattern struct {
+	Flow FlowAgg
+	NF   NFAgg
+	// Weight is the residual weight this pattern explains (not counting
+	// weight already attributed to more specific reported patterns).
+	Weight float64
+	// Leaves is how many distinct exact items contributed.
+	Leaves int
+}
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s %s: %.1f", p.Flow, p.NF, p.Weight)
+}
+
+// prefix generalization ladders (most→least specific).
+var prefixLens = [...]uint8{32, 24, 16, 8, 0}
+
+// portRangesFor returns the generalization ladder of a concrete port:
+// exact, its static side of the registered/ephemeral split, any.
+func portRangesFor(p uint16) [3]PortRange {
+	static := PortRange{1024, 65535}
+	if p < 1024 {
+		static = PortRange{0, 1023}
+	}
+	return [3]PortRange{{p, p}, static, {0, 65535}}
+}
+
+// Config tunes aggregation.
+type Config struct {
+	// Threshold is the fraction of total weight an aggregate must
+	// explain to be reported (the paper's th, default 0.01).
+	Threshold float64
+	// MaxPatterns caps the report size (0 = unlimited).
+	MaxPatterns int
+	// Cache memoizes leaf lattice expansions across Aggregate calls.
+	// Callers that aggregate many overlapping item sets (the two-phase
+	// pattern pipeline does) should share one.
+	Cache *Cache
+}
+
+// Cache memoizes the generalization lattice of leaves across calls.
+type Cache struct {
+	m map[cacheKey][]genAgg
+}
+
+type cacheKey struct {
+	flow packet.FiveTuple
+	nf   string
+	kind string
+}
+
+// NewCache creates an empty expansion cache.
+func NewCache() *Cache { return &Cache{m: make(map[cacheKey][]genAgg)} }
+
+func (c *Cache) expansions(lf *leaf) []genAgg {
+	k := cacheKey{flow: lf.flow, nf: lf.nf, kind: lf.kind}
+	if g, ok := c.m[k]; ok {
+		return g
+	}
+	g := generalizations(lf, nil)
+	c.m[k] = g
+	return g
+}
+
+func (c *Config) setDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.01
+	}
+}
+
+// leaf is a grouped exact item.
+type leaf struct {
+	flow     packet.FiveTuple
+	nf, kind string
+	weight   float64
+	consumed float64
+}
+
+type aggKey struct {
+	flow FlowAgg
+	nf   NFAgg
+}
+
+// Aggregate runs the hierarchical heavy-hitter search and returns patterns
+// sorted by descending residual weight (most significant first), most
+// specific first among equals.
+func Aggregate(items []Item, cfg Config) []Pattern {
+	cfg.setDefaults()
+	if len(items) == 0 {
+		return nil
+	}
+	// Group identical observations into leaves.
+	type leafKey struct {
+		flow packet.FiveTuple
+		nf   string
+	}
+	leafIdx := make(map[leafKey]int)
+	var leaves []*leaf
+	var total float64
+	for _, it := range items {
+		total += it.Weight
+		k := leafKey{it.Flow, it.NF}
+		if i, ok := leafIdx[k]; ok {
+			leaves[i].weight += it.Weight
+			continue
+		}
+		leafIdx[k] = len(leaves)
+		leaves = append(leaves, &leaf{flow: it.Flow, nf: it.NF, kind: it.Kind, weight: it.Weight})
+	}
+	if total <= 0 {
+		return nil
+	}
+	minW := cfg.Threshold * total
+
+	// Enumerate every aggregate each leaf belongs to, tracking members.
+	type clusterInfo struct {
+		key        aggKey
+		members    []int
+		generality int
+		total      float64
+	}
+	index := make(map[aggKey]int)
+	var clusters []clusterInfo
+	var genBuf []genAgg
+	for li, lf := range leaves {
+		if cfg.Cache != nil {
+			genBuf = cfg.Cache.expansions(lf)
+		} else {
+			genBuf = generalizations(lf, genBuf[:0])
+		}
+		for _, agg := range genBuf {
+			ci, ok := index[agg.key]
+			if !ok {
+				ci = len(clusters)
+				index[agg.key] = ci
+				clusters = append(clusters, clusterInfo{key: agg.key, generality: agg.generality})
+			}
+			clusters[ci].members = append(clusters[ci].members, li)
+			clusters[ci].total += lf.weight
+		}
+	}
+
+	// Prune clusters that can never be reported: residual weight never
+	// exceeds total member weight, so total < minW is a safe exact
+	// filter — and it shrinks the sort set by orders of magnitude on
+	// realistic inputs.
+	kept := clusters[:0]
+	for i := range clusters {
+		if clusters[i].total >= minW {
+			kept = append(kept, clusters[i])
+		}
+	}
+	clusters = kept
+
+	// Order clusters most-specific first; deterministic tiebreak.
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].generality != clusters[j].generality {
+			return clusters[i].generality < clusters[j].generality
+		}
+		return aggKeyLess(clusters[i].key, clusters[j].key)
+	})
+
+	// Greedy residual reporting: a cluster is reported when its
+	// unconsumed member weight crosses the threshold; reporting consumes
+	// that weight so ancestors only count what remains.
+	var out []Pattern
+	for i := range clusters {
+		ci := &clusters[i]
+		var residual float64
+		for _, li := range ci.members {
+			residual += leaves[li].weight - leaves[li].consumed
+		}
+		if residual < minW {
+			continue
+		}
+		contributing := 0
+		for _, li := range ci.members {
+			if leaves[li].weight > leaves[li].consumed {
+				contributing++
+			}
+			leaves[li].consumed = leaves[li].weight
+		}
+		out = append(out, Pattern{Flow: ci.key.flow, NF: ci.key.nf, Weight: residual, Leaves: contributing})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	if cfg.MaxPatterns > 0 && len(out) > cfg.MaxPatterns {
+		out = out[:cfg.MaxPatterns]
+	}
+	return out
+}
+
+type genAgg struct {
+	key        aggKey
+	generality int
+}
+
+// generalizations appends the aggregate lattice cells of a leaf to dst.
+func generalizations(lf *leaf, dst []genAgg) []genAgg {
+	srcPorts := portRangesFor(lf.flow.SrcPort)
+	dstPorts := portRangesFor(lf.flow.DstPort)
+	nfs := [...]NFAgg{{Name: lf.nf, Kind: lf.kind}, {Kind: lf.kind}, {}}
+	protos := [...]int16{int16(lf.flow.Proto), -1}
+
+	out := dst
+	for si, sl := range prefixLens {
+		for di, dl := range prefixLens {
+			for spi, sp := range srcPorts {
+				for dpi, dp := range dstPorts {
+					for pi, pr := range protos {
+						for ni, nf := range nfs {
+							out = append(out, genAgg{
+								key: aggKey{
+									flow: FlowAgg{
+										SrcPrefix: maskPrefix(lf.flow.SrcIP, sl),
+										SrcLen:    sl,
+										DstPrefix: maskPrefix(lf.flow.DstIP, dl),
+										DstLen:    dl,
+										SrcPort:   sp,
+										DstPort:   dp,
+										Proto:     pr,
+									},
+									nf: nf,
+								},
+								generality: si + di + spi + dpi + pi + ni,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func aggKeyLess(a, b aggKey) bool {
+	af, bf := a.flow, b.flow
+	switch {
+	case af.SrcPrefix != bf.SrcPrefix:
+		return af.SrcPrefix < bf.SrcPrefix
+	case af.SrcLen != bf.SrcLen:
+		return af.SrcLen > bf.SrcLen
+	case af.DstPrefix != bf.DstPrefix:
+		return af.DstPrefix < bf.DstPrefix
+	case af.DstLen != bf.DstLen:
+		return af.DstLen > bf.DstLen
+	case af.SrcPort != bf.SrcPort:
+		return af.SrcPort.Lo < bf.SrcPort.Lo || (af.SrcPort.Lo == bf.SrcPort.Lo && af.SrcPort.Hi < bf.SrcPort.Hi)
+	case af.DstPort != bf.DstPort:
+		return af.DstPort.Lo < bf.DstPort.Lo || (af.DstPort.Lo == bf.DstPort.Lo && af.DstPort.Hi < bf.DstPort.Hi)
+	case af.Proto != bf.Proto:
+		return af.Proto < bf.Proto
+	case a.nf.Name != b.nf.Name:
+		return a.nf.Name < b.nf.Name
+	default:
+		return a.nf.Kind < b.nf.Kind
+	}
+}

@@ -1,0 +1,286 @@
+package autofocus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"microscope/internal/packet"
+)
+
+func ft(srcLast byte, sport, dport uint16) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   packet.IPFromOctets(100, 0, 0, srcLast),
+		DstIP:   packet.IPFromOctets(32, 0, 0, 1),
+		SrcPort: sport,
+		DstPort: dport,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	r := PortRange{1024, 65535}
+	if !r.Contains(2000) || r.Contains(80) {
+		t.Error("Contains wrong")
+	}
+	if r.Any() {
+		t.Error("registered range is not any")
+	}
+	if (PortRange{0, 65535}).String() != "*" {
+		t.Error("any string")
+	}
+	if (PortRange{80, 80}).String() != "80" {
+		t.Error("single string")
+	}
+	if r.String() != "1024-65535" {
+		t.Error("range string")
+	}
+}
+
+func TestFlowAggMatches(t *testing.T) {
+	a := FlowAgg{
+		SrcPrefix: packet.IPFromOctets(100, 0, 0, 0),
+		SrcLen:    24,
+		SrcPort:   PortRange{0, 65535},
+		DstPort:   PortRange{6000, 6008},
+		Proto:     -1,
+	}
+	if !a.Matches(ft(9, 2000, 6004)) {
+		t.Error("should match")
+	}
+	if a.Matches(ft(9, 2000, 7000)) {
+		t.Error("port outside range matched")
+	}
+	other := ft(9, 2000, 6004)
+	other.SrcIP = packet.IPFromOctets(101, 0, 0, 9)
+	if a.Matches(other) {
+		t.Error("prefix mismatch matched")
+	}
+}
+
+func TestFlowAggString(t *testing.T) {
+	a := FlowAgg{
+		SrcPrefix: packet.IPFromOctets(100, 0, 0, 1),
+		SrcLen:    32,
+		DstLen:    0,
+		SrcPort:   PortRange{2004, 2004},
+		DstPort:   PortRange{1024, 65535},
+		Proto:     6,
+	}
+	got := a.String()
+	if !strings.Contains(got, "100.0.0.1/32") || !strings.Contains(got, "*") ||
+		!strings.Contains(got, "2004") || !strings.Contains(got, "1024-65535") {
+		t.Errorf("String: %q", got)
+	}
+}
+
+func TestNFAgg(t *testing.T) {
+	if (NFAgg{Name: "fw2", Kind: "fw"}).String() != "fw2" {
+		t.Error("instance string")
+	}
+	if (NFAgg{Kind: "fw"}).String() != "fw*" {
+		t.Error("kind string")
+	}
+	if !(NFAgg{}).Any() || (NFAgg{}).String() != "*" {
+		t.Error("any agg")
+	}
+}
+
+func TestAggregateSingleHeavyFlow(t *testing.T) {
+	// One flow carries 90% of weight: it must be reported as an exact
+	// (most specific) pattern.
+	items := []Item{
+		{Flow: ft(1, 2004, 6004), NF: "fw2", Kind: "fw", Weight: 90},
+	}
+	for i := 0; i < 10; i++ {
+		items = append(items, Item{Flow: ft(byte(50+i), uint16(3000+i*13), uint16(9000+i*7)), NF: "fw1", Kind: "fw", Weight: 1})
+	}
+	pats := Aggregate(items, Config{Threshold: 0.05})
+	if len(pats) == 0 {
+		t.Fatal("no patterns")
+	}
+	top := pats[0]
+	if top.Weight < 89.9 || top.Weight > 90.1 {
+		t.Errorf("top weight: %v", top.Weight)
+	}
+	if top.Flow.SrcLen != 32 || top.Flow.SrcPort.Lo != 2004 || top.Flow.SrcPort.Hi != 2004 {
+		t.Errorf("top pattern not exact: %v", top)
+	}
+	if top.NF.Name != "fw2" {
+		t.Errorf("top NF: %v", top.NF)
+	}
+}
+
+func TestAggregatePrefixRollup(t *testing.T) {
+	// 64 flows inside 100.0.0.0/24, each 1% — individually below a 5%
+	// threshold, together 64%: must roll up to (at most) the /24.
+	var items []Item
+	for i := 0; i < 64; i++ {
+		items = append(items, Item{Flow: ft(byte(i), uint16(1024+i), uint16(7000+i)), NF: "fw1", Kind: "fw", Weight: 1})
+	}
+	// Background noise elsewhere.
+	for i := 0; i < 36; i++ {
+		f := ft(1, uint16(2000+i), uint16(8000+i))
+		f.SrcIP = packet.IPFromOctets(9, byte(i), 0, 1)
+		f.DstIP = packet.IPFromOctets(200, byte(i), 3, 4)
+		items = append(items, Item{Flow: f, NF: "fw3", Kind: "fw", Weight: 1})
+	}
+	pats := Aggregate(items, Config{Threshold: 0.05})
+	if len(pats) == 0 {
+		t.Fatal("no patterns")
+	}
+	found := false
+	for _, p := range pats {
+		if p.Flow.SrcLen >= 16 && p.Flow.SrcLen <= 24 &&
+			p.Flow.SrcPrefix>>8 == packet.IPFromOctets(100, 0, 0, 0)>>8 && p.Weight >= 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no /24-ish rollup found: %v", pats)
+	}
+}
+
+func TestAggregateNFTypeRollup(t *testing.T) {
+	// Same flow spread across five firewall instances, each below
+	// threshold: must report at the fw-type level.
+	var items []Item
+	for i := 0; i < 5; i++ {
+		items = append(items, Item{
+			Flow: ft(7, 4000, 5000), NF: "fw" + string(rune('1'+i)), Kind: "fw", Weight: 3,
+		})
+	}
+	items = append(items, Item{Flow: ft(200, 6000, 7000), NF: "nat1", Kind: "nat", Weight: 85})
+	pats := Aggregate(items, Config{Threshold: 0.10})
+	var fwPat *Pattern
+	for i := range pats {
+		if pats[i].NF.Kind == "fw" && pats[i].NF.Name == "" {
+			fwPat = &pats[i]
+		}
+	}
+	if fwPat == nil {
+		t.Fatalf("no fw-type rollup: %v", pats)
+	}
+	if fwPat.Weight < 14.9 {
+		t.Errorf("fw rollup weight: %v", fwPat.Weight)
+	}
+}
+
+func TestAggregateThresholdPrunes(t *testing.T) {
+	var items []Item
+	for i := 0; i < 100; i++ {
+		f := ft(byte(i), uint16(1024+i*17), uint16(1024+i*31))
+		f.SrcIP = uint32(i) * 2654435761 // spread everywhere
+		f.DstIP = uint32(i)*40503 + 7
+		items = append(items, Item{Flow: f, NF: "fw1", Kind: "fw", Weight: 1})
+	}
+	pats := Aggregate(items, Config{Threshold: 0.5})
+	// Nothing except (possibly) a very general cluster can pass 50%.
+	for _, p := range pats {
+		if p.Flow.SrcLen == 32 {
+			t.Errorf("specific pattern above 50%%: %v", p)
+		}
+	}
+}
+
+func TestAggregateWeightConservation(t *testing.T) {
+	f := func(weightsRaw []uint8) bool {
+		if len(weightsRaw) == 0 || len(weightsRaw) > 40 {
+			return true
+		}
+		var items []Item
+		var total float64
+		for i, w := range weightsRaw {
+			wt := float64(w%50) + 1
+			total += wt
+			items = append(items, Item{
+				Flow: ft(byte(i), uint16(2000+i), uint16(6000+i%4)), NF: "fw1", Kind: "fw", Weight: wt,
+			})
+		}
+		pats := Aggregate(items, Config{Threshold: 0.01})
+		var sum float64
+		for _, p := range pats {
+			if p.Weight <= 0 {
+				return false
+			}
+			sum += p.Weight
+		}
+		// Residual reporting never double counts.
+		return sum <= total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateEmptyAndCaps(t *testing.T) {
+	if Aggregate(nil, Config{}) != nil {
+		t.Error("empty input should be nil")
+	}
+	var items []Item
+	for i := 0; i < 20; i++ {
+		items = append(items, Item{Flow: ft(byte(i), uint16(3000+i), 6000), NF: "fw1", Kind: "fw", Weight: 10})
+	}
+	pats := Aggregate(items, Config{Threshold: 0.01, MaxPatterns: 3})
+	if len(pats) > 3 {
+		t.Errorf("cap ignored: %d", len(pats))
+	}
+}
+
+func TestAggregateDeterminism(t *testing.T) {
+	var items []Item
+	for i := 0; i < 30; i++ {
+		items = append(items, Item{Flow: ft(byte(i%5), uint16(2000+i%3), uint16(6000+i%2)), NF: "fw1", Kind: "fw", Weight: float64(i%7) + 1})
+	}
+	a := Aggregate(items, Config{Threshold: 0.02})
+	b := Aggregate(items, Config{Threshold: 0.02})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pattern %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMaskPrefix(t *testing.T) {
+	ip := packet.IPFromOctets(192, 168, 55, 77)
+	if got := maskPrefix(ip, 24); got != packet.IPFromOctets(192, 168, 55, 0) {
+		t.Errorf("/24 mask: %s", packet.IPString(got))
+	}
+	if got := maskPrefix(ip, 0); got != 0 {
+		t.Errorf("/0 mask: %d", got)
+	}
+	if got := maskPrefix(ip, 32); got != ip {
+		t.Errorf("/32 mask changed ip")
+	}
+}
+
+// TestCacheEquivalence: aggregation with a shared expansion cache must be
+// byte-for-byte identical to aggregation without one, across repeated and
+// overlapping item sets.
+func TestCacheEquivalence(t *testing.T) {
+	cache := NewCache()
+	for round := 0; round < 5; round++ {
+		var items []Item
+		for i := 0; i < 40; i++ {
+			items = append(items, Item{
+				Flow:   ft(byte((i+round*7)%20), uint16(2000+i%6), uint16(6000+i%3)),
+				NF:     []string{"fw1", "fw2", "nat1"}[i%3],
+				Kind:   []string{"fw", "fw", "nat"}[i%3],
+				Weight: float64(i%9) + 1,
+			})
+		}
+		plain := Aggregate(items, Config{Threshold: 0.02})
+		cached := Aggregate(items, Config{Threshold: 0.02, Cache: cache})
+		if len(plain) != len(cached) {
+			t.Fatalf("round %d: %d vs %d patterns", round, len(plain), len(cached))
+		}
+		for i := range plain {
+			if plain[i] != cached[i] {
+				t.Fatalf("round %d pattern %d: %v vs %v", round, i, plain[i], cached[i])
+			}
+		}
+	}
+}

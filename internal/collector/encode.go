@@ -1,0 +1,258 @@
+package collector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// The compact trace codec. The paper compresses runtime data to about two
+// bytes per packet: IPIDs are two bytes each, batch metadata (component,
+// direction, timestamp delta, size) is a handful of varint bytes amortized
+// over up to 32 packets, and five-tuples appear only in egress records.
+//
+// Stream layout, all integers varint unless noted:
+//
+//	magic "MST1"
+//	repeated records:
+//	  compRef   — index into the component string table; equal to the
+//	              table length it defines a new entry: len + bytes follow
+//	  dir       — 1 byte
+//	  queueRef  — only for DirWrite; same table mechanism (queue table)
+//	  deltaT    — nanoseconds since the previous record (records are
+//	              appended in time order, so deltas are non-negative)
+//	  n         — batch size
+//	  n × ipid  — 2 bytes each, little endian
+//	  n × tuple — 13 bytes each, only for DirDeliver
+
+var magic = [4]byte{'M', 'S', 'T', '1'}
+
+// Encoder serializes BatchRecords into the compact stream.
+type Encoder struct {
+	buf    []byte
+	comps  map[string]uint64
+	queues map[string]uint64
+	lastT  simtime.Time
+	n      int
+}
+
+// NewEncoder returns an Encoder with the magic header written.
+func NewEncoder() *Encoder {
+	e := &Encoder{
+		comps:  make(map[string]uint64),
+		queues: make(map[string]uint64),
+	}
+	e.buf = append(e.buf, magic[:]...)
+	return e
+}
+
+func (e *Encoder) putUvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	e.buf = append(e.buf, tmp[:n]...)
+}
+
+func (e *Encoder) putRef(table map[string]uint64, s string) {
+	id, ok := table[s]
+	if !ok {
+		id = uint64(len(table))
+		table[s] = id
+		e.putUvarint(id)
+		e.putUvarint(uint64(len(s)))
+		e.buf = append(e.buf, s...)
+		return
+	}
+	e.putUvarint(id)
+}
+
+// Append encodes one record. Records must be appended in non-decreasing
+// time order; Append returns the number of bytes the record consumed.
+func (e *Encoder) Append(r *BatchRecord) int {
+	if r.At < e.lastT {
+		panic(fmt.Sprintf("collector: record at %v before previous %v", r.At, e.lastT))
+	}
+	start := len(e.buf)
+	e.putRef(e.comps, r.Comp)
+	e.buf = append(e.buf, byte(r.Dir))
+	if r.Dir == DirWrite {
+		e.putRef(e.queues, r.Queue)
+	}
+	e.putUvarint(uint64(r.At - e.lastT))
+	e.lastT = r.At
+	e.putUvarint(uint64(len(r.IPIDs)))
+	for _, id := range r.IPIDs {
+		e.buf = append(e.buf, byte(id), byte(id>>8))
+	}
+	if r.Dir == DirDeliver {
+		for _, t := range r.Tuples {
+			e.buf = append(e.buf,
+				byte(t.SrcIP), byte(t.SrcIP>>8), byte(t.SrcIP>>16), byte(t.SrcIP>>24),
+				byte(t.DstIP), byte(t.DstIP>>8), byte(t.DstIP>>16), byte(t.DstIP>>24),
+				byte(t.SrcPort), byte(t.SrcPort>>8),
+				byte(t.DstPort), byte(t.DstPort>>8),
+				t.Proto)
+		}
+	}
+	e.n++
+	return len(e.buf) - start
+}
+
+// Bytes returns the encoded stream so far.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of records encoded.
+func (e *Encoder) Len() int { return e.n }
+
+// Decode parses a stream produced by Encoder back into records.
+func Decode(data []byte) ([]BatchRecord, error) {
+	if len(data) < 4 || data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		return nil, errors.New("collector: bad magic")
+	}
+	pos := 4
+	var comps, queues []string
+	var lastT simtime.Time
+	var out []BatchRecord
+
+	getUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, errors.New("collector: truncated varint")
+		}
+		pos += n
+		return v, nil
+	}
+	getRef := func(table *[]string) (string, error) {
+		id, err := getUvarint()
+		if err != nil {
+			return "", err
+		}
+		if id < uint64(len(*table)) {
+			return (*table)[id], nil
+		}
+		if id != uint64(len(*table)) {
+			return "", fmt.Errorf("collector: ref %d skips table of %d", id, len(*table))
+		}
+		l, err := getUvarint()
+		if err != nil {
+			return "", err
+		}
+		if pos+int(l) > len(data) {
+			return "", errors.New("collector: truncated string")
+		}
+		s := string(data[pos : pos+int(l)])
+		pos += int(l)
+		*table = append(*table, s)
+		return s, nil
+	}
+
+	for pos < len(data) {
+		var r BatchRecord
+		var err error
+		if r.Comp, err = getRef(&comps); err != nil {
+			return nil, err
+		}
+		if pos >= len(data) {
+			return nil, errors.New("collector: truncated record")
+		}
+		r.Dir = Dir(data[pos])
+		pos++
+		if r.Dir > DirDeliver {
+			return nil, fmt.Errorf("collector: bad direction %d", r.Dir)
+		}
+		switch r.Dir {
+		case DirWrite:
+			if r.Queue, err = getRef(&queues); err != nil {
+				return nil, err
+			}
+		case DirRead:
+			r.Queue = r.Comp + ".in"
+		}
+		dt, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		lastT = lastT.Add(simtime.Duration(dt))
+		r.At = lastT
+		n, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(n)*2 > len(data) {
+			return nil, errors.New("collector: truncated ipids")
+		}
+		r.IPIDs = make([]uint16, n)
+		for i := range r.IPIDs {
+			r.IPIDs[i] = uint16(data[pos]) | uint16(data[pos+1])<<8
+			pos += 2
+		}
+		if r.Dir == DirDeliver {
+			if pos+int(n)*13 > len(data) {
+				return nil, errors.New("collector: truncated tuples")
+			}
+			r.Tuples = make([]packet.FiveTuple, n)
+			for i := range r.Tuples {
+				b := data[pos : pos+13]
+				r.Tuples[i] = packet.FiveTuple{
+					SrcIP:   uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24,
+					DstIP:   uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+					SrcPort: uint16(b[8]) | uint16(b[9])<<8,
+					DstPort: uint16(b[10]) | uint16(b[11])<<8,
+					Proto:   b[12],
+				}
+				pos += 13
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Ring emulates the shared-memory staging buffer between the collector's
+// critical path and the standalone dumper (§5). Put encodes a record into
+// the ring; when the ring cannot hold the next record the dumper drains it
+// (synchronously here — the simulator is single-threaded by design).
+type Ring struct {
+	enc       *Encoder
+	capBytes  int
+	drainMark int
+	// Dumped accumulates the flushed stream, i.e. the "on disk" bytes.
+	dumped []byte
+	drains int
+}
+
+// NewRing creates a ring of the given byte capacity.
+func NewRing(capBytes int) *Ring {
+	if capBytes <= 0 {
+		capBytes = 1 << 20
+	}
+	return &Ring{enc: NewEncoder(), capBytes: capBytes}
+}
+
+// Put stages one record, draining first if the ring is near capacity.
+// It returns the encoded size of the record.
+func (r *Ring) Put(rec *BatchRecord) int {
+	if len(r.enc.Bytes())-r.drainMark >= r.capBytes {
+		r.Drain()
+	}
+	return r.enc.Append(rec)
+}
+
+// Drain flushes staged bytes to the dumped stream.
+func (r *Ring) Drain() {
+	b := r.enc.Bytes()
+	if len(b) > r.drainMark {
+		r.dumped = append(r.dumped, b[r.drainMark:]...)
+		r.drainMark = len(b)
+		r.drains++
+	}
+}
+
+// Dumped returns the flushed byte stream. Note the encoder writes one
+// contiguous stream; Dumped is its prefix up to the last drain.
+func (r *Ring) Dumped() []byte { return r.dumped }
+
+// Drains returns how many dumper flushes occurred.
+func (r *Ring) Drains() int { return r.drains }

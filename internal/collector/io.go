@@ -1,0 +1,87 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"microscope/internal/simtime"
+)
+
+// Trace directory layout: deployment metadata as JSON next to the compact
+// binary record stream, so a trace is portable between the collection host
+// and wherever diagnosis runs.
+const (
+	metaFile    = "meta.json"
+	recordsFile = "records.mst"
+)
+
+// metaJSON is the serialized form of Meta (rates in pps for readability).
+type metaJSON struct {
+	MaxBatch   int             `json:"max_batch"`
+	Components []componentJSON `json:"components"`
+	Edges      []Edge          `json:"edges"`
+}
+
+type componentJSON struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	PeakPPS float64 `json:"peak_pps"`
+	Egress  bool    `json:"egress,omitempty"`
+}
+
+// WriteTrace persists a trace to a directory (created if missing).
+func WriteTrace(dir string, tr *Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("collector: create trace dir: %w", err)
+	}
+	mj := metaJSON{MaxBatch: tr.Meta.MaxBatch, Edges: tr.Meta.Edges}
+	for _, c := range tr.Meta.Components {
+		mj.Components = append(mj.Components, componentJSON{
+			Name: c.Name, Kind: c.Kind, PeakPPS: c.PeakRate.PPS(), Egress: c.Egress,
+		})
+	}
+	mb, err := json.MarshalIndent(&mj, "", "  ")
+	if err != nil {
+		return fmt.Errorf("collector: marshal meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), mb, 0o644); err != nil {
+		return fmt.Errorf("collector: write meta: %w", err)
+	}
+	enc := NewEncoder()
+	for i := range tr.Records {
+		enc.Append(&tr.Records[i])
+	}
+	if err := os.WriteFile(filepath.Join(dir, recordsFile), enc.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("collector: write records: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace loads a trace directory written by WriteTrace.
+func ReadTrace(dir string) (*Trace, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("collector: read meta: %w", err)
+	}
+	var mj metaJSON
+	if err := json.Unmarshal(mb, &mj); err != nil {
+		return nil, fmt.Errorf("collector: parse meta: %w", err)
+	}
+	tr := &Trace{Meta: Meta{MaxBatch: mj.MaxBatch, Edges: mj.Edges}}
+	for _, c := range mj.Components {
+		tr.Meta.Components = append(tr.Meta.Components, ComponentMeta{
+			Name: c.Name, Kind: c.Kind, PeakRate: simtime.PPS(c.PeakPPS), Egress: c.Egress,
+		})
+	}
+	rb, err := os.ReadFile(filepath.Join(dir, recordsFile))
+	if err != nil {
+		return nil, fmt.Errorf("collector: read records: %w", err)
+	}
+	tr.Records, err = Decode(rb)
+	if err != nil {
+		return nil, fmt.Errorf("collector: decode records: %w", err)
+	}
+	return tr, nil
+}

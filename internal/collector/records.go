@@ -1,0 +1,167 @@
+// Package collector implements Microscope's runtime information collection
+// (paper §5): instrumentation of the NF receive and transmit paths that
+// records, per batch, a timestamp, the batch size, and the IPID of each
+// packet — plus full five-tuples only at the egress of the NF graph. The
+// records are staged in a shared-memory-style ring drained by a dumper, and
+// a compact binary encoding keeps the cost near two bytes per packet.
+//
+// The collector deliberately observes nothing else: no packet IDs, no
+// ground truth, no NF internals. Everything downstream (trace
+// reconstruction, diagnosis) works from this record stream alone, exactly
+// as the paper's offline component does.
+package collector
+
+import (
+	"fmt"
+
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// SourceName is the component name of the traffic source in trace records,
+// matching nfsim.SourceName.
+const SourceName = "source"
+
+// Dir is the direction of a batch operation relative to the component that
+// performed it.
+type Dir uint8
+
+const (
+	// DirRead is a batch dequeue from the component's input queue (the
+	// instrumented DPDK receive function).
+	DirRead Dir = iota
+	// DirWrite is a batch enqueue onto a downstream queue (the
+	// instrumented DPDK transmit function).
+	DirWrite
+	// DirDeliver is a batch leaving the NF graph at an egress NF; these
+	// records also carry five-tuples.
+	DirDeliver
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	switch d {
+	case DirRead:
+		return "read"
+	case DirWrite:
+		return "write"
+	case DirDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// BatchRecord is one instrumented batch operation.
+type BatchRecord struct {
+	// Comp is the component that performed the operation ("source" or
+	// an NF name).
+	Comp string
+	// Queue is the queue operated on: the component's own input queue
+	// for reads, the destination queue for writes, "" for delivers.
+	Queue string
+	// At is the batch timestamp.
+	At simtime.Time
+	// IPIDs holds one entry per packet, in batch order. len(IPIDs) is
+	// the batch size.
+	IPIDs []uint16
+	// Tuples is populated only for DirDeliver records (the paper keeps
+	// five-tuples only at the end of the NF graph).
+	Tuples []packet.FiveTuple
+	// Dir is the operation direction.
+	Dir Dir
+}
+
+// Size returns the batch size.
+func (r *BatchRecord) Size() int { return len(r.IPIDs) }
+
+// Meta describes the deployment to the offline diagnosis: the component
+// graph and per-NF peak rates. Operators know their topology and measure
+// r_i by offline stress testing (§4.1 footnote); neither is runtime
+// information.
+type Meta struct {
+	// Components lists every component including the traffic source.
+	Components []ComponentMeta
+	// Edges lists directed links: traffic flows From -> To.
+	Edges []Edge
+	// MaxBatch is the DPDK receive batch limit (32).
+	MaxBatch int
+}
+
+// ComponentMeta describes one component.
+type ComponentMeta struct {
+	Name string
+	Kind string // "source", "nat", "fw", ...
+	// PeakRate is r_i, the offline-measured peak processing rate.
+	// Zero for the source.
+	PeakRate simtime.Rate
+	// Egress marks NFs at the end of the graph (five-tuples recorded).
+	Egress bool
+}
+
+// Edge is a directed traffic link between components.
+type Edge struct {
+	From, To string
+}
+
+// Upstreams returns the components that feed the named component.
+func (m *Meta) Upstreams(name string) []string {
+	var out []string
+	for _, e := range m.Edges {
+		if e.To == name {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Downstreams returns the components the named component feeds.
+func (m *Meta) Downstreams(name string) []string {
+	var out []string
+	for _, e := range m.Edges {
+		if e.From == name {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Component returns the metadata for name, or nil.
+func (m *Meta) Component(name string) *ComponentMeta {
+	for i := range m.Components {
+		if m.Components[i].Name == name {
+			return &m.Components[i]
+		}
+	}
+	return nil
+}
+
+// Trace is a complete collected run: deployment metadata plus the
+// time-ordered record stream.
+type Trace struct {
+	Meta    Meta
+	Records []BatchRecord
+}
+
+// RecordsOf returns the records of one component, preserving order.
+func (t *Trace) RecordsOf(comp string) []BatchRecord {
+	var out []BatchRecord
+	for i := range t.Records {
+		if t.Records[i].Comp == comp {
+			out = append(out, t.Records[i])
+		}
+	}
+	return out
+}
+
+// Packets returns the total number of per-packet entries across records of
+// the given direction (a measure of collection volume).
+func (t *Trace) Packets(dir Dir) int {
+	n := 0
+	for i := range t.Records {
+		if t.Records[i].Dir == dir {
+			n += len(t.Records[i].IPIDs)
+		}
+	}
+	return n
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"sort"
+
+	"microscope/internal/collector"
+	"microscope/internal/simtime"
+	"microscope/internal/stats"
+	"microscope/internal/tracestore"
+)
+
+// Engine runs Microscope diagnosis over a reconstructed trace store.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine creates a diagnosis engine.
+func NewEngine(cfg Config) *Engine {
+	cfg.setDefaults()
+	return &Engine{cfg: cfg}
+}
+
+// diagnoser is per-run state.
+type diagnoser struct {
+	cfg Config
+	st  *tracestore.Store
+}
+
+// Diagnose selects victims and produces a ranked diagnosis for each.
+func (e *Engine) Diagnose(st *tracestore.Store) []Diagnosis {
+	d := &diagnoser{cfg: e.cfg, st: st}
+	victims := d.findVictims()
+	out := make([]Diagnosis, 0, len(victims))
+	for i := range victims {
+		out = append(out, d.diagnoseVictim(victims[i]))
+	}
+	return out
+}
+
+// FindVictims exposes victim selection on its own (used by tests and by the
+// evaluation harness).
+func (e *Engine) FindVictims(st *tracestore.Store) []Victim {
+	d := &diagnoser{cfg: e.cfg, st: st}
+	return d.findVictims()
+}
+
+// DiagnoseVictim diagnoses a single victim.
+func (e *Engine) DiagnoseVictim(st *tracestore.Store, v Victim) Diagnosis {
+	d := &diagnoser{cfg: e.cfg, st: st}
+	return d.diagnoseVictim(v)
+}
+
+// findVictims implements the victim selection of §4: delivered packets
+// beyond the latency percentile, and packets whose records vanish (losses).
+// For each victim we pick the NFs on its path whose local queueing delay is
+// abnormal — more than k standard deviations beyond that NF's typical delay
+// (NetMedic-style recent-history test, §4.1).
+func (d *diagnoser) findVictims() []Victim {
+	js := d.st.Journeys
+	if len(js) == 0 {
+		return nil
+	}
+	// Per-NF queue-delay statistics for the abnormality test.
+	delayStats := make(map[string]*stats.Welford)
+	var latencies []float64
+	var traceEnd simtime.Time
+	for i := range js {
+		j := &js[i]
+		for h := range j.Hops {
+			hop := &j.Hops[h]
+			if hop.ReadAt == 0 && hop.DepartAt == 0 {
+				continue
+			}
+			w := delayStats[hop.Comp]
+			if w == nil {
+				w = &stats.Welford{}
+				delayStats[hop.Comp] = w
+			}
+			w.Add(float64(hop.ReadAt.Sub(hop.ArriveAt)))
+			if hop.DepartAt > traceEnd {
+				traceEnd = hop.DepartAt
+			}
+		}
+		if j.Delivered {
+			latencies = append(latencies, float64(j.Latency()))
+		}
+	}
+	threshold := stats.Percentile(latencies, d.cfg.VictimPercentile)
+
+	var victims []Victim
+	for i := range js {
+		j := &js[i]
+		switch {
+		case j.Delivered && float64(j.Latency()) >= threshold && threshold > 0:
+			for _, v := range d.victimHops(i, j, delayStats, VictimLatency) {
+				victims = append(victims, v)
+			}
+		case !j.Delivered && !d.cfg.SkipLossVictims:
+			// Ignore packets merely in flight at trace end.
+			lastSeen := j.EmittedAt
+			for h := range j.Hops {
+				if t := j.Hops[h].ReadAt; t > lastSeen {
+					lastSeen = t
+				}
+				if t := j.Hops[h].DepartAt; t > lastSeen {
+					lastSeen = t
+				}
+			}
+			if traceEnd.Sub(lastSeen) < d.cfg.TraceEndSlack {
+				continue
+			}
+			// A drop happens at the enqueue onto the NEXT queue:
+			// the packet's records end at the last NF that read
+			// it. Diagnose at the downstream queue it most
+			// plausibly died in — the fullest one at that moment.
+			if len(j.Hops) == 0 {
+				continue
+			}
+			last := j.Hops[len(j.Hops)-1]
+			comp, at := last.Comp, last.ArriveAt
+			if last.ReadAt != 0 {
+				best, bestLen := "", -1
+				for _, dn := range d.st.Trace.Meta.Downstreams(last.Comp) {
+					if l := d.st.QueueLenAt(dn, lastSeen); l > bestLen {
+						best, bestLen = dn, l
+					}
+				}
+				if best != "" {
+					comp, at = best, lastSeen
+				}
+			}
+			victims = append(victims, Victim{
+				Journey:    i,
+				Comp:       comp,
+				ArriveAt:   at,
+				QueueDelay: lastSeen.Sub(last.ArriveAt),
+				Kind:       VictimLoss,
+				Tuple:      j.Tuple,
+				HasTuple:   j.HasTuple,
+			})
+		}
+	}
+	// Apply the victim cap by even sampling across the whole run rather
+	// than truncating: a prefix cut would bias diagnosis toward the
+	// earliest problems and silently drop later ones.
+	if d.cfg.MaxVictims > 0 && len(victims) > d.cfg.MaxVictims {
+		sampled := make([]Victim, 0, d.cfg.MaxVictims)
+		step := float64(len(victims)) / float64(d.cfg.MaxVictims)
+		for k := 0; k < d.cfg.MaxVictims; k++ {
+			sampled = append(sampled, victims[int(float64(k)*step)])
+		}
+		victims = sampled
+	}
+	return victims
+}
+
+// victimHops selects the abnormal hops of a latency victim.
+func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, delayStats map[string]*stats.Welford, kind VictimKind) []Victim {
+	var out []Victim
+	var maxHop *tracestore.JourneyHop
+	var maxDelay simtime.Duration = -1
+	for h := range j.Hops {
+		hop := &j.Hops[h]
+		if hop.ReadAt == 0 {
+			continue
+		}
+		delay := hop.ReadAt.Sub(hop.ArriveAt)
+		if delay > maxDelay {
+			maxDelay = delay
+			maxHop = hop
+		}
+		w := delayStats[hop.Comp]
+		if w != nil && w.Abnormal(float64(delay), d.cfg.AbnormalStdDevs, 32) {
+			out = append(out, Victim{
+				Journey:    idx,
+				Comp:       hop.Comp,
+				ArriveAt:   hop.ArriveAt,
+				QueueDelay: delay,
+				Kind:       kind,
+				Tuple:      j.Tuple,
+				HasTuple:   j.HasTuple,
+			})
+		}
+	}
+	// Fall back to the dominant hop so every victim is diagnosable.
+	if len(out) == 0 && maxHop != nil {
+		out = append(out, Victim{
+			Journey:    idx,
+			Comp:       maxHop.Comp,
+			ArriveAt:   maxHop.ArriveAt,
+			QueueDelay: maxDelay,
+			Kind:       kind,
+			Tuple:      j.Tuple,
+			HasTuple:   j.HasTuple,
+		})
+	}
+	return out
+}
+
+// causeKey merges recursion branches blaming the same culprit.
+type causeKey struct {
+	comp string
+	kind CulpritKind
+}
+
+// diagnoseVictim runs §4.1–§4.3 for one victim.
+func (d *diagnoser) diagnoseVictim(v Victim) Diagnosis {
+	acc := make(map[causeKey]*Cause)
+	d.diagnoseAt(v.Comp, v.ArriveAt, 1.0, 0, acc)
+
+	causes := make([]Cause, 0, len(acc))
+	for _, c := range acc {
+		if c.Score >= d.cfg.MinScore {
+			causes = append(causes, *c)
+		}
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		if causes[i].Score != causes[j].Score {
+			return causes[i].Score > causes[j].Score
+		}
+		if causes[i].Comp != causes[j].Comp {
+			return causes[i].Comp < causes[j].Comp
+		}
+		return causes[i].Kind < causes[j].Kind
+	})
+	return Diagnosis{Victim: v, Causes: causes}
+}
+
+// diagnoseAt analyses the queuing period at comp ending at t, scaling all
+// scores by weight (recursive shares), and accumulates causes.
+func (d *diagnoser) diagnoseAt(comp string, t simtime.Time, weight float64, depth int, acc map[causeKey]*Cause) {
+	if depth > d.cfg.MaxRecursionDepth || weight <= 0 {
+		return
+	}
+	qp := d.st.QueuingPeriodThreshold(comp, t, d.cfg.QueueThreshold)
+	if qp == nil || qp.NIn == 0 {
+		return
+	}
+	r := d.st.PeakRate(comp)
+	if r <= 0 {
+		return
+	}
+	ls := localDiagnose(qp, r)
+	totalQ := ls.Si + ls.Sp
+	if totalQ <= 0 {
+		return
+	}
+
+	if ls.Sp > 0 {
+		// Local slow processing at comp. Culprit packets are the
+		// period's arrivals: the packets the NF was slow on (§6.4
+		// uses these to surface bug-triggering flows).
+		d.addCause(acc, Cause{
+			Comp:            comp,
+			Kind:            CulpritLocalProcessing,
+			Score:           weight * ls.Sp,
+			At:              qp.Start,
+			CulpritJourneys: d.periodJourneys(comp, qp),
+		})
+	}
+	if ls.Si > 0 {
+		// Upstream pressure: split across the source and upstream NFs
+		// by timespan analysis, then recurse into reducing NFs (§4.3).
+		budget := weight * ls.Si
+		for _, pr := range d.propagate(comp, qp, budget) {
+			if pr.comp == collector.SourceName {
+				d.addCause(acc, Cause{
+					Comp:            collector.SourceName,
+					Kind:            CulpritSourceTraffic,
+					Score:           pr.score,
+					At:              d.firstEmit(pr.path),
+					CulpritJourneys: pr.path.journeys,
+				})
+				continue
+			}
+			// Recurse into the NF that squeezed the timespan: its
+			// own queuing period when the subset's first packet
+			// arrived explains whether the squeeze was local
+			// processing or its own input (Figure 7).
+			anchor := pr.path.lastArrive[pr.compIdx]
+			sub := d.splitAtNF(pr.comp, anchor, pr.score)
+			if sub == nil {
+				// No queuing there — attribute the squeeze to
+				// local behaviour at that NF (e.g. an
+				// interrupt that buffered packets arrives as
+				// pure processing).
+				d.addCause(acc, Cause{
+					Comp:            pr.comp,
+					Kind:            CulpritLocalProcessing,
+					Score:           pr.score,
+					At:              anchor,
+					CulpritJourneys: pr.path.journeys,
+				})
+				continue
+			}
+			if sub.localShare > 0 {
+				d.addCause(acc, Cause{
+					Comp:            pr.comp,
+					Kind:            CulpritLocalProcessing,
+					Score:           sub.localShare,
+					At:              sub.qp.Start,
+					CulpritJourneys: d.periodJourneys(pr.comp, sub.qp),
+				})
+			}
+			if sub.inputShare > 0 {
+				d.diagnoseAtPeriod(pr.comp, sub.qp, sub.inputShare/maxf(sub.ls.Si, 1e-9), depth+1, acc)
+			}
+		}
+	}
+}
+
+// nfSplit is the Figure 7 decomposition of a recursive share at an NF.
+type nfSplit struct {
+	qp         *tracestore.QueuingPeriod
+	ls         LocalScores
+	localShare float64
+	inputShare float64
+}
+
+// splitAtNF decomposes score at an upstream NF into local-processing and
+// input components, proportional to that NF's own Sp and Si over the
+// queuing period anchored at the PreSet subset's first arrival.
+func (d *diagnoser) splitAtNF(comp string, anchor simtime.Time, score float64) *nfSplit {
+	qp := d.st.QueuingPeriodThreshold(comp, anchor, d.cfg.QueueThreshold)
+	if qp == nil || qp.NIn == 0 {
+		return nil
+	}
+	r := d.st.PeakRate(comp)
+	if r <= 0 {
+		return nil
+	}
+	ls := localDiagnose(qp, r)
+	total := ls.Si + ls.Sp
+	if total <= 0 {
+		return nil
+	}
+	return &nfSplit{
+		qp:         qp,
+		ls:         ls,
+		localShare: score * ls.Sp / total,
+		inputShare: score * ls.Si / total,
+	}
+}
+
+// diagnoseAtPeriod recurses the §4.2 propagation over an already-computed
+// queuing period, with scores scaled so the propagated budget equals
+// weightFrac * Si(qp).
+func (d *diagnoser) diagnoseAtPeriod(comp string, qp *tracestore.QueuingPeriod, weightFrac float64, depth int, acc map[causeKey]*Cause) {
+	if depth > d.cfg.MaxRecursionDepth || weightFrac <= 0 {
+		return
+	}
+	r := d.st.PeakRate(comp)
+	if r <= 0 {
+		return
+	}
+	ls := localDiagnose(qp, r)
+	if ls.Si <= 0 {
+		return
+	}
+	budget := weightFrac * ls.Si
+	for _, pr := range d.propagate(comp, qp, budget) {
+		if pr.comp == collector.SourceName {
+			d.addCause(acc, Cause{
+				Comp:            collector.SourceName,
+				Kind:            CulpritSourceTraffic,
+				Score:           pr.score,
+				At:              d.firstEmit(pr.path),
+				CulpritJourneys: pr.path.journeys,
+			})
+			continue
+		}
+		anchor := pr.path.lastArrive[pr.compIdx]
+		sub := d.splitAtNF(pr.comp, anchor, pr.score)
+		if sub == nil {
+			d.addCause(acc, Cause{
+				Comp:            pr.comp,
+				Kind:            CulpritLocalProcessing,
+				Score:           pr.score,
+				At:              anchor,
+				CulpritJourneys: pr.path.journeys,
+			})
+			continue
+		}
+		if sub.localShare > 0 {
+			d.addCause(acc, Cause{
+				Comp:            pr.comp,
+				Kind:            CulpritLocalProcessing,
+				Score:           sub.localShare,
+				At:              sub.qp.Start,
+				CulpritJourneys: d.periodJourneys(pr.comp, sub.qp),
+			})
+		}
+		if sub.inputShare > 0 {
+			d.diagnoseAtPeriod(pr.comp, sub.qp, sub.inputShare/maxf(sub.ls.Si, 1e-9), depth+1, acc)
+		}
+	}
+}
+
+// addCause merges a cause into the accumulator, keeping the earliest onset
+// and unioning culprit journeys (bounded).
+func (d *diagnoser) addCause(acc map[causeKey]*Cause, c Cause) {
+	if c.Score <= 0 {
+		return
+	}
+	k := causeKey{comp: c.Comp, kind: c.Kind}
+	e := acc[k]
+	if e == nil {
+		cc := c
+		cc.CulpritJourneys = append([]int(nil), c.CulpritJourneys...)
+		acc[k] = &cc
+		return
+	}
+	e.Score += c.Score
+	if c.At < e.At {
+		e.At = c.At
+	}
+	if len(e.CulpritJourneys) < 4096 {
+		e.CulpritJourneys = append(e.CulpritJourneys, c.CulpritJourneys...)
+	}
+}
+
+// periodJourneys lists the journeys of a queuing period's arrivals.
+func (d *diagnoser) periodJourneys(comp string, qp *tracestore.QueuingPeriod) []int {
+	v := d.st.View(comp)
+	if v == nil {
+		return nil
+	}
+	var out []int
+	for ai := qp.ArrivalFirst; ai <= qp.ArrivalLast && ai < len(v.Arrivals); ai++ {
+		if j := v.Arrivals[ai].Journey; j >= 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// firstEmit returns the earliest emission time of a path subset.
+func (d *diagnoser) firstEmit(p *pathStats) simtime.Time {
+	if len(p.firstArrive) > 0 && p.firstArrive[0] != simtime.Never {
+		return p.firstArrive[0]
+	}
+	return 0
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+)
+
+// LocalScores holds the §4.1 decomposition of a queuing period at an NF.
+type LocalScores struct {
+	// T is the queuing-period length.
+	T simtime.Duration
+	// NIn and NProc are n_i(T) and n_p(T).
+	NIn, NProc int
+	// Expected is r_i * T, the packets the NF could process at peak.
+	Expected float64
+	// Si is the input workload score (eq. 1): extra input packets beyond
+	// peak capacity.
+	Si float64
+	// Sp is the processing score (eq. 2): packets fewer than peak
+	// processing would have handled.
+	Sp float64
+}
+
+// QueueLen returns n_i - n_p = Si + Sp, the queue length when the victim
+// arrived.
+func (ls *LocalScores) QueueLen() int { return ls.NIn - ls.NProc }
+
+// localDiagnose computes the §4.1 scores for the queuing period qp at an NF
+// with peak rate r.
+//
+//	Si = n_i(T) - r*T   if n_i(T) > r*T, else 0            (eq. 1)
+//	Sp = r*T - n_p(T)   if n_i(T) > r*T, else n_i - n_p    (eq. 2)
+//
+// which guarantees Si + Sp = n_i - n_p, the queue length.
+func localDiagnose(qp *tracestore.QueuingPeriod, r simtime.Rate) LocalScores {
+	ls := LocalScores{
+		T:     qp.T(),
+		NIn:   qp.NIn,
+		NProc: qp.NProc,
+	}
+	ls.Expected = r.PacketsF(ls.T)
+	ni := float64(qp.NIn)
+	np := float64(qp.NProc)
+	if ni > ls.Expected {
+		ls.Si = ni - ls.Expected
+		ls.Sp = ls.Expected - np
+	} else {
+		ls.Si = 0
+		ls.Sp = ni - np
+	}
+	// Numerical guards: a slightly-faster-than-peak burst of dequeues
+	// can push Sp fractionally negative; clamp while preserving the sum.
+	if ls.Sp < 0 {
+		ls.Si += ls.Sp
+		ls.Sp = 0
+		if ls.Si < 0 {
+			ls.Si = 0
+		}
+	}
+	return ls
+}

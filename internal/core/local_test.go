@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+)
+
+func period(tStart, tEnd simtime.Time, ni, np int) *tracestore.QueuingPeriod {
+	return &tracestore.QueuingPeriod{
+		Comp:  "fw1",
+		Start: tStart,
+		End:   tEnd,
+		NIn:   ni,
+		NProc: np,
+	}
+}
+
+func TestLocalScoresHighInput(t *testing.T) {
+	// 1 Mpps NF, 100us period: expected = 100 packets.
+	// 150 arrived, 95 processed: Si = 50, Sp = 5.
+	qp := period(0, simtime.Time(100*simtime.Microsecond), 150, 95)
+	ls := localDiagnose(qp, simtime.MPPS(1))
+	if math.Abs(ls.Si-50) > 0.5 {
+		t.Errorf("Si: got %v, want ~50", ls.Si)
+	}
+	if math.Abs(ls.Sp-5) > 0.5 {
+		t.Errorf("Sp: got %v, want ~5", ls.Sp)
+	}
+}
+
+func TestLocalScoresSlowProcessing(t *testing.T) {
+	// 80 arrived (< expected 100), only 20 processed: pure local issue.
+	qp := period(0, simtime.Time(100*simtime.Microsecond), 80, 20)
+	ls := localDiagnose(qp, simtime.MPPS(1))
+	if ls.Si != 0 {
+		t.Errorf("Si: got %v, want 0", ls.Si)
+	}
+	if ls.Sp != 60 {
+		t.Errorf("Sp: got %v, want 60", ls.Sp)
+	}
+}
+
+func TestLocalScoresClampNegativeSp(t *testing.T) {
+	// NF processed more than "expected" (jitter in our favour): Sp must
+	// clamp at 0 with the sum folded into Si.
+	qp := period(0, simtime.Time(100*simtime.Microsecond), 150, 110)
+	ls := localDiagnose(qp, simtime.MPPS(1))
+	if ls.Sp != 0 {
+		t.Errorf("Sp: got %v, want 0", ls.Sp)
+	}
+	if math.Abs(ls.Si-40) > 0.5 {
+		t.Errorf("Si: got %v, want ~40 (sum preserved)", ls.Si)
+	}
+}
+
+// TestScoreSumInvariant is the paper's §4.1 invariant: Si + Sp = n_i - n_p
+// (the queue length), whenever the queue is actually building.
+func TestScoreSumInvariant(t *testing.T) {
+	f := func(niRaw, npRaw uint16, usRaw uint8) bool {
+		ni := int(niRaw%2000) + 1
+		np := int(npRaw) % ni // processed <= arrived
+		us := int(usRaw%200) + 1
+		qp := period(0, simtime.Time(simtime.Duration(us)*simtime.Microsecond), ni, np)
+		ls := localDiagnose(qp, simtime.MPPS(0.5))
+		sum := ls.Si + ls.Sp
+		want := float64(ni - np)
+		// Clamping may shave the sum only when Sp went negative.
+		return sum <= want+1e-9 && sum >= 0 && ls.Si >= 0 && ls.Sp >= 0 &&
+			(math.Abs(sum-want) < 1e-9 || ls.Sp == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	qp := period(0, simtime.Time(simtime.Microsecond), 10, 4)
+	ls := localDiagnose(qp, simtime.MPPS(1))
+	if ls.QueueLen() != 6 {
+		t.Errorf("QueueLen: got %d", ls.QueueLen())
+	}
+}
+
+// TestTimespanSharesWorkedExample reproduces the paper's Figure 6 example:
+// source -> A (interrupt squeezes) -> B (slower, expands) -> C (queue
+// squeezes) -> f. Shares must be:
+//
+//	source: Texp - Tsource
+//	A:      Tsource - TB   (B's expansion debits A)
+//	B:      0
+//	C:      TB - TC
+func TestTimespanSharesWorkedExample(t *testing.T) {
+	texp := simtime.Duration(1000)
+	p := &pathStats{
+		comps:    []string{"source", "A", "B", "C"},
+		spans:    []simtime.Duration{800, 400, 600, 300},
+		lastSpan: 300, // arrival span at f equals C's departure span
+	}
+	nf, src := timespanShares(texp, p)
+	if src != 200 { // Texp - Tsource
+		t.Errorf("source share: got %v, want 200", src)
+	}
+	if nf[0] != 200 { // Tsource - TB = 800 - 600
+		t.Errorf("A share: got %v, want 200", nf[0])
+	}
+	if nf[1] != 0 {
+		t.Errorf("B share: got %v, want 0", nf[1])
+	}
+	if nf[2] != 300 { // TB - TC = 600 - 300
+		t.Errorf("C share: got %v, want 300", nf[2])
+	}
+	sum := src + nf[0] + nf[1] + nf[2]
+	if sum != texp-p.lastSpan {
+		t.Errorf("share sum: got %v, want Texp - Tlast = %v", sum, texp-p.lastSpan)
+	}
+}
+
+func TestTimespanSharesNoReduction(t *testing.T) {
+	// The span only grew on the way (source 900 -> A 1100) and the
+	// arrival span exceeds Texp: nobody squeezed anything.
+	p := &pathStats{
+		comps:    []string{"source", "A"},
+		spans:    []simtime.Duration{900, 1100},
+		lastSpan: 1100,
+	}
+	nf, src := timespanShares(1000, p)
+	if src != 0 || nf[0] != 0 {
+		t.Errorf("shares: src %v nf %v, want zeros", src, nf)
+	}
+}
+
+func TestTimespanSharesSourceOnly(t *testing.T) {
+	// Direct source -> f path (no NFs): the whole reduction is the
+	// source's burstiness.
+	p := &pathStats{
+		comps:    []string{"source"},
+		spans:    []simtime.Duration{300},
+		lastSpan: 300,
+	}
+	nf, src := timespanShares(1000, p)
+	if len(nf) != 0 {
+		t.Fatalf("nf shares: %v", nf)
+	}
+	if src != 700 {
+		t.Errorf("source share: got %v, want 700", src)
+	}
+}
+
+// TestTimespanSharesProperties: shares are non-negative and sum to
+// max(Texp, spans...) - lastSpan.
+func TestTimespanSharesProperties(t *testing.T) {
+	f := func(spansRaw []uint16, lastRaw, texpRaw uint16) bool {
+		if len(spansRaw) == 0 || len(spansRaw) > 8 {
+			return true
+		}
+		comps := make([]string, len(spansRaw))
+		spans := make([]simtime.Duration, len(spansRaw))
+		comps[0] = "source"
+		for i := range spansRaw {
+			if i > 0 {
+				comps[i] = string(rune('A' + i))
+			}
+			spans[i] = simtime.Duration(spansRaw[i])
+		}
+		last := simtime.Duration(lastRaw)
+		texp := simtime.Duration(texpRaw)
+		p := &pathStats{comps: comps, spans: spans, lastSpan: last}
+		nf, src := timespanShares(texp, p)
+		var sum simtime.Duration = src
+		if src < 0 {
+			return false
+		}
+		for _, s := range nf {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		// Exact invariant of the backward level pass: the shares sum
+		// to (highest level reached) - lastSpan, where the levels are
+		// lastSpan, the input spans spans[0..k-1], and Texp.
+		want := texp
+		if last > want {
+			want = last
+		}
+		for i := 0; i < len(spans)-1; i++ {
+			if spans[i] > want {
+				want = spans[i]
+			}
+		}
+		return sum == want-last
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

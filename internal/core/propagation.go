@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"microscope/internal/collector"
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+)
+
+// pathStats aggregates the PreSet subset that traversed one upstream path.
+type pathStats struct {
+	key   string
+	comps []string // upstream components in order, starting with "source"
+	// journeys of the subset (journey indices), for culprit reporting.
+	journeys []int
+	n        int
+	// spans[i] is the subset's timespan at comps[i]: the interval between
+	// the first and the last packet leaving that component (§4.2). For
+	// the source this is the emission span.
+	spans []simtime.Duration
+	// lastSpan is the subset's arrival timespan at the victim NF.
+	lastSpan simtime.Duration
+	// firstArrive[i] is when the subset's first packet arrived at
+	// comps[i] (source: first emission).
+	firstArrive []simtime.Time
+	// lastArrive[i] is when the subset's last packet arrived at
+	// comps[i]. The §4.3 recursion anchors on it: the queuing period at
+	// an upstream NF ending at the subset's last arrival covers both a
+	// pre-existing queue (the "grey packets" of Figure 6) and queuing
+	// that built up during the subset's own sojourn (an interrupt
+	// stalling the NF while the subset waits).
+	lastArrive []simtime.Time
+
+	// running bounds used while accumulating packets
+	departMin, departMax   []simtime.Time
+	arriveFMin, arriveFMax simtime.Time
+}
+
+// propagate implements the §4.2 timespan analysis: it splits budget (the
+// victim NF's S_i, or a recursive share of it) across the traffic source
+// and upstream NFs, by how much each squeezed the PreSet's timespan
+// relative to the expected timespan Texp = n_i(T)/r_f.
+//
+// The chain rule is a backward pass with a rising "effective timespan"
+// level: walking from the victim NF toward the source, a hop's share is
+// max(0, upstreamSpan - level), then level = max(level, upstreamSpan); the
+// virtual hop above the source is Texp. This reproduces the paper's worked
+// example exactly: a downstream increase (B) zeroes that hop's share and
+// debits the upstream reducer (A) only down to B's span.
+type propagated struct {
+	comp  string
+	score float64
+	// subset describes the PreSet packets flowing through this comp for
+	// this share (for recursion and culprit reporting).
+	path *pathStats
+	// compIdx is the index of comp within path.comps (-1 for source).
+	compIdx int
+}
+
+func (d *diagnoser) propagate(f string, qp *tracestore.QueuingPeriod, budget float64) []propagated {
+	paths := d.collectPaths(f, qp)
+	if len(paths) == 0 {
+		return nil
+	}
+	rf := d.st.PeakRate(f)
+	if rf <= 0 {
+		return nil
+	}
+	// Texp is common to every path (§4.2, DAG case): interleaved subsets
+	// are expected to span the whole n_i(T)/r_f.
+	texp := simtime.Duration(float64(qp.NIn) / rf.PPS() * float64(simtime.Second))
+
+	total := 0
+	for _, p := range paths {
+		total += p.n
+	}
+	var out []propagated
+	for _, p := range paths {
+		weight := float64(p.n) / float64(total)
+		shares, srcShare := timespanShares(texp, p)
+		var sum simtime.Duration
+		for _, s := range shares {
+			sum += s
+		}
+		sum += srcShare
+		if sum <= 0 {
+			// The subset was no burstier than expected: sustained
+			// input pressure, attributed to the source.
+			out = append(out, propagated{
+				comp: collector.SourceName, score: budget * weight, path: p, compIdx: -1,
+			})
+			continue
+		}
+		if srcShare > 0 {
+			out = append(out, propagated{
+				comp:    collector.SourceName,
+				score:   budget * weight * float64(srcShare) / float64(sum),
+				path:    p,
+				compIdx: -1,
+			})
+		}
+		for i, s := range shares {
+			if s <= 0 {
+				continue
+			}
+			out = append(out, propagated{
+				comp:    p.comps[i+1], // shares[i] belongs to comps[i+1] (comps[0] is source)
+				score:   budget * weight * float64(s) / float64(sum),
+				path:    p,
+				compIdx: i + 1,
+			})
+		}
+	}
+	return out
+}
+
+// timespanShares runs the backward level pass over one path. comps[0] is
+// the source; spans[i] parallels comps. It returns per-NF shares (indexed
+// by comps[1:]) and the source share.
+func timespanShares(texp simtime.Duration, p *pathStats) (nfShares []simtime.Duration, srcShare simtime.Duration) {
+	k := len(p.comps) - 1 // number of NF hops on the path
+	nfShares = make([]simtime.Duration, k)
+	level := p.lastSpan
+	// NF hops from last to first; hop i's input span is spans[i-1]
+	// (the span at the previous component).
+	for i := k; i >= 1; i-- {
+		in := p.spans[i-1]
+		if in > level {
+			nfShares[i-1] = in - level
+			level = in
+		}
+	}
+	// The source's own reduction is measured against Texp.
+	if texp > level {
+		srcShare = texp - level
+	}
+	return nfShares, srcShare
+}
+
+// collectPaths groups the PreSet(p) arrivals of the queuing period by the
+// upstream path their journeys took to f, and computes per-path timespans.
+func (d *diagnoser) collectPaths(f string, qp *tracestore.QueuingPeriod) []*pathStats {
+	v := d.st.View(f)
+	if v == nil {
+		return nil
+	}
+	byKey := make(map[string]*pathStats)
+	// Per path, per component position: first/last depart times.
+	for ai := qp.ArrivalFirst; ai <= qp.ArrivalLast && ai < len(v.Arrivals); ai++ {
+		arr := &v.Arrivals[ai]
+		if arr.Journey < 0 || arr.Journey >= len(d.st.Journeys) {
+			continue
+		}
+		j := &d.st.Journeys[arr.Journey]
+		// Upstream path: source plus the journey's hops before f.
+		comps := []string{collector.SourceName}
+		departs := []simtime.Time{j.EmittedAt}
+		arrives := []simtime.Time{j.EmittedAt}
+		for h := range j.Hops {
+			if j.Hops[h].Comp == f {
+				break
+			}
+			comps = append(comps, j.Hops[h].Comp)
+			departs = append(departs, j.Hops[h].DepartAt)
+			arrives = append(arrives, j.Hops[h].ArriveAt)
+		}
+		key := strings.Join(comps, ">")
+		ps := byKey[key]
+		if ps == nil {
+			ps = &pathStats{
+				key:         key,
+				comps:       comps,
+				spans:       make([]simtime.Duration, len(comps)),
+				firstArrive: make([]simtime.Time, len(comps)),
+				lastArrive:  make([]simtime.Time, len(comps)),
+			}
+			for i := range ps.spans {
+				ps.spans[i] = -1 // marks "unset"
+			}
+			byKey[key] = ps
+		}
+		ps.n++
+		ps.journeys = append(ps.journeys, arr.Journey)
+		ps.accumulate(departs, arrives, arr.At)
+	}
+	out := make([]*pathStats, 0, len(byKey))
+	for _, ps := range byKey {
+		ps.finish()
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// accumulate folds one packet's per-hop depart times and its arrival time
+// at the victim NF into the path's running bounds.
+func (p *pathStats) accumulate(departs, arrives []simtime.Time, arriveAtF simtime.Time) {
+	if p.departMin == nil {
+		p.departMin = make([]simtime.Time, len(p.comps))
+		p.departMax = make([]simtime.Time, len(p.comps))
+		for i := range p.departMin {
+			p.departMin[i] = simtime.Never
+			p.departMax[i] = -1
+			p.firstArrive[i] = simtime.Never
+			p.lastArrive[i] = -1
+		}
+		p.arriveFMin = simtime.Never
+		p.arriveFMax = -1
+	}
+	for i := range p.comps {
+		if i < len(departs) {
+			if departs[i] < p.departMin[i] {
+				p.departMin[i] = departs[i]
+			}
+			if departs[i] > p.departMax[i] {
+				p.departMax[i] = departs[i]
+			}
+			if arrives[i] < p.firstArrive[i] {
+				p.firstArrive[i] = arrives[i]
+			}
+			if arrives[i] > p.lastArrive[i] {
+				p.lastArrive[i] = arrives[i]
+			}
+		}
+	}
+	if arriveAtF < p.arriveFMin {
+		p.arriveFMin = arriveAtF
+	}
+	if arriveAtF > p.arriveFMax {
+		p.arriveFMax = arriveAtF
+	}
+}
+
+func (p *pathStats) finish() {
+	for i := range p.comps {
+		if p.departMax[i] >= 0 {
+			p.spans[i] = p.departMax[i].Sub(p.departMin[i])
+		} else {
+			p.spans[i] = 0
+		}
+	}
+	if p.arriveFMax >= 0 {
+		p.lastSpan = p.arriveFMax.Sub(p.arriveFMin)
+	}
+}

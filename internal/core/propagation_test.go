@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"microscope/internal/collector"
+	"microscope/internal/nfsim"
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+	"microscope/internal/traffic"
+)
+
+// buildDAGStore constructs a two-upstream DAG (a1, a2 → f) where both
+// upstreams are interrupted, runs traffic, and reconstructs.
+func buildDAGStore(t *testing.T, interruptA1, interruptA2 bool) (*tracestore.Store, *nfsim.Sim) {
+	t.Helper()
+	col := collector.New(collector.Config{})
+	sim := nfsim.New(col)
+	sim.AddNF(nfsim.NFConfig{Name: "a1", Kind: "nat", PeakRate: simtime.MPPS(1.0), Seed: 1})
+	sim.AddNF(nfsim.NFConfig{Name: "a2", Kind: "mon", PeakRate: simtime.MPPS(1.0), Seed: 2})
+	sim.AddNF(nfsim.NFConfig{Name: "f", Kind: "vpn", PeakRate: simtime.MPPS(0.6), Seed: 3})
+	sim.ConnectSource(func(p *packet.Packet) int {
+		if p.Flow.DstPort == 5353 {
+			return 1
+		}
+		return 0
+	}, "a1", "a2")
+	sim.Connect("a1", func(*packet.Packet) int { return 0 }, "f")
+	sim.Connect("a2", func(*packet.Packet) int { return 0 }, "f")
+	sim.Connect("f", func(*packet.Packet) int { return nfsim.Egress })
+
+	// Heavy stream through a1 (0.35 Mpps), light through a2 (0.07 Mpps):
+	// the Figure 3 asymmetry.
+	heavy := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}
+	light := packet.FiveTuple{SrcIP: 5, DstIP: 6, SrcPort: 7, DstPort: 5353, Proto: 17}
+	sched := &traffic.Schedule{}
+	dur := simtime.Duration(6 * simtime.Millisecond)
+	sched.InjectFlow(heavy, 0, int(simtime.MPPS(0.35).PacketsF(dur)), simtime.MPPS(0.35).Interval(), 64)
+	sched.InjectFlow(light, 0, int(simtime.MPPS(0.07).PacketsF(dur)), simtime.MPPS(0.07).Interval(), 64)
+	sim.LoadSchedule(sched)
+
+	at := simtime.Time(simtime.Millisecond)
+	if interruptA1 {
+		sim.InjectInterrupt("a1", at, 700*simtime.Microsecond, "a1")
+	}
+	if interruptA2 {
+		sim.InjectInterrupt("a2", at, 700*simtime.Microsecond, "a2")
+	}
+	sim.Run(simtime.Time(100 * simtime.Millisecond))
+
+	meta := collector.Meta{
+		MaxBatch: nfsim.DefaultMaxBatch,
+		Components: []collector.ComponentMeta{
+			{Name: collector.SourceName, Kind: "source"},
+			{Name: "a1", Kind: "nat", PeakRate: simtime.MPPS(1.0)},
+			{Name: "a2", Kind: "mon", PeakRate: simtime.MPPS(1.0)},
+			{Name: "f", Kind: "vpn", PeakRate: simtime.MPPS(0.6), Egress: true},
+		},
+		Edges: []collector.Edge{
+			{From: collector.SourceName, To: "a1"},
+			{From: collector.SourceName, To: "a2"},
+			{From: "a1", To: "f"},
+			{From: "a2", To: "f"},
+		},
+	}
+	st := tracestore.Build(col.Trace(meta))
+	st.Reconstruct()
+	return st, sim
+}
+
+// TestDAGAttributesDominantUpstream is the §2 example 3 / §4.2 DAG case:
+// simultaneous interrupts at a heavy and a light upstream must blame the
+// heavy one more.
+func TestDAGAttributesDominantUpstream(t *testing.T) {
+	st, sim := buildDAGStore(t, true, true)
+	eng := NewEngine(Config{})
+	// Victims queued at f after the interrupts end.
+	after := simtime.Time(1700 * simtime.Microsecond)
+	scoreA1, scoreA2 := 0.0, 0.0
+	checked := 0
+	for i := range st.Journeys {
+		j := &st.Journeys[i]
+		hop := j.HopAt("f")
+		if hop == nil || hop.ReadAt == 0 || hop.ArriveAt < after {
+			continue
+		}
+		delay := hop.ReadAt.Sub(hop.ArriveAt)
+		if delay < 50*simtime.Microsecond {
+			continue
+		}
+		d := eng.DiagnoseVictim(st, Victim{
+			Journey: i, Comp: "f", ArriveAt: hop.ArriveAt, QueueDelay: delay,
+		})
+		for _, c := range d.Causes {
+			switch c.Comp {
+			case "a1":
+				scoreA1 += c.Score
+			case "a2":
+				scoreA2 += c.Score
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no victims at f")
+	}
+	if scoreA1 <= 2*scoreA2 {
+		t.Errorf("heavy upstream a1 (%.1f) not clearly above light a2 (%.1f)", scoreA1, scoreA2)
+	}
+	_ = sim
+}
+
+// TestDAGSingleUpstreamBlamed: only a1 interrupted — a2 must get ~nothing.
+func TestDAGSingleUpstreamBlamed(t *testing.T) {
+	st, _ := buildDAGStore(t, true, false)
+	eng := NewEngine(Config{})
+	after := simtime.Time(1700 * simtime.Microsecond)
+	scoreA1, scoreA2 := 0.0, 0.0
+	for i := range st.Journeys {
+		j := &st.Journeys[i]
+		hop := j.HopAt("f")
+		if hop == nil || hop.ReadAt == 0 || hop.ArriveAt < after {
+			continue
+		}
+		if hop.ReadAt.Sub(hop.ArriveAt) < 50*simtime.Microsecond {
+			continue
+		}
+		d := eng.DiagnoseVictim(st, Victim{
+			Journey: i, Comp: "f", ArriveAt: hop.ArriveAt,
+			QueueDelay: hop.ReadAt.Sub(hop.ArriveAt),
+		})
+		for _, c := range d.Causes {
+			switch c.Comp {
+			case "a1":
+				scoreA1 += c.Score
+			case "a2":
+				scoreA2 += c.Score
+			}
+		}
+	}
+	if scoreA1 == 0 {
+		t.Fatal("a1 never blamed")
+	}
+	if scoreA2 > scoreA1/5 {
+		t.Errorf("innocent a2 blamed too much: a1=%.1f a2=%.1f", scoreA1, scoreA2)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.setDefaults()
+	if c.VictimPercentile != 99 || c.AbnormalStdDevs != 1 || c.MaxRecursionDepth != 5 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if c.MinScore != 1 || c.TraceEndSlack != 2*simtime.Millisecond {
+		t.Errorf("defaults: %+v", c)
+	}
+	if c.QueueThreshold != 0 {
+		t.Errorf("queue threshold default: %d", c.QueueThreshold)
+	}
+}
+
+func TestCulpritJourneyCap(t *testing.T) {
+	d := &diagnoser{cfg: Config{}}
+	acc := make(map[causeKey]*Cause)
+	many := make([]int, 3000)
+	for i := range many {
+		many[i] = i
+	}
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, CulpritJourneys: many})
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, CulpritJourneys: many})
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, CulpritJourneys: many})
+	got := acc[causeKey{"x", CulpritLocalProcessing}]
+	if got.Score != 3 {
+		t.Errorf("score: %v", got.Score)
+	}
+	if len(got.CulpritJourneys) > 4096+len(many) {
+		t.Errorf("culprit journeys unbounded: %d", len(got.CulpritJourneys))
+	}
+}
+
+func TestAddCauseIgnoresNonPositive(t *testing.T) {
+	d := &diagnoser{cfg: Config{}}
+	acc := make(map[causeKey]*Cause)
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 0})
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: -5})
+	if len(acc) != 0 {
+		t.Error("non-positive causes accumulated")
+	}
+}
+
+func TestAddCauseKeepsEarliestOnset(t *testing.T) {
+	d := &diagnoser{cfg: Config{}}
+	acc := make(map[causeKey]*Cause)
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, At: 500})
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, At: 100})
+	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, At: 900})
+	got := acc[causeKey{"x", CulpritLocalProcessing}]
+	if got.At != 100 {
+		t.Errorf("onset: %v", got.At)
+	}
+}

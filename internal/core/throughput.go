@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+	"microscope/internal/stats"
+	"microscope/internal/tracestore"
+)
+
+// The paper's victim definition covers three symptoms: high latency, LOW
+// THROUGHPUT, and losses (§4, §5 "Operators define the victim packets as
+// those that encountered latency above a threshold, throughput below a
+// threshold, or got lost"). Latency and loss victims come from
+// findVictims; this file adds the per-flow throughput view: flows whose
+// delivery rate dips below their own recent history (e.g. flow A in
+// Figure 2b).
+
+// ThroughputConfig tunes throughput-victim selection.
+type ThroughputConfig struct {
+	// Window is the rate-measurement bucket (default 100 µs, the
+	// granularity of the paper's Figure 2 throughput plots).
+	Window simtime.Duration
+	// DipStdDevs flags windows more than this many standard deviations
+	// below the flow's mean delivery rate (default 2).
+	DipStdDevs float64
+	// MinPackets skips flows with fewer delivered packets (default 50):
+	// sparse flows have no meaningful rate.
+	MinPackets int
+	// MaxVictims caps the result (default 200).
+	MaxVictims int
+}
+
+func (c *ThroughputConfig) setDefaults() {
+	if c.Window == 0 {
+		c.Window = 100 * simtime.Microsecond
+	}
+	if c.DipStdDevs == 0 {
+		c.DipStdDevs = 2
+	}
+	if c.MinPackets == 0 {
+		c.MinPackets = 50
+	}
+	if c.MaxVictims == 0 {
+		c.MaxVictims = 200
+	}
+}
+
+// ThroughputVictims selects victims from per-flow delivery-rate dips: for
+// each flow with enough traffic, delivery counts are bucketed per window;
+// windows far below the flow's mean delivery rate mark the flow's packets
+// delivered (late) in or nearest after the dip as victims, anchored at the
+// hop where they queued longest.
+func (e *Engine) ThroughputVictims(st *tracestore.Store, cfg ThroughputConfig) []Victim {
+	cfg.setDefaults()
+
+	// Per-flow delivered journeys in delivery order.
+	type delivered struct {
+		journey int
+		at      simtime.Time
+	}
+	byFlow := make(map[packet.FiveTuple][]delivered)
+	var end simtime.Time
+	for i := range st.Journeys {
+		j := &st.Journeys[i]
+		if !j.Delivered || len(j.Hops) == 0 {
+			continue
+		}
+		at := j.Hops[len(j.Hops)-1].DepartAt
+		byFlow[j.Tuple] = append(byFlow[j.Tuple], delivered{journey: i, at: at})
+		if at > end {
+			end = at
+		}
+	}
+	// Deterministic flow order.
+	flows := make([]packet.FiveTuple, 0, len(byFlow))
+	for ft, ds := range byFlow {
+		if len(ds) >= cfg.MinPackets {
+			flows = append(flows, ft)
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flowLess(flows[i], flows[j]) })
+
+	var victims []Victim
+	for _, ft := range flows {
+		ds := byFlow[ft]
+		sort.Slice(ds, func(i, j int) bool { return ds[i].at < ds[j].at })
+		first, last := ds[0].at, ds[len(ds)-1].at
+		if last <= first {
+			continue
+		}
+		nWin := int(last.Sub(first)/cfg.Window) + 1
+		if nWin < 8 {
+			continue // too short-lived for a rate baseline
+		}
+		counts := make([]float64, nWin)
+		for _, dv := range ds {
+			counts[int(dv.at.Sub(first)/cfg.Window)]++
+		}
+		// Baseline over interior windows (edges are partial).
+		interior := counts[1 : nWin-1]
+		mean, sd := stats.Mean(interior), stats.StdDev(interior)
+		if mean <= 0 {
+			continue
+		}
+		floor := mean - cfg.DipStdDevs*sd
+		if floor < 0 {
+			floor = 0
+		}
+		for w := 1; w < nWin-1; w++ {
+			if counts[w] >= floor && !(counts[w] == 0 && mean >= 1) {
+				continue
+			}
+			// Dip window: the flow's next delivered packet after the
+			// dip carries the evidence (it queued through whatever
+			// starved the flow).
+			dipEnd := first.Add(simtime.Duration(w+1) * cfg.Window)
+			idx := sort.Search(len(ds), func(i int) bool { return ds[i].at >= dipEnd })
+			if idx >= len(ds) {
+				continue
+			}
+			j := &st.Journeys[ds[idx].journey]
+			if v, ok := worstHopOf(ds[idx].journey, j); ok {
+				v.Kind = VictimThroughput
+				victims = append(victims, v)
+			}
+			if len(victims) >= cfg.MaxVictims {
+				return victims
+			}
+		}
+	}
+	return victims
+}
+
+// worstHopOf builds a Victim at the journey's longest-queuing hop.
+func worstHopOf(idx int, j *tracestore.Journey) (Victim, bool) {
+	var best *tracestore.JourneyHop
+	var bestDelay simtime.Duration = -1
+	for h := range j.Hops {
+		hop := &j.Hops[h]
+		if hop.ReadAt == 0 {
+			continue
+		}
+		if d := hop.ReadAt.Sub(hop.ArriveAt); d > bestDelay {
+			bestDelay = d
+			best = hop
+		}
+	}
+	if best == nil {
+		return Victim{}, false
+	}
+	return Victim{
+		Journey:    idx,
+		Comp:       best.Comp,
+		ArriveAt:   best.ArriveAt,
+		QueueDelay: bestDelay,
+		Tuple:      j.Tuple,
+		HasTuple:   j.HasTuple,
+	}, true
+}
+
+func flowLess(a, b packet.FiveTuple) bool {
+	if a.SrcIP != b.SrcIP {
+		return a.SrcIP < b.SrcIP
+	}
+	if a.DstIP != b.DstIP {
+		return a.DstIP < b.DstIP
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}

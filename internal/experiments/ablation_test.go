@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationRecursionDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario test; skipped in -short mode")
+	}
+	base := smallAccuracy(31)
+	base.Slots = 4
+	res := AblationRecursionDepth(base, []int{1, 5})
+	if res.Series.Len() != 2 {
+		t.Fatal("points missing")
+	}
+	// Deeper recursion must not hurt accuracy.
+	if res.Series.Y[1]+0.05 < res.Series.Y[0] {
+		t.Errorf("deeper recursion degraded accuracy: %v", res.Series.Y)
+	}
+}
+
+func TestAblationQueueThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario test; skipped in -short mode")
+	}
+	res := AblationQueueThreshold(StandingQueueConfig{Seed: 32, Episodes: 4})
+	if res.Series.Len() != 4 {
+		t.Fatalf("points: %d", res.Series.Len())
+	}
+	// The §7 claim: with a standing queue, some non-zero threshold
+	// localizes episode onsets at least as well as the zero threshold,
+	// and the diagnosed periods shrink monotonically-ish.
+	zeroRate := res.Series.Y[0]
+	bestNonZero := 0.0
+	for i := 1; i < res.Series.Len(); i++ {
+		if res.Series.Y[i] > bestNonZero {
+			bestNonZero = res.Series.Y[i]
+		}
+	}
+	if bestNonZero < zeroRate {
+		t.Errorf("no non-zero threshold matches zero: zero=%.2f best=%.2f", zeroRate, bestNonZero)
+	}
+	if res.MeanPeriodMs[0] < res.MeanPeriodMs[len(res.MeanPeriodMs)-1] {
+		t.Errorf("periods did not shrink with threshold: %v", res.MeanPeriodMs)
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"microscope/internal/nfsim"
+	"microscope/internal/packet"
+	"microscope/internal/report"
+	"microscope/internal/simtime"
+	"microscope/internal/traffic"
+)
+
+// Figure1Result reproduces §2's Figure 1: a burst into a firewall delays
+// flows arriving for milliseconds afterwards because the queue drains
+// slowly.
+type Figure1Result struct {
+	// Latency is per-packet latency (µs) vs arrival time (ms) — Fig 1a.
+	Latency *report.Series
+	// QueueLen is the firewall queue length vs time (ms) — Fig 1b.
+	QueueLen *report.Series
+	// DrainTime is how long after the burst the queue needed to drain.
+	DrainTime simtime.Duration
+}
+
+// Figure1 runs the Figure 1 scenario: background traffic into one firewall
+// with a burst injected at 570 µs lasting ~340 µs.
+func Figure1(seed int64) *Figure1Result {
+	sim := nfsim.New(nfsim.NopHooks{})
+	sim.AddNF(nfsim.NFConfig{
+		Name: "fw1", Kind: "fw", PeakRate: simtime.MPPS(0.5), JitterFrac: 0.05, Seed: seed,
+	})
+	sim.ConnectSource(func(*packet.Packet) int { return 0 }, "fw1")
+	sim.Connect("fw1", func(*packet.Packet) int { return nfsim.Egress })
+
+	mix := traffic.NewMix(traffic.MixConfig{Flows: 512, Seed: seed + 1})
+	dur := simtime.Duration(6 * simtime.Millisecond)
+	sched := traffic.Generate(mix, traffic.ScheduleConfig{
+		Rate: simtime.MPPS(0.3), Duration: dur, Seed: seed + 2,
+	})
+	burstAt := simtime.Time(570 * simtime.Microsecond)
+	sched.InjectBurst(traffic.BurstSpec{
+		ID: 1, At: burstAt, Flow: mix.Flows[0].Tuple,
+		Count: 850, Gap: 400 * simtime.Nanosecond, // ~340us of burst
+	})
+	sim.LoadSchedule(sched)
+	sim.SampleQueues(10*simtime.Microsecond, simtime.Time(dur))
+	sim.Run(simtime.Time(dur) + simtime.Time(20*simtime.Millisecond))
+
+	res := &Figure1Result{
+		Latency:  &report.Series{Name: "packet latency", XLabel: "time (ms)", YLabel: "latency (us)"},
+		QueueLen: &report.Series{Name: "fw1 queue length", XLabel: "time (ms)", YLabel: "packets"},
+	}
+	for _, p := range sim.Packets() {
+		if p.Dropped != "" || len(p.Hops) == 0 {
+			continue
+		}
+		res.Latency.Add(p.CreatedAt.Millis(), p.Latency().Micros())
+	}
+	var drainedAt simtime.Time
+	for _, s := range sim.QueueSamples("fw1") {
+		res.QueueLen.Add(s.At.Millis(), float64(s.Len))
+		if s.At > burstAt && s.Len > 0 {
+			drainedAt = s.At
+		}
+	}
+	if drainedAt > burstAt {
+		res.DrainTime = drainedAt.Sub(burstAt)
+	}
+	return res
+}
+
+// Figure2Result reproduces §2's Figure 2: an interrupt at the NAT stalls
+// traffic; the post-interrupt burst builds the VPN queue and hurts flow A,
+// which never traverses the NAT.
+type Figure2Result struct {
+	// ThroughputNAT / ThroughputA: delivered Mpps at the VPN per 100 µs
+	// bucket for NAT traffic and flow A — Fig 2b.
+	ThroughputNAT *report.Series
+	ThroughputA   *report.Series
+	// QueueLen is the VPN queue over time — Fig 2c.
+	QueueLen *report.Series
+	// MinAThroughput is flow A's worst bucket after the interrupt ends
+	// (the dip the paper highlights).
+	MinAThroughput float64
+	InterruptEnd   simtime.Time
+}
+
+// flowA is the probe flow sent directly to the VPN in Figures 2 and 3.
+func flowA() packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   packet.IPFromOctets(99, 9, 9, 9),
+		DstIP:   packet.IPFromOctets(23, 1, 1, 1),
+		SrcPort: 7777,
+		DstPort: 7778,
+		Proto:   packet.ProtoUDP,
+	}
+}
+
+// Figure2 runs the propagation example: CAIDA traffic through NAT→VPN plus
+// flow A directly into the VPN; a CPU interrupt hits the NAT at 0.5 ms for
+// 0.8 ms.
+func Figure2(seed int64) *Figure2Result {
+	sim := nfsim.New(nfsim.NopHooks{})
+	sim.AddNF(nfsim.NFConfig{Name: "nat1", Kind: "nat", PeakRate: simtime.MPPS(1.0), JitterFrac: 0.05, Seed: seed})
+	sim.AddNF(nfsim.NFConfig{Name: "vpn1", Kind: "vpn", PeakRate: simtime.MPPS(0.6), JitterFrac: 0.05, Seed: seed + 1})
+	fa := flowA()
+	sim.ConnectSource(func(p *packet.Packet) int {
+		if p.Flow == fa {
+			return 1 // straight to the VPN
+		}
+		return 0
+	}, "nat1", "vpn1")
+	sim.Connect("nat1", func(*packet.Packet) int { return 0 }, "vpn1")
+	sim.Connect("vpn1", func(*packet.Packet) int { return nfsim.Egress })
+
+	mix := traffic.NewMix(traffic.MixConfig{Flows: 512, Seed: seed + 2})
+	dur := simtime.Duration(3 * simtime.Millisecond)
+	sched := traffic.Generate(mix, traffic.ScheduleConfig{
+		Rate: simtime.MPPS(0.45), Duration: dur, Seed: seed + 3,
+	})
+	// Flow A: steady 0.05 Mpps probe.
+	sched.InjectFlow(fa, 0, int(simtime.MPPS(0.05).PacketsF(dur)), simtime.MPPS(0.05).Interval(), 64)
+
+	intAt := simtime.Time(500 * simtime.Microsecond)
+	intDur := simtime.Duration(800 * simtime.Microsecond)
+	sim.InjectInterrupt("nat1", intAt, intDur, "fig2")
+
+	sim.LoadSchedule(sched)
+	sim.SampleQueues(10*simtime.Microsecond, simtime.Time(dur))
+	sim.Run(simtime.Time(dur) + simtime.Time(20*simtime.Millisecond))
+
+	const bucket = 100 * simtime.Microsecond
+	nBuckets := int(dur/bucket) + 1
+	natCnt := make([]int, nBuckets)
+	aCnt := make([]int, nBuckets)
+	for _, p := range sim.Packets() {
+		h := p.HopAt("vpn1")
+		if h == nil || h.DepartAt == 0 {
+			continue
+		}
+		b := int(h.DepartAt / simtime.Time(bucket))
+		if b >= nBuckets {
+			continue
+		}
+		if p.Flow == fa {
+			aCnt[b]++
+		} else {
+			natCnt[b]++
+		}
+	}
+	res := &Figure2Result{
+		ThroughputNAT: &report.Series{Name: "traffic from NAT", XLabel: "time (ms)", YLabel: "Mpps"},
+		ThroughputA:   &report.Series{Name: "flow A", XLabel: "time (ms)", YLabel: "Mpps"},
+		QueueLen:      &report.Series{Name: "vpn1 queue length", XLabel: "time (ms)", YLabel: "packets"},
+		InterruptEnd:  intAt.Add(intDur),
+	}
+	perBucketToMpps := 1.0 / (bucket.Seconds() * 1e6)
+	res.MinAThroughput = 1e18
+	for b := 0; b < nBuckets; b++ {
+		t := (simtime.Time(b) * simtime.Time(bucket)).Millis()
+		res.ThroughputNAT.Add(t, float64(natCnt[b])*perBucketToMpps)
+		res.ThroughputA.Add(t, float64(aCnt[b])*perBucketToMpps)
+		if simtime.Time(b)*simtime.Time(bucket) > res.InterruptEnd {
+			if v := float64(aCnt[b]) * perBucketToMpps; v < res.MinAThroughput {
+				res.MinAThroughput = v
+			}
+		}
+	}
+	for _, s := range sim.QueueSamples("vpn1") {
+		res.QueueLen.Add(s.At.Millis(), float64(s.Len))
+	}
+	return res
+}
+
+// Figure3Result reproduces §2's Figure 3: simultaneous interrupts at a
+// heavy upstream (NAT) and a light upstream (Monitor) have very different
+// impacts on the shared VPN.
+type Figure3Result struct {
+	// Drops per 100 µs bucket at the VPN — Fig 3b.
+	Drops *report.Series
+	// InputNAT / InputMon: VPN input rate per upstream — Fig 3c.
+	InputNAT *report.Series
+	InputMon *report.Series
+	// PeakInputNAT / PeakInputMon: the post-interrupt burst peaks; the
+	// paper's point is that the NAT's is far larger.
+	PeakInputNAT, PeakInputMon float64
+	TotalDrops                 uint64
+}
+
+// Figure3 runs the different-impact example: NAT sends 0.25 Mpps and the
+// Monitor 0.05 Mpps into a VPN (plus flow A); both suffer an interrupt at
+// the same instant.
+func Figure3(seed int64) *Figure3Result {
+	sim := nfsim.New(nfsim.NopHooks{})
+	sim.AddNF(nfsim.NFConfig{Name: "nat1", Kind: "nat", PeakRate: simtime.MPPS(1.0), JitterFrac: 0.05, Seed: seed})
+	sim.AddNF(nfsim.NFConfig{Name: "mon1", Kind: "mon", PeakRate: simtime.MPPS(0.8), JitterFrac: 0.05, Seed: seed + 1})
+	sim.AddNF(nfsim.NFConfig{Name: "vpn1", Kind: "vpn", PeakRate: simtime.MPPS(0.35), JitterFrac: 0.05, QueueCap: 64, Seed: seed + 2})
+	fa := flowA()
+	sim.ConnectSource(func(p *packet.Packet) int {
+		switch {
+		case p.Flow == fa:
+			return 2
+		case p.Flow.DstPort == 5353: // monitor-bound traffic marker
+			return 1
+		default:
+			return 0
+		}
+	}, "nat1", "mon1", "vpn1")
+	sim.Connect("nat1", func(*packet.Packet) int { return 0 }, "vpn1")
+	sim.Connect("mon1", func(*packet.Packet) int { return 0 }, "vpn1")
+	sim.Connect("vpn1", func(*packet.Packet) int { return nfsim.Egress })
+
+	dur := simtime.Duration(5 * simtime.Millisecond)
+	mix := traffic.NewMix(traffic.MixConfig{Flows: 256, Seed: seed + 3})
+	sched := traffic.Generate(mix, traffic.ScheduleConfig{
+		Rate: simtime.MPPS(0.25), Duration: dur, Seed: seed + 4,
+	})
+	// Monitor-bound stream: 0.05 Mpps with the marker port.
+	monFlow := packet.FiveTuple{
+		SrcIP: packet.IPFromOctets(44, 4, 4, 4), DstIP: packet.IPFromOctets(23, 2, 2, 2),
+		SrcPort: 5352, DstPort: 5353, Proto: packet.ProtoUDP,
+	}
+	sched.InjectFlow(monFlow, 0, int(simtime.MPPS(0.05).PacketsF(dur)), simtime.MPPS(0.05).Interval(), 64)
+	sched.InjectFlow(fa, 0, int(simtime.MPPS(0.02).PacketsF(dur)), simtime.MPPS(0.02).Interval(), 64)
+
+	intAt := simtime.Time(simtime.Millisecond)
+	intDur := simtime.Duration(500 * simtime.Microsecond)
+	sim.InjectInterrupt("nat1", intAt, intDur, "fig3-nat")
+	sim.InjectInterrupt("mon1", intAt, intDur, "fig3-mon")
+
+	sim.LoadSchedule(sched)
+	sim.Run(simtime.Time(dur) + simtime.Time(20*simtime.Millisecond))
+
+	const bucket = 100 * simtime.Microsecond
+	nBuckets := int(dur/bucket) + 1
+	dropCnt := make([]int, nBuckets)
+	natIn := make([]int, nBuckets)
+	monIn := make([]int, nBuckets)
+	var totalDrops uint64
+	for _, p := range sim.Packets() {
+		if p.Dropped == "vpn1" {
+			totalDrops++
+			// Drop time: the departure from the previous hop.
+			if lh := p.LastHop(); lh != nil && lh.DepartAt > 0 {
+				if b := int(lh.DepartAt / simtime.Time(bucket)); b < nBuckets {
+					dropCnt[b]++
+				}
+			}
+			continue
+		}
+		h := p.HopAt("vpn1")
+		if h == nil {
+			continue
+		}
+		b := int(h.EnqueueAt / simtime.Time(bucket))
+		if b >= nBuckets {
+			continue
+		}
+		switch {
+		case p.HopAt("nat1") != nil:
+			natIn[b]++
+		case p.HopAt("mon1") != nil:
+			monIn[b]++
+		}
+	}
+	res := &Figure3Result{
+		Drops:      &report.Series{Name: "drops at vpn1", XLabel: "time (ms)", YLabel: "packets/100us"},
+		InputNAT:   &report.Series{Name: "input from NAT", XLabel: "time (ms)", YLabel: "Mpps"},
+		InputMon:   &report.Series{Name: "input from Monitor", XLabel: "time (ms)", YLabel: "Mpps"},
+		TotalDrops: totalDrops,
+	}
+	perBucketToMpps := 1.0 / (bucket.Seconds() * 1e6)
+	for b := 0; b < nBuckets; b++ {
+		t := (simtime.Time(b) * simtime.Time(bucket)).Millis()
+		res.Drops.Add(t, float64(dropCnt[b]))
+		vn := float64(natIn[b]) * perBucketToMpps
+		vm := float64(monIn[b]) * perBucketToMpps
+		res.InputNAT.Add(t, vn)
+		res.InputMon.Add(t, vm)
+		if simtime.Time(b)*simtime.Time(bucket) >= intAt.Add(intDur) {
+			if vn > res.PeakInputNAT {
+				res.PeakInputNAT = vn
+			}
+			if vm > res.PeakInputMon {
+				res.PeakInputMon = vm
+			}
+		}
+	}
+	return res
+}

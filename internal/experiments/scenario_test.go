@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"microscope/internal/core"
+	"microscope/internal/nfsim"
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+)
+
+func TestPercentile99(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if got := percentile99(xs); got != 99 {
+		t.Errorf("p99 of 0..99: got %v", got)
+	}
+	if got := percentile99([]float64{5}); got != 5 {
+		t.Errorf("single: got %v", got)
+	}
+	// Must not mutate input.
+	ys := []float64{3, 1, 2}
+	percentile99(ys)
+	if ys[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestWorstHopVictim(t *testing.T) {
+	j := &tracestore.Journey{
+		Hops: []tracestore.JourneyHop{
+			{Comp: "nat1", ArriveAt: 100, ReadAt: 150},
+			{Comp: "fw1", ArriveAt: 200, ReadAt: 900}, // 700 queueing
+			{Comp: "vpn1", ArriveAt: 950, ReadAt: 960},
+		},
+		Delivered: true,
+	}
+	v, ok := worstHopVictim(3, j)
+	if !ok {
+		t.Fatal("no victim")
+	}
+	if v.Comp != "fw1" || v.QueueDelay != 700 || v.Journey != 3 {
+		t.Errorf("victim: %+v", v)
+	}
+	// Journey never read anywhere: no victim.
+	empty := &tracestore.Journey{Hops: []tracestore.JourneyHop{{Comp: "a", ArriveAt: 1}}}
+	if _, ok := worstHopVictim(0, empty); ok {
+		t.Error("unread journey produced a victim")
+	}
+}
+
+func TestBugTriggerFlowRoutesToBugFW(t *testing.T) {
+	topo := nfsim.BuildEvalTopology(nfsim.NopHooks{}, nfsim.EvalTopologyConfig{Seed: 1})
+	rngDummy := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		ft := bugTriggerFlow(topo, topo.Firewalls[1], rngDummy)
+		if topo.FirewallOf(ft) != topo.Firewalls[1] {
+			t.Fatalf("trigger flow %v routes to %s", ft, topo.FirewallOf(ft))
+		}
+		if ft.SrcPort < 2000 || ft.SrcPort > 2008 || ft.DstPort < 6000 || ft.DstPort > 6008 {
+			t.Fatalf("trigger ports outside paper signature: %v", ft)
+		}
+	}
+}
+
+func TestHopsBetween(t *testing.T) {
+	st := &tracestore.Store{}
+	st.Journeys = []tracestore.Journey{{
+		Hops: []tracestore.JourneyHop{
+			{Comp: "nat1"}, {Comp: "fw2"}, {Comp: "vpn1"},
+		},
+	}}
+	v := &core.Victim{Journey: 0, Comp: "vpn1"}
+	if got := hopsBetween(st, v, &Injection{Kind: InjInterrupt, NF: "nat1"}); got != 2 {
+		t.Errorf("nat1->vpn1: %d", got)
+	}
+	if got := hopsBetween(st, v, &Injection{Kind: InjInterrupt, NF: "vpn1"}); got != 0 {
+		t.Errorf("same NF: %d", got)
+	}
+	if got := hopsBetween(st, v, &Injection{Kind: InjBurst}); got != 3 {
+		t.Errorf("source->vpn1: %d", got)
+	}
+	// Culprit off the victim's path.
+	if got := hopsBetween(st, v, &Injection{Kind: InjInterrupt, NF: "mon9"}); got != 1 {
+		t.Errorf("off-path: %d", got)
+	}
+}
+
+func TestSelectSlotVictimsWindowing(t *testing.T) {
+	// Build a store with journeys at controlled latencies: a slow group
+	// right after the injection and a slower-but-late group outside the
+	// impact horizon. Only the first group must be selected.
+	st := &tracestore.Store{}
+	mk := func(emit simtime.Time, delay simtime.Duration) tracestore.Journey {
+		return tracestore.Journey{
+			EmittedAt: emit,
+			Delivered: true,
+			Hops: []tracestore.JourneyHop{{
+				Comp: "fw1", ArriveAt: emit, ReadAt: emit.Add(delay),
+				DepartAt: emit.Add(delay + 10),
+			}},
+		}
+	}
+	injAt := simtime.Time(simtime.Millisecond)
+	// 100 baseline packets, 3 genuine victims inside the horizon, and 3
+	// huge-latency packets far outside it.
+	for i := 0; i < 100; i++ {
+		st.Journeys = append(st.Journeys, mk(injAt.Add(simtime.Duration(i)*10*simtime.Microsecond), 5*simtime.Microsecond))
+	}
+	for i := 0; i < 3; i++ {
+		st.Journeys = append(st.Journeys, mk(injAt.Add(simtime.Duration(i)*simtime.Microsecond), 800*simtime.Microsecond))
+	}
+	for i := 0; i < 3; i++ {
+		st.Journeys = append(st.Journeys, mk(injAt.Add(20*simtime.Millisecond), 5000*simtime.Microsecond))
+	}
+	injs := []Injection{{Kind: InjInterrupt, At: injAt, NF: "fw1"}}
+	victims := selectSlotVictims(st, injs, 30*simtime.Millisecond, 50)
+	if len(victims) == 0 {
+		t.Fatal("no victims")
+	}
+	for _, v := range victims {
+		if v.ArriveAt.Sub(injAt) > impactHorizon {
+			t.Fatalf("victim at %v beyond impact horizon", v.ArriveAt)
+		}
+		if v.QueueDelay < 500*simtime.Microsecond {
+			t.Fatalf("baseline packet selected as victim: %+v", v)
+		}
+	}
+}

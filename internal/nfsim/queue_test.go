@@ -1,0 +1,112 @@
+package nfsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microscope/internal/packet"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue("t.in", 4)
+	for i := 0; i < 3; i++ {
+		if !q.Enqueue(&packet.Packet{ID: packet.ID(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	buf := make([]*packet.Packet, 0, 4)
+	out := q.DequeueBatch(buf, 2)
+	if len(out) != 2 || out[0].ID != 0 || out[1].ID != 1 {
+		t.Errorf("dequeue order wrong: %v", out)
+	}
+	if q.Len() != 1 {
+		t.Errorf("len: got %d", q.Len())
+	}
+}
+
+func TestQueueTailDrop(t *testing.T) {
+	q := NewQueue("t.in", 2)
+	q.Enqueue(&packet.Packet{ID: 1})
+	q.Enqueue(&packet.Packet{ID: 2})
+	if q.Enqueue(&packet.Packet{ID: 3}) {
+		t.Error("enqueue beyond capacity must fail")
+	}
+	if q.Drops() != 1 {
+		t.Errorf("drops: got %d", q.Drops())
+	}
+	buf := make([]*packet.Packet, 0, 2)
+	out := q.DequeueBatch(buf, 10)
+	if len(out) != 2 || out[0].ID != 1 {
+		t.Errorf("survivors wrong: %v", out)
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue("t.in", 3)
+	buf := make([]*packet.Packet, 0, 3)
+	next := packet.ID(0)
+	for round := 0; round < 10; round++ {
+		q.Enqueue(&packet.Packet{ID: next})
+		next++
+		q.Enqueue(&packet.Packet{ID: next})
+		next++
+		out := q.DequeueBatch(buf, 2)
+		if len(out) != 2 {
+			t.Fatalf("round %d: got %d", round, len(out))
+		}
+		if out[1].ID != out[0].ID+1 {
+			t.Fatalf("round %d: order broken: %v, %v", round, out[0].ID, out[1].ID)
+		}
+	}
+	if q.Enqueued() != 20 || q.Dequeued() != 20 {
+		t.Errorf("counters: enq %d deq %d", q.Enqueued(), q.Dequeued())
+	}
+}
+
+func TestQueueConsumerWakeup(t *testing.T) {
+	q := NewQueue("t.in", 4)
+	wakes := 0
+	q.setConsumerWakeup(func() { wakes++ })
+	q.Enqueue(&packet.Packet{}) // empty -> non-empty: wake
+	q.Enqueue(&packet.Packet{}) // already non-empty: no wake
+	if wakes != 1 {
+		t.Errorf("wakes: got %d, want 1", wakes)
+	}
+	buf := make([]*packet.Packet, 0, 4)
+	q.DequeueBatch(buf, 2)
+	q.Enqueue(&packet.Packet{})
+	if wakes != 2 {
+		t.Errorf("wakes after drain: got %d, want 2", wakes)
+	}
+}
+
+func TestQueueDefaultCap(t *testing.T) {
+	q := NewQueue("t.in", 0)
+	if q.Cap() != DefaultQueueCap {
+		t.Errorf("default cap: got %d", q.Cap())
+	}
+}
+
+// TestQueueConservation is the conservation invariant from DESIGN.md:
+// enqueued == dequeued + drops-not-counted + resident, under arbitrary
+// operation sequences.
+func TestQueueConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewQueue("t.in", 8)
+		buf := make([]*packet.Packet, 0, 8)
+		var id packet.ID
+		for _, op := range ops {
+			if op%3 == 0 {
+				out := q.DequeueBatch(buf, int(op%5))
+				_ = out
+			} else {
+				q.Enqueue(&packet.Packet{ID: id})
+				id++
+			}
+		}
+		return q.Enqueued() == q.Dequeued()+uint64(q.Len())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package online runs Microscope continuously: the collector's record
+// stream is consumed in windows, each window is reconstructed and diagnosed
+// like a small offline trace, and significant culprits surface as alerts.
+// The paper's tool is offline (§5); this is the thin incremental shell an
+// operator deploys so that "run Microscope over the timeframe" (§4.4)
+// happens on its own.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"microscope/internal/collector"
+	"microscope/internal/core"
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+)
+
+// Config tunes the monitor.
+type Config struct {
+	// Window is the analysis chunk length (default 100 ms).
+	Window simtime.Duration
+	// Overlap is carried from the previous window so queuing periods
+	// that straddle the boundary stay intact (default 20 ms).
+	Overlap simtime.Duration
+	// MinScore is the alert threshold on a window's merged culprit
+	// score, in packets (default 100).
+	MinScore float64
+	// MaxVictims caps diagnosis work per window (default 200).
+	MaxVictims int
+	// Diagnosis passes through engine knobs (victim percentile etc.).
+	Diagnosis core.Config
+	// HoldOff suppresses repeated alerts for the same <comp, kind> with
+	// onsets within this duration of an already-alerted onset
+	// (default: one Window).
+	HoldOff simtime.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Window == 0 {
+		c.Window = 100 * simtime.Millisecond
+	}
+	if c.Overlap == 0 {
+		c.Overlap = 20 * simtime.Millisecond
+	}
+	if c.MinScore == 0 {
+		c.MinScore = 100
+	}
+	if c.MaxVictims == 0 {
+		c.MaxVictims = 200
+	}
+	if c.HoldOff == 0 {
+		c.HoldOff = c.Window
+	}
+}
+
+// Alert is one significant culprit surfaced by a window's diagnosis.
+type Alert struct {
+	// WindowEnd is the analysis boundary that produced the alert.
+	WindowEnd simtime.Time
+	// Comp / Kind identify the culprit.
+	Comp string
+	Kind core.CulpritKind
+	// Score is the merged blame across the window's victims.
+	Score float64
+	// Victims is how many diagnosed victims implicated this culprit.
+	Victims int
+	// Onset is the earliest culprit behaviour time.
+	Onset simtime.Time
+}
+
+// String implements fmt.Stringer.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%v] %s/%s score=%.0f victims=%d onset=%v",
+		a.WindowEnd, a.Comp, a.Kind, a.Score, a.Victims, a.Onset)
+}
+
+// Monitor consumes records incrementally. Not safe for concurrent use; a
+// collector drain loop feeds it from one goroutine.
+type Monitor struct {
+	cfg  Config
+	meta collector.Meta
+	eng  *core.Engine
+
+	pending   []collector.BatchRecord
+	nextFlush simtime.Time
+	// lastAlert remembers alerted onsets per culprit for hold-off.
+	lastAlert map[alertKey]simtime.Time
+
+	stats Stats
+}
+
+type alertKey struct {
+	comp string
+	kind core.CulpritKind
+}
+
+// Stats counts monitor activity.
+type Stats struct {
+	Windows, Records, Victims, Alerts int
+}
+
+// New creates a monitor for a deployment described by meta.
+func New(meta collector.Meta, cfg Config) *Monitor {
+	cfg.setDefaults()
+	dcfg := cfg.Diagnosis
+	dcfg.MaxVictims = cfg.MaxVictims
+	return &Monitor{
+		cfg:       cfg,
+		meta:      meta,
+		eng:       core.NewEngine(dcfg),
+		lastAlert: make(map[alertKey]simtime.Time),
+		nextFlush: simtime.Time(cfg.Window),
+	}
+}
+
+// Stats returns activity counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Feed appends records (which must arrive in time order) and diagnoses any
+// windows they complete, returning the alerts raised.
+func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
+	var out []Alert
+	for _, r := range recs {
+		m.pending = append(m.pending, r)
+		m.stats.Records++
+		for r.At >= m.nextFlush {
+			out = append(out, m.flushWindow()...)
+		}
+	}
+	return out
+}
+
+// Flush diagnoses whatever remains (end of stream).
+func (m *Monitor) Flush() []Alert {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	return m.flushWindow()
+}
+
+// flushWindow diagnoses records up to nextFlush and retains the overlap
+// tail for the next window.
+func (m *Monitor) flushWindow() []Alert {
+	end := m.nextFlush
+	m.nextFlush = end.Add(m.cfg.Window)
+	m.stats.Windows++
+
+	// Records in the window (all pending up to end).
+	cut := sort.Search(len(m.pending), func(i int) bool { return m.pending[i].At > end })
+	window := m.pending[:cut]
+	if len(window) == 0 {
+		return nil
+	}
+	tr := &collector.Trace{Meta: m.meta, Records: window}
+	st := tracestore.Build(tr)
+	st.Reconstruct()
+	diags := m.eng.Diagnose(st)
+	m.stats.Victims += len(diags)
+
+	// Merge culprits across the window's victims.
+	type acc struct {
+		score   float64
+		victims int
+		onset   simtime.Time
+	}
+	merged := make(map[alertKey]*acc)
+	for i := range diags {
+		seen := make(map[alertKey]bool)
+		for _, c := range diags[i].Causes {
+			k := alertKey{c.Comp, c.Kind}
+			a := merged[k]
+			if a == nil {
+				a = &acc{onset: c.At}
+				merged[k] = a
+			}
+			a.score += c.Score
+			if c.At < a.onset {
+				a.onset = c.At
+			}
+			if !seen[k] {
+				a.victims++
+				seen[k] = true
+			}
+		}
+	}
+	keys := make([]alertKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if merged[keys[i]].score != merged[keys[j]].score {
+			return merged[keys[i]].score > merged[keys[j]].score
+		}
+		return keys[i].comp < keys[j].comp
+	})
+	var out []Alert
+	for _, k := range keys {
+		a := merged[k]
+		if a.score < m.cfg.MinScore {
+			continue
+		}
+		if last, ok := m.lastAlert[k]; ok {
+			d := a.onset.Sub(last)
+			if d < 0 {
+				d = -d
+			}
+			if d < m.cfg.HoldOff {
+				continue // the same episode, already alerted
+			}
+		}
+		m.lastAlert[k] = a.onset
+		out = append(out, Alert{
+			WindowEnd: end,
+			Comp:      k.comp,
+			Kind:      k.kind,
+			Score:     a.score,
+			Victims:   a.victims,
+			Onset:     a.onset,
+		})
+		m.stats.Alerts++
+	}
+
+	// Retain the overlap tail.
+	keepFrom := end.Add(-m.cfg.Overlap)
+	start := sort.Search(len(m.pending), func(i int) bool { return m.pending[i].At >= keepFrom })
+	m.pending = append(m.pending[:0], m.pending[start:]...)
+	return out
+}

@@ -1,0 +1,122 @@
+package online
+
+import (
+	"testing"
+
+	"microscope/internal/collector"
+	"microscope/internal/core"
+	"microscope/internal/nfsim"
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+	"microscope/internal/traffic"
+)
+
+// monitoredRun simulates a chain and returns the trace plus meta.
+func monitoredRun(t *testing.T, interruptsAt []simtime.Time) *collector.Trace {
+	t.Helper()
+	col := collector.New(collector.Config{})
+	sim := nfsim.BuildChain(col, 5,
+		nfsim.ChainSpec{Name: "nat1", Kind: "nat", Rate: simtime.MPPS(1)},
+		nfsim.ChainSpec{Name: "fw1", Kind: "fw", Rate: simtime.MPPS(0.8)},
+	)
+	iv := simtime.MPPS(0.4).Interval()
+	var ems []traffic.Emission
+	i := 0
+	for tt := simtime.Time(0); tt < simtime.Time(500*simtime.Millisecond); tt = tt.Add(iv) {
+		ems = append(ems, traffic.Emission{
+			At: tt,
+			Flow: packet.FiveTuple{
+				SrcIP: packet.IPFromOctets(10, 0, 0, byte(i%50)), DstIP: packet.IPFromOctets(23, 0, 0, 1),
+				SrcPort: uint16(1024 + i%50), DstPort: 80, Proto: packet.ProtoTCP,
+			},
+			Size: 64, Burst: -1,
+		})
+		i++
+	}
+	sim.LoadSchedule(&traffic.Schedule{Emissions: ems})
+	for _, at := range interruptsAt {
+		sim.InjectInterrupt("fw1", at, 900*simtime.Microsecond, "mon")
+	}
+	sim.Run(simtime.Time(600 * simtime.Millisecond))
+	return col.Trace(collector.MetaForChain(sim, []string{"nat1", "fw1"}))
+}
+
+func TestMonitorAlertsOnInterrupts(t *testing.T) {
+	tr := monitoredRun(t, []simtime.Time{
+		simtime.Time(150 * simtime.Millisecond),
+		simtime.Time(400 * simtime.Millisecond),
+	})
+	m := New(tr.Meta, Config{})
+	// Feed in chunks like a drain loop would.
+	var alerts []Alert
+	const chunk = 5000
+	for i := 0; i < len(tr.Records); i += chunk {
+		end := i + chunk
+		if end > len(tr.Records) {
+			end = len(tr.Records)
+		}
+		alerts = append(alerts, m.Feed(tr.Records[i:end])...)
+	}
+	alerts = append(alerts, m.Flush()...)
+
+	fw := 0
+	for _, a := range alerts {
+		if a.Comp == "fw1" && a.Kind == core.CulpritLocalProcessing {
+			fw++
+		}
+		if a.Score <= 0 || a.Victims <= 0 {
+			t.Errorf("degenerate alert: %v", a)
+		}
+	}
+	if fw < 2 {
+		t.Errorf("expected alerts for both interrupts, got %d fw1 alerts: %v", fw, alerts)
+	}
+	// Hold-off keeps each episode to one alert.
+	if fw > 4 {
+		t.Errorf("episodes over-alerted: %d: %v", fw, alerts)
+	}
+	st := m.Stats()
+	if st.Windows < 4 || st.Records != len(tr.Records) {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestMonitorQuietStream(t *testing.T) {
+	tr := monitoredRun(t, nil)
+	m := New(tr.Meta, Config{})
+	alerts := m.Feed(tr.Records)
+	alerts = append(alerts, m.Flush()...)
+	if len(alerts) != 0 {
+		t.Errorf("quiet stream raised %d alerts: %v", len(alerts), alerts)
+	}
+}
+
+func TestMonitorAlertString(t *testing.T) {
+	a := Alert{WindowEnd: 100, Comp: "fw1", Kind: core.CulpritLocalProcessing, Score: 42, Victims: 3, Onset: 50}
+	s := a.String()
+	for _, want := range []string{"fw1", "processing", "42", "victims=3"} {
+		if !contains(s, want) {
+			t.Errorf("alert string missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestMonitorEmptyFlush(t *testing.T) {
+	m := New(collector.Meta{MaxBatch: 32}, Config{})
+	if got := m.Flush(); got != nil {
+		t.Errorf("empty flush: %v", got)
+	}
+}

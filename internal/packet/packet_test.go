@@ -1,0 +1,125 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microscope/internal/simtime"
+)
+
+func sampleTuple() FiveTuple {
+	return FiveTuple{
+		SrcIP:   IPFromOctets(10, 1, 2, 3),
+		DstIP:   IPFromOctets(23, 4, 5, 6),
+		SrcPort: 1234,
+		DstPort: 80,
+		Proto:   ProtoTCP,
+	}
+}
+
+func TestIPRoundTrip(t *testing.T) {
+	ip := IPFromOctets(192, 168, 7, 42)
+	if got := IPString(ip); got != "192.168.7.42" {
+		t.Errorf("IPString: got %q", got)
+	}
+}
+
+func TestFiveTupleString(t *testing.T) {
+	got := sampleTuple().String()
+	want := "10.1.2.3:1234 > 23.4.5.6:80/6"
+	if got != want {
+		t.Errorf("String: got %q, want %q", got, want)
+	}
+}
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	a := sampleTuple()
+	b := sampleTuple()
+	if a.Hash() != b.Hash() {
+		t.Error("equal tuples must hash equal")
+	}
+	b.SrcPort++
+	if a.Hash() == b.Hash() {
+		t.Error("port change should change hash")
+	}
+	c := a
+	c.DstIP ^= 1
+	if a.Hash() == c.Hash() {
+		t.Error("IP change should change hash")
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	// Property: hashing many distinct tuples into 4 buckets should not
+	// leave any bucket empty (flow-level load balancing sanity).
+	buckets := make([]int, 4)
+	ft := sampleTuple()
+	for i := 0; i < 4096; i++ {
+		ft.SrcPort = uint16(i)
+		ft.SrcIP = IPFromOctets(10, byte(i>>8), byte(i), 1)
+		buckets[ft.Hash()%4]++
+	}
+	for i, n := range buckets {
+		if n == 0 {
+			t.Errorf("bucket %d empty", i)
+		}
+		if n < 512 { // expect ~1024 each; catch pathological skew
+			t.Errorf("bucket %d badly underfilled: %d", i, n)
+		}
+	}
+}
+
+func TestHashEqualityProperty(t *testing.T) {
+	f := func(s, d uint32, sp, dp uint16, proto uint8) bool {
+		a := FiveTuple{s, d, sp, dp, proto}
+		b := FiveTuple{s, d, sp, dp, proto}
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHops(t *testing.T) {
+	p := &Packet{CreatedAt: 100}
+	if p.LastHop() != nil {
+		t.Error("empty packet should have nil LastHop")
+	}
+	if p.Latency() != 0 {
+		t.Error("empty packet latency should be 0")
+	}
+	p.Hops = append(p.Hops,
+		Hop{Node: "nat1", EnqueueAt: 110, DequeueAt: 120, DepartAt: 150},
+		Hop{Node: "fw2", EnqueueAt: 150, DequeueAt: 200, DepartAt: 260},
+	)
+	if got := p.LastHop().Node; got != "fw2" {
+		t.Errorf("LastHop: got %q", got)
+	}
+	if h := p.HopAt("nat1"); h == nil || h.DepartAt != 150 {
+		t.Error("HopAt(nat1) wrong")
+	}
+	if p.HopAt("vpn1") != nil {
+		t.Error("HopAt(unknown) should be nil")
+	}
+	if got := p.Latency(); got != 160 {
+		t.Errorf("Latency: got %v, want 160", got)
+	}
+	if got := p.QueueDelayAt("fw2"); got != 50 {
+		t.Errorf("QueueDelayAt: got %v, want 50", got)
+	}
+	if got := p.QueueDelayAt("none"); got != -1 {
+		t.Errorf("QueueDelayAt(missing): got %v, want -1", got)
+	}
+	path := p.Path()
+	if len(path) != 2 || path[0] != "nat1" || path[1] != "fw2" {
+		t.Errorf("Path: got %v", path)
+	}
+}
+
+func TestQueueDelayUsesSimtime(t *testing.T) {
+	p := &Packet{}
+	p.Hops = append(p.Hops, Hop{Node: "x", EnqueueAt: simtime.Time(0), DequeueAt: simtime.Time(simtime.Millisecond)})
+	if got := p.QueueDelayAt("x").Millis(); got != 1 {
+		t.Errorf("delay: got %v ms, want 1", got)
+	}
+}

@@ -1,0 +1,301 @@
+// Package patterns implements Microscope's causal-pattern aggregation
+// (paper §4.4): packet-level causal relations
+//
+//	<culprit packets, culprit NF> → <victim packet, victim NF>: score
+//
+// are aggregated into a ranked list of
+//
+//	<culprit flow aggregate, culprit NF set> → <victim flow aggregate,
+//	victim NF set>: score
+//
+// using the two-phase decoupling the paper describes: first AutoFocus over
+// the victim dimensions per culprit group, then AutoFocus over the culprit
+// dimensions across the intermediate aggregates. The decoupling is what
+// keeps the many-dimension search tractable.
+package patterns
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"microscope/internal/autofocus"
+	"microscope/internal/core"
+	"microscope/internal/packet"
+	"microscope/internal/tracestore"
+)
+
+// Relation is one packet-level causal relation, the §4.4 input.
+type Relation struct {
+	CulpritFlow packet.FiveTuple
+	// CulpritHasFlow is false when the culprit packet never reached
+	// egress, so its five-tuple is unknown (§5 records tuples only at
+	// the end of the graph).
+	CulpritHasFlow bool
+	CulpritNF      string
+	CulpritKind    string
+
+	VictimFlow    packet.FiveTuple
+	VictimHasFlow bool
+	VictimNF      string
+	VictimKind    string
+
+	Score float64
+}
+
+// Pattern is one aggregated causal pattern.
+type Pattern struct {
+	CulpritFlow autofocus.FlowAgg
+	CulpritNF   autofocus.NFAgg
+	VictimFlow  autofocus.FlowAgg
+	VictimNF    autofocus.NFAgg
+	Score       float64
+}
+
+// String renders the Figure 14 row format:
+// "<culprit 5-tuple> <culprit location> => <victim 5-tuple> <victim location>".
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s %s => %s %s : %.1f",
+		p.CulpritFlow, p.CulpritNF, p.VictimFlow, p.VictimNF, p.Score)
+}
+
+// Config tunes aggregation.
+type Config struct {
+	// Threshold is the significance fraction th (default 0.01, the
+	// paper's evaluation setting). Higher values yield fewer, coarser
+	// patterns.
+	Threshold float64
+	// Phase1Threshold is the per-culprit-group victim aggregation
+	// threshold (default 0.05).
+	Phase1Threshold float64
+	// MaxPatterns caps the final report (0 = unlimited).
+	MaxPatterns int
+	// MaxCulpritsPerCause bounds how many culprit packets one cause
+	// contributes relation shares to (default 256), keeping the input
+	// size linear in diagnoses.
+	MaxCulpritsPerCause int
+}
+
+func (c *Config) setDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.01
+	}
+	if c.Phase1Threshold == 0 {
+		c.Phase1Threshold = 0.05
+	}
+	if c.MaxCulpritsPerCause == 0 {
+		c.MaxCulpritsPerCause = 256
+	}
+}
+
+// RelationsFromDiagnoses explodes per-victim diagnoses into packet-level
+// causal relations: each cause's score is split evenly across its culprit
+// packets (the PreSet packets at the culprit NF).
+func RelationsFromDiagnoses(st *tracestore.Store, diags []core.Diagnosis, cfg Config) []Relation {
+	cfg.setDefaults()
+	var out []Relation
+	for di := range diags {
+		d := &diags[di]
+		for ci := range d.Causes {
+			c := &d.Causes[ci]
+			culprits := c.CulpritJourneys
+			if len(culprits) > cfg.MaxCulpritsPerCause {
+				// Deterministic random subsample. A stride sample
+				// would alias against periodic arrival patterns
+				// (e.g. every third packet belonging to one flow)
+				// and silently drop whole flows.
+				rng := rand.New(rand.NewSource(int64(len(culprits))*2654435761 + 12345))
+				perm := rng.Perm(len(culprits))[:cfg.MaxCulpritsPerCause]
+				sort.Ints(perm)
+				sampled := make([]int, len(perm))
+				for i, p := range perm {
+					sampled[i] = culprits[p]
+				}
+				culprits = sampled
+			}
+			if len(culprits) == 0 {
+				// Keep the relation with an unknown culprit flow.
+				out = append(out, Relation{
+					CulpritNF:     c.Comp,
+					CulpritKind:   st.KindOf(c.Comp),
+					VictimFlow:    d.Victim.Tuple,
+					VictimHasFlow: d.Victim.HasTuple,
+					VictimNF:      d.Victim.Comp,
+					VictimKind:    st.KindOf(d.Victim.Comp),
+					Score:         c.Score,
+				})
+				continue
+			}
+			share := c.Score / float64(len(culprits))
+			for _, jIdx := range culprits {
+				if jIdx < 0 || jIdx >= len(st.Journeys) {
+					continue
+				}
+				j := &st.Journeys[jIdx]
+				out = append(out, Relation{
+					CulpritFlow:    j.Tuple,
+					CulpritHasFlow: j.HasTuple,
+					CulpritNF:      c.Comp,
+					CulpritKind:    st.KindOf(c.Comp),
+					VictimFlow:     d.Victim.Tuple,
+					VictimHasFlow:  d.Victim.HasTuple,
+					VictimNF:       d.Victim.Comp,
+					VictimKind:     st.KindOf(d.Victim.Comp),
+					Score:          share,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// victimAggKey identifies an intermediate victim aggregate.
+type victimAggKey struct {
+	flow autofocus.FlowAgg
+	nf   autofocus.NFAgg
+}
+
+// culpritKey identifies an exact culprit <packet flow, NF> group.
+type culpritKey struct {
+	flow packet.FiveTuple
+	has  bool
+	nf   string
+}
+
+// Aggregate runs the two-phase aggregation and returns the ranked patterns.
+func Aggregate(rels []Relation, cfg Config) []Pattern {
+	cfg.setDefaults()
+	if len(rels) == 0 {
+		return nil
+	}
+	var grand float64
+	for i := range rels {
+		grand += rels[i].Score
+	}
+
+	// Shared lattice caches: victims repeat across culprit groups and
+	// culprit leaves repeat across victim-aggregate groups.
+	victimCache := autofocus.NewCache()
+	culpritCache := autofocus.NewCache()
+
+	// Phase 1: group by exact culprit <packet flow, NF>; aggregate the
+	// victim dimensions within each group.
+	type culpritGroup struct {
+		kind  string
+		items []autofocus.Item
+	}
+	groups := make(map[culpritKey]*culpritGroup)
+	var order []culpritKey
+	for i := range rels {
+		r := &rels[i]
+		k := culpritKey{flow: r.CulpritFlow, has: r.CulpritHasFlow, nf: r.CulpritNF}
+		g := groups[k]
+		if g == nil {
+			g = &culpritGroup{kind: r.CulpritKind}
+			groups[k] = g
+			order = append(order, k)
+		}
+		vf := r.VictimFlow
+		if !r.VictimHasFlow {
+			vf = packet.FiveTuple{} // aggregates to * buckets naturally
+		}
+		g.items = append(g.items, autofocus.Item{
+			Flow:   vf,
+			NF:     r.VictimNF,
+			Kind:   r.VictimKind,
+			Weight: r.Score,
+		})
+	}
+	sort.Slice(order, func(i, j int) bool { return culpritKeyLess(order[i], order[j]) })
+
+	// Phase 2 input: per victim aggregate, the culprit-side items.
+	phase2 := make(map[victimAggKey][]autofocus.Item)
+	var vaOrder []victimAggKey
+	for _, ck := range order {
+		g := groups[ck]
+		vaggs := autofocus.Aggregate(g.items, autofocus.Config{Threshold: cfg.Phase1Threshold, Cache: victimCache})
+		for _, va := range vaggs {
+			vk := victimAggKey{flow: va.Flow, nf: va.NF}
+			if _, seen := phase2[vk]; !seen {
+				vaOrder = append(vaOrder, vk)
+			}
+			cf := ck.flow
+			if !ck.has {
+				cf = packet.FiveTuple{}
+			}
+			phase2[vk] = append(phase2[vk], autofocus.Item{
+				Flow:   cf,
+				NF:     ck.nf,
+				Kind:   g.kind,
+				Weight: va.Weight,
+			})
+		}
+	}
+
+	// Phase 2: aggregate culprit dimensions per victim aggregate; apply
+	// the global significance threshold.
+	var out []Pattern
+	for _, vk := range vaOrder {
+		items := phase2[vk]
+		var groupW float64
+		for i := range items {
+			groupW += items[i].Weight
+		}
+		if groupW <= 0 {
+			continue
+		}
+		// Local threshold chosen so the reported weight is significant
+		// globally: w >= th * grand.
+		local := cfg.Threshold * grand / groupW
+		if local > 1 {
+			continue // group too light to ever matter
+		}
+		caggs := autofocus.Aggregate(items, autofocus.Config{Threshold: local, Cache: culpritCache})
+		for _, ca := range caggs {
+			out = append(out, Pattern{
+				CulpritFlow: ca.Flow,
+				CulpritNF:   ca.NF,
+				VictimFlow:  vk.flow,
+				VictimNF:    vk.nf,
+				Score:       ca.Weight,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if cfg.MaxPatterns > 0 && len(out) > cfg.MaxPatterns {
+		out = out[:cfg.MaxPatterns]
+	}
+	return out
+}
+
+func culpritKeyLess(a, b culpritKey) bool {
+	if a.nf != b.nf {
+		return a.nf < b.nf
+	}
+	if a.flow.SrcIP != b.flow.SrcIP {
+		return a.flow.SrcIP < b.flow.SrcIP
+	}
+	if a.flow.DstIP != b.flow.DstIP {
+		return a.flow.DstIP < b.flow.DstIP
+	}
+	if a.flow.SrcPort != b.flow.SrcPort {
+		return a.flow.SrcPort < b.flow.SrcPort
+	}
+	if a.flow.DstPort != b.flow.DstPort {
+		return a.flow.DstPort < b.flow.DstPort
+	}
+	if a.flow.Proto != b.flow.Proto {
+		return a.flow.Proto < b.flow.Proto
+	}
+	return !a.has && b.has
+}
+
+// Render formats patterns as a Figure 14 style listing.
+func Render(pats []Pattern) string {
+	var b strings.Builder
+	for _, p := range pats {
+		fmt.Fprintln(&b, p.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+// Package plot renders report.Series as standalone SVG line/scatter charts
+// using only the standard library, so msbench can emit viewable versions of
+// every paper figure next to the textual rows.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"microscope/internal/report"
+)
+
+// Config controls chart geometry.
+type Config struct {
+	Width, Height int
+	Title         string
+	// Scatter draws points instead of a connected line (e.g. Figure 1a).
+	Scatter bool
+	// LogY uses a log10 y-axis (useful for latency plots).
+	LogY bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Width == 0 {
+		c.Width = 640
+	}
+	if c.Height == 0 {
+		c.Height = 400
+	}
+}
+
+// palette holds the line colors, in series order.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+
+const (
+	marginL = 64
+	marginR = 16
+	marginT = 36
+	marginB = 48
+)
+
+// SVG renders one or more series into a single chart.
+func SVG(cfg Config, series ...*report.Series) string {
+	cfg.setDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		cfg.Width, cfg.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", cfg.Width, cfg.Height)
+
+	// Data bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			any = true
+		}
+	}
+	if !any {
+		b.WriteString(`<text x="20" y="20">no data</text></svg>`)
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := float64(cfg.Width - marginL - marginR)
+	plotH := float64(cfg.Height - marginT - marginB)
+	tx := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	ty := func(y float64) float64 {
+		if cfg.LogY {
+			y = math.Log10(math.Max(y, math.Pow(10, minY)))
+		}
+		return float64(marginT) + plotH - (y-minY)/(maxY-minY)*plotH
+	}
+
+	// Axes, ticks, grid.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		px := tx(fx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px, marginT, px, float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px, float64(marginT)+plotH+16, fmtTick(fx))
+
+		fy := minY + (maxY-minY)*float64(i)/5
+		py := float64(marginT) + plotH - (fy-minY)/(maxY-minY)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, float64(marginL)+plotW, py)
+		label := fy
+		if cfg.LogY {
+			label = math.Pow(10, fy)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+4, fmtTick(label))
+	}
+
+	// Title and axis labels (from the first series).
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n",
+			marginL, escape(cfg.Title))
+	}
+	if len(series) > 0 {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+plotW/2, cfg.Height-8, escape(series[0].XLabel))
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, escape(series[0].YLabel))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		if cfg.Scatter {
+			for i := range s.X {
+				if cfg.LogY && s.Y[i] <= 0 {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s"/>`+"\n",
+					tx(s.X[i]), ty(s.Y[i]), color)
+			}
+		} else {
+			var pts []string
+			for i := range s.X {
+				if cfg.LogY && s.Y[i] <= 0 {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[i]), ty(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		// Legend.
+		ly := marginT + 14 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			cfg.Width-marginR-150, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			cfg.Width-marginR-136, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// WriteSVG renders the chart to a file.
+func WriteSVG(path string, cfg Config, series ...*report.Series) error {
+	return os.WriteFile(path, []byte(SVG(cfg, series...)), 0o644)
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.2gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microscope/internal/report"
+)
+
+func demoSeries() *report.Series {
+	s := &report.Series{Name: "queue", XLabel: "time (ms)", YLabel: "packets"}
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i)*0.1, float64((i*i)%40))
+	}
+	return s
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := SVG(Config{Title: "demo"}, demoSeries())
+	for _, want := range []string{"<svg", "</svg>", "polyline", "demo", "time (ms)", "packets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 {
+		t.Error("multiple svg roots")
+	}
+}
+
+func TestSVGScatterAndMultiSeries(t *testing.T) {
+	a, b := demoSeries(), demoSeries()
+	b.Name = "other"
+	out := SVG(Config{Scatter: true}, a, b)
+	if !strings.Contains(out, "<circle") {
+		t.Error("scatter should use circles")
+	}
+	if !strings.Contains(out, "other") {
+		t.Error("legend missing second series")
+	}
+	if strings.Contains(out, "polyline") {
+		t.Error("scatter should not draw lines")
+	}
+}
+
+func TestSVGLogY(t *testing.T) {
+	s := &report.Series{Name: "lat", XLabel: "t", YLabel: "us"}
+	s.Add(0, 1)
+	s.Add(1, 10)
+	s.Add(2, 1000)
+	s.Add(3, 0) // must be skipped, not crash
+	out := SVG(Config{LogY: true}, s)
+	if !strings.Contains(out, "polyline") {
+		t.Error("log chart missing data")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	out := SVG(Config{}, &report.Series{Name: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	s := &report.Series{Name: "flat"}
+	s.Add(1, 5)
+	s.Add(2, 5)
+	out := SVG(Config{}, s)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("degenerate bounds leaked: %s", out)
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig.svg")
+	if err := WriteSVG(path, Config{Title: "f"}, demoSeries()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("file content wrong")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("escape: %q", escape(`a<b>&"c"`))
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		1200:    "1.2k",
+		42:      "42",
+		0.25:    "0.25",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v): got %q want %q", v, got, want)
+		}
+	}
+}

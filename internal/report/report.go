@@ -1,0 +1,110 @@
+// Package report renders experiment output as the text tables and series
+// the paper's figures and tables contain. The benchmarks and the msbench
+// tool print these; EXPERIMENTS.md records them.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one plottable line: the rows/series of a paper figure.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Render prints the series as two aligned columns.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# %-14s %s\n", s.Name, s.XLabel, s.YLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%-16.6g %.6g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Downsample returns a copy keeping every k-th point (k>=1), always
+// including the last point. It keeps rendered output readable for dense
+// time series.
+func (s *Series) Downsample(k int) *Series {
+	if k <= 1 || s.Len() == 0 {
+		return s
+	}
+	out := &Series{Name: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+	for i := 0; i < s.Len(); i += k {
+		out.Add(s.X[i], s.Y[i])
+	}
+	if last := s.Len() - 1; last%k != 0 {
+		out.Add(s.X[last], s.Y[last])
+	}
+	return out
+}
+
+// Table is a titled grid.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as "12.3%".
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%.3g", v) }

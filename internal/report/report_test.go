@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddRender(t *testing.T) {
+	s := &Series{Name: "queue", XLabel: "t", YLabel: "len"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	out := s.Render()
+	if !strings.Contains(out, "# queue") || !strings.Contains(out, "10") {
+		t.Errorf("render: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // two header lines + two points
+		t.Errorf("lines: %d", len(lines))
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	d := s.Downsample(3)
+	// indices 0, 3, 6, 9.
+	if d.Len() != 4 {
+		t.Fatalf("downsampled: %d", d.Len())
+	}
+	if d.X[3] != 9 {
+		t.Errorf("last point: %v", d.X[3])
+	}
+	// k=1 and empty return the same series.
+	if s.Downsample(1) != s {
+		t.Error("k=1 should be identity")
+	}
+	empty := &Series{}
+	if empty.Downsample(5).Len() != 0 {
+		t.Error("empty downsample")
+	}
+	// Last point always included even when not on stride.
+	s2 := &Series{}
+	for i := 0; i < 11; i++ {
+		s2.Add(float64(i), 0)
+	}
+	d2 := s2.Downsample(3) // 0,3,6,9 + last(10)
+	if d2.Len() != 5 || d2.X[4] != 10 {
+		t.Errorf("stride tail: %v", d2.X)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		Title: "Demo",
+		Cols:  []string{"name", "value"},
+	}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("muchlongername", "2")
+	out := tbl.Render()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	// Aligned: "value" column starts at the same offset in both rows.
+	off1 := strings.Index(lines[3], "1")
+	off2 := strings.Index(lines[4], "2")
+	if off1 != off2 {
+		t.Errorf("misaligned: %d vs %d\n%s", off1, off2, out)
+	}
+}
+
+func TestPctAndF(t *testing.T) {
+	if Pct(0.897) != "89.7%" {
+		t.Errorf("Pct: %q", Pct(0.897))
+	}
+	if F(0.000123456) != "0.000123" {
+		t.Errorf("F: %q", F(0.000123456))
+	}
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v): got %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile: got %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean: got %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev: got %v, want 2", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		w.Add(x)
+		xs = append(xs, x)
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("Welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.StdDev()-StdDev(xs)) > 1e-9 {
+		t.Errorf("Welford sd %v vs batch %v", w.StdDev(), StdDev(xs))
+	}
+	if w.N() != 1000 {
+		t.Errorf("N: got %d", w.N())
+	}
+}
+
+func TestWelfordAbnormal(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100; i++ {
+		w.Add(10 + float64(i%3)) // mean ~11, sd ~0.8
+	}
+	if w.Abnormal(11, 1, 10) {
+		t.Error("11 should not be abnormal")
+	}
+	if !w.Abnormal(20, 1, 10) {
+		t.Error("20 should be abnormal")
+	}
+	var cold Welford
+	cold.Add(1)
+	if cold.Abnormal(100, 1, 10) {
+		t.Error("cold-start should suppress abnormality")
+	}
+}
+
+func TestHistoryWindowEviction(t *testing.T) {
+	h := NewHistory(3)
+	for _, x := range []float64{1, 2, 3} {
+		h.Add(x)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len: got %d", h.Len())
+	}
+	h.Add(100) // evicts 1
+	mean, _ := h.MeanStdDev()
+	if mean != (2+3+100)/3.0 {
+		t.Errorf("windowed mean: got %v", mean)
+	}
+	samples := h.Samples()
+	sort.Float64s(samples)
+	if samples[0] != 2 || samples[2] != 100 {
+		t.Errorf("Samples: got %v", samples)
+	}
+}
+
+func TestHistoryAbnormal(t *testing.T) {
+	h := NewHistory(50)
+	for i := 0; i < 50; i++ {
+		h.Add(100)
+	}
+	// Zero stddev: anything above the mean is abnormal.
+	if !h.Abnormal(101, 1, 10) {
+		t.Error("101 above constant 100 should be abnormal")
+	}
+	if h.Abnormal(100, 1, 10) {
+		t.Error("exactly the mean is not abnormal")
+	}
+}
+
+func TestNewHistoryPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistory(0) should panic")
+		}
+	}()
+	NewHistory(0)
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 2, 4})
+	if len(cdf) != 3 {
+		t.Fatalf("distinct points: got %d", len(cdf))
+	}
+	if cdf[0].X != 1 || cdf[0].F != 0.25 {
+		t.Errorf("point 0: %+v", cdf[0])
+	}
+	if cdf[1].X != 2 || cdf[1].F != 0.75 {
+		t.Errorf("point 1: %+v", cdf[1])
+	}
+	if cdf[2].X != 4 || cdf[2].F != 1 {
+		t.Errorf("point 2: %+v", cdf[2])
+	}
+	if got := CDFAt(cdf, 0.5); got != 0 {
+		t.Errorf("CDFAt below min: got %v", got)
+	}
+	if got := CDFAt(cdf, 2); got != 0.75 {
+		t.Errorf("CDFAt(2): got %v", got)
+	}
+	if got := CDFAt(cdf, 100); got != 1 {
+		t.Errorf("CDFAt above max: got %v", got)
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotonicProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		cdf := CDF(xs)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X <= cdf[i-1].X || cdf[i].F <= cdf[i-1].F {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].F == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankCurveAndFraction(t *testing.T) {
+	ranks := []int{1, 3, 1, 2, 10}
+	curve := RankCurve(ranks)
+	want := []int{1, 1, 2, 3, 10}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("curve: got %v", curve)
+		}
+	}
+	if got := FractionAtRank(ranks, 1); got != 0.4 {
+		t.Errorf("FractionAtRank(1): got %v", got)
+	}
+	if got := FractionAtRank(ranks, 3); got != 0.8 {
+		t.Errorf("FractionAtRank(3): got %v", got)
+	}
+	if got := FractionAtRank(nil, 1); got != 0 {
+		t.Errorf("empty: got %v", got)
+	}
+	// Rank 0 means "not found" and never counts.
+	if got := FractionAtRank([]int{0, 1}, 5); got != 0.5 {
+		t.Errorf("unfound ranks counted: got %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 2, 3, 9.9, -5, 100}, 0, 10, 10)
+	// 0 and clamped -5 land in bin 0; 9.9 and clamped 100 in bin 9.
+	if bins[0] != 2 || bins[1] != 1 || bins[2] != 1 || bins[3] != 1 || bins[9] != 2 {
+		t.Errorf("histogram: got %v", bins)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	bins := Histogram([]float64{-1, 11}, 0, 10, 5)
+	if bins[0] != 1 || bins[4] != 1 {
+		t.Errorf("clamping: got %v", bins)
+	}
+	if Histogram(nil, 0, 10, 0) != nil {
+		t.Error("zero bins should be nil")
+	}
+	if Histogram(nil, 10, 0, 5) != nil {
+		t.Error("inverted range should be nil")
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(0.897); got != "89.7%" {
+		t.Errorf("FormatPct: got %q", got)
+	}
+}

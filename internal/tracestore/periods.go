@@ -1,0 +1,116 @@
+package tracestore
+
+import (
+	"sort"
+
+	"microscope/internal/simtime"
+)
+
+// QueuingPeriod describes the §4.1 queuing period for a packet arriving at
+// a component at End: the interval from when the queue last started
+// building from empty (Start) to the packet's arrival.
+type QueuingPeriod struct {
+	Comp  string
+	Start simtime.Time
+	End   simtime.Time
+	// ArrivalFirst..ArrivalLast (inclusive) index CompView.Arrivals for
+	// the packets that arrived during the period — PreSet(p) plus the
+	// victim itself.
+	ArrivalFirst, ArrivalLast int
+	// NIn is n_i(T): packets arriving during the period.
+	NIn int
+	// NProc is n_p(T): packets dequeued during the period.
+	NProc int
+}
+
+// T returns the period length.
+func (qp *QueuingPeriod) T() simtime.Duration { return qp.End.Sub(qp.Start) }
+
+// periodIndex caches per-component arrays for O(log n) period queries.
+type periodIndex struct {
+	arrivalTimes []simtime.Time
+	drainTimes   []simtime.Time // read events that left the queue empty
+	readTimes    []simtime.Time
+	readCum      []int // readCum[i] = packets read in events [0, i)
+}
+
+func (s *Store) periodIndexOf(v *CompView) *periodIndex {
+	if v.pidx != nil {
+		return v.pidx
+	}
+	pi := &periodIndex{}
+	pi.arrivalTimes = make([]simtime.Time, len(v.Arrivals))
+	for i := range v.Arrivals {
+		pi.arrivalTimes[i] = v.Arrivals[i].At
+	}
+	pi.readTimes = make([]simtime.Time, len(v.Reads))
+	pi.readCum = make([]int, len(v.Reads)+1)
+	for i := range v.Reads {
+		pi.readTimes[i] = v.Reads[i].At
+		pi.readCum[i+1] = pi.readCum[i] + v.Reads[i].N
+		if v.Reads[i].Drained {
+			pi.drainTimes = append(pi.drainTimes, v.Reads[i].At)
+		}
+	}
+	v.pidx = pi
+	return pi
+}
+
+func searchTimes(ts []simtime.Time, t simtime.Time) int {
+	// First index with ts[i] > t.
+	return sort.Search(len(ts), func(i int) bool { return ts[i] > t })
+}
+
+// QueuingPeriodAt computes the queuing period at comp for a packet that
+// arrived at time t. It returns nil when the component is unknown or has no
+// arrivals at or before t.
+func (s *Store) QueuingPeriodAt(comp string, t simtime.Time) *QueuingPeriod {
+	v := s.comps[comp]
+	if v == nil || len(v.Arrivals) == 0 {
+		return nil
+	}
+	pi := s.periodIndexOf(v)
+
+	// Last drain strictly before t; the period begins with the first
+	// arrival after it.
+	var lastDrain simtime.Time = -1
+	if i := searchTimes(pi.drainTimes, t-1); i > 0 {
+		lastDrain = pi.drainTimes[i-1]
+	}
+	first := searchTimes(pi.arrivalTimes, lastDrain) // first arrival with At > lastDrain
+	last := searchTimes(pi.arrivalTimes, t) - 1      // last arrival with At <= t
+	if last < first {
+		return nil
+	}
+	start := pi.arrivalTimes[first]
+
+	// Packets dequeued during [start, t].
+	lo := sort.Search(len(pi.readTimes), func(i int) bool { return pi.readTimes[i] >= start })
+	hi := searchTimes(pi.readTimes, t)
+	nProc := pi.readCum[hi] - pi.readCum[lo]
+
+	return &QueuingPeriod{
+		Comp:         comp,
+		Start:        start,
+		End:          t,
+		ArrivalFirst: first,
+		ArrivalLast:  last,
+		NIn:          last - first + 1,
+		NProc:        nProc,
+	}
+}
+
+// QueueLenAt estimates the queue length at comp at time t from the record
+// stream (arrivals minus dequeues since the last drain). This is exactly
+// n_i - n_p of the queuing period ending at t.
+func (s *Store) QueueLenAt(comp string, t simtime.Time) int {
+	qp := s.QueuingPeriodAt(comp, t)
+	if qp == nil {
+		return 0
+	}
+	n := qp.NIn - qp.NProc
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,405 @@
+package tracestore
+
+import (
+	"sort"
+
+	"microscope/internal/collector"
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// Journey is one reconstructed packet trace: where the packet went and when
+// it was enqueued, read, and emitted at every component.
+type Journey struct {
+	// IPID identifies the packet within the collision-resolution window.
+	IPID uint16
+	// Tuple is known only for delivered packets (five-tuples are
+	// recorded at egress, §5).
+	Tuple    packet.FiveTuple
+	HasTuple bool
+	// EmittedAt is the source write time.
+	EmittedAt simtime.Time
+	// Hops lists traversed NFs in order.
+	Hops []JourneyHop
+	// Delivered reports whether the packet reached egress within the
+	// trace. False means dropped in transit or still resident at trace
+	// end.
+	Delivered bool
+}
+
+// JourneyHop is one reconstructed traversal.
+type JourneyHop struct {
+	Comp     string
+	ArriveAt simtime.Time // upstream write into this comp's queue
+	ReadAt   simtime.Time // dequeue time (zero if never read)
+	DepartAt simtime.Time // this comp's write/deliver time (zero if none)
+	// ReadEvent indexes CompView.Reads for the dequeuing batch, -1 when
+	// the packet was never read.
+	ReadEvent int
+	// Arrival indexes CompView.Arrivals for this hop.
+	Arrival int
+}
+
+// LastComp returns the last component the packet was observed at.
+func (j *Journey) LastComp() string {
+	if len(j.Hops) == 0 {
+		return ""
+	}
+	return j.Hops[len(j.Hops)-1].Comp
+}
+
+// HopAt returns the hop at the named component, or nil.
+func (j *Journey) HopAt(comp string) *JourneyHop {
+	for i := range j.Hops {
+		if j.Hops[i].Comp == comp {
+			return &j.Hops[i]
+		}
+	}
+	return nil
+}
+
+// Latency returns delivery latency, or -1 if not delivered.
+func (j *Journey) Latency() simtime.Duration {
+	if !j.Delivered || len(j.Hops) == 0 {
+		return -1
+	}
+	return j.Hops[len(j.Hops)-1].DepartAt.Sub(j.EmittedAt)
+}
+
+// reconCtx holds per-reconstruction indexes that do not belong in the
+// long-lived store.
+type reconCtx struct {
+	// arrivalsByRec[rec] lists arrival indices (at the destination view)
+	// for each packet position of write record rec.
+	arrivalsByRec [][]int
+	// deqOfArrival[comp][arrivalIdx] = index into ReadEntries, or -1.
+	deqOfArrival map[string][]int
+	// outOfRead[comp][readEntryIdx] = index into the merged out-entry
+	// list, or -1; outIsDeliver tells which list the entry lives in.
+	outOfRead map[string][]int
+	// outEntry[comp] is the merged (write ∪ deliver) entry list; for
+	// each, origin says whether it is a write (index into WriteEntries)
+	// or a deliver (index into DeliverEntries).
+	outEntries map[string][]outEntry
+	// readEventIdx[comp][readEntryIdx] = index into Reads.
+	readEventIdx map[string][]int
+}
+
+type outEntry struct {
+	at      simtime.Time
+	ipid    uint16
+	write   int // index into WriteEntries, -1 if deliver
+	deliver int // index into DeliverEntries, -1 if write
+}
+
+// lookaheadDepth is how many future dequeue entries the order side channel
+// inspects when several upstream heads share an IPID.
+const lookaheadDepth = 4
+
+// reorderSearchBound caps the out-of-order search window used when no
+// upstream head matches (same-instant write interleaving).
+const reorderSearchBound = 64
+
+// Reconstruct matches records across components and builds journeys.
+func (s *Store) Reconstruct() {
+	ctx := &reconCtx{
+		arrivalsByRec: make([][]int, len(s.Trace.Records)),
+		deqOfArrival:  make(map[string][]int),
+		outOfRead:     make(map[string][]int),
+		outEntries:    make(map[string][]outEntry),
+		readEventIdx:  make(map[string][]int),
+	}
+	s.indexArrivals(ctx)
+	for _, name := range s.order {
+		s.matchQueue(ctx, s.comps[name])
+		s.threadInternal(ctx, s.comps[name])
+	}
+	s.buildJourneys(ctx)
+}
+
+// indexArrivals recomputes the record→arrival mapping (mirrors Build's
+// arrival construction order).
+func (s *Store) indexArrivals(ctx *reconCtx) {
+	counts := make(map[string]int)
+	for ri := range s.Trace.Records {
+		r := &s.Trace.Records[ri]
+		if r.Dir != collector.DirWrite {
+			continue
+		}
+		dest := consumerOf(r.Queue)
+		base := counts[dest]
+		idxs := make([]int, len(r.IPIDs))
+		for i := range r.IPIDs {
+			idxs[i] = base + i
+		}
+		counts[dest] = base + len(r.IPIDs)
+		ctx.arrivalsByRec[ri] = idxs
+	}
+	for name, v := range s.comps {
+		ctx.deqOfArrival[name] = fillNeg(len(v.Arrivals))
+		ctx.outOfRead[name] = fillNeg(len(v.ReadEntries))
+		// Per-read-entry event index.
+		ev := make([]int, len(v.ReadEntries))
+		for ei := range v.Reads {
+			end := len(v.ReadEntries)
+			if ei+1 < len(v.Reads) {
+				end = v.Reads[ei+1].FirstEntry
+			}
+			for k := v.Reads[ei].FirstEntry; k < end; k++ {
+				ev[k] = ei
+			}
+		}
+		ctx.readEventIdx[name] = ev
+	}
+}
+
+func fillNeg(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+
+// matchQueue resolves which arrival each dequeued packet corresponds to,
+// using the three side channels of §5.
+func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
+	if len(v.ReadEntries) == 0 || len(v.Arrivals) == 0 {
+		return
+	}
+	// Per-upstream arrival streams.
+	var ups []string
+	upIdx := make(map[string]int)
+	var streams [][]int
+	for ai := range v.Arrivals {
+		u := v.Arrivals[ai].From
+		k, ok := upIdx[u]
+		if !ok {
+			k = len(ups)
+			upIdx[u] = k
+			ups = append(ups, u)
+			streams = append(streams, nil)
+		}
+		streams[k] = append(streams[k], ai)
+	}
+	consumed := make([]bool, len(v.Arrivals))
+	ptr := make([]int, len(ups))
+	deqMatch := ctx.deqOfArrival[v.Name]
+
+	advance := func(u int) int {
+		for ptr[u] < len(streams[u]) && consumed[streams[u][ptr[u]]] {
+			ptr[u]++
+		}
+		if ptr[u] >= len(streams[u]) {
+			return -1
+		}
+		return streams[u][ptr[u]]
+	}
+
+	// greedyOK reports whether, in a tentative world where extraConsumed
+	// is taken, the next few dequeues can still find head matches.
+	greedyOK := func(k int, extraConsumed int) int {
+		taken := map[int]bool{extraConsumed: true}
+		score := 0
+		for step := 1; step <= lookaheadDepth && k+step < len(v.ReadEntries); step++ {
+			d := v.ReadEntries[k+step]
+			found := false
+			for u := range ups {
+				p := ptr[u]
+				for p < len(streams[u]) && (consumed[streams[u][p]] || taken[streams[u][p]]) {
+					p++
+				}
+				if p >= len(streams[u]) {
+					continue
+				}
+				ai := streams[u][p]
+				if v.Arrivals[ai].At <= d.At && v.Arrivals[ai].IPID == d.IPID {
+					taken[ai] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			score++
+		}
+		return score
+	}
+
+	for k := range v.ReadEntries {
+		d := &v.ReadEntries[k]
+		// Side channel 1 (paths): only immediate upstream heads are
+		// candidates. Side channel 2 (timing): arrival must precede
+		// the dequeue.
+		var cands []int // arrival indices
+		for u := range ups {
+			ai := advance(u)
+			if ai >= 0 && v.Arrivals[ai].At <= d.At && v.Arrivals[ai].IPID == d.IPID {
+				cands = append(cands, ai)
+			}
+		}
+		switch {
+		case len(cands) == 1:
+			consumed[cands[0]] = true
+			deqMatch[cands[0]] = k
+			s.recon.Matched++
+		case len(cands) > 1:
+			// Side channel 3 (order): pick the candidate whose
+			// consumption keeps the subsequent dequeue stream
+			// consistent; prefer the earliest-written on ties.
+			best, bestScore := -1, -1
+			for _, ai := range cands {
+				sc := greedyOK(k, ai)
+				if sc > bestScore ||
+					(sc == bestScore && best >= 0 && v.Arrivals[ai].At < v.Arrivals[best].At) {
+					best, bestScore = ai, sc
+				}
+			}
+			consumed[best] = true
+			deqMatch[best] = k
+			s.recon.LookaheadFix++
+		default:
+			// No head matches: same-instant interleavings can put
+			// the true arrival slightly deeper; search a bounded
+			// window.
+			best := -1
+			for u := range ups {
+				p := ptr[u]
+				scanned := 0
+				for p < len(streams[u]) && scanned < reorderSearchBound {
+					ai := streams[u][p]
+					p++
+					if consumed[ai] {
+						continue
+					}
+					scanned++
+					if v.Arrivals[ai].At > d.At {
+						break
+					}
+					if v.Arrivals[ai].IPID == d.IPID {
+						if best < 0 || v.Arrivals[ai].At < v.Arrivals[best].At {
+							best = ai
+						}
+						break
+					}
+				}
+			}
+			if best >= 0 {
+				consumed[best] = true
+				deqMatch[best] = k
+				s.recon.Reordered++
+			} else {
+				s.recon.Unmatched++
+			}
+		}
+	}
+}
+
+// threadInternal links each component's read entries to its write/deliver
+// entries by per-IPID FIFO order.
+func (s *Store) threadInternal(ctx *reconCtx, v *CompView) {
+	outs := make([]outEntry, 0, len(v.WriteEntries)+len(v.DeliverEntries))
+	for i := range v.WriteEntries {
+		outs = append(outs, outEntry{at: v.WriteEntries[i].At, ipid: v.WriteEntries[i].IPID, write: i, deliver: -1})
+	}
+	for i := range v.DeliverEntries {
+		outs = append(outs, outEntry{at: v.DeliverEntries[i].At, ipid: v.DeliverEntries[i].IPID, write: -1, deliver: i})
+	}
+	sort.SliceStable(outs, func(i, j int) bool { return outs[i].at < outs[j].at })
+	ctx.outEntries[v.Name] = outs
+
+	// Per-IPID FIFO of read entries.
+	buckets := make(map[uint16][]int)
+	for k := range v.ReadEntries {
+		id := v.ReadEntries[k].IPID
+		buckets[id] = append(buckets[id], k)
+	}
+	heads := make(map[uint16]int)
+	outOfRead := ctx.outOfRead[v.Name]
+	for oi := range outs {
+		id := outs[oi].ipid
+		lst := buckets[id]
+		h := heads[id]
+		// Reads precede writes of the same packet, so the FIFO head is
+		// the match unless the streams are inconsistent.
+		if h < len(lst) && v.ReadEntries[lst[h]].At <= outs[oi].at {
+			outOfRead[lst[h]] = oi
+			heads[id] = h + 1
+		}
+	}
+}
+
+// buildJourneys threads packets from source emissions to egress.
+func (s *Store) buildJourneys(ctx *reconCtx) {
+	src := s.comps[collector.SourceName]
+	if src == nil {
+		return
+	}
+	s.Journeys = make([]Journey, 0, len(src.WriteEntries))
+	for wi := range src.WriteEntries {
+		j := Journey{
+			IPID:      src.WriteEntries[wi].IPID,
+			EmittedAt: src.WriteEntries[wi].At,
+		}
+		comp := src.WriteDest[wi]
+		// Arrival index of this write entry at its destination.
+		ai := s.arrivalIndexOf(ctx, src, wi)
+		for ai >= 0 && comp != "" {
+			v := s.comps[comp]
+			if v == nil {
+				break
+			}
+			hop := JourneyHop{
+				Comp:      comp,
+				ArriveAt:  v.Arrivals[ai].At,
+				ReadEvent: -1,
+				Arrival:   ai,
+			}
+			jIdx := len(s.Journeys)
+			v.Arrivals[ai].Journey = jIdx
+			k := ctx.deqOfArrival[comp][ai]
+			if k < 0 {
+				// Never read: resident at trace end or
+				// overwritten; journey ends here.
+				j.Hops = append(j.Hops, hop)
+				break
+			}
+			hop.ReadAt = v.ReadEntries[k].At
+			hop.ReadEvent = ctx.readEventIdx[comp][k]
+			oi := ctx.outOfRead[comp][k]
+			if oi < 0 {
+				// Read but never emitted: dropped at a
+				// downstream enqueue or in flight at trace end.
+				j.Hops = append(j.Hops, hop)
+				break
+			}
+			out := ctx.outEntries[comp][oi]
+			hop.DepartAt = out.at
+			j.Hops = append(j.Hops, hop)
+			if out.deliver >= 0 {
+				j.Delivered = true
+				j.Tuple = v.Tuples[out.deliver]
+				j.HasTuple = true
+				break
+			}
+			// Continue downstream.
+			next := v.WriteDest[out.write]
+			ai = s.arrivalIndexOf(ctx, v, out.write)
+			comp = next
+		}
+		s.Journeys = append(s.Journeys, j)
+	}
+}
+
+// arrivalIndexOf maps a component's write entry to the arrival index at the
+// destination view.
+func (s *Store) arrivalIndexOf(ctx *reconCtx, v *CompView, wi int) int {
+	rec := v.WriteEntries[wi].Rec
+	pos := v.WriteEntries[wi].Pos
+	idxs := ctx.arrivalsByRec[rec]
+	if pos < len(idxs) {
+		return idxs[pos]
+	}
+	return -1
+}

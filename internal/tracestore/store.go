@@ -1,0 +1,214 @@
+// Package tracestore turns a collected record stream into per-NF views and
+// reconstructed per-packet journeys (paper §5, "offline diagnosis" input).
+//
+// The store never sees simulator ground truth. It works from exactly what
+// the collector recorded: batch timestamps, batch sizes, IPIDs, and
+// five-tuples at egress. Journeys are reconstructed by matching IPIDs
+// across adjacent components using the paper's three side channels — the
+// paths of packets (only immediate upstreams are candidates), the timing of
+// packets (a delay bound), and the order of packets (FIFO queues).
+package tracestore
+
+import (
+	"fmt"
+	"strings"
+
+	"microscope/internal/collector"
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// Entry is one packet-level event extracted from a batch record: one packet
+// read, written, or delivered by a component.
+type Entry struct {
+	At   simtime.Time
+	IPID uint16
+	Rec  int // index into Trace.Records
+	Pos  int // position within the batch
+}
+
+// ReadEvent is one batch read: the unit of the queuing-period signal.
+type ReadEvent struct {
+	At simtime.Time
+	N  int
+	// Drained reports that this read left the queue empty (batch smaller
+	// than MaxBatch, §5).
+	Drained bool
+	// FirstEntry indexes the first packet of this batch in the
+	// component's flattened read entries.
+	FirstEntry int
+}
+
+// Arrival is one packet arriving at a component's input queue (a packet
+// inside an upstream write batch).
+type Arrival struct {
+	At      simtime.Time
+	IPID    uint16
+	From    string // writing component
+	Journey int    // journey index, -1 until reconstruction links it
+}
+
+// CompView is the per-component index the diagnosis consumes.
+type CompView struct {
+	Name string
+	Meta *collector.ComponentMeta
+
+	// Reads are batch read events in time order.
+	Reads []ReadEvent
+	// ReadEntries are per-packet read entries in dequeue order.
+	ReadEntries []Entry
+	// WriteEntries are per-packet write entries in transmit order
+	// (merged across destination queues by record order); Dest parallel
+	// array names each entry's destination component.
+	WriteEntries []Entry
+	WriteDest    []string
+	// DeliverEntries are per-packet egress entries; Tuples parallel.
+	DeliverEntries []Entry
+	Tuples         []packet.FiveTuple
+	// Arrivals are packets entering this component's queue, in enqueue
+	// order as reconstructed (time-merged upstream writes).
+	Arrivals []Arrival
+
+	// pidx caches the queuing-period search index.
+	pidx *periodIndex
+	// tl caches the reconstructed queue-length timeline (§7 threshold
+	// periods).
+	tl *qlenTimeline
+}
+
+// Store indexes a trace and holds the reconstructed journeys.
+type Store struct {
+	Trace    *collector.Trace
+	MaxBatch int
+
+	comps map[string]*CompView
+	order []string
+
+	// Journeys are the reconstructed packet traces, in source-emission
+	// order.
+	Journeys []Journey
+
+	recon ReconStats
+}
+
+// ReconStats summarizes how reconstruction went.
+type ReconStats struct {
+	Matched      int // queue matches resolved via unique head
+	Reordered    int // resolved via bounded out-of-order search
+	LookaheadFix int // resolved via the order side channel (lookahead)
+	Unmatched    int // dequeue entries left unmatched
+}
+
+// Build indexes the trace. Reconstruct must be called afterwards to
+// populate journeys and arrival links.
+func Build(tr *collector.Trace) *Store {
+	s := &Store{
+		Trace:    tr,
+		MaxBatch: tr.Meta.MaxBatch,
+		comps:    make(map[string]*CompView),
+	}
+	if s.MaxBatch <= 0 {
+		s.MaxBatch = 32
+	}
+	view := func(name string) *CompView {
+		v := s.comps[name]
+		if v == nil {
+			v = &CompView{Name: name, Meta: tr.Meta.Component(name)}
+			s.comps[name] = v
+			s.order = append(s.order, name)
+		}
+		return v
+	}
+	// Ensure every declared component has a view even if silent.
+	for i := range tr.Meta.Components {
+		view(tr.Meta.Components[i].Name)
+	}
+	for ri := range tr.Records {
+		r := &tr.Records[ri]
+		switch r.Dir {
+		case collector.DirRead:
+			v := view(r.Comp)
+			v.Reads = append(v.Reads, ReadEvent{
+				At:         r.At,
+				N:          len(r.IPIDs),
+				Drained:    len(r.IPIDs) < s.MaxBatch,
+				FirstEntry: len(v.ReadEntries),
+			})
+			for pos, id := range r.IPIDs {
+				v.ReadEntries = append(v.ReadEntries, Entry{At: r.At, IPID: id, Rec: ri, Pos: pos})
+			}
+		case collector.DirWrite:
+			v := view(r.Comp)
+			dest := consumerOf(r.Queue)
+			for pos, id := range r.IPIDs {
+				v.WriteEntries = append(v.WriteEntries, Entry{At: r.At, IPID: id, Rec: ri, Pos: pos})
+				v.WriteDest = append(v.WriteDest, dest)
+			}
+		case collector.DirDeliver:
+			v := view(r.Comp)
+			for pos, id := range r.IPIDs {
+				v.DeliverEntries = append(v.DeliverEntries, Entry{At: r.At, IPID: id, Rec: ri, Pos: pos})
+				v.Tuples = append(v.Tuples, r.Tuples[pos])
+			}
+		}
+	}
+	// Build arrival lists: merge upstream writes per destination in
+	// (time, record order) — record order is already time order within
+	// the trace, so a stable pass over records suffices.
+	for ri := range tr.Records {
+		r := &tr.Records[ri]
+		if r.Dir != collector.DirWrite {
+			continue
+		}
+		dest := consumerOf(r.Queue)
+		v := view(dest)
+		for _, id := range r.IPIDs {
+			v.Arrivals = append(v.Arrivals, Arrival{At: r.At, IPID: id, From: r.Comp, Journey: -1})
+		}
+	}
+	return s
+}
+
+// consumerOf maps a queue name to its consuming component, relying on the
+// "<nf>.in" convention the simulator and collector share.
+func consumerOf(queue string) string {
+	return strings.TrimSuffix(queue, ".in")
+}
+
+// View returns the per-component index, or nil.
+func (s *Store) View(name string) *CompView { return s.comps[name] }
+
+// Components returns component names in first-seen order.
+func (s *Store) Components() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// ReconStats returns reconstruction accounting.
+func (s *Store) ReconStats() ReconStats { return s.recon }
+
+// PeakRate returns r_i for a component (0 for the source or unknown).
+func (s *Store) PeakRate(name string) simtime.Rate {
+	if c := s.Trace.Meta.Component(name); c != nil {
+		return c.PeakRate
+	}
+	return 0
+}
+
+// KindOf returns the component kind, defaulting to the name.
+func (s *Store) KindOf(name string) string {
+	if c := s.Trace.Meta.Component(name); c != nil && c.Kind != "" {
+		return c.Kind
+	}
+	return name
+}
+
+// String renders a short summary.
+func (s *Store) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tracestore: %d records, %d journeys (%d matched, %d reordered, %d lookahead, %d unmatched)",
+		len(s.Trace.Records), len(s.Journeys),
+		s.recon.Matched, s.recon.Reordered, s.recon.LookaheadFix, s.recon.Unmatched)
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// Schedule persistence: a compact binary format for replaying the exact
+// same workload across runs and machines (what MoonGen does with pcap
+// replay), plus a CSV importer so users can feed their own captured traces
+// into the simulator.
+
+var schedMagic = [4]byte{'M', 'S', 'W', '1'}
+
+// WriteFile persists the schedule.
+func (s *Schedule) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traffic: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(schedMagic[:]); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := w.Write(tmp[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(s.Emissions))); err != nil {
+		return err
+	}
+	var lastAt simtime.Time
+	for i := range s.Emissions {
+		e := &s.Emissions[i]
+		if e.At < lastAt {
+			return errors.New("traffic: schedule not time-ordered")
+		}
+		if err := putUvarint(uint64(e.At - lastAt)); err != nil {
+			return err
+		}
+		lastAt = e.At
+		var buf [19]byte
+		binary.LittleEndian.PutUint32(buf[0:], e.Flow.SrcIP)
+		binary.LittleEndian.PutUint32(buf[4:], e.Flow.DstIP)
+		binary.LittleEndian.PutUint16(buf[8:], e.Flow.SrcPort)
+		binary.LittleEndian.PutUint16(buf[10:], e.Flow.DstPort)
+		buf[12] = e.Flow.Proto
+		binary.LittleEndian.PutUint16(buf[13:], uint16(e.Size))
+		binary.LittleEndian.PutUint32(buf[15:], uint32(e.Burst))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// ReadFile loads a schedule written by WriteFile.
+func ReadFile(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != schedMagic {
+		return nil, errors.New("traffic: bad schedule magic")
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	const maxEmissions = 200_000_000
+	if n > maxEmissions {
+		return nil, fmt.Errorf("traffic: implausible emission count %d", n)
+	}
+	s := &Schedule{Emissions: make([]Emission, 0, n)}
+	var lastAt simtime.Time
+	for i := uint64(0); i < n; i++ {
+		dt, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: truncated at emission %d: %w", i, err)
+		}
+		lastAt = lastAt.Add(simtime.Duration(dt))
+		var buf [19]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("traffic: truncated at emission %d: %w", i, err)
+		}
+		size := int(binary.LittleEndian.Uint16(buf[13:]))
+		if size == 0 {
+			size = 64
+		}
+		s.Emissions = append(s.Emissions, Emission{
+			At: lastAt,
+			Flow: packet.FiveTuple{
+				SrcIP:   binary.LittleEndian.Uint32(buf[0:]),
+				DstIP:   binary.LittleEndian.Uint32(buf[4:]),
+				SrcPort: binary.LittleEndian.Uint16(buf[8:]),
+				DstPort: binary.LittleEndian.Uint16(buf[10:]),
+				Proto:   buf[12],
+			},
+			Size:  size,
+			Burst: int32(binary.LittleEndian.Uint32(buf[15:])),
+		})
+	}
+	return s, nil
+}
+
+// ReadCSV imports a workload from CSV lines of the form
+//
+//	time_us,src_ip,dst_ip,src_port,dst_port,proto
+//
+// (header line optional; times are microseconds from trace start; IPs in
+// dotted quad). This is the bridge for replaying real captures through the
+// simulator.
+func ReadCSV(r io.Reader) (*Schedule, error) {
+	s := &Schedule{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if lineNo == 1 && !isNumeric(fields[0]) {
+			continue // header
+		}
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("traffic: line %d: want 6 fields, got %d", lineNo, len(fields))
+		}
+		us, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: bad time: %w", lineNo, err)
+		}
+		src, err := parseIP(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: %w", lineNo, err)
+		}
+		dst, err := parseIP(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: %w", lineNo, err)
+		}
+		sp, err := parsePort(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: %w", lineNo, err)
+		}
+		dp, err := parsePort(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: %w", lineNo, err)
+		}
+		proto, err := strconv.ParseUint(strings.TrimSpace(fields[5]), 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: line %d: bad proto: %w", lineNo, err)
+		}
+		s.Emissions = append(s.Emissions, Emission{
+			At:    simtime.Time(simtime.FromMicros(us)),
+			Flow:  packet.FiveTuple{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: uint8(proto)},
+			Size:  64,
+			Burst: -1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	s.sortByTime()
+	return s, nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return err == nil
+}
+
+func parseIP(s string) (uint32, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IP %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad IP %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return ip, nil
+}
+
+func parsePort(s string) (uint16, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("bad port %q", s)
+	}
+	return uint16(v), nil
+}

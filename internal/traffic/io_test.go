@@ -1,0 +1,118 @@
+package traffic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microscope/internal/simtime"
+)
+
+func TestScheduleFileRoundTrip(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 64, Seed: 1})
+	s := Generate(m, ScheduleConfig{
+		Rate: simtime.MPPS(0.2), Duration: 2 * simtime.Millisecond, Seed: 2,
+	})
+	s.InjectBurst(BurstSpec{ID: 3, At: simtime.Time(simtime.Millisecond), Flow: m.Flows[0].Tuple, Count: 50})
+	path := filepath.Join(t.TempDir(), "wl.msw")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len: %d vs %d", got.Len(), s.Len())
+	}
+	for i := range s.Emissions {
+		a, b := s.Emissions[i], got.Emissions[i]
+		if a.At != b.At || a.Flow != b.Flow || a.Size != b.Size || a.Burst != b.Burst {
+			t.Fatalf("emission %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("XXXX"), 0o644)
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	m := NewMix(MixConfig{Flows: 8, Seed: 1})
+	s := Generate(m, ScheduleConfig{Rate: simtime.MPPS(0.1), Duration: simtime.Millisecond, Seed: 2})
+	full := filepath.Join(dir, "full")
+	if err := s.WriteFile(full); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(full)
+	trunc := filepath.Join(dir, "trunc")
+	os.WriteFile(trunc, data[:len(data)/2], 0o644)
+	if _, err := ReadFile(trunc); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestWriteFileRejectsDisorder(t *testing.T) {
+	s := &Schedule{Emissions: []Emission{{At: 10, Size: 64}, {At: 5, Size: 64}}}
+	if err := s.WriteFile(filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("disorder accepted")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	csv := `time_us,src_ip,dst_ip,src_port,dst_port,proto
+0,10.0.0.1,23.0.0.2,1234,80,6
+2.5,10.0.0.2,23.0.0.3,5678,443,6
+1.0,192.168.1.1,8.8.8.8,9999,53,17
+`
+	s, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("CSV import must sort: %v", err)
+	}
+	// Sorted: 0, 1.0, 2.5 µs.
+	if s.Emissions[1].At != simtime.Time(simtime.Microsecond) {
+		t.Errorf("sort order: %v", s.Emissions[1].At)
+	}
+	e := s.Emissions[0]
+	if e.Flow.SrcPort != 1234 || e.Flow.DstPort != 80 || e.Flow.Proto != 6 {
+		t.Errorf("fields: %+v", e.Flow)
+	}
+	if e.Flow.SrcIP != 10<<24|1 {
+		t.Errorf("src ip: %x", e.Flow.SrcIP)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"0,10.0.0.1,23.0.0.2,1234,80",        // too few fields
+		"x,10.0.0.1,23.0.0.2,1234,80,6\nz,b", // bad later line
+		"0,10.0.0,23.0.0.2,1234,80,6",        // bad ip
+		"0,10.0.0.1,23.0.0.2,99999,80,6",     // bad port
+		"0,10.0.0.1,23.0.0.2,1234,80,300",    // bad proto
+		"0,10.0.0.256,23.0.0.2,1234,80,6",    // octet overflow
+		"1,10.0.0.1,23.0.0.2,1234,80,6\nbad", // malformed tail
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# comment\n\n0,10.0.0.1,23.0.0.2,1234,80,6\n"
+	if _, err := ReadCSV(strings.NewReader(ok)); err != nil {
+		t.Errorf("comments rejected: %v", err)
+	}
+}

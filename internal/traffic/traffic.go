@@ -1,0 +1,323 @@
+// Package traffic synthesizes the workloads the paper evaluates with:
+// CAIDA-like traffic replayed by MoonGen at a configurable packet rate with
+// 64-byte packets (§6.1), plus injectable microbursts (§6.2).
+//
+// Real CAIDA traces are not redistributable, so the generator reproduces
+// the properties that matter to queue-based diagnosis instead: a heavy-
+// tailed (Zipf) flow-size distribution, many concurrent interleaved flows,
+// a constant aggregate packet rate with small arrival jitter, and
+// five-tuple structure suitable for prefix/port aggregation. Software NF
+// performance is dominated by packet rate, not byte rate, which is why the
+// paper pins the packet size; we follow suit.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// Emission is one scheduled packet: the traffic source releases a packet of
+// flow Flow at time At.
+type Emission struct {
+	At    simtime.Time
+	Flow  packet.FiveTuple
+	Size  int
+	Burst int32 // burst injection id, -1 for background traffic
+}
+
+// FlowSpec is one synthetic flow and its steady-state popularity weight.
+type FlowSpec struct {
+	Tuple  packet.FiveTuple
+	Weight float64
+}
+
+// MixConfig controls the synthetic flow population.
+type MixConfig struct {
+	// Flows is the number of distinct five-tuples (default 4096).
+	Flows int
+	// ZipfS is the Zipf skew exponent of flow popularity (default 1.1;
+	// >1 gives the heavy tail CAIDA mixes exhibit).
+	ZipfS float64
+	// Seed drives all randomness in the mix.
+	Seed int64
+	// WebFraction is the fraction of flows whose destination port is a
+	// well-known web port (80/443); the firewall in the evaluation
+	// topology steers these to the Monitor.
+	WebFraction float64
+	// MaxFlowFrac caps any single flow's share of the packet mix
+	// (default 0.01). Backbone traces are heavy-tailed but no single
+	// five-tuple carries a double-digit share of packets; without the
+	// cap, flow-level load balancing would overload one NF by luck of
+	// the hash, drowning every controlled experiment in natural drops.
+	MaxFlowFrac float64
+}
+
+func (c *MixConfig) setDefaults() {
+	if c.Flows <= 0 {
+		c.Flows = 4096
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+	if c.WebFraction <= 0 {
+		c.WebFraction = 0.25
+	}
+	if c.MaxFlowFrac <= 0 {
+		c.MaxFlowFrac = 0.01
+	}
+}
+
+// Mix is a weighted population of flows with an alias-free cumulative
+// sampler. Build one with NewMix, then sample with Pick.
+type Mix struct {
+	Flows []FlowSpec
+	cum   []float64 // cumulative weights, cum[len-1] == total
+}
+
+// NewMix builds a synthetic flow population.
+func NewMix(cfg MixConfig) *Mix {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flows := make([]FlowSpec, cfg.Flows)
+	seen := make(map[packet.FiveTuple]bool, cfg.Flows)
+	for i := range flows {
+		var ft packet.FiveTuple
+		for {
+			ft = randomTuple(rng, cfg.WebFraction)
+			if !seen[ft] {
+				seen[ft] = true
+				break
+			}
+		}
+		// Zipf popularity by rank: weight(i) = 1/(i+1)^s.
+		w := 1.0 / math.Pow(float64(i+1), cfg.ZipfS)
+		flows[i] = FlowSpec{Tuple: ft, Weight: w}
+	}
+	// Clamp the head of the distribution to MaxFlowFrac of the mass.
+	// A few iterations converge: clamping shrinks the total, which can
+	// push the cap below remaining weights.
+	for iter := 0; iter < 4; iter++ {
+		var total float64
+		for i := range flows {
+			total += flows[i].Weight
+		}
+		limit := cfg.MaxFlowFrac * total
+		changed := false
+		for i := range flows {
+			if flows[i].Weight > limit {
+				flows[i].Weight = limit
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	m := &Mix{Flows: flows, cum: make([]float64, len(flows))}
+	var total float64
+	for i, f := range flows {
+		total += f.Weight
+		m.cum[i] = total
+	}
+	return m
+}
+
+// Pick samples a flow according to the popularity weights.
+func (m *Mix) Pick(rng *rand.Rand) packet.FiveTuple {
+	total := m.cum[len(m.cum)-1]
+	x := rng.Float64() * total
+	i := sort.SearchFloat64s(m.cum, x)
+	if i >= len(m.Flows) {
+		i = len(m.Flows) - 1
+	}
+	return m.Flows[i].Tuple
+}
+
+// randomTuple draws a plausible five-tuple. Sources come from a handful of
+// /16s (as if behind aggregation routers); destinations are spread wide.
+func randomTuple(rng *rand.Rand, webFraction float64) packet.FiveTuple {
+	srcNets := [...]uint32{
+		packet.IPFromOctets(10, 0, 0, 0),
+		packet.IPFromOctets(100, 64, 0, 0),
+		packet.IPFromOctets(172, 16, 0, 0),
+		packet.IPFromOctets(192, 168, 0, 0),
+	}
+	src := srcNets[rng.Intn(len(srcNets))] | uint32(rng.Intn(1<<16))
+	dst := uint32(rng.Intn(1<<30))<<2 | uint32(rng.Intn(4))
+	if dst>>24 == 0 || dst>>24 >= 224 { // avoid reserved/multicast
+		dst = packet.IPFromOctets(23, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+	}
+	proto := packet.ProtoTCP
+	if rng.Float64() < 0.2 {
+		proto = packet.ProtoUDP
+	}
+	dport := uint16(1024 + rng.Intn(64512))
+	if rng.Float64() < webFraction {
+		if rng.Float64() < 0.6 {
+			dport = 80
+		} else {
+			dport = 443
+		}
+	}
+	return packet.FiveTuple{
+		SrcIP:   src,
+		DstIP:   dst,
+		SrcPort: uint16(1024 + rng.Intn(64512)),
+		DstPort: dport,
+		Proto:   proto,
+	}
+}
+
+// ScheduleConfig describes a background-traffic schedule.
+type ScheduleConfig struct {
+	// Rate is the aggregate packet rate (e.g. simtime.MPPS(1.2)).
+	Rate simtime.Rate
+	// Duration is the length of the schedule.
+	Duration simtime.Duration
+	// Start offsets the first emission.
+	Start simtime.Time
+	// JitterFrac perturbs each inter-arrival by ±JitterFrac uniformly
+	// (default 0.3), producing the short-term interleaving variance real
+	// traces exhibit without changing the mean rate.
+	JitterFrac float64
+	// PacketSize is the on-wire size (default 64, matching §6.1).
+	PacketSize int
+	// Seed drives arrival jitter and flow choice.
+	Seed int64
+}
+
+func (c *ScheduleConfig) setDefaults() {
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.3
+	}
+	if c.PacketSize <= 0 {
+		c.PacketSize = 64
+	}
+}
+
+// Schedule is a time-ordered list of emissions, the simulator-facing
+// equivalent of a replayable MoonGen trace.
+type Schedule struct {
+	Emissions []Emission
+}
+
+// Generate builds a background schedule: packets drawn from the mix at the
+// configured constant mean rate with bounded jitter.
+func Generate(mix *Mix, cfg ScheduleConfig) *Schedule {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	interval := cfg.Rate.Interval()
+	if interval <= 0 {
+		return &Schedule{}
+	}
+	n := int(cfg.Rate.PacketsF(cfg.Duration))
+	ems := make([]Emission, 0, n)
+	t := cfg.Start
+	end := cfg.Start.Add(cfg.Duration)
+	for t.Before(end) {
+		ems = append(ems, Emission{
+			At:    t,
+			Flow:  mix.Pick(rng),
+			Size:  cfg.PacketSize,
+			Burst: -1,
+		})
+		jitter := 1 + cfg.JitterFrac*(2*rng.Float64()-1)
+		step := simtime.Duration(float64(interval) * jitter)
+		if step < 1 {
+			step = 1
+		}
+		t = t.Add(step)
+	}
+	return &Schedule{Emissions: ems}
+}
+
+// BurstSpec describes an injected traffic burst: Count packets of flow Flow
+// emitted back-to-back starting At with inter-packet Gap (default: 64-byte
+// line-rate-ish 100ns).
+type BurstSpec struct {
+	ID    int32
+	At    simtime.Time
+	Flow  packet.FiveTuple
+	Count int
+	Gap   simtime.Duration
+	Size  int
+}
+
+// InjectBurst merges a burst into the schedule, keeping time order.
+func (s *Schedule) InjectBurst(b BurstSpec) {
+	if b.Gap <= 0 {
+		b.Gap = 100 * simtime.Nanosecond
+	}
+	if b.Size <= 0 {
+		b.Size = 64
+	}
+	add := make([]Emission, b.Count)
+	t := b.At
+	for i := range add {
+		add[i] = Emission{At: t, Flow: b.Flow, Size: b.Size, Burst: b.ID}
+		t = t.Add(b.Gap)
+	}
+	s.Emissions = append(s.Emissions, add...)
+	s.sortByTime()
+}
+
+// InjectFlow merges a paced flow (Count packets, fixed Gap) into the
+// schedule; used for the §6.2 bug-triggering flows and the "flow A" of the
+// §2 examples. Burst id -1 marks it as non-burst ground truth.
+func (s *Schedule) InjectFlow(flow packet.FiveTuple, start simtime.Time, count int, gap simtime.Duration, size int) {
+	if size <= 0 {
+		size = 64
+	}
+	add := make([]Emission, count)
+	t := start
+	for i := range add {
+		add[i] = Emission{At: t, Flow: flow, Size: size, Burst: -1}
+		t = t.Add(gap)
+	}
+	s.Emissions = append(s.Emissions, add...)
+	s.sortByTime()
+}
+
+// Merge combines two schedules into one time-ordered schedule.
+func (s *Schedule) Merge(other *Schedule) {
+	s.Emissions = append(s.Emissions, other.Emissions...)
+	s.sortByTime()
+}
+
+func (s *Schedule) sortByTime() {
+	sort.SliceStable(s.Emissions, func(i, j int) bool {
+		return s.Emissions[i].At < s.Emissions[j].At
+	})
+}
+
+// Len returns the number of scheduled packets.
+func (s *Schedule) Len() int { return len(s.Emissions) }
+
+// End returns the time of the last emission, or 0 for an empty schedule.
+func (s *Schedule) End() simtime.Time {
+	if len(s.Emissions) == 0 {
+		return 0
+	}
+	return s.Emissions[len(s.Emissions)-1].At
+}
+
+// Validate checks schedule invariants (time-ordered, sane sizes). It is
+// used by tests and by cmd tools before replay.
+func (s *Schedule) Validate() error {
+	for i := 1; i < len(s.Emissions); i++ {
+		if s.Emissions[i].At < s.Emissions[i-1].At {
+			return fmt.Errorf("traffic: schedule out of order at index %d", i)
+		}
+	}
+	for i, e := range s.Emissions {
+		if e.Size <= 0 {
+			return fmt.Errorf("traffic: emission %d has non-positive size", i)
+		}
+	}
+	return nil
+}

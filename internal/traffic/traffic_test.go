@@ -1,0 +1,225 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+func TestMixDistinctFlows(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 100, Seed: 1})
+	if len(m.Flows) != 100 {
+		t.Fatalf("flows: got %d", len(m.Flows))
+	}
+	seen := make(map[packet.FiveTuple]bool)
+	for _, f := range m.Flows {
+		if seen[f.Tuple] {
+			t.Fatalf("duplicate tuple %v", f.Tuple)
+		}
+		seen[f.Tuple] = true
+	}
+}
+
+func TestMixZipfSkew(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 1000, Seed: 2, ZipfS: 1.1})
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[packet.FiveTuple]int)
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		counts[m.Pick(rng)]++
+	}
+	// The most popular flow dominates, but MaxFlowFrac caps it near 1%
+	// of the mass (raw Zipf 1.1 over 1000 flows would put ~13% on it,
+	// which no backbone trace exhibits per five-tuple).
+	top := counts[m.Flows[0].Tuple]
+	if top < draws/200 {
+		t.Errorf("rank-1 flow drew only %d of %d", top, draws)
+	}
+	if top > draws/25 {
+		t.Errorf("rank-1 flow drew %d of %d: cap not applied", top, draws)
+	}
+	// But the tail should still appear.
+	distinct := len(counts)
+	if distinct < 200 {
+		t.Errorf("only %d distinct flows drawn", distinct)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a := NewMix(MixConfig{Flows: 64, Seed: 42})
+	b := NewMix(MixConfig{Flows: 64, Seed: 42})
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatal("same seed must give same mix")
+		}
+	}
+	c := NewMix(MixConfig{Flows: 64, Seed: 43})
+	same := 0
+	for i := range a.Flows {
+		if a.Flows[i].Tuple == c.Flows[i].Tuple {
+			same++
+		}
+	}
+	if same == len(a.Flows) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMixWebFraction(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 2000, Seed: 5, WebFraction: 0.5})
+	web := 0
+	for _, f := range m.Flows {
+		if f.Tuple.DstPort == 80 || f.Tuple.DstPort == 443 {
+			web++
+		}
+	}
+	frac := float64(web) / float64(len(m.Flows))
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("web fraction: got %v, want ~0.5", frac)
+	}
+}
+
+func TestGenerateRate(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 128, Seed: 1})
+	dur := simtime.Duration(10 * simtime.Millisecond)
+	s := Generate(m, ScheduleConfig{Rate: simtime.MPPS(0.5), Duration: dur, Seed: 9})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := int(simtime.MPPS(0.5).PacketsF(dur))
+	if got := s.Len(); got < want*95/100 || got > want*105/100 {
+		t.Errorf("packet count: got %d, want ~%d", got, want)
+	}
+	if s.End() >= simtime.Time(dur) {
+		t.Errorf("schedule end %v beyond duration %v", s.End(), dur)
+	}
+}
+
+func TestGenerateStartOffset(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 16, Seed: 1})
+	s := Generate(m, ScheduleConfig{
+		Rate:     simtime.MPPS(0.1),
+		Duration: simtime.Duration(simtime.Millisecond),
+		Start:    simtime.Time(5 * simtime.Millisecond),
+		Seed:     2,
+	})
+	if s.Len() == 0 {
+		t.Fatal("empty schedule")
+	}
+	if s.Emissions[0].At < simtime.Time(5*simtime.Millisecond) {
+		t.Errorf("first emission at %v, want >= 5ms", s.Emissions[0].At)
+	}
+}
+
+func TestInjectBurstOrderingAndTruth(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 128, Seed: 1})
+	s := Generate(m, ScheduleConfig{
+		Rate:     simtime.MPPS(0.2),
+		Duration: simtime.Duration(2 * simtime.Millisecond),
+		Seed:     4,
+	})
+	before := s.Len()
+	flow := m.Flows[0].Tuple
+	s.InjectBurst(BurstSpec{ID: 7, At: simtime.Time(simtime.Millisecond), Flow: flow, Count: 100})
+	if s.Len() != before+100 {
+		t.Fatalf("burst not added: %d", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	burst := 0
+	for _, e := range s.Emissions {
+		if e.Burst == 7 {
+			burst++
+			if e.Flow != flow {
+				t.Fatal("burst flow mismatch")
+			}
+		}
+	}
+	if burst != 100 {
+		t.Errorf("burst emissions: got %d", burst)
+	}
+}
+
+func TestInjectFlowPacing(t *testing.T) {
+	s := &Schedule{}
+	flow := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	s.InjectFlow(flow, simtime.Time(100), 5, simtime.Duration(50), 0)
+	if s.Len() != 5 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	for i, e := range s.Emissions {
+		if e.At != simtime.Time(100+50*i) {
+			t.Errorf("emission %d at %v", i, e.At)
+		}
+		if e.Size != 64 {
+			t.Errorf("default size: got %d", e.Size)
+		}
+		if e.Burst != -1 {
+			t.Errorf("injected flow must not be burst-tagged")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Schedule{Emissions: []Emission{{At: 10, Size: 64}, {At: 30, Size: 64}}}
+	b := &Schedule{Emissions: []Emission{{At: 20, Size: 64}}}
+	a.Merge(b)
+	if a.Len() != 3 {
+		t.Fatalf("merged len: %d", a.Len())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesDisorder(t *testing.T) {
+	s := &Schedule{Emissions: []Emission{{At: 30, Size: 64}, {At: 10, Size: 64}}}
+	if s.Validate() == nil {
+		t.Error("disorder not caught")
+	}
+	s2 := &Schedule{Emissions: []Emission{{At: 10, Size: 0}}}
+	if s2.Validate() == nil {
+		t.Error("zero size not caught")
+	}
+}
+
+func TestScheduleAlwaysSortedProperty(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 32, Seed: 8})
+	f := func(burstAtUs uint16, count uint8) bool {
+		s := Generate(m, ScheduleConfig{
+			Rate:     simtime.MPPS(0.1),
+			Duration: simtime.Duration(simtime.Millisecond),
+			Seed:     3,
+		})
+		s.InjectBurst(BurstSpec{
+			ID:    1,
+			At:    simtime.Time(simtime.Duration(burstAtUs) * simtime.Microsecond),
+			Flow:  m.Flows[0].Tuple,
+			Count: int(count),
+		})
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateProtocolsAreValid(t *testing.T) {
+	m := NewMix(MixConfig{Flows: 500, Seed: 77})
+	for _, f := range m.Flows {
+		if f.Tuple.Proto != packet.ProtoTCP && f.Tuple.Proto != packet.ProtoUDP {
+			t.Fatalf("unexpected proto %d", f.Tuple.Proto)
+		}
+		if f.Tuple.SrcPort < 1024 {
+			t.Fatalf("source port %d below 1024", f.Tuple.SrcPort)
+		}
+		top := f.Tuple.DstIP >> 24
+		if top == 0 || top >= 224 {
+			t.Fatalf("reserved destination %s", packet.IPString(f.Tuple.DstIP))
+		}
+	}
+}

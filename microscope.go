@@ -1,0 +1,359 @@
+// Package microscope is a queue-based performance-diagnosis toolkit for
+// chains and DAGs of network functions, reproducing "Microscope:
+// Queue-based Performance Diagnosis for Network Functions" (SIGCOMM 2020).
+//
+// The pipeline mirrors the paper end to end:
+//
+//  1. Deploy NFs (here: the bundled deterministic DPDK-style simulator —
+//     batched run-to-completion NFs over bounded rings) with the runtime
+//     collector attached. The collector records only what the paper's
+//     DPDK instrumentation records: per-batch timestamps, batch sizes,
+//     per-packet IPIDs, and five-tuples at graph egress.
+//  2. Reconstruct per-packet journeys offline from IPIDs using the paths /
+//     timing / ordering side channels (§5).
+//  3. Diagnose victim packets via queuing periods: split blame between
+//     local slow processing (Sp) and upstream input pressure (Si), trace
+//     PreSet timespans across the DAG, and recurse upstream (§4.1–§4.3).
+//  4. Aggregate packet-level causal relations into ranked
+//     <culprit flows, culprit NFs> → <victim flows, victim NFs> patterns
+//     with a two-phase AutoFocus (§4.4).
+//
+// Quickstart:
+//
+//	dep := microscope.NewChainDeployment(1,
+//		microscope.ChainNF{Name: "fw1", Kind: "fw", Rate: microscope.MPPS(0.5)},
+//		microscope.ChainNF{Name: "vpn1", Kind: "vpn", Rate: microscope.MPPS(0.6)},
+//	)
+//	wl := microscope.NewWorkload(microscope.WorkloadConfig{
+//		Rate: microscope.MPPS(0.3), Duration: 10 * microscope.Millisecond,
+//	})
+//	wl.InjectBurst(microscope.Burst{At: microscope.Time(3 * microscope.Millisecond), Flow: wl.PickFlow(0), Count: 800})
+//	dep.Replay(wl)
+//	dep.Run(50 * simtime.Millisecond)
+//	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+//	fmt.Print(rep.Render())
+package microscope
+
+import (
+	"fmt"
+	"strings"
+
+	"microscope/internal/collector"
+	"microscope/internal/core"
+	"microscope/internal/netmedic"
+	"microscope/internal/online"
+	"microscope/internal/packet"
+	"microscope/internal/patterns"
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+	"microscope/internal/traffic"
+)
+
+// Re-exported aliases so users of the public API can name every type the
+// pipeline produces.
+type (
+	// FiveTuple identifies a flow.
+	FiveTuple = packet.FiveTuple
+	// Trace is a collected run: metadata plus batch records.
+	Trace = collector.Trace
+	// Store is the reconstructed trace (journeys, per-NF views).
+	Store = tracestore.Store
+	// Journey is one reconstructed packet trace.
+	Journey = tracestore.Journey
+	// Victim is a packet/NF pair selected for diagnosis.
+	Victim = core.Victim
+	// Diagnosis is the per-victim ranked cause list.
+	Diagnosis = core.Diagnosis
+	// Cause is one ranked root cause.
+	Cause = core.Cause
+	// Pattern is one aggregated causal pattern.
+	Pattern = patterns.Pattern
+	// TraceMeta is the deployment metadata carried by a Trace.
+	TraceMeta = collector.Meta
+	// Alert is one significant culprit surfaced by the online monitor.
+	Alert = online.Alert
+	// MonitorConfig tunes the online monitor.
+	MonitorConfig = online.Config
+	// Monitor consumes collector records incrementally and raises alerts.
+	Monitor = online.Monitor
+	// Time and Duration are simulated clock types.
+	Time = simtime.Time
+	// Duration is a simulated time span.
+	Duration = simtime.Duration
+	// Rate is packets per second.
+	Rate = simtime.Rate
+)
+
+// Culprit kinds, re-exported.
+const (
+	CulpritSourceTraffic   = core.CulpritSourceTraffic
+	CulpritLocalProcessing = core.CulpritLocalProcessing
+)
+
+// Simulated-time units, re-exported so API users never need the internal
+// simtime package.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+)
+
+// MPPS constructs a Rate from millions of packets per second.
+func MPPS(v float64) Rate { return simtime.MPPS(v) }
+
+// PPS constructs a Rate from packets per second.
+func PPS(v float64) Rate { return simtime.PPS(v) }
+
+// IP builds an IPv4 address for FiveTuple fields.
+func IP(a, b, c, d byte) uint32 { return packet.IPFromOctets(a, b, c, d) }
+
+// DiagnosisConfig tunes the offline diagnosis (see core.Config).
+type DiagnosisConfig struct {
+	// VictimPercentile selects latency victims (default 99).
+	VictimPercentile float64
+	// MaxRecursionDepth caps the §4.3 recursion (default 5).
+	MaxRecursionDepth int
+	// MaxVictims caps how many victims are diagnosed (0 = all).
+	MaxVictims int
+	// PatternThreshold is the §4.4 aggregation threshold (default 1%).
+	PatternThreshold float64
+	// SkipLossVictims disables loss diagnosis.
+	SkipLossVictims bool
+}
+
+// Report is the full diagnosis output for one trace.
+type Report struct {
+	// Store is the reconstructed trace backing the report.
+	Store *Store
+	// Diagnoses holds the per-victim ranked causes.
+	Diagnoses []Diagnosis
+	// Patterns is the ranked aggregated causal-pattern report.
+	Patterns []Pattern
+}
+
+// Diagnose reconstructs a trace and runs the complete Microscope pipeline.
+func Diagnose(tr *Trace, cfg DiagnosisConfig) *Report {
+	st := Reconstruct(tr)
+	return DiagnoseStore(st, cfg)
+}
+
+// Reconstruct indexes a trace and rebuilds packet journeys (§5).
+func Reconstruct(tr *Trace) *Store {
+	st := tracestore.Build(tr)
+	st.Reconstruct()
+	return st
+}
+
+// DiagnoseStore runs diagnosis and aggregation on an already-reconstructed
+// store.
+func DiagnoseStore(st *Store, cfg DiagnosisConfig) *Report {
+	eng := core.NewEngine(core.Config{
+		VictimPercentile:  cfg.VictimPercentile,
+		MaxRecursionDepth: cfg.MaxRecursionDepth,
+		MaxVictims:        cfg.MaxVictims,
+		SkipLossVictims:   cfg.SkipLossVictims,
+	})
+	diags := eng.Diagnose(st)
+	pcfg := patterns.Config{Threshold: cfg.PatternThreshold}
+	rels := patterns.RelationsFromDiagnoses(st, diags, pcfg)
+	pats := patterns.Aggregate(rels, pcfg)
+	return &Report{Store: st, Diagnoses: diags, Patterns: pats}
+}
+
+// TopCauses merges every victim's causes into one ranked list of
+// <component, kind> culprits with summed scores — a deployment-wide
+// "what is wrong right now" view.
+func (r *Report) TopCauses(limit int) []Cause {
+	type key struct {
+		comp string
+		kind core.CulpritKind
+	}
+	acc := make(map[key]*Cause)
+	var order []key
+	for i := range r.Diagnoses {
+		for _, c := range r.Diagnoses[i].Causes {
+			k := key{c.Comp, c.Kind}
+			e := acc[k]
+			if e == nil {
+				cc := c
+				cc.CulpritJourneys = nil
+				acc[k] = &cc
+				order = append(order, k)
+				continue
+			}
+			e.Score += c.Score
+			if c.At < e.At {
+				e.At = c.At
+			}
+		}
+	}
+	out := make([]Cause, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	// Insertion sort by score (lists are small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Score > out[j-1].Score; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Render prints a human-readable summary: victim count, top culprits, and
+// the leading causal patterns.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Microscope report: %d victims diagnosed, %d causal patterns\n",
+		len(r.Diagnoses), len(r.Patterns))
+	b.WriteString("\nTop culprits:\n")
+	for _, c := range r.TopCauses(8) {
+		fmt.Fprintf(&b, "  %-10s %-10s score=%.1f onset=%v\n", c.Comp, c.Kind, c.Score, c.At)
+	}
+	if len(r.Patterns) > 0 {
+		b.WriteString("\nTop causal patterns (culprit => victim):\n")
+		limit := len(r.Patterns)
+		if limit > 10 {
+			limit = 10
+		}
+		for _, p := range r.Patterns[:limit] {
+			fmt.Fprintf(&b, "  %s\n", p.String())
+		}
+	}
+	return b.String()
+}
+
+// NetMedicRank runs the NetMedic baseline over the same victims and
+// returns, per victim, the ranked component list — for side-by-side
+// comparisons like the paper's Figure 11.
+func NetMedicRank(st *Store, victims []Victim, window Duration) []netmedic.Result {
+	nm := netmedic.New(st, netmedic.Config{Window: window})
+	return nm.Diagnose(victims)
+}
+
+// DiagnoseOne diagnoses a single chosen victim — e.g. a specific packet an
+// operator cares about — without global victim selection.
+func DiagnoseOne(st *Store, v Victim, cfg DiagnosisConfig) Diagnosis {
+	eng := core.NewEngine(core.Config{
+		VictimPercentile:  cfg.VictimPercentile,
+		MaxRecursionDepth: cfg.MaxRecursionDepth,
+	})
+	return eng.DiagnoseVictim(st, v)
+}
+
+// Explanation re-exports the causal-tree explanation of one diagnosis.
+type Explanation = core.Explanation
+
+// Explain reproduces one victim's diagnosis as a readable recursion tree
+// (the Figure 7 decomposition): every queuing period, its Si/Sp split, and
+// the timespan attribution of each upstream share.
+func Explain(st *Store, v Victim, cfg DiagnosisConfig) *Explanation {
+	eng := core.NewEngine(core.Config{
+		VictimPercentile:  cfg.VictimPercentile,
+		MaxRecursionDepth: cfg.MaxRecursionDepth,
+	})
+	return eng.Explain(st, v)
+}
+
+// AlignClocks estimates per-component clock offsets from a trace collected
+// across unsynchronized machines (§7) and returns the offsets plus a
+// corrected trace ready for Reconstruct.
+func AlignClocks(tr *Trace) (map[string]Duration, *Trace) {
+	return tracestore.AlignClocks(tr)
+}
+
+// ThroughputVictimConfig re-exports the per-flow throughput-dip victim
+// selection knobs.
+type ThroughputVictimConfig = core.ThroughputConfig
+
+// ThroughputVictims selects victims from per-flow delivery-rate dips — the
+// paper's third victim class besides latency and loss (Figure 2's flow A).
+func ThroughputVictims(st *Store, cfg ThroughputVictimConfig) []Victim {
+	return core.NewEngine(core.Config{}).ThroughputVictims(st, cfg)
+}
+
+// NewMonitor creates an online monitor: feed it collector records in time
+// order (Monitor.Feed) and it diagnoses fixed windows incrementally,
+// raising alerts for significant culprits — continuous Microscope.
+func NewMonitor(meta TraceMeta, cfg MonitorConfig) *Monitor {
+	return online.New(meta, cfg)
+}
+
+// Victims exposes victim selection without full diagnosis.
+func Victims(st *Store, cfg DiagnosisConfig) []Victim {
+	eng := core.NewEngine(core.Config{
+		VictimPercentile: cfg.VictimPercentile,
+		MaxVictims:       cfg.MaxVictims,
+		SkipLossVictims:  cfg.SkipLossVictims,
+	})
+	return eng.FindVictims(st)
+}
+
+// WorkloadConfig configures background traffic generation.
+type WorkloadConfig struct {
+	// Rate is the aggregate packet rate.
+	Rate Rate
+	// Duration is the schedule length.
+	Duration Duration
+	// Flows is the number of distinct five-tuples (default 4096).
+	Flows int
+	// Seed drives all workload randomness.
+	Seed int64
+}
+
+// Workload is a replayable traffic schedule plus its flow mix.
+type Workload struct {
+	Mix      *traffic.Mix
+	Schedule *traffic.Schedule
+}
+
+// Burst describes an injected traffic burst.
+type Burst struct {
+	At    Time
+	Flow  FiveTuple
+	Count int
+	// Gap is the inter-packet spacing (defaults to near line rate).
+	Gap Duration
+}
+
+// NewWorkload generates CAIDA-like background traffic.
+func NewWorkload(cfg WorkloadConfig) *Workload {
+	mix := traffic.NewMix(traffic.MixConfig{Flows: cfg.Flows, Seed: cfg.Seed})
+	sched := traffic.Generate(mix, traffic.ScheduleConfig{
+		Rate:     cfg.Rate,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed + 1,
+	})
+	return &Workload{Mix: mix, Schedule: sched}
+}
+
+// InjectBurst adds a burst to the workload (ground truth is tracked by the
+// deployment automatically).
+func (w *Workload) InjectBurst(b Burst) {
+	id := int32(1)
+	for _, e := range w.Schedule.Emissions {
+		if e.Burst >= id {
+			id = e.Burst + 1
+		}
+	}
+	w.Schedule.InjectBurst(traffic.BurstSpec{
+		ID: id, At: b.At, Flow: b.Flow, Count: b.Count, Gap: b.Gap,
+	})
+}
+
+// InjectFlow adds a paced flow (Count packets every Gap) to the workload.
+func (w *Workload) InjectFlow(flow FiveTuple, start Time, count int, gap Duration) {
+	w.Schedule.InjectFlow(flow, start, count, gap, 64)
+}
+
+// PickFlow returns the i-th most popular background flow.
+func (w *Workload) PickFlow(i int) FiveTuple {
+	if len(w.Mix.Flows) == 0 {
+		return FiveTuple{}
+	}
+	return w.Mix.Flows[i%len(w.Mix.Flows)].Tuple
+}
