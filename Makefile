@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+# The full pre-submit gate.
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The decoder must survive adversarial bytes; crashers land in
+# internal/collector/testdata/fuzz/ and become regression inputs.
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/collector
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -68,21 +68,58 @@ func (b *Builder) Connect(from string, pick Chooser, to ...string) *Builder {
 	return b
 }
 
-// Build constructs the deployment with the collector attached.
+// Build constructs the deployment with the collector attached. It panics
+// on an invalid graph; BuildE is the error-returning form.
 func (b *Builder) Build() *Deployment {
+	d, err := b.BuildE()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BuildE validates the declared graph and constructs the deployment,
+// returning an error instead of panicking: the form for callers assembling
+// topologies from configuration rather than source code.
+func (b *Builder) BuildE() (*Deployment, error) {
 	if len(b.specs) == 0 {
-		panic("microscope: builder needs at least one NF")
+		return nil, fmt.Errorf("microscope: builder needs at least one NF")
 	}
 	if len(b.srcTo) == 0 {
-		panic("microscope: builder needs Source(...) wiring")
+		return nil, fmt.Errorf("microscope: builder needs Source(...) wiring")
+	}
+	declared := make(map[string]bool, len(b.specs))
+	for _, sp := range b.specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("microscope: NF needs a name")
+		}
+		if declared[sp.Name] {
+			return nil, fmt.Errorf("microscope: NF %q declared twice", sp.Name)
+		}
+		declared[sp.Name] = true
+		if sp.Rate <= 0 {
+			return nil, fmt.Errorf("microscope: NF %q needs a positive rate", sp.Name)
+		}
+	}
+	for _, to := range b.srcTo {
+		if !declared[to] {
+			return nil, fmt.Errorf("microscope: Source wired to undeclared NF %q", to)
+		}
+	}
+	for from, tos := range b.links {
+		if !declared[from] {
+			return nil, fmt.Errorf("microscope: Connect from undeclared NF %q", from)
+		}
+		for _, to := range tos {
+			if !declared[to] {
+				return nil, fmt.Errorf("microscope: NF %q wired to undeclared NF %q", from, to)
+			}
+		}
 	}
 	col := collector.New(collector.Config{})
 	sim := nfsim.New(col)
 	names := make([]string, len(b.specs))
 	for i, sp := range b.specs {
-		if sp.Rate <= 0 {
-			panic(fmt.Sprintf("microscope: NF %q needs a positive rate", sp.Name))
-		}
 		names[i] = sp.Name
 		sim.AddNF(nfsim.NFConfig{
 			Name:       sp.Name,
@@ -124,7 +161,7 @@ func (b *Builder) Build() *Deployment {
 			meta.Edges = append(meta.Edges, collector.Edge{From: sp.Name, To: to})
 		}
 	}
-	return &Deployment{sim: sim, col: col, names: names, meta: meta}
+	return &Deployment{sim: sim, col: col, names: names, meta: meta}, nil
 }
 
 // routeFunc converts a name-based Chooser into the simulator's index-based

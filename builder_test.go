@@ -162,3 +162,73 @@ func TestReportRenderSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildE exercises the error-returning construction paths: every
+// misdeclaration surfaces as an error, a valid graph builds, and the
+// panicking wrappers stay equivalent.
+func TestBuildE(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"empty", NewBuilder(1)},
+		{"no source", NewBuilder(1).AddNF(NFSpec{Name: "a", Kind: "x", Rate: MPPS(1)})},
+		{"zero rate", NewBuilder(1).AddNF(NFSpec{Name: "a", Kind: "x"}).Source(nil, "a")},
+		{"unnamed", NewBuilder(1).AddNF(NFSpec{Kind: "x", Rate: MPPS(1)}).Source(nil, "")},
+		{"duplicate", NewBuilder(1).
+			AddNF(NFSpec{Name: "a", Kind: "x", Rate: MPPS(1)}).
+			AddNF(NFSpec{Name: "a", Kind: "x", Rate: MPPS(1)}).
+			Source(nil, "a")},
+		{"source to ghost", NewBuilder(1).
+			AddNF(NFSpec{Name: "a", Kind: "x", Rate: MPPS(1)}).
+			Source(nil, "ghost")},
+		{"connect to ghost", NewBuilder(1).
+			AddNF(NFSpec{Name: "a", Kind: "x", Rate: MPPS(1)}).
+			Source(nil, "a").
+			Connect("a", nil, "ghost")},
+		{"connect from ghost", NewBuilder(1).
+			AddNF(NFSpec{Name: "a", Kind: "x", Rate: MPPS(1)}).
+			Source(nil, "a").
+			Connect("ghost", nil, "a")},
+	}
+	for _, c := range cases {
+		if d, err := c.b.BuildE(); err == nil || d != nil {
+			t.Errorf("%s: BuildE accepted an invalid graph", c.name)
+		}
+	}
+	d, err := NewBuilder(1).
+		AddNF(NFSpec{Name: "a", Kind: "x", Rate: MPPS(1)}).
+		Source(nil, "a").
+		BuildE()
+	if err != nil || d == nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
+
+// TestNewChainDeploymentE covers the chain error paths.
+func TestNewChainDeploymentE(t *testing.T) {
+	if _, err := NewChainDeploymentE(1); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewChainDeploymentE(1, ChainNF{Kind: "fw", Rate: MPPS(1)}); err == nil {
+		t.Error("unnamed NF accepted")
+	}
+	if _, err := NewChainDeploymentE(1, ChainNF{Name: "fw1", Kind: "fw"}); err == nil {
+		t.Error("zero-rate NF accepted")
+	}
+	if _, err := NewChainDeploymentE(1,
+		ChainNF{Name: "fw1", Kind: "fw", Rate: MPPS(1)},
+		ChainNF{Name: "fw1", Kind: "fw", Rate: MPPS(1)}); err == nil {
+		t.Error("duplicate NF accepted")
+	}
+	d, err := NewChainDeploymentE(1, ChainNF{Name: "fw1", Kind: "fw", Rate: MPPS(1)})
+	if err != nil || d == nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewChainDeployment wrapper no longer panics")
+		}
+	}()
+	NewChainDeployment(1)
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"microscope/internal/collector"
+	"microscope/internal/faults"
 	"microscope/internal/nfsim"
 	"microscope/internal/packet"
 	"microscope/internal/simtime"
@@ -45,6 +46,7 @@ func main() {
 		intSpec   = flag.String("interrupt", "", "inject interrupt: <nf>@<at>:<dur>, e.g. nat1@20ms:800us")
 		bugNF     = flag.String("bug", "", "inject slow-path bug at this firewall (eval topo)")
 		skewSpec  = flag.String("skew", "", "skew a component's clock: <nf>:<offset>, e.g. fw2:300us (simulates unsynchronized machines)")
+		faultSpec = flag.String("faults", "", "corrupt the trace before writing: drop=0.05,seed=7,dup=0.01,skew=fw2:300us:50 (keys: seed,drop,burst,burstlen,trunc,dup,reorder,delay,skew)")
 		loadWL    = flag.String("workload", "", "replay a saved workload file instead of generating traffic")
 		loadCSV   = flag.String("csv", "", "replay a CSV trace (time_us,src_ip,dst_ip,src_port,dst_port,proto)")
 		saveWL    = flag.String("save-workload", "", "also save the generated workload for exact replay")
@@ -148,6 +150,16 @@ func main() {
 		off := simtime.Duration(parseTime(parts[1]))
 		tr = tracestore.SkewTrace(tr, parts[0], off)
 		log.Printf("skewed %s clock by %v", parts[0], off)
+	}
+
+	if *faultSpec != "" {
+		fcfg, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var fst faults.Stats
+		tr, fst = faults.Inject(tr, fcfg)
+		log.Print(fst)
 	}
 
 	if err := collector.WriteTrace(*out, tr); err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"microscope/internal/collector"
 	"microscope/internal/core"
+	"microscope/internal/faults"
 	"microscope/internal/netmedic"
 	"microscope/internal/patterns"
 	"microscope/internal/simtime"
@@ -35,6 +36,8 @@ func main() {
 		showDiags  = flag.Int("victims", 5, "sample victim diagnoses to print")
 		explain    = flag.Int("explain", -1, "print the full causal tree for this victim index")
 		alignClk   = flag.Bool("align", false, "estimate and correct per-component clock offsets before diagnosis (§7)")
+		faultSpec  = flag.String("faults", "", "corrupt the loaded trace before diagnosis: drop=0.05,seed=7,... (measures degradation under telemetry loss)")
+		forceLoss  = flag.Bool("force-loss", false, "keep loss diagnosis even when trace health is degraded")
 		withNM     = flag.Bool("netmedic", false, "also run the NetMedic baseline")
 		nmWindow   = flag.Duration("netmedic-window", 10*time.Millisecond, "NetMedic window")
 	)
@@ -45,6 +48,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d records from %s\n", len(tr.Records), *traceDir)
+	if tr.Integrity.Damaged() {
+		fmt.Printf("trace damage: %d skipped in decode, %d resyncs, %d dropped, %d truncated\n",
+			tr.Integrity.DecodeSkipped, tr.Integrity.DecodeResyncs,
+			tr.Integrity.DroppedRecords, tr.Integrity.TruncatedRecords)
+	}
+
+	if *faultSpec != "" {
+		fcfg, ferr := faults.ParseSpec(*faultSpec)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		var fst faults.Stats
+		tr, fst = faults.Inject(tr, fcfg)
+		fmt.Println(fst)
+	}
 
 	if *alignClk {
 		offsets, fixed := tracestore.AlignClocks(tr)
@@ -62,10 +80,16 @@ func main() {
 	st := tracestore.Build(tr)
 	st.Reconstruct()
 	fmt.Printf("%s (%v)\n", st.String(), time.Since(start).Round(time.Millisecond))
+	health := st.Health()
+	fmt.Println(health)
+	if health.Degraded() && !*forceLoss {
+		fmt.Println("trace degraded: loss diagnosis suppressed (use -force-loss to keep it)")
+	}
 
 	eng := core.NewEngine(core.Config{
-		VictimPercentile: *percentile,
-		MaxVictims:       *maxVictims,
+		VictimPercentile:        *percentile,
+		MaxVictims:              *maxVictims,
+		LossVictimsWhenDegraded: *forceLoss,
 	})
 	start = time.Now()
 	diags := eng.Diagnose(st)

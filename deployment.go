@@ -35,10 +35,34 @@ type Deployment struct {
 	ran   simtime.Time
 }
 
-// NewChainDeployment builds source → nf1 → … → nfN → egress.
+// NewChainDeployment builds source → nf1 → … → nfN → egress. It panics on
+// an invalid chain; NewChainDeploymentE is the error-returning form.
 func NewChainDeployment(seed int64, nfs ...ChainNF) *Deployment {
+	d, err := NewChainDeploymentE(seed, nfs...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewChainDeploymentE builds the chain, returning an error instead of
+// panicking on invalid input.
+func NewChainDeploymentE(seed int64, nfs ...ChainNF) (*Deployment, error) {
 	if len(nfs) == 0 {
-		panic("microscope: chain needs at least one NF")
+		return nil, fmt.Errorf("microscope: chain needs at least one NF")
+	}
+	seen := make(map[string]bool, len(nfs))
+	for _, nf := range nfs {
+		if nf.Name == "" {
+			return nil, fmt.Errorf("microscope: chain NF needs a name")
+		}
+		if seen[nf.Name] {
+			return nil, fmt.Errorf("microscope: chain NF %q declared twice", nf.Name)
+		}
+		seen[nf.Name] = true
+		if nf.Rate <= 0 {
+			return nil, fmt.Errorf("microscope: chain NF %q needs a positive rate", nf.Name)
+		}
 	}
 	col := collector.New(collector.Config{})
 	specs := make([]nfsim.ChainSpec, len(nfs))
@@ -53,7 +77,7 @@ func NewChainDeployment(seed int64, nfs ...ChainNF) *Deployment {
 		col:   col,
 		names: names,
 		meta:  collector.MetaForChain(sim, names),
-	}
+	}, nil
 }
 
 // EvalTopologyConfig re-exports the Figure 10 topology knobs.

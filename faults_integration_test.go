@@ -1,0 +1,153 @@
+package microscope
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microscope/internal/collector"
+	"microscope/internal/faults"
+	"microscope/internal/simtime"
+)
+
+// evalRunWithInterrupt simulates the 16-NF evaluation topology with one
+// injected interrupt (a clear local-processing culprit) and returns the
+// pristine trace plus the culprit NF's name.
+func evalRunWithInterrupt(t *testing.T) (*Trace, string) {
+	t.Helper()
+	dep := NewEvalDeployment(EvalTopologyConfig{Seed: 41})
+	culprit := dep.Firewalls()[1]
+	wl := NewWorkload(WorkloadConfig{
+		Rate:     MPPS(0.8),
+		Duration: 4 * simtime.Millisecond,
+		Seed:     42,
+	})
+	dep.InjectInterrupt(culprit, Time(2*simtime.Millisecond), 600*simtime.Microsecond)
+	dep.Replay(wl)
+	dep.Run(100 * simtime.Millisecond)
+	return dep.Trace(), culprit
+}
+
+// TestDiagnosisSurvivesRecordLoss sweeps uniform record-loss rates over the
+// 16-NF evaluation topology: at every rate the full pipeline must complete,
+// report the damage in its health, and at ≤5% loss the top-1 culprit must
+// match the lossless run.
+func TestDiagnosisSurvivesRecordLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario test; skipped in -short mode")
+	}
+	tr, _ := evalRunWithInterrupt(t)
+
+	lossless := Diagnose(tr, DiagnosisConfig{})
+	want := lossless.TopCauses(1)
+	if len(want) == 0 {
+		t.Fatal("lossless run found no culprits")
+	}
+	if lossless.Health.Degraded() {
+		t.Fatalf("lossless run reports degraded health: %v", lossless.Health)
+	}
+
+	for _, rate := range []float64{0.01, 0.03, 0.05, 0.10} {
+		lossy, fst := InjectFaults(tr, FaultConfig{Seed: 7, DropRate: rate})
+		if fst.Dropped == 0 {
+			t.Fatalf("rate %.2f: nothing dropped", rate)
+		}
+		rep := Diagnose(lossy, DiagnosisConfig{})
+		h := rep.Health
+		if !h.Degraded() {
+			t.Fatalf("rate %.2f: lossy trace not reported degraded: %v", rate, h)
+		}
+		if h.Integrity.DroppedRecords == 0 {
+			t.Fatalf("rate %.2f: dropped records not in health: %v", rate, h)
+		}
+		if h.Recon.Unmatched == 0 {
+			t.Fatalf("rate %.2f: record loss produced no unmatched dequeues: %v", rate, h)
+		}
+		// Degraded health suppresses phantom loss victims.
+		for i := range rep.Diagnoses {
+			if rep.Diagnoses[i].Victim.Kind == VictimLoss {
+				t.Fatalf("rate %.2f: loss victim classified on a degraded trace", rate)
+			}
+		}
+		if rate > 0.05 {
+			continue // beyond the accuracy bar: completing is enough
+		}
+		got := rep.TopCauses(1)
+		if len(got) == 0 {
+			t.Fatalf("rate %.2f: no culprits on lossy trace", rate)
+		}
+		if got[0].Comp != want[0].Comp || got[0].Kind != want[0].Kind {
+			t.Errorf("rate %.2f: top culprit %s/%s, lossless run says %s/%s",
+				rate, got[0].Comp, got[0].Kind, want[0].Comp, want[0].Kind)
+		}
+	}
+}
+
+// TestDiagnosisSurvivesStreamCorruption round-trips the trace through the
+// on-disk encoding, flips bits in the record stream, and runs the full
+// pipeline on what the resumable decoder salvages: decode damage must show
+// up in the report's health and diagnosis must still complete.
+func TestDiagnosisSurvivesStreamCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario test; skipped in -short mode")
+	}
+	tr, _ := evalRunWithInterrupt(t)
+	dir := t.TempDir()
+	if err := collector.WriteTrace(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	recPath := filepath.Join(dir, "records.mst")
+	raw, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := faults.InjectStream(raw, faults.StreamConfig{Seed: 11, FlipRate: 3e-5})
+	if err := os.WriteFile(recPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := collector.ReadTrace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged.Integrity.DecodeSkipped == 0 {
+		t.Skip("bit flips landed harmlessly at this seed/rate")
+	}
+	rep := Diagnose(damaged, DiagnosisConfig{})
+	if !rep.Health.Degraded() {
+		t.Fatalf("corrupted stream not reported degraded: %v", rep.Health)
+	}
+	if rep.Health.Integrity.DecodeSkipped == 0 {
+		t.Fatalf("decode damage lost on the way to the report: %v", rep.Health)
+	}
+	if len(rep.TopCauses(1)) == 0 {
+		t.Fatal("no culprits after stream corruption")
+	}
+}
+
+// TestDiagnosisUnderCombinedFaults piles every fault model on at once:
+// drops, bursts, truncation, duplicates, reordering, and clock skew. The
+// pipeline must complete without panicking and still produce a report.
+func TestDiagnosisUnderCombinedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario test; skipped in -short mode")
+	}
+	tr, _ := evalRunWithInterrupt(t)
+	cfg, err := ParseFaultSpec("seed=3,drop=0.02,burst=0.005,trunc=0.02,dup=0.02,reorder=0.05,skew=fw2:200us:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, fst := InjectFaults(tr, cfg)
+	if fst.Dropped == 0 || fst.Truncated == 0 || fst.Duplicated == 0 || fst.Reordered == 0 || fst.Skewed == 0 {
+		t.Fatalf("fault models inactive: %+v", fst)
+	}
+	rep := Diagnose(lossy, DiagnosisConfig{})
+	if rep.Health.Records == 0 {
+		t.Fatalf("empty health: %v", rep.Health)
+	}
+	if !rep.Health.Degraded() {
+		t.Fatalf("combined faults not degraded: %v", rep.Health)
+	}
+	if out := rep.Render(); out == "" {
+		t.Fatal("empty render")
+	}
+}

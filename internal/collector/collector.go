@@ -68,9 +68,11 @@ func New(cfg Config) *Collector {
 func (c *Collector) Stats() Stats { return c.stats }
 
 // Trace finalizes collection and returns the trace with the given
-// deployment metadata attached. The staging ring is drained first.
+// deployment metadata attached. The staging ring is drained first (which
+// also flushes the encoder's reorder buffer, so flush bytes count toward
+// the overhead stats).
 func (c *Collector) Trace(meta Meta) *Trace {
-	c.ring.Drain()
+	c.stats.BytesEncoded += uint64(c.ring.Drain())
 	return &Trace{Meta: meta, Records: c.records}
 }
 

@@ -65,15 +65,176 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEncodeRejectsTimeRegression(t *testing.T) {
+// TestEncodeToleratesTimeRegression is the regression test for the old
+// out-of-order panic: Append used to panic on a timestamp earlier than its
+// predecessor; the bounded reorder buffer must absorb it and the decoded
+// stream must come back in time order.
+func TestEncodeToleratesTimeRegression(t *testing.T) {
 	enc := NewEncoder()
 	enc.Append(&BatchRecord{Comp: "a", At: 100, Dir: DirRead, IPIDs: []uint16{1}})
-	defer func() {
-		if recover() == nil {
-			t.Error("time regression must panic")
+	enc.Append(&BatchRecord{Comp: "a", At: 50, Dir: DirRead, IPIDs: []uint16{2}}) // panicked before
+	enc.Append(&BatchRecord{Comp: "a", At: 150, Dir: DirRead, IPIDs: []uint16{3}})
+	got, err := Decode(enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("record count: got %d", len(got))
+	}
+	for i, want := range []simtime.Time{50, 100, 150} {
+		if got[i].At != want {
+			t.Errorf("record %d at %v, want %v", i, got[i].At, want)
 		}
-	}()
-	enc.Append(&BatchRecord{Comp: "a", At: 50, Dir: DirRead, IPIDs: []uint16{2}})
+	}
+	if enc.Stats().Reordered != 1 {
+		t.Errorf("reordered counter: %+v", enc.Stats())
+	}
+}
+
+// TestEncodeBeyondReorderWindow: a record later than the window can absorb
+// is emitted out of stream order, counted as late, and still decodes into a
+// time-sorted stream.
+func TestEncodeBeyondReorderWindow(t *testing.T) {
+	enc := NewEncoder()
+	enc.SetReorderWindow(2)
+	for _, at := range []simtime.Time{100, 200, 300, 400} {
+		enc.Append(&BatchRecord{Comp: "a", At: at, Dir: DirRead, IPIDs: []uint16{1}})
+	}
+	// 100 and 200 are already encoded; 10 is far too late.
+	enc.Append(&BatchRecord{Comp: "a", At: 10, Dir: DirRead, IPIDs: []uint16{9}})
+	got, st, err := DecodeStream(enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("record count: got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At < got[i-1].At {
+			t.Fatalf("decoded stream out of order at %d", i)
+		}
+	}
+	if got[0].At != 10 || got[0].IPIDs[0] != 9 {
+		t.Errorf("late record not resorted to front: %+v", got[0])
+	}
+	if enc.Stats().Late == 0 {
+		t.Errorf("late counter not bumped: %+v", enc.Stats())
+	}
+	if st.Resorted == 0 {
+		t.Errorf("decoder resort not counted: %+v", st)
+	}
+}
+
+// TestDecodeStreamResyncs: corrupting bytes mid-stream must cost only the
+// damaged records; everything before and after decodes, with accurate
+// accounting.
+func TestDecodeStreamResyncs(t *testing.T) {
+	enc := NewEncoder()
+	ts := simtime.Time(0)
+	const total = 40
+	for i := 0; i < total; i++ {
+		ts = ts.Add(100)
+		enc.Append(&BatchRecord{Comp: "fw1", Queue: "fw1.in", At: ts, Dir: DirRead,
+			IPIDs: []uint16{uint16(i), uint16(i + 1), uint16(i + 2)}})
+	}
+	valid := enc.Bytes()
+	// Stomp a byte range in the middle of the stream.
+	mutated := append([]byte(nil), valid...)
+	mid := len(mutated) / 2
+	for i := mid; i < mid+10 && i < len(mutated); i++ {
+		mutated[i] = 0xFF
+	}
+	got, st, err := DecodeStream(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped == 0 || st.Resyncs == 0 {
+		t.Fatalf("no damage recorded: %+v", st)
+	}
+	if len(got) < total-6 {
+		t.Fatalf("lost too much: %d of %d records (%+v)", len(got), total, st)
+	}
+	if len(got)+st.Skipped < total-2 {
+		t.Errorf("accounting inconsistent: %d decoded + %d skipped (%+v)", len(got), st.Skipped, st)
+	}
+	// Strict Decode must refuse the damaged stream.
+	if _, err := Decode(mutated); err == nil {
+		t.Error("strict Decode accepted damaged stream")
+	}
+}
+
+// TestDecodeStreamTruncated: a stream cut mid-record returns every record
+// before the cut.
+func TestDecodeStreamTruncated(t *testing.T) {
+	enc := NewEncoder()
+	ts := simtime.Time(0)
+	for i := 0; i < 10; i++ {
+		ts = ts.Add(100)
+		enc.Append(&BatchRecord{Comp: "a", At: ts, Dir: DirRead, IPIDs: []uint16{uint16(i)}})
+	}
+	valid := enc.Bytes()
+	got, st, err := DecodeStream(valid[:len(valid)-3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 || st.Skipped != 1 {
+		t.Fatalf("truncated decode: %d records, %+v", len(got), st)
+	}
+}
+
+// TestDecodeLegacyMST1: traces written by the old unframed encoder remain
+// readable.
+func TestDecodeLegacyMST1(t *testing.T) {
+	// Hand-assemble an MST1 stream: two read records for component "a".
+	b := []byte("MST1")
+	put := func(v uint64) {
+		var tmp [10]byte
+		n := 0
+		for {
+			c := byte(v & 0x7f)
+			v >>= 7
+			if v != 0 {
+				c |= 0x80
+			}
+			tmp[n] = c
+			n++
+			if v == 0 {
+				break
+			}
+		}
+		b = append(b, tmp[:n]...)
+	}
+	put(0) // comp ref: new entry 0
+	put(1) // len "a"
+	b = append(b, 'a')
+	b = append(b, byte(DirRead))
+	put(100) // deltaT
+	put(1)   // n
+	b = append(b, 7, 0)
+	put(0) // comp ref: existing
+	b = append(b, byte(DirRead))
+	put(50) // deltaT
+	put(1)
+	b = append(b, 8, 0)
+
+	got, st, err := DecodeStream(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || st.Skipped != 0 {
+		t.Fatalf("legacy decode: %d records, %+v", len(got), st)
+	}
+	if got[0].Comp != "a" || got[0].At != 100 || got[1].At != 150 {
+		t.Errorf("legacy records wrong: %+v", got)
+	}
+	// Legacy truncation: stop at the damage, keep the prefix.
+	got, st, err = DecodeStream(b[:len(b)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || st.Skipped != 1 {
+		t.Errorf("legacy truncated decode: %d records, %+v", len(got), st)
+	}
 }
 
 func TestDecodeRejectsGarbage(t *testing.T) {

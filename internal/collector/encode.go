@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"microscope/internal/packet"
 	"microscope/internal/simtime"
@@ -11,84 +12,180 @@ import (
 
 // The compact trace codec. The paper compresses runtime data to about two
 // bytes per packet: IPIDs are two bytes each, batch metadata (component,
-// direction, timestamp delta, size) is a handful of varint bytes amortized
-// over up to 32 packets, and five-tuples appear only in egress records.
+// direction, timestamp, size) is a handful of varint bytes amortized over up
+// to 32 packets, and five-tuples appear only in egress records.
 //
-// Stream layout, all integers varint unless noted:
+// Stream layout (current format, magic "MST2"), all integers varint unless
+// noted:
 //
-//	magic "MST1"
-//	repeated records:
-//	  compRef   — index into the component string table; equal to the
-//	              table length it defines a new entry: len + bytes follow
-//	  dir       — 1 byte
-//	  queueRef  — only for DirWrite; same table mechanism (queue table)
-//	  deltaT    — nanoseconds since the previous record (records are
-//	              appended in time order, so deltas are non-negative)
-//	  n         — batch size
-//	  n × ipid  — 2 bytes each, little endian
-//	  n × tuple — 13 bytes each, only for DirDeliver
+//	magic "MST2"
+//	repeated frames:
+//	  0xA5      — frame marker (1 byte), the resync anchor
+//	  plen      — payload length in bytes
+//	  payload:
+//	    compRef — (id<<1)|isNew; when isNew, len + bytes follow and the
+//	              string joins the component table
+//	    dir     — 1 byte
+//	    queueRef— only for DirWrite; same flagged mechanism (queue table)
+//	    at      — absolute timestamp in nanoseconds
+//	    n       — batch size
+//	    n × ipid  — 2 bytes each, little endian
+//	    n × tuple — 13 bytes each, only for DirDeliver
+//
+// Framing plus absolute timestamps are what make the stream corruption-
+// tolerant: a decoder that hits a bad frame skips to the next 0xA5 marker
+// that parses, losing only the damaged records, and record times never
+// depend on a neighbour that may have been lost. The legacy unframed,
+// delta-timestamped "MST1" layout remains decodable.
 
-var magic = [4]byte{'M', 'S', 'T', '1'}
+var (
+	magic       = [4]byte{'M', 'S', 'T', '2'}
+	magicLegacy = [4]byte{'M', 'S', 'T', '1'}
+)
 
-// Encoder serializes BatchRecords into the compact stream.
+// frameMarker anchors every record frame; resynchronization scans for it.
+const frameMarker = 0xA5
+
+// maxFrameBytes bounds a sane payload length: a full 32-packet deliver
+// record with fresh table strings stays well under this.
+const maxFrameBytes = 1 << 16
+
+// DefaultReorderWindow is how many records the Encoder buffers to absorb
+// out-of-order appends (late hook deliveries, cross-core timestamp races).
+const DefaultReorderWindow = 32
+
+// EncodeStats counts how the encoder coped with imperfect input.
+type EncodeStats struct {
+	// Reordered records arrived out of order but were sorted within the
+	// reorder window.
+	Reordered int
+	// Late records arrived too late even for the window and were emitted
+	// out of stream order (the decoder re-sorts them).
+	Late int
+}
+
+// Encoder serializes BatchRecords into the compact stream. Records may
+// arrive slightly out of time order: a bounded reorder buffer sorts them
+// before encoding instead of panicking (production hosts deliver hook
+// callbacks with small timestamp races).
 type Encoder struct {
 	buf    []byte
 	comps  map[string]uint64
 	queues map[string]uint64
-	lastT  simtime.Time
+	lastT  simtime.Time // last encoded timestamp
 	n      int
+	window int
+	// pending is the reorder buffer, kept sorted by At.
+	pending []BatchRecord
+	stats   EncodeStats
+	scratch []byte
 }
 
-// NewEncoder returns an Encoder with the magic header written.
+// NewEncoder returns an Encoder with the magic header written and the
+// default reorder window.
 func NewEncoder() *Encoder {
 	e := &Encoder{
 		comps:  make(map[string]uint64),
 		queues: make(map[string]uint64),
+		window: DefaultReorderWindow,
 	}
 	e.buf = append(e.buf, magic[:]...)
 	return e
 }
 
-func (e *Encoder) putUvarint(v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	e.buf = append(e.buf, tmp[:n]...)
+// SetReorderWindow resizes the reorder buffer (0 disables buffering and
+// encodes every record immediately). Call before the first Append.
+func (e *Encoder) SetReorderWindow(w int) {
+	if w < 0 {
+		w = 0
+	}
+	e.window = w
 }
 
-func (e *Encoder) putRef(table map[string]uint64, s string) {
+// Stats returns encoding tolerance counters.
+func (e *Encoder) Stats() EncodeStats { return e.stats }
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// putRef appends a flagged table reference: known strings encode as
+// (id<<1), new strings as (id<<1)|1 followed by len + bytes.
+func putRef(dst []byte, table map[string]uint64, s string) []byte {
 	id, ok := table[s]
 	if !ok {
 		id = uint64(len(table))
 		table[s] = id
-		e.putUvarint(id)
-		e.putUvarint(uint64(len(s)))
-		e.buf = append(e.buf, s...)
-		return
+		dst = putUvarint(dst, id<<1|1)
+		dst = putUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
 	}
-	e.putUvarint(id)
+	return putUvarint(dst, id<<1)
 }
 
-// Append encodes one record. Records must be appended in non-decreasing
-// time order; Append returns the number of bytes the record consumed.
+// Append stages one record, encoding the oldest buffered record once the
+// reorder window is full. It returns the number of bytes written to the
+// stream by this call (zero while the record is only buffered).
 func (e *Encoder) Append(r *BatchRecord) int {
+	e.n++
+	if e.window == 0 {
+		return e.encodeNow(r)
+	}
+	// Insert sorted by At; in-order input appends at the tail.
+	i := len(e.pending)
+	for i > 0 && e.pending[i-1].At > r.At {
+		i--
+	}
+	if i != len(e.pending) {
+		e.stats.Reordered++
+	}
+	e.pending = append(e.pending, BatchRecord{})
+	copy(e.pending[i+1:], e.pending[i:])
+	e.pending[i] = *r
+	if len(e.pending) <= e.window {
+		return 0
+	}
+	head := e.pending[0]
+	copy(e.pending, e.pending[1:])
+	e.pending = e.pending[:len(e.pending)-1]
+	return e.encodeNow(&head)
+}
+
+// Flush encodes every buffered record, returning the bytes written.
+func (e *Encoder) Flush() int {
+	written := 0
+	for i := range e.pending {
+		written += e.encodeNow(&e.pending[i])
+	}
+	e.pending = e.pending[:0]
+	return written
+}
+
+// encodeNow writes one frame. Records older than the last encoded
+// timestamp (beyond the reorder window) are still representable — the
+// format carries absolute times and the decoder re-sorts — but counted.
+func (e *Encoder) encodeNow(r *BatchRecord) int {
 	if r.At < e.lastT {
-		panic(fmt.Sprintf("collector: record at %v before previous %v", r.At, e.lastT))
+		e.stats.Late++
+	} else {
+		e.lastT = r.At
 	}
-	start := len(e.buf)
-	e.putRef(e.comps, r.Comp)
-	e.buf = append(e.buf, byte(r.Dir))
+	p := e.scratch[:0]
+	p = putRef(p, e.comps, r.Comp)
+	p = append(p, byte(r.Dir))
 	if r.Dir == DirWrite {
-		e.putRef(e.queues, r.Queue)
+		p = putRef(p, e.queues, r.Queue)
 	}
-	e.putUvarint(uint64(r.At - e.lastT))
-	e.lastT = r.At
-	e.putUvarint(uint64(len(r.IPIDs)))
+	p = putUvarint(p, uint64(r.At))
+	p = putUvarint(p, uint64(len(r.IPIDs)))
 	for _, id := range r.IPIDs {
-		e.buf = append(e.buf, byte(id), byte(id>>8))
+		p = append(p, byte(id), byte(id>>8))
 	}
 	if r.Dir == DirDeliver {
 		for _, t := range r.Tuples {
-			e.buf = append(e.buf,
+			p = append(p,
 				byte(t.SrcIP), byte(t.SrcIP>>8), byte(t.SrcIP>>16), byte(t.SrcIP>>24),
 				byte(t.DstIP), byte(t.DstIP>>8), byte(t.DstIP>>16), byte(t.DstIP>>24),
 				byte(t.SrcPort), byte(t.SrcPort>>8),
@@ -96,92 +193,352 @@ func (e *Encoder) Append(r *BatchRecord) int {
 				t.Proto)
 		}
 	}
-	e.n++
+	e.scratch = p
+	start := len(e.buf)
+	e.buf = append(e.buf, frameMarker)
+	e.buf = putUvarint(e.buf, uint64(len(p)))
+	e.buf = append(e.buf, p...)
 	return len(e.buf) - start
 }
 
-// Bytes returns the encoded stream so far.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// Bytes flushes the reorder buffer and returns the encoded stream so far.
+func (e *Encoder) Bytes() []byte {
+	e.Flush()
+	return e.buf
+}
 
-// Len returns the number of records encoded.
+// size reports staged stream bytes without flushing the reorder buffer.
+func (e *Encoder) size() int { return len(e.buf) }
+
+// Len returns the number of records appended.
 func (e *Encoder) Len() int { return e.n }
 
-// Decode parses a stream produced by Encoder back into records.
+// DecodeStats reports how decoding went on a possibly damaged stream.
+type DecodeStats struct {
+	// Records successfully decoded.
+	Records int
+	// Skipped frames/records lost to corruption or truncation.
+	Skipped int
+	// Resyncs counts scans for the next frame marker after a bad frame.
+	Resyncs int
+	// Resorted counts records that arrived out of stream order and were
+	// stably re-sorted by timestamp.
+	Resorted int
+	// BytesSkipped is how much of the stream was discarded.
+	BytesSkipped int
+}
+
+// Damaged reports whether the stream lost anything in decoding.
+func (s DecodeStats) Damaged() bool { return s.Skipped > 0 }
+
+// Decode parses a stream produced by Encoder back into records, strictly:
+// any corruption is returned as an error. Use DecodeStream to salvage the
+// intact records of a damaged stream instead.
 func Decode(data []byte) ([]BatchRecord, error) {
-	if len(data) < 4 || data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
-		return nil, errors.New("collector: bad magic")
+	recs, st, err := DecodeStream(data)
+	if err != nil {
+		return nil, err
 	}
+	if st.Damaged() {
+		return nil, fmt.Errorf("collector: stream damaged: %d records skipped (%d resyncs, %d bytes lost)",
+			st.Skipped, st.Resyncs, st.BytesSkipped)
+	}
+	return recs, nil
+}
+
+// DecodeStream parses a stream tolerantly: corrupt frames are skipped, the
+// decoder resynchronizes on the next frame boundary, and every intact
+// record is returned together with accounting of what was lost. The error
+// is non-nil only when the stream has no usable header at all.
+func DecodeStream(data []byte) ([]BatchRecord, DecodeStats, error) {
+	var st DecodeStats
+	if len(data) < 4 {
+		return nil, st, errors.New("collector: short stream")
+	}
+	var legacy bool
+	switch {
+	case data[0] == magic[0] && data[1] == magic[1] && data[2] == magic[2] && data[3] == magic[3]:
+	case data[0] == magicLegacy[0] && data[1] == magicLegacy[1] && data[2] == magicLegacy[2] && data[3] == magicLegacy[3]:
+		legacy = true
+	default:
+		return nil, st, errors.New("collector: bad magic")
+	}
+	if legacy {
+		recs := decodeLegacy(data[4:], &st)
+		return recs, st, nil
+	}
+
+	d := &frameDecoder{}
+	var out []BatchRecord
 	pos := 4
+	for pos < len(data) {
+		if data[pos] != frameMarker {
+			// Lost framing: scan for the next marker that parses.
+			next := d.resync(data, pos)
+			st.Resyncs++
+			st.Skipped++
+			st.BytesSkipped += next - pos
+			pos = next
+			continue
+		}
+		rec, end, ok := d.frame(data, pos)
+		if !ok {
+			next := d.resync(data, pos+1)
+			st.Resyncs++
+			st.Skipped++
+			st.BytesSkipped += next - pos
+			pos = next
+			continue
+		}
+		out = append(out, rec)
+		pos = end
+	}
+	st.Records = len(out)
+	st.Resorted = resort(out)
+	return out, st, nil
+}
+
+// frameDecoder carries the string tables across frames.
+type frameDecoder struct {
+	comps  []string
+	queues []string
+}
+
+// frame parses one frame starting at the marker byte. It returns the
+// decoded record, the position after the frame, and whether the payload
+// parsed exactly.
+func (d *frameDecoder) frame(data []byte, pos int) (BatchRecord, int, bool) {
+	var rec BatchRecord
+	p := pos + 1 // skip marker
+	plen, n := binary.Uvarint(data[p:])
+	if n <= 0 || plen > maxFrameBytes {
+		return rec, 0, false
+	}
+	p += n
+	end := p + int(plen)
+	if end > len(data) {
+		return rec, 0, false
+	}
+	// Table mutations must not survive a failed parse: stage and commit.
+	compsLen, queuesLen := len(d.comps), len(d.queues)
+	r, ok := d.payload(data[p:end])
+	if !ok {
+		d.comps = d.comps[:compsLen]
+		d.queues = d.queues[:queuesLen]
+		return rec, 0, false
+	}
+	return r, end, true
+}
+
+// payload parses one record body; it must consume the slice exactly.
+func (d *frameDecoder) payload(b []byte) (BatchRecord, bool) {
+	var rec BatchRecord
+	pos := 0
+	getUvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	getRef := func(table *[]string) (string, bool) {
+		v, ok := getUvarint()
+		if !ok {
+			return "", false
+		}
+		id := v >> 1
+		if v&1 == 0 {
+			if id >= uint64(len(*table)) {
+				return "", false
+			}
+			return (*table)[id], true
+		}
+		if id != uint64(len(*table)) {
+			return "", false
+		}
+		l, ok := getUvarint()
+		if !ok || l > uint64(len(b)) || pos+int(l) > len(b) {
+			return "", false
+		}
+		s := string(b[pos : pos+int(l)])
+		pos += int(l)
+		*table = append(*table, s)
+		return s, true
+	}
+
+	var ok bool
+	if rec.Comp, ok = getRef(&d.comps); !ok {
+		return rec, false
+	}
+	if pos >= len(b) {
+		return rec, false
+	}
+	rec.Dir = Dir(b[pos])
+	pos++
+	if rec.Dir > DirDeliver {
+		return rec, false
+	}
+	switch rec.Dir {
+	case DirWrite:
+		if rec.Queue, ok = getRef(&d.queues); !ok {
+			return rec, false
+		}
+	case DirRead:
+		rec.Queue = rec.Comp + ".in"
+	}
+	at, ok := getUvarint()
+	if !ok {
+		return rec, false
+	}
+	rec.At = simtime.Time(at)
+	n, ok := getUvarint()
+	if !ok {
+		return rec, false
+	}
+	need := int(n) * 2
+	if rec.Dir == DirDeliver {
+		need = int(n) * 15
+	}
+	if n > maxFrameBytes || pos+need > len(b) {
+		return rec, false
+	}
+	rec.IPIDs = make([]uint16, n)
+	for i := range rec.IPIDs {
+		rec.IPIDs[i] = uint16(b[pos]) | uint16(b[pos+1])<<8
+		pos += 2
+	}
+	if rec.Dir == DirDeliver {
+		if pos+int(n)*13 > len(b) {
+			return rec, false
+		}
+		rec.Tuples = make([]packet.FiveTuple, n)
+		for i := range rec.Tuples {
+			t := b[pos : pos+13]
+			rec.Tuples[i] = packet.FiveTuple{
+				SrcIP:   uint32(t[0]) | uint32(t[1])<<8 | uint32(t[2])<<16 | uint32(t[3])<<24,
+				DstIP:   uint32(t[4]) | uint32(t[5])<<8 | uint32(t[6])<<16 | uint32(t[7])<<24,
+				SrcPort: uint16(t[8]) | uint16(t[9])<<8,
+				DstPort: uint16(t[10]) | uint16(t[11])<<8,
+				Proto:   t[12],
+			}
+			pos += 13
+		}
+	}
+	return rec, pos == len(b)
+}
+
+// resync finds the next frame marker at or after pos whose frame parses
+// against a throwaway copy of the decoder state, or len(data).
+func (d *frameDecoder) resync(data []byte, pos int) int {
+	for ; pos < len(data); pos++ {
+		if data[pos] != frameMarker {
+			continue
+		}
+		trial := frameDecoder{
+			comps:  append([]string(nil), d.comps...),
+			queues: append([]string(nil), d.queues...),
+		}
+		if _, _, ok := trial.frame(data, pos); ok {
+			return pos
+		}
+	}
+	return len(data)
+}
+
+// resort restores time order after late-arrival frames, returning how many
+// records were out of order.
+func resort(recs []BatchRecord) int {
+	out := 0
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			out++
+		}
+	}
+	if out > 0 {
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+	}
+	return out
+}
+
+// decodeLegacy parses the unframed MST1 layout (delta timestamps, unflagged
+// table refs). Without frame boundaries a parse error is unrecoverable, so
+// decoding stops at the first corruption and reports one skip.
+func decodeLegacy(data []byte, st *DecodeStats) []BatchRecord {
+	pos := 0
 	var comps, queues []string
 	var lastT simtime.Time
 	var out []BatchRecord
 
-	getUvarint := func() (uint64, error) {
+	fail := func() []BatchRecord {
+		st.Skipped++
+		st.BytesSkipped += len(data) - pos
+		st.Records = len(out)
+		return out
+	}
+	getUvarint := func() (uint64, bool) {
 		v, n := binary.Uvarint(data[pos:])
 		if n <= 0 {
-			return 0, errors.New("collector: truncated varint")
+			return 0, false
 		}
 		pos += n
-		return v, nil
+		return v, true
 	}
-	getRef := func(table *[]string) (string, error) {
-		id, err := getUvarint()
-		if err != nil {
-			return "", err
+	getRef := func(table *[]string) (string, bool) {
+		id, ok := getUvarint()
+		if !ok {
+			return "", false
 		}
 		if id < uint64(len(*table)) {
-			return (*table)[id], nil
+			return (*table)[id], true
 		}
 		if id != uint64(len(*table)) {
-			return "", fmt.Errorf("collector: ref %d skips table of %d", id, len(*table))
+			return "", false
 		}
-		l, err := getUvarint()
-		if err != nil {
-			return "", err
-		}
-		if pos+int(l) > len(data) {
-			return "", errors.New("collector: truncated string")
+		l, ok := getUvarint()
+		if !ok || l > uint64(len(data)) || pos+int(l) > len(data) {
+			return "", false
 		}
 		s := string(data[pos : pos+int(l)])
 		pos += int(l)
 		*table = append(*table, s)
-		return s, nil
+		return s, true
 	}
 
 	for pos < len(data) {
 		var r BatchRecord
-		var err error
-		if r.Comp, err = getRef(&comps); err != nil {
-			return nil, err
+		var ok bool
+		if r.Comp, ok = getRef(&comps); !ok {
+			return fail()
 		}
 		if pos >= len(data) {
-			return nil, errors.New("collector: truncated record")
+			return fail()
 		}
 		r.Dir = Dir(data[pos])
 		pos++
 		if r.Dir > DirDeliver {
-			return nil, fmt.Errorf("collector: bad direction %d", r.Dir)
+			return fail()
 		}
 		switch r.Dir {
 		case DirWrite:
-			if r.Queue, err = getRef(&queues); err != nil {
-				return nil, err
+			if r.Queue, ok = getRef(&queues); !ok {
+				return fail()
 			}
 		case DirRead:
 			r.Queue = r.Comp + ".in"
 		}
-		dt, err := getUvarint()
-		if err != nil {
-			return nil, err
+		dt, ok := getUvarint()
+		if !ok {
+			return fail()
 		}
 		lastT = lastT.Add(simtime.Duration(dt))
 		r.At = lastT
-		n, err := getUvarint()
-		if err != nil {
-			return nil, err
+		n, ok := getUvarint()
+		if !ok {
+			return fail()
 		}
-		if pos+int(n)*2 > len(data) {
-			return nil, errors.New("collector: truncated ipids")
+		if n > uint64(len(data)) || pos+int(n)*2 > len(data) {
+			return fail()
 		}
 		r.IPIDs = make([]uint16, n)
 		for i := range r.IPIDs {
@@ -190,7 +547,7 @@ func Decode(data []byte) ([]BatchRecord, error) {
 		}
 		if r.Dir == DirDeliver {
 			if pos+int(n)*13 > len(data) {
-				return nil, errors.New("collector: truncated tuples")
+				return fail()
 			}
 			r.Tuples = make([]packet.FiveTuple, n)
 			for i := range r.Tuples {
@@ -207,7 +564,8 @@ func Decode(data []byte) ([]BatchRecord, error) {
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	st.Records = len(out)
+	return out
 }
 
 // Ring emulates the shared-memory staging buffer between the collector's
@@ -232,23 +590,30 @@ func NewRing(capBytes int) *Ring {
 }
 
 // Put stages one record, draining first if the ring is near capacity.
-// It returns the encoded size of the record.
+// It returns the bytes written to the staging stream by this call (zero
+// while the record sits in the encoder's reorder buffer).
 func (r *Ring) Put(rec *BatchRecord) int {
-	if len(r.enc.Bytes())-r.drainMark >= r.capBytes {
+	if r.enc.size()-r.drainMark >= r.capBytes {
 		r.Drain()
 	}
 	return r.enc.Append(rec)
 }
 
-// Drain flushes staged bytes to the dumped stream.
-func (r *Ring) Drain() {
-	b := r.enc.Bytes()
+// Drain flushes the encoder's reorder buffer and the staged bytes to the
+// dumped stream, returning how many new bytes the flush encoded.
+func (r *Ring) Drain() int {
+	flushed := r.enc.Flush()
+	b := r.enc.buf
 	if len(b) > r.drainMark {
 		r.dumped = append(r.dumped, b[r.drainMark:]...)
 		r.drainMark = len(b)
 		r.drains++
 	}
+	return flushed
 }
+
+// Encoder exposes the ring's encoder (for tolerance counters).
+func (r *Ring) Encoder() *Encoder { return r.enc }
 
 // Dumped returns the flushed byte stream. Note the encoder writes one
 // contiguous stream; Dumped is its prefix up to the last drain.

@@ -1,0 +1,105 @@
+package collector
+
+import (
+	"testing"
+
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// fuzzSeedStream builds a small valid MST2 stream covering every record
+// shape (reads, writes, delivers with tuples, table definitions).
+func fuzzSeedStream() []byte {
+	enc := NewEncoder()
+	ts := simtime.Time(0)
+	for i := 0; i < 8; i++ {
+		ts = ts.Add(simtime.Duration(100 + i))
+		rec := BatchRecord{
+			Comp:  []string{"nat1", "fw1"}[i%2],
+			Queue: "fw1.in",
+			At:    ts,
+			Dir:   Dir(i % 3),
+			IPIDs: []uint16{uint16(i), uint16(i * 257)},
+		}
+		if rec.Dir == DirDeliver {
+			rec.Tuples = []packet.FiveTuple{
+				{SrcIP: 0x0a000001, DstIP: 0x17000001, SrcPort: 1024, DstPort: 80, Proto: packet.ProtoTCP},
+				{SrcIP: 0x0a000002, DstIP: 0x17000002, SrcPort: 1025, DstPort: 443, Proto: packet.ProtoUDP},
+			}
+		}
+		enc.Append(&rec)
+	}
+	return enc.Bytes()
+}
+
+// FuzzDecode drives the tolerant decoder with adversarial input: it must
+// never panic, never over-allocate relative to the input size, and always
+// report internally consistent stats.
+func FuzzDecode(f *testing.F) {
+	valid := fuzzSeedStream()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MST2"))
+	f.Add([]byte("MST1"))
+	f.Add([]byte("nope"))
+	// Truncations and single-bit corruptions of the valid stream.
+	for _, cut := range []int{4, 5, len(valid) / 2, len(valid) - 1} {
+		if cut <= len(valid) {
+			f.Add(append([]byte(nil), valid[:cut]...))
+		}
+	}
+	for _, pos := range []int{4, 6, len(valid) / 3, len(valid) / 2, len(valid) - 2} {
+		mutated := append([]byte(nil), valid...)
+		mutated[pos] ^= 0x41
+		f.Add(mutated)
+	}
+	// A stream that is all frame markers (resync stress).
+	markers := append([]byte("MST2"), make([]byte, 256)...)
+	for i := 4; i < len(markers); i++ {
+		markers[i] = frameMarker
+	}
+	f.Add(markers)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, st, err := DecodeStream(data)
+		if err != nil {
+			if len(recs) != 0 {
+				t.Fatalf("records returned alongside error: %d", len(recs))
+			}
+			return
+		}
+		if st.Records != len(recs) {
+			t.Fatalf("stats.Records %d != %d decoded", st.Records, len(recs))
+		}
+		if st.Skipped < 0 || st.Resyncs < 0 || st.BytesSkipped < 0 || st.BytesSkipped > len(data) {
+			t.Fatalf("implausible stats: %+v", st)
+		}
+		// Over-allocation guard: every decoded packet entry was parsed
+		// from at least two input bytes, so entries can never exceed
+		// half the input.
+		entries := 0
+		for i := range recs {
+			entries += len(recs[i].IPIDs)
+			if recs[i].Dir > DirDeliver {
+				t.Fatalf("record %d has invalid direction %d", i, recs[i].Dir)
+			}
+			if recs[i].Dir == DirDeliver && len(recs[i].Tuples) != len(recs[i].IPIDs) {
+				t.Fatalf("record %d deliver tuple count mismatch", i)
+			}
+		}
+		if entries > len(data)/2 {
+			t.Fatalf("over-allocation: %d entries from %d bytes", entries, len(data))
+		}
+		// Output must be time-ordered (the decoder resorts).
+		for i := 1; i < len(recs); i++ {
+			if recs[i].At < recs[i-1].At {
+				t.Fatalf("decoded stream out of order at %d", i)
+			}
+		}
+		// Decoding must be deterministic.
+		recs2, st2, err2 := DecodeStream(data)
+		if err2 != nil || len(recs2) != len(recs) || st2 != st {
+			t.Fatalf("nondeterministic decode: %+v vs %+v", st, st2)
+		}
+	})
+}

@@ -79,9 +79,16 @@ func ReadTrace(dir string) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collector: read records: %w", err)
 	}
-	tr.Records, err = Decode(rb)
+	// Tolerant decode: a damaged record stream still yields every intact
+	// record, with the loss accounted in the trace's Integrity so the
+	// diagnosis can qualify its confidence.
+	recs, st, err := DecodeStream(rb)
 	if err != nil {
 		return nil, fmt.Errorf("collector: decode records: %w", err)
 	}
+	tr.Records = recs
+	tr.Integrity.DecodeSkipped = st.Skipped
+	tr.Integrity.DecodeResyncs = st.Resyncs
+	tr.Integrity.Resorted = st.Resorted
 	return tr, nil
 }

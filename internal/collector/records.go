@@ -136,11 +136,48 @@ func (m *Meta) Component(name string) *ComponentMeta {
 	return nil
 }
 
+// Integrity accounts for what a trace is known to have lost between
+// collection and analysis. A pristine trace is all zeros; consumers use it
+// to qualify their confidence (degraded-mode diagnosis).
+type Integrity struct {
+	// DecodeSkipped is records lost to stream corruption during decode.
+	DecodeSkipped int
+	// DecodeResyncs is how often the decoder had to hunt for a frame
+	// boundary.
+	DecodeResyncs int
+	// Resorted is records that arrived out of stream order and were
+	// re-sorted by timestamp.
+	Resorted int
+	// DroppedRecords is records known to be lost before decode (ring
+	// overruns, injected faults).
+	DroppedRecords int
+	// TruncatedRecords is records that lost part of their batch.
+	TruncatedRecords int
+}
+
+// Damaged reports whether the trace is known to be incomplete.
+func (g Integrity) Damaged() bool {
+	return g.DecodeSkipped > 0 || g.DroppedRecords > 0 || g.TruncatedRecords > 0
+}
+
+// LossFrac estimates the fraction of records lost, given the surviving
+// record count.
+func (g Integrity) LossFrac(surviving int) float64 {
+	lost := g.DecodeSkipped + g.DroppedRecords
+	if lost == 0 || surviving+lost == 0 {
+		return 0
+	}
+	return float64(lost) / float64(surviving+lost)
+}
+
 // Trace is a complete collected run: deployment metadata plus the
 // time-ordered record stream.
 type Trace struct {
 	Meta    Meta
 	Records []BatchRecord
+	// Integrity records known damage (decode skips, dropped records);
+	// zero-valued for pristine traces.
+	Integrity Integrity
 }
 
 // RecordsOf returns the records of one component, preserving order.

@@ -87,6 +87,14 @@ func (d *diagnoser) findVictims() []Victim {
 	}
 	threshold := stats.Percentile(latencies, d.cfg.VictimPercentile)
 
+	// Degraded trace health means vanished records are more likely
+	// telemetry loss than packet loss; classifying them as loss victims
+	// would blame phantom drops, so suppress that class unless forced.
+	lossOK := !d.cfg.SkipLossVictims
+	if lossOK && !d.cfg.LossVictimsWhenDegraded && d.st.Health().Degraded() {
+		lossOK = false
+	}
+
 	var victims []Victim
 	for i := range js {
 		j := &js[i]
@@ -95,7 +103,7 @@ func (d *diagnoser) findVictims() []Victim {
 			for _, v := range d.victimHops(i, j, delayStats, VictimLatency) {
 				victims = append(victims, v)
 			}
-		case !j.Delivered && !d.cfg.SkipLossVictims:
+		case !j.Delivered && lossOK && !j.Quarantined:
 			// Ignore packets merely in flight at trace end.
 			lastSeen := j.EmittedAt
 			for h := range j.Hops {

@@ -365,3 +365,61 @@ func TestDiagnosisDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestDegradedHealthSuppressesLossVictims: the same overloaded run that
+// yields loss victims on a pristine trace must yield none once the trace is
+// marked damaged — telemetry loss masquerades as packet loss, so degraded
+// health suppresses the class. Forcing LossVictimsWhenDegraded restores it.
+func TestDegradedHealthSuppressesLossVictims(t *testing.T) {
+	col := collector.New(collector.Config{})
+	sim := nfsim.New(col)
+	sim.AddNF(nfsim.NFConfig{Name: "a", Kind: "nat", PeakRate: simtime.MPPS(1), Seed: 1})
+	sim.AddNF(nfsim.NFConfig{Name: "b", Kind: "fw", PeakRate: simtime.PPS(60_000), QueueCap: 64, Seed: 2})
+	sim.ConnectSource(func(*packet.Packet) int { return 0 }, "a")
+	sim.Connect("a", func(*packet.Packet) int { return 0 }, "b")
+	sim.Connect("b", func(*packet.Packet) int { return nfsim.Egress })
+	sched := cbr(simtime.MPPS(0.4), simtime.Duration(3*simtime.Millisecond), 9)
+	sim.LoadSchedule(sched)
+	sim.Run(simtime.Time(100 * simtime.Millisecond))
+	meta := collector.Meta{
+		MaxBatch: nfsim.DefaultMaxBatch,
+		Components: []collector.ComponentMeta{
+			{Name: "source", Kind: "source"},
+			{Name: "a", Kind: "nat", PeakRate: simtime.MPPS(1)},
+			{Name: "b", Kind: "fw", PeakRate: simtime.PPS(60_000), Egress: true},
+		},
+		Edges: []collector.Edge{{From: "source", To: "a"}, {From: "a", To: "b"}},
+	}
+	tr := col.Trace(meta)
+
+	countLoss := func(victims []Victim) int {
+		n := 0
+		for _, v := range victims {
+			if v.Kind == VictimLoss {
+				n++
+			}
+		}
+		return n
+	}
+
+	clean := tracestore.Build(tr)
+	clean.Reconstruct()
+	if countLoss(NewEngine(Config{}).FindVictims(clean)) == 0 {
+		t.Fatal("pristine trace produced no loss victims")
+	}
+
+	damaged := *tr
+	damaged.Integrity.DroppedRecords = 50
+	dst := tracestore.Build(&damaged)
+	dst.Reconstruct()
+	if !dst.Health().Degraded() {
+		t.Fatalf("marked-damaged store not degraded: %v", dst.Health())
+	}
+	if n := countLoss(NewEngine(Config{}).FindVictims(dst)); n != 0 {
+		t.Fatalf("degraded trace still yields %d loss victims", n)
+	}
+	forced := NewEngine(Config{LossVictimsWhenDegraded: true})
+	if countLoss(forced.FindVictims(dst)) == 0 {
+		t.Fatal("forcing LossVictimsWhenDegraded restored nothing")
+	}
+}

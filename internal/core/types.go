@@ -137,6 +137,13 @@ type Config struct {
 	// TraceEndSlack: journeys truncated within this duration of the last
 	// record are treated as in-flight, not lost (default 2ms).
 	TraceEndSlack simtime.Duration
+	// LossVictimsWhenDegraded keeps loss-victim classification active
+	// even when the store's health is degraded. By default a
+	// known-damaged trace suppresses loss victims: a journey whose
+	// records vanish because the *trace* lost records is
+	// indistinguishable from a real drop, and a lossy trace would flood
+	// the diagnosis with phantom losses.
+	LossVictimsWhenDegraded bool
 	// QueueThreshold is the §7 extension: a queuing period starts when
 	// the queue last held at most this many packets, instead of zero.
 	// Use it when NF queues rarely empty (sustained moderate overload);

@@ -1,0 +1,319 @@
+// Package faults is a deterministic, seedable corruptor for collected
+// traces and encoded record streams. Production collectors lose records to
+// ring overruns, truncate them on crashes, deliver them late across cores,
+// duplicate them on retransmit paths, and timestamp them with skewed
+// clocks; this package reproduces those fault models on demand so every
+// downstream consumer (decode, reconstruction, diagnosis, online
+// monitoring) can be measured under telemetry imperfection instead of
+// assuming it away.
+//
+// All randomness flows from Config.Seed, so a fault pattern is exactly
+// reproducible: same trace + same config = same corruption.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"microscope/internal/collector"
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// Skew models one component's broken clock: a fixed offset plus linear
+// drift applied to every record timestamp of that component.
+type Skew struct {
+	// Offset shifts every timestamp.
+	Offset simtime.Duration
+	// DriftPPM grows the shift linearly with time: +1 PPM adds 1 µs per
+	// second of trace time.
+	DriftPPM float64
+}
+
+// Config selects the fault models to apply. Zero-valued fields are
+// disabled; a zero Config is the identity.
+type Config struct {
+	// Seed drives all randomness (same seed, same faults).
+	Seed int64
+
+	// DropRate drops each record independently with this probability
+	// (uniform record loss).
+	DropRate float64
+	// BurstDropRate starts a drop burst at each record with this
+	// probability; the burst then swallows a geometric run of records
+	// with mean BurstLen (bursty loss: a ring overrun eats neighbours).
+	BurstDropRate float64
+	// BurstLen is the mean burst length (default 4).
+	BurstLen int
+	// TruncateRate truncates each record's batch tail with this
+	// probability (partial record salvage after a crash).
+	TruncateRate float64
+	// DupRate re-emits each record once, slightly later, with this
+	// probability (duplicate IPIDs downstream).
+	DupRate float64
+	// ReorderRate delays each record's position in the stream with this
+	// probability, modelling late arrival at the dumper.
+	ReorderRate float64
+	// ReorderDelay is how late a reordered record lands (default 50 µs).
+	ReorderDelay simtime.Duration
+	// SkewComps applies per-component clock skew/drift.
+	SkewComps map[string]Skew
+}
+
+func (c *Config) setDefaults() {
+	if c.BurstLen <= 0 {
+		c.BurstLen = 4
+	}
+	if c.ReorderDelay <= 0 {
+		c.ReorderDelay = 50 * simtime.Microsecond
+	}
+}
+
+// Enabled reports whether any fault model is active.
+func (c Config) Enabled() bool {
+	return c.DropRate > 0 || c.BurstDropRate > 0 || c.TruncateRate > 0 ||
+		c.DupRate > 0 || c.ReorderRate > 0 || len(c.SkewComps) > 0
+}
+
+// Stats counts what the corruptor did.
+type Stats struct {
+	Input      int // records in
+	Dropped    int // records removed (uniform + bursty)
+	Truncated  int // records with a shortened batch
+	Duplicated int // records re-emitted
+	Reordered  int // records moved later in the stream
+	Skewed     int // records with shifted timestamps
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("faults: %d records in, %d dropped, %d truncated, %d duplicated, %d reordered, %d skewed",
+		s.Input, s.Dropped, s.Truncated, s.Duplicated, s.Reordered, s.Skewed)
+}
+
+// streamEntry pairs a record with its (possibly perturbed) stream position
+// key, so reordering is expressible without touching timestamps.
+type streamEntry struct {
+	rec collector.BatchRecord
+	pos simtime.Time // stream-order key, not the record timestamp
+	seq int          // tiebreak: original index, keeps the shuffle stable
+}
+
+// Inject applies the configured fault models to a trace, returning a
+// corrupted copy and fault accounting. The input is never modified. The
+// returned trace's Integrity reflects the injected damage, exactly as a
+// trace decoded from a damaged stream would.
+func Inject(tr *collector.Trace, cfg Config) (*collector.Trace, Stats) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var st Stats
+	st.Input = len(tr.Records)
+
+	entries := make([]streamEntry, 0, len(tr.Records))
+	burstLeft := 0
+	for i := range tr.Records {
+		r := tr.Records[i] // copy; slices shared until truncation
+		if burstLeft > 0 {
+			burstLeft--
+			st.Dropped++
+			continue
+		}
+		if cfg.BurstDropRate > 0 && rng.Float64() < cfg.BurstDropRate {
+			// Geometric burst with the configured mean: this record
+			// plus a run of followers.
+			burstLeft = geometric(rng, cfg.BurstLen)
+			st.Dropped++
+			continue
+		}
+		if cfg.DropRate > 0 && rng.Float64() < cfg.DropRate {
+			st.Dropped++
+			continue
+		}
+		if cfg.TruncateRate > 0 && len(r.IPIDs) > 1 && rng.Float64() < cfg.TruncateRate {
+			keep := 1 + rng.Intn(len(r.IPIDs)-1)
+			r.IPIDs = append([]uint16(nil), r.IPIDs[:keep]...)
+			if r.Tuples != nil {
+				r.Tuples = append([]packet.FiveTuple(nil), r.Tuples[:keep]...)
+			}
+			st.Truncated++
+		}
+		if sk, ok := cfg.SkewComps[r.Comp]; ok {
+			shift := sk.Offset + simtime.Duration(float64(r.At)*sk.DriftPPM/1e6)
+			r.At = r.At.Add(shift)
+			st.Skewed++
+		}
+		pos := r.At
+		if cfg.ReorderRate > 0 && rng.Float64() < cfg.ReorderRate {
+			pos = pos.Add(cfg.ReorderDelay)
+			st.Reordered++
+		}
+		entries = append(entries, streamEntry{rec: r, pos: pos, seq: len(entries)})
+		if cfg.DupRate > 0 && rng.Float64() < cfg.DupRate {
+			dup := r
+			dup.IPIDs = append([]uint16(nil), r.IPIDs...)
+			if r.Tuples != nil {
+				dup.Tuples = append([]packet.FiveTuple(nil), r.Tuples...)
+			}
+			entries = append(entries, streamEntry{rec: dup, pos: pos.Add(cfg.ReorderDelay), seq: len(entries)})
+			st.Duplicated++
+		}
+	}
+
+	// Order by perturbed stream position: reordered and duplicated
+	// records land late while keeping their original timestamps.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].pos != entries[j].pos {
+			return entries[i].pos < entries[j].pos
+		}
+		return entries[i].seq < entries[j].seq
+	})
+
+	out := &collector.Trace{Meta: tr.Meta, Integrity: tr.Integrity}
+	out.Records = make([]collector.BatchRecord, len(entries))
+	for i := range entries {
+		out.Records[i] = entries[i].rec
+	}
+	out.Integrity.DroppedRecords += st.Dropped
+	out.Integrity.TruncatedRecords += st.Truncated
+	return out, st
+}
+
+// geometric samples a geometric run length with the given mean (≥ 0).
+func geometric(rng *rand.Rand, mean int) int {
+	n := 0
+	p := 1.0 / float64(mean)
+	for rng.Float64() > p {
+		n++
+	}
+	return n
+}
+
+// StreamConfig selects byte-level faults for an encoded record stream.
+type StreamConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// FlipRate flips each bit independently with this probability.
+	FlipRate float64
+	// TruncateFrac cuts the stream to this fraction of its length
+	// (0 or ≥1 disables).
+	TruncateFrac float64
+}
+
+// InjectStream corrupts an encoded byte stream (for decode-path testing).
+func InjectStream(data []byte, cfg StreamConfig) []byte {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := append([]byte(nil), data...)
+	if cfg.TruncateFrac > 0 && cfg.TruncateFrac < 1 {
+		out = out[:int(float64(len(out))*cfg.TruncateFrac)]
+	}
+	if cfg.FlipRate > 0 {
+		// Never corrupt the magic: a lost header is total loss, which
+		// is a different (trivial) failure mode.
+		for i := 4; i < len(out); i++ {
+			for b := 0; b < 8; b++ {
+				if rng.Float64() < cfg.FlipRate {
+					out[i] ^= 1 << b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ParseSpec parses the CLI fault specification: a comma-separated list of
+// key=value pairs, e.g.
+//
+//	drop=0.05,seed=7,dup=0.01,reorder=0.02,skew=fw2:300us:50
+//
+// Keys: seed, drop, burst, burstlen, trunc, dup, reorder, delay (duration),
+// skew=<comp>:<offset>[:<driftppm>] (repeatable with '+': skew=a:1ms+b:2ms).
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("faults: bad spec entry %q (want key=value)", kv)
+		}
+		key, val := parts[0], parts[1]
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			cfg.DropRate, err = parseRate(val)
+		case "burst":
+			cfg.BurstDropRate, err = parseRate(val)
+		case "burstlen":
+			cfg.BurstLen, err = strconv.Atoi(val)
+		case "trunc":
+			cfg.TruncateRate, err = parseRate(val)
+		case "dup":
+			cfg.DupRate, err = parseRate(val)
+		case "reorder":
+			cfg.ReorderRate, err = parseRate(val)
+		case "delay":
+			cfg.ReorderDelay, err = parseDuration(val)
+		case "skew":
+			for _, one := range strings.Split(val, "+") {
+				comp, sk, serr := parseSkew(one)
+				if serr != nil {
+					return cfg, serr
+				}
+				if cfg.SkewComps == nil {
+					cfg.SkewComps = make(map[string]Skew)
+				}
+				cfg.SkewComps[comp] = sk
+			}
+		default:
+			return cfg, fmt.Errorf("faults: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faults: bad value for %s: %w", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("rate %v out of [0,1]", v)
+	}
+	return v, nil
+}
+
+func parseDuration(s string) (simtime.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return simtime.Duration(d.Nanoseconds()), nil
+}
+
+func parseSkew(s string) (string, Skew, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return "", Skew{}, fmt.Errorf("faults: skew must be <comp>:<offset>[:<driftppm>], got %q", s)
+	}
+	off, err := parseDuration(parts[1])
+	if err != nil {
+		return "", Skew{}, fmt.Errorf("faults: bad skew offset %q: %w", parts[1], err)
+	}
+	sk := Skew{Offset: off}
+	if len(parts) == 3 {
+		if sk.DriftPPM, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return "", Skew{}, fmt.Errorf("faults: bad skew drift %q: %w", parts[2], err)
+		}
+	}
+	return parts[0], sk, nil
+}

@@ -1,0 +1,266 @@
+package faults
+
+import (
+	"testing"
+
+	"microscope/internal/collector"
+	"microscope/internal/packet"
+	"microscope/internal/simtime"
+)
+
+// makeTrace builds a synthetic trace with n records across two components.
+func makeTrace(n int) *collector.Trace {
+	tr := &collector.Trace{Meta: collector.Meta{MaxBatch: 32}}
+	ts := simtime.Time(0)
+	for i := 0; i < n; i++ {
+		ts = ts.Add(100)
+		rec := collector.BatchRecord{
+			Comp:  []string{"nat1", "fw1"}[i%2],
+			Queue: "fw1.in",
+			At:    ts,
+			Dir:   collector.Dir(i % 3),
+			IPIDs: []uint16{uint16(i), uint16(i + 1), uint16(i + 2), uint16(i + 3)},
+		}
+		if rec.Dir == collector.DirDeliver {
+			rec.Tuples = make([]packet.FiveTuple, len(rec.IPIDs))
+			for j := range rec.Tuples {
+				rec.Tuples[j] = packet.FiveTuple{SrcIP: uint32(i), SrcPort: uint16(j), Proto: packet.ProtoTCP}
+			}
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	return tr
+}
+
+func TestInjectIdentity(t *testing.T) {
+	tr := makeTrace(50)
+	out, st := Inject(tr, Config{Seed: 1})
+	if len(out.Records) != 50 || st.Dropped != 0 || st.Truncated != 0 {
+		t.Fatalf("identity config mutated trace: %+v", st)
+	}
+	for i := range out.Records {
+		if out.Records[i].At != tr.Records[i].At || out.Records[i].Comp != tr.Records[i].Comp {
+			t.Fatalf("record %d changed", i)
+		}
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	tr := makeTrace(500)
+	cfg := Config{Seed: 42, DropRate: 0.1, TruncateRate: 0.05, DupRate: 0.05, ReorderRate: 0.1}
+	a, sa := Inject(tr, cfg)
+	b, sb := Inject(tr, cfg)
+	if sa != sb || len(a.Records) != len(b.Records) {
+		t.Fatalf("same seed diverged: %+v vs %+v", sa, sb)
+	}
+	for i := range a.Records {
+		if a.Records[i].At != b.Records[i].At || a.Records[i].Comp != b.Records[i].Comp {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+	c, sc := Inject(tr, Config{Seed: 43, DropRate: 0.1, TruncateRate: 0.05, DupRate: 0.05, ReorderRate: 0.1})
+	if sc.Dropped == sa.Dropped && len(c.Records) == len(a.Records) && sc.Truncated == sa.Truncated {
+		t.Log("different seeds produced identical shape (possible but unlikely)")
+	}
+}
+
+func TestInjectUniformDrop(t *testing.T) {
+	tr := makeTrace(2000)
+	out, st := Inject(tr, Config{Seed: 7, DropRate: 0.05})
+	if st.Dropped == 0 {
+		t.Fatal("nothing dropped at 5%")
+	}
+	frac := float64(st.Dropped) / float64(st.Input)
+	if frac < 0.02 || frac > 0.09 {
+		t.Errorf("drop fraction %v far from 0.05", frac)
+	}
+	if len(out.Records)+st.Dropped != st.Input {
+		t.Errorf("accounting: %d + %d != %d", len(out.Records), st.Dropped, st.Input)
+	}
+	if out.Integrity.DroppedRecords != st.Dropped {
+		t.Errorf("integrity not updated: %+v", out.Integrity)
+	}
+	if tr.Integrity.DroppedRecords != 0 {
+		t.Error("input trace mutated")
+	}
+}
+
+func TestInjectBurstyDrop(t *testing.T) {
+	tr := makeTrace(2000)
+	out, st := Inject(tr, Config{Seed: 7, BurstDropRate: 0.01, BurstLen: 6})
+	if st.Dropped == 0 {
+		t.Fatal("no bursts at 1%")
+	}
+	// Bursty loss removes runs: the number of gaps in the survivor
+	// sequence should be well below the dropped count.
+	if len(out.Records)+st.Dropped != st.Input {
+		t.Errorf("accounting: %d + %d != %d", len(out.Records), st.Dropped, st.Input)
+	}
+}
+
+func TestInjectTruncation(t *testing.T) {
+	tr := makeTrace(500)
+	out, st := Inject(tr, Config{Seed: 3, TruncateRate: 0.5})
+	if st.Truncated == 0 {
+		t.Fatal("nothing truncated")
+	}
+	for i := range out.Records {
+		r := &out.Records[i]
+		if len(r.IPIDs) == 0 {
+			t.Fatal("truncation produced empty record")
+		}
+		if r.Dir == collector.DirDeliver && len(r.Tuples) != len(r.IPIDs) {
+			t.Fatalf("record %d tuples not truncated in step: %d vs %d", i, len(r.Tuples), len(r.IPIDs))
+		}
+	}
+	if out.Integrity.TruncatedRecords != st.Truncated {
+		t.Errorf("integrity not updated: %+v", out.Integrity)
+	}
+}
+
+func TestInjectDuplicates(t *testing.T) {
+	tr := makeTrace(500)
+	out, st := Inject(tr, Config{Seed: 5, DupRate: 0.1})
+	if st.Duplicated == 0 {
+		t.Fatal("nothing duplicated")
+	}
+	if len(out.Records) != st.Input+st.Duplicated {
+		t.Errorf("dup accounting: %d records for %d in + %d dup", len(out.Records), st.Input, st.Duplicated)
+	}
+}
+
+func TestInjectReorderKeepsTimestamps(t *testing.T) {
+	tr := makeTrace(500)
+	out, st := Inject(tr, Config{Seed: 5, ReorderRate: 0.2})
+	if st.Reordered == 0 {
+		t.Fatal("nothing reordered")
+	}
+	// Stream order must be perturbed but the multiset of timestamps
+	// preserved.
+	outOfOrder := 0
+	for i := 1; i < len(out.Records); i++ {
+		if out.Records[i].At < out.Records[i-1].At {
+			outOfOrder++
+		}
+	}
+	if outOfOrder == 0 {
+		t.Error("reorder produced a still-sorted stream")
+	}
+}
+
+func TestInjectSkew(t *testing.T) {
+	tr := makeTrace(100)
+	off := 300 * simtime.Microsecond
+	out, st := Inject(tr, Config{Seed: 1, SkewComps: map[string]Skew{"fw1": {Offset: off}}})
+	if st.Skewed == 0 {
+		t.Fatal("nothing skewed")
+	}
+	// Every fw1 record shifts by the offset; nat1 records keep their
+	// original timestamps.
+	fw, nat := 0, 0
+	orig := make(map[simtime.Time]int)
+	for i := range tr.Records {
+		if tr.Records[i].Comp == "nat1" {
+			orig[tr.Records[i].At]++
+		}
+	}
+	for i := range out.Records {
+		switch out.Records[i].Comp {
+		case "fw1":
+			fw++
+		case "nat1":
+			if orig[out.Records[i].At] == 0 {
+				t.Fatal("nat1 timestamp changed under fw1 skew")
+			}
+			nat++
+		}
+	}
+	if fw == 0 || nat == 0 {
+		t.Fatal("lost components")
+	}
+	// Drift grows with time.
+	out2, _ := Inject(tr, Config{Seed: 1, SkewComps: map[string]Skew{"fw1": {DriftPPM: 1e5}}})
+	var firstShift, lastShift simtime.Duration
+	seen := 0
+	for i := range tr.Records {
+		if tr.Records[i].Comp != "fw1" {
+			continue
+		}
+		// Records keep relative order per component under pure skew.
+		shift := findShift(t, out2, tr.Records[i].IPIDs[0], tr.Records[i].At)
+		if seen == 0 {
+			firstShift = shift
+		}
+		lastShift = shift
+		seen++
+	}
+	if seen == 0 || lastShift <= firstShift {
+		t.Errorf("drift not increasing: first %v last %v", firstShift, lastShift)
+	}
+}
+
+func findShift(t *testing.T, tr *collector.Trace, ipid uint16, origAt simtime.Time) simtime.Duration {
+	t.Helper()
+	for i := range tr.Records {
+		if tr.Records[i].Comp == "fw1" && len(tr.Records[i].IPIDs) > 0 && tr.Records[i].IPIDs[0] == ipid {
+			return tr.Records[i].At.Sub(origAt)
+		}
+	}
+	t.Fatalf("record with ipid %d vanished", ipid)
+	return 0
+}
+
+func TestInjectStream(t *testing.T) {
+	enc := collector.NewEncoder()
+	ts := simtime.Time(0)
+	for i := 0; i < 100; i++ {
+		ts = ts.Add(100)
+		enc.Append(&collector.BatchRecord{Comp: "a", At: ts, Dir: collector.DirRead, IPIDs: []uint16{uint16(i)}})
+	}
+	valid := enc.Bytes()
+	mutated := InjectStream(valid, StreamConfig{Seed: 9, FlipRate: 0.001})
+	recs, st, err := collector.DecodeStream(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped == 0 {
+		t.Skip("flips happened to be harmless at this seed")
+	}
+	if len(recs) == 0 {
+		t.Error("decode salvaged nothing")
+	}
+	again := InjectStream(valid, StreamConfig{Seed: 9, FlipRate: 0.001})
+	if string(again) != string(mutated) {
+		t.Error("stream corruption not deterministic")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("drop=0.05,seed=7,dup=0.01,reorder=0.02,delay=100us,skew=fw2:300us:50+nat1:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.DropRate != 0.05 || cfg.DupRate != 0.01 || cfg.ReorderRate != 0.02 {
+		t.Errorf("parsed config wrong: %+v", cfg)
+	}
+	if cfg.ReorderDelay != 100*simtime.Microsecond {
+		t.Errorf("delay: %v", cfg.ReorderDelay)
+	}
+	if sk := cfg.SkewComps["fw2"]; sk.Offset != 300*simtime.Microsecond || sk.DriftPPM != 50 {
+		t.Errorf("fw2 skew: %+v", sk)
+	}
+	if sk := cfg.SkewComps["nat1"]; sk.Offset != simtime.Duration(simtime.Millisecond) {
+		t.Errorf("nat1 skew: %+v", sk)
+	}
+	if !cfg.Enabled() {
+		t.Error("enabled config reported disabled")
+	}
+	if c, err := ParseSpec(""); err != nil || c.Enabled() {
+		t.Error("empty spec must be identity")
+	}
+	for _, bad := range []string{"drop=2", "nope=1", "drop", "skew=fw2", "delay=xyz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -67,6 +67,9 @@ type Alert struct {
 	Victims int
 	// Onset is the earliest culprit behaviour time.
 	Onset simtime.Time
+	// Health is the trace-quality summary of the window that raised the
+	// alert: an operator reads confidence next to the conclusion.
+	Health tracestore.Health
 }
 
 // String implements fmt.Stringer.
@@ -84,6 +87,9 @@ type Monitor struct {
 
 	pending   []collector.BatchRecord
 	nextFlush simtime.Time
+	// flushedTo is the end of the last diagnosed window; records older
+	// than this are too late to analyse.
+	flushedTo simtime.Time
 	// lastAlert remembers alerted onsets per culprit for hold-off.
 	lastAlert map[alertKey]simtime.Time
 
@@ -98,6 +104,15 @@ type alertKey struct {
 // Stats counts monitor activity.
 type Stats struct {
 	Windows, Records, Victims, Alerts int
+	// LateAccepted counts records that arrived out of time order but
+	// still inside the open window and were re-sorted into place.
+	LateAccepted int
+	// LateDropped counts records that arrived after their window was
+	// already diagnosed and had to be discarded.
+	LateDropped int
+	// Unmatched and Quarantined accumulate per-window reconstruction
+	// damage across the monitor's lifetime.
+	Unmatched, Quarantined int
 }
 
 // New creates a monitor for a deployment described by meta.
@@ -117,13 +132,28 @@ func New(meta collector.Meta, cfg Config) *Monitor {
 // Stats returns activity counters.
 func (m *Monitor) Stats() Stats { return m.stats }
 
-// Feed appends records (which must arrive in time order) and diagnoses any
-// windows they complete, returning the alerts raised.
+// Feed appends records and diagnoses any windows they complete, returning
+// the alerts raised. Records should arrive roughly in time order; bounded
+// lateness is tolerated (late records are sorted into the open window), but
+// a record older than an already-diagnosed window is dropped and counted.
 func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 	var out []Alert
 	for _, r := range recs {
-		m.pending = append(m.pending, r)
+		if r.At < m.flushedTo {
+			m.stats.LateDropped++
+			continue
+		}
 		m.stats.Records++
+		if n := len(m.pending); n > 0 && r.At < m.pending[n-1].At {
+			// Late but still analysable: insert in time order.
+			i := sort.Search(n, func(i int) bool { return m.pending[i].At > r.At })
+			m.pending = append(m.pending, collector.BatchRecord{})
+			copy(m.pending[i+1:], m.pending[i:])
+			m.pending[i] = r
+			m.stats.LateAccepted++
+		} else {
+			m.pending = append(m.pending, r)
+		}
 		for r.At >= m.nextFlush {
 			out = append(out, m.flushWindow()...)
 		}
@@ -144,6 +174,7 @@ func (m *Monitor) Flush() []Alert {
 func (m *Monitor) flushWindow() []Alert {
 	end := m.nextFlush
 	m.nextFlush = end.Add(m.cfg.Window)
+	m.flushedTo = end
 	m.stats.Windows++
 
 	// Records in the window (all pending up to end).
@@ -155,6 +186,9 @@ func (m *Monitor) flushWindow() []Alert {
 	tr := &collector.Trace{Meta: m.meta, Records: window}
 	st := tracestore.Build(tr)
 	st.Reconstruct()
+	health := st.Health()
+	m.stats.Unmatched += health.Recon.Unmatched
+	m.stats.Quarantined += health.Recon.Quarantined
 	diags := m.eng.Diagnose(st)
 	m.stats.Victims += len(diags)
 
@@ -217,6 +251,7 @@ func (m *Monitor) flushWindow() []Alert {
 			Score:     a.score,
 			Victims:   a.victims,
 			Onset:     a.onset,
+			Health:    health,
 		})
 		m.stats.Alerts++
 	}

@@ -120,3 +120,61 @@ func TestMonitorEmptyFlush(t *testing.T) {
 		t.Errorf("empty flush: %v", got)
 	}
 }
+
+// TestMonitorToleratesLateRecords shuffles bounded lateness into the feed:
+// the monitor must re-sort analysable records, drop only those behind an
+// already-diagnosed window, and still alert on the real interrupt.
+func TestMonitorToleratesLateRecords(t *testing.T) {
+	tr := monitoredRun(t, []simtime.Time{simtime.Time(150 * simtime.Millisecond)})
+	// Swap adjacent records to simulate cross-core drain interleaving.
+	recs := append([]collector.BatchRecord(nil), tr.Records...)
+	for i := 1; i < len(recs); i += 7 {
+		recs[i-1], recs[i] = recs[i], recs[i-1]
+	}
+	m := New(tr.Meta, Config{})
+	var alerts []Alert
+	const chunk = 5000
+	for i := 0; i < len(recs); i += chunk {
+		end := i + chunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		alerts = append(alerts, m.Feed(recs[i:end])...)
+	}
+	alerts = append(alerts, m.Flush()...)
+	if m.Stats().LateAccepted == 0 {
+		t.Fatalf("no late records re-sorted: %+v", m.Stats())
+	}
+	found := false
+	for _, a := range alerts {
+		if a.Comp == "fw1" && a.Kind == core.CulpritLocalProcessing {
+			found = true
+			if a.Health.Records == 0 {
+				t.Fatalf("alert carries empty health: %+v", a.Health)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("interrupt not alerted under late delivery: %v", alerts)
+	}
+}
+
+// TestMonitorDropsAncientRecords: a record behind the last diagnosed window
+// must be dropped and counted, never analysed twice or crash the sort.
+func TestMonitorDropsAncientRecords(t *testing.T) {
+	tr := monitoredRun(t, nil)
+	m := New(tr.Meta, Config{})
+	m.Feed(tr.Records)
+	if m.Stats().Windows == 0 {
+		t.Fatal("no windows flushed")
+	}
+	before := m.Stats().Records
+	m.Feed([]collector.BatchRecord{{Comp: "nat1", At: 1, Dir: collector.DirRead, IPIDs: []uint16{1}}})
+	st := m.Stats()
+	if st.LateDropped != 1 {
+		t.Fatalf("ancient record not dropped: %+v", st)
+	}
+	if st.Records != before {
+		t.Fatal("dropped record still counted as fed")
+	}
+}

@@ -25,6 +25,11 @@ type Journey struct {
 	// trace. False means dropped in transit or still resident at trace
 	// end.
 	Delivered bool
+	// Quarantined marks a journey threaded through at least one
+	// ambiguous queue match (duplicate-IPID collision none of the side
+	// channels could break); its hops past that point are a guess and
+	// diagnosis should not treat its fate as evidence.
+	Quarantined bool
 }
 
 // JourneyHop is one reconstructed traversal.
@@ -248,13 +253,25 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 			// Side channel 3 (order): pick the candidate whose
 			// consumption keeps the subsequent dequeue stream
 			// consistent; prefer the earliest-written on ties.
-			best, bestScore := -1, -1
+			best, bestScore, ties := -1, -1, 0
 			for _, ai := range cands {
 				sc := greedyOK(k, ai)
-				if sc > bestScore ||
-					(sc == bestScore && best >= 0 && v.Arrivals[ai].At < v.Arrivals[best].At) {
-					best, bestScore = ai, sc
+				switch {
+				case sc > bestScore:
+					best, bestScore, ties = ai, sc, 1
+				case sc == bestScore:
+					ties++
+					if best >= 0 && v.Arrivals[ai].At < v.Arrivals[best].At {
+						best = ai
+					}
 				}
+			}
+			if ties > 1 {
+				// All three side channels exhausted and the
+				// duplicate IPID is still ambiguous: the pick is
+				// a guess, so flag the arrival for quarantine.
+				v.Arrivals[best].Quarantined = true
+				s.recon.DupCollisions++
 			}
 			consumed[best] = true
 			deqMatch[best] = k
@@ -358,6 +375,9 @@ func (s *Store) buildJourneys(ctx *reconCtx) {
 			}
 			jIdx := len(s.Journeys)
 			v.Arrivals[ai].Journey = jIdx
+			if v.Arrivals[ai].Quarantined {
+				j.Quarantined = true
+			}
 			k := ctx.deqOfArrival[comp][ai]
 			if k < 0 {
 				// Never read: resident at trace end or
@@ -380,13 +400,18 @@ func (s *Store) buildJourneys(ctx *reconCtx) {
 			if out.deliver >= 0 {
 				j.Delivered = true
 				j.Tuple = v.Tuples[out.deliver]
-				j.HasTuple = true
+				// A zero tuple is the damaged-record pad, not real
+				// traffic: delivered, but with unknown five-tuple.
+				j.HasTuple = j.Tuple != (packet.FiveTuple{})
 				break
 			}
 			// Continue downstream.
 			next := v.WriteDest[out.write]
 			ai = s.arrivalIndexOf(ctx, v, out.write)
 			comp = next
+		}
+		if j.Quarantined {
+			s.recon.Quarantined++
 		}
 		s.Journeys = append(s.Journeys, j)
 	}

@@ -1,0 +1,179 @@
+package tracestore
+
+import (
+	"testing"
+
+	"microscope/internal/collector"
+	"microscope/internal/packet"
+)
+
+// TestBuildSortsUnorderedRecords: records delivered out of time order (late
+// ring drains) must be re-sorted before indexing, counted in Integrity, and
+// the caller's trace left untouched.
+func TestBuildSortsUnorderedRecords(t *testing.T) {
+	recs := []collector.BatchRecord{
+		{Comp: "c", Queue: "c.in", At: 20, Dir: collector.DirRead, IPIDs: []uint16{5}},
+		{Comp: "u1", Queue: "c.in", At: 10, Dir: collector.DirWrite, IPIDs: []uint16{5}},
+		{Comp: "c", At: 25, Dir: collector.DirDeliver, IPIDs: []uint16{5},
+			Tuples: []packet.FiveTuple{{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}}},
+	}
+	tr := &collector.Trace{Meta: twoUpstreamMeta(), Records: recs}
+	st := Build(tr)
+	st.Reconstruct()
+	if st.Trace.Integrity.Resorted == 0 {
+		t.Fatalf("resort not counted: %+v", st.Trace.Integrity)
+	}
+	if tr.Records[0].Dir != collector.DirRead || tr.Integrity.Resorted != 0 {
+		t.Fatal("caller's trace was mutated")
+	}
+	if st.ReconStats().Unmatched != 0 {
+		t.Fatalf("sorted trace should fully match: %+v", st.ReconStats())
+	}
+	h := st.Health()
+	if h.Records != 3 || h.Integrity.Resorted == 0 {
+		t.Fatalf("health missing resort: %+v", h)
+	}
+}
+
+// TestDupCollisionQuarantine hand-builds the unresolvable case: both
+// upstream heads carry the same IPID at the same instant and the dequeue
+// stream is symmetric, so no side channel can break the tie. The match must
+// still be made (journeys exist) but flagged, not trusted.
+func TestDupCollisionQuarantine(t *testing.T) {
+	recs := []collector.BatchRecord{
+		// The source fans the same IPID out to both upstreams (a real
+		// IPID collision within the matching window).
+		{Comp: "source", Queue: "u1.in", At: 1, Dir: collector.DirWrite, IPIDs: []uint16{5}},
+		{Comp: "source", Queue: "u2.in", At: 1, Dir: collector.DirWrite, IPIDs: []uint16{5}},
+		{Comp: "u1", Queue: "u1.in", At: 3, Dir: collector.DirRead, IPIDs: []uint16{5}},
+		{Comp: "u2", Queue: "u2.in", At: 3, Dir: collector.DirRead, IPIDs: []uint16{5}},
+		{Comp: "u1", Queue: "c.in", At: 10, Dir: collector.DirWrite, IPIDs: []uint16{5}},
+		{Comp: "u2", Queue: "c.in", At: 10, Dir: collector.DirWrite, IPIDs: []uint16{5}},
+		{Comp: "c", Queue: "c.in", At: 20, Dir: collector.DirRead, IPIDs: []uint16{5, 5}},
+	}
+	st := Build(&collector.Trace{Meta: twoUpstreamMeta(), Records: recs})
+	st.Reconstruct()
+	rs := st.ReconStats()
+	if rs.Unmatched != 0 {
+		t.Fatalf("ambiguity must not cause unmatched dequeues: %+v", rs)
+	}
+	if rs.DupCollisions == 0 {
+		t.Fatalf("symmetric duplicate-IPID collision not detected: %+v", rs)
+	}
+	if rs.Quarantined == 0 {
+		t.Fatalf("no journey quarantined: %+v", rs)
+	}
+	found := false
+	for i := range st.Journeys {
+		if st.Journeys[i].Quarantined {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no Journey.Quarantined flag set")
+	}
+	h := st.Health()
+	if h.Recon.Quarantined == 0 {
+		t.Fatalf("health missing quarantine: %+v", h)
+	}
+}
+
+// TestLookaheadCollisionNotQuarantined: when the order side channel DOES
+// break the tie (the asymmetric case from TestLookaheadResolvesIPIDCollision)
+// the match is trusted — no quarantine.
+func TestLookaheadCollisionNotQuarantined(t *testing.T) {
+	recs := []collector.BatchRecord{
+		{Comp: "u1", Queue: "c.in", At: 10, Dir: collector.DirWrite, IPIDs: []uint16{5, 8}},
+		{Comp: "u2", Queue: "c.in", At: 10, Dir: collector.DirWrite, IPIDs: []uint16{5}},
+		{Comp: "c", Queue: "c.in", At: 20, Dir: collector.DirRead, IPIDs: []uint16{5, 8, 5}},
+	}
+	st := Build(&collector.Trace{Meta: twoUpstreamMeta(), Records: recs})
+	st.Reconstruct()
+	rs := st.ReconStats()
+	if rs.LookaheadFix == 0 {
+		t.Fatalf("lookahead path not exercised: %+v", rs)
+	}
+	if rs.DupCollisions != 0 || rs.Quarantined != 0 {
+		t.Fatalf("resolvable collision wrongly quarantined: %+v", rs)
+	}
+}
+
+// TestDeliverRecordMissingTuples: a deliver record whose five-tuples were
+// lost (damaged trace) must not panic Build; the journey is delivered but
+// carries no usable tuple.
+func TestDeliverRecordMissingTuples(t *testing.T) {
+	recs := []collector.BatchRecord{
+		{Comp: "u1", Queue: "c.in", At: 10, Dir: collector.DirWrite, IPIDs: []uint16{5, 6}},
+		{Comp: "c", Queue: "c.in", At: 20, Dir: collector.DirRead, IPIDs: []uint16{5, 6}},
+		// Two packets delivered, only one tuple survived.
+		{Comp: "c", At: 25, Dir: collector.DirDeliver, IPIDs: []uint16{5, 6},
+			Tuples: []packet.FiveTuple{{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}}},
+	}
+	st := Build(&collector.Trace{Meta: twoUpstreamMeta(), Records: recs})
+	st.Reconstruct()
+	// The journeys here start at u1's writes (no source in this
+	// hand-built trace), so inspect the view directly.
+	v := st.View("c")
+	if len(v.Tuples) != 2 {
+		t.Fatalf("want 2 padded tuples, got %d", len(v.Tuples))
+	}
+	if v.Tuples[1] != (packet.FiveTuple{}) {
+		t.Fatalf("missing tuple not padded: %+v", v.Tuples[1])
+	}
+}
+
+// TestDeliveredJourneyWithoutTuple runs the missing-tuple case end to end
+// from a source so a journey is actually built.
+func TestDeliveredJourneyWithoutTuple(t *testing.T) {
+	recs := []collector.BatchRecord{
+		{Comp: "source", Queue: "c.in", At: 5, Dir: collector.DirWrite, IPIDs: []uint16{5}},
+		{Comp: "c", Queue: "c.in", At: 20, Dir: collector.DirRead, IPIDs: []uint16{5}},
+		{Comp: "c", At: 25, Dir: collector.DirDeliver, IPIDs: []uint16{5}}, // no Tuples at all
+	}
+	meta := collector.Meta{
+		MaxBatch: 32,
+		Components: []collector.ComponentMeta{
+			{Name: "source", Kind: "source"},
+			{Name: "c", Kind: "fw", PeakRate: 1, Egress: true},
+		},
+		Edges: []collector.Edge{{From: "source", To: "c"}},
+	}
+	st := Build(&collector.Trace{Meta: meta, Records: recs})
+	st.Reconstruct()
+	if len(st.Journeys) != 1 {
+		t.Fatalf("want 1 journey, got %d", len(st.Journeys))
+	}
+	j := &st.Journeys[0]
+	if !j.Delivered {
+		t.Fatal("journey not delivered")
+	}
+	if j.HasTuple {
+		t.Fatal("padded zero tuple must not claim HasTuple")
+	}
+}
+
+// TestHealthDegraded exercises the degraded-mode decision both ways.
+func TestHealthDegraded(t *testing.T) {
+	clean := Health{Records: 100, Recon: ReconStats{Matched: 100}}
+	if clean.Degraded() {
+		t.Errorf("clean health degraded: %v", clean)
+	}
+	damaged := Health{Records: 95, Integrity: collector.Integrity{DroppedRecords: 5},
+		Recon: ReconStats{Matched: 90, Unmatched: 1}}
+	if !damaged.Degraded() {
+		t.Errorf("known-damaged health not degraded: %v", damaged)
+	}
+	if damaged.RecordLossFrac() <= 0.04 || damaged.RecordLossFrac() >= 0.06 {
+		t.Errorf("loss frac: %v", damaged.RecordLossFrac())
+	}
+	unmatched := Health{Records: 100, Recon: ReconStats{Matched: 90, Unmatched: 10}}
+	if !unmatched.Degraded() {
+		t.Errorf("10%% unmatched not degraded: %v", unmatched)
+	}
+	if unmatched.UnmatchedFrac() != 0.1 {
+		t.Errorf("unmatched frac: %v", unmatched.UnmatchedFrac())
+	}
+	if s := damaged.String(); s == "" {
+		t.Error("empty health string")
+	}
+}

@@ -11,6 +11,7 @@ package tracestore
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"microscope/internal/collector"
@@ -46,6 +47,10 @@ type Arrival struct {
 	IPID    uint16
 	From    string // writing component
 	Journey int    // journey index, -1 until reconstruction links it
+	// Quarantined marks an arrival whose dequeue match was ambiguous
+	// (duplicate-IPID collision the side channels could not break);
+	// journeys through it are flagged rather than trusted.
+	Quarantined bool
 }
 
 // CompView is the per-component index the diagnosis consumes.
@@ -97,11 +102,72 @@ type ReconStats struct {
 	Reordered    int // resolved via bounded out-of-order search
 	LookaheadFix int // resolved via the order side channel (lookahead)
 	Unmatched    int // dequeue entries left unmatched
+	// DupCollisions counts duplicate-IPID matches the side channels
+	// could not disambiguate (the pick is a guess).
+	DupCollisions int
+	// Quarantined counts journeys routed through an ambiguous match;
+	// they are built but flagged untrustworthy.
+	Quarantined int
+}
+
+// Health is the store's trace-quality summary: what the trace is known to
+// have lost before reconstruction (decode skips, dropped records) plus how
+// reconstruction coped. The diagnosis reports it alongside culprits so an
+// operator sees confidence next to conclusions.
+type Health struct {
+	// Records is the record count reconstruction worked from.
+	Records int
+	// Journeys is how many packet journeys were built.
+	Journeys int
+	// Integrity carries the trace's known damage.
+	Integrity collector.Integrity
+	// Recon carries the matching counters.
+	Recon ReconStats
+}
+
+// UnmatchedFrac is the fraction of dequeue entries left unmatched.
+func (h Health) UnmatchedFrac() float64 {
+	total := h.Recon.Matched + h.Recon.Reordered + h.Recon.LookaheadFix + h.Recon.Unmatched
+	if total == 0 {
+		return 0
+	}
+	return float64(h.Recon.Unmatched) / float64(total)
+}
+
+// RecordLossFrac estimates the fraction of records lost before
+// reconstruction.
+func (h Health) RecordLossFrac() float64 {
+	return h.Integrity.LossFrac(h.Records)
+}
+
+// Degraded reports whether diagnosis should distrust vanished records: the
+// trace is known-damaged, or reconstruction left too many dequeues
+// unmatched for missing records to be attributable to real packet loss.
+func (h Health) Degraded() bool {
+	return h.Integrity.Damaged() || h.UnmatchedFrac() > 0.02
+}
+
+// String renders a one-line health summary.
+func (h Health) String() string {
+	s := fmt.Sprintf("health: %d records, %d journeys, %.2f%% unmatched",
+		h.Records, h.Journeys, h.UnmatchedFrac()*100)
+	if h.Integrity.Damaged() {
+		s += fmt.Sprintf(", damaged (%d dropped, %d skipped, %d truncated)",
+			h.Integrity.DroppedRecords, h.Integrity.DecodeSkipped, h.Integrity.TruncatedRecords)
+	}
+	if h.Recon.Quarantined > 0 {
+		s += fmt.Sprintf(", %d journeys quarantined", h.Recon.Quarantined)
+	}
+	if h.Degraded() {
+		s += " [degraded]"
+	}
+	return s
 }
 
 // Build indexes the trace. Reconstruct must be called afterwards to
 // populate journeys and arrival links.
 func Build(tr *collector.Trace) *Store {
+	tr = sortedTrace(tr)
 	s := &Store{
 		Trace:    tr,
 		MaxBatch: tr.Meta.MaxBatch,
@@ -148,7 +214,13 @@ func Build(tr *collector.Trace) *Store {
 			v := view(r.Comp)
 			for pos, id := range r.IPIDs {
 				v.DeliverEntries = append(v.DeliverEntries, Entry{At: r.At, IPID: id, Rec: ri, Pos: pos})
-				v.Tuples = append(v.Tuples, r.Tuples[pos])
+				// A damaged record can carry fewer five-tuples than
+				// IPIDs; pad with the zero tuple rather than panic.
+				var tup packet.FiveTuple
+				if pos < len(r.Tuples) {
+					tup = r.Tuples[pos]
+				}
+				v.Tuples = append(v.Tuples, tup)
 			}
 		}
 	}
@@ -169,6 +241,28 @@ func Build(tr *collector.Trace) *Store {
 	return s
 }
 
+// sortedTrace returns tr unchanged when its records are already in time
+// order, or a time-sorted shallow copy when they are not (late ring drains,
+// reordered delivery). Indexing and the arrivals merge both depend on
+// record order being time order, so an unsorted trace must never reach
+// them; the caller's trace is left untouched.
+func sortedTrace(tr *collector.Trace) *collector.Trace {
+	n := 0
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].At < tr.Records[i-1].At {
+			n++
+		}
+	}
+	if n == 0 {
+		return tr
+	}
+	cp := *tr
+	cp.Records = append([]collector.BatchRecord(nil), tr.Records...)
+	sort.SliceStable(cp.Records, func(i, j int) bool { return cp.Records[i].At < cp.Records[j].At })
+	cp.Integrity.Resorted += n
+	return &cp
+}
+
 // consumerOf maps a queue name to its consuming component, relying on the
 // "<nf>.in" convention the simulator and collector share.
 func consumerOf(queue string) string {
@@ -187,6 +281,17 @@ func (s *Store) Components() []string {
 
 // ReconStats returns reconstruction accounting.
 func (s *Store) ReconStats() ReconStats { return s.recon }
+
+// Health returns the merged trace-quality summary. Meaningful after
+// Reconstruct (before it, the recon counters are zero).
+func (s *Store) Health() Health {
+	return Health{
+		Records:   len(s.Trace.Records),
+		Journeys:  len(s.Journeys),
+		Integrity: s.Trace.Integrity,
+		Recon:     s.recon,
+	}
+}
 
 // PeakRate returns r_i for a component (0 for the source or unknown).
 func (s *Store) PeakRate(name string) simtime.Rate {

@@ -40,6 +40,7 @@ import (
 
 	"microscope/internal/collector"
 	"microscope/internal/core"
+	"microscope/internal/faults"
 	"microscope/internal/netmedic"
 	"microscope/internal/online"
 	"microscope/internal/packet"
@@ -76,6 +77,16 @@ type (
 	MonitorConfig = online.Config
 	// Monitor consumes collector records incrementally and raises alerts.
 	Monitor = online.Monitor
+	// Health is a store's trace-quality summary (integrity + matching).
+	Health = tracestore.Health
+	// Integrity is the known damage carried by a trace.
+	Integrity = collector.Integrity
+	// FaultConfig selects fault models for InjectFaults.
+	FaultConfig = faults.Config
+	// FaultStats reports what InjectFaults did.
+	FaultStats = faults.Stats
+	// FaultSkew models one component's clock offset and drift.
+	FaultSkew = faults.Skew
 	// Time and Duration are simulated clock types.
 	Time = simtime.Time
 	// Duration is a simulated time span.
@@ -88,6 +99,13 @@ type (
 const (
 	CulpritSourceTraffic   = core.CulpritSourceTraffic
 	CulpritLocalProcessing = core.CulpritLocalProcessing
+)
+
+// Victim kinds, re-exported.
+const (
+	VictimLatency    = core.VictimLatency
+	VictimLoss       = core.VictimLoss
+	VictimThroughput = core.VictimThroughput
 )
 
 // Simulated-time units, re-exported so API users never need the internal
@@ -120,6 +138,9 @@ type DiagnosisConfig struct {
 	PatternThreshold float64
 	// SkipLossVictims disables loss diagnosis.
 	SkipLossVictims bool
+	// LossVictimsWhenDegraded keeps loss diagnosis active even when the
+	// trace health is degraded (see core.Config).
+	LossVictimsWhenDegraded bool
 }
 
 // Report is the full diagnosis output for one trace.
@@ -130,6 +151,10 @@ type Report struct {
 	Diagnoses []Diagnosis
 	// Patterns is the ranked aggregated causal-pattern report.
 	Patterns []Pattern
+	// Health qualifies the report: how damaged the trace was and how
+	// reconstruction coped. Degraded health means loss conclusions were
+	// suppressed (unless forced) and scores deserve skepticism.
+	Health Health
 }
 
 // Diagnose reconstructs a trace and runs the complete Microscope pipeline.
@@ -149,16 +174,31 @@ func Reconstruct(tr *Trace) *Store {
 // store.
 func DiagnoseStore(st *Store, cfg DiagnosisConfig) *Report {
 	eng := core.NewEngine(core.Config{
-		VictimPercentile:  cfg.VictimPercentile,
-		MaxRecursionDepth: cfg.MaxRecursionDepth,
-		MaxVictims:        cfg.MaxVictims,
-		SkipLossVictims:   cfg.SkipLossVictims,
+		VictimPercentile:        cfg.VictimPercentile,
+		MaxRecursionDepth:       cfg.MaxRecursionDepth,
+		MaxVictims:              cfg.MaxVictims,
+		SkipLossVictims:         cfg.SkipLossVictims,
+		LossVictimsWhenDegraded: cfg.LossVictimsWhenDegraded,
 	})
 	diags := eng.Diagnose(st)
 	pcfg := patterns.Config{Threshold: cfg.PatternThreshold}
 	rels := patterns.RelationsFromDiagnoses(st, diags, pcfg)
 	pats := patterns.Aggregate(rels, pcfg)
-	return &Report{Store: st, Diagnoses: diags, Patterns: pats}
+	return &Report{Store: st, Diagnoses: diags, Patterns: pats, Health: st.Health()}
+}
+
+// InjectFaults applies deterministic fault models (record loss, truncation,
+// duplication, reordering, clock skew) to a trace, returning a corrupted
+// copy and fault accounting. Use it to measure how diagnosis degrades under
+// imperfect telemetry; the input trace is never modified.
+func InjectFaults(tr *Trace, cfg FaultConfig) (*Trace, FaultStats) {
+	return faults.Inject(tr, cfg)
+}
+
+// ParseFaultSpec parses the CLI fault specification (see faults.ParseSpec),
+// e.g. "drop=0.05,seed=7,skew=fw2:300us:50".
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	return faults.ParseSpec(spec)
 }
 
 // TopCauses merges every victim's causes into one ranked list of
@@ -210,6 +250,10 @@ func (r *Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Microscope report: %d victims diagnosed, %d causal patterns\n",
 		len(r.Diagnoses), len(r.Patterns))
+	fmt.Fprintf(&b, "%s\n", r.Health)
+	if r.Health.Degraded() {
+		b.WriteString("warning: trace is degraded; loss conclusions suppressed, scores approximate\n")
+	}
 	b.WriteString("\nTop culprits:\n")
 	for _, c := range r.TopCauses(8) {
 		fmt.Fprintf(&b, "  %-10s %-10s score=%.1f onset=%v\n", c.Comp, c.Kind, c.Score, c.At)
