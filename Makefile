@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race race-pipeline fuzz bench bench-all
 
 # The full pre-submit gate.
-check: vet build race fuzz
+check: vet build race race-pipeline fuzz
 
 vet:
 	$(GO) vet ./...
@@ -15,12 +15,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
+
+# The parallel diagnosis pipeline must be race-free and deterministic at
+# any GOMAXPROCS; -cpu=1,4 runs its tests both sequential and wide.
+race-pipeline:
+	$(GO) test -race -timeout 30m -cpu=1,4 ./internal/pipeline
 
 # The decoder must survive adversarial bytes; crashers land in
 # internal/collector/testdata/fuzz/ and become regression inputs.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/collector
 
+# Pipeline throughput (victims/s per worker count), machine-readable.
 bench:
+	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline | tee BENCH_pipeline.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -14,6 +14,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"microscope/internal/experiments"
@@ -27,16 +29,44 @@ func main() {
 	log.SetPrefix("msbench: ")
 
 	var (
-		fig   = flag.String("fig", "", "artifact to regenerate (1,2,3,11,12,13,14,15,t2,t3,overhead,sweeps,ablations,perfsight)")
-		all   = flag.Bool("all", false, "regenerate everything")
-		scale = flag.Float64("scale", 1.0, "duration scale factor (0.25 = quarter-length runs)")
-		seed  = flag.Int64("seed", 42, "random seed")
-		svg   = flag.String("svg", "", "also write SVG charts into this directory")
+		fig        = flag.String("fig", "", "artifact to regenerate (1,2,3,11,12,13,14,15,t2,t3,overhead,sweeps,ablations,perfsight)")
+		all        = flag.Bool("all", false, "regenerate everything")
+		scale      = flag.Float64("scale", 1.0, "duration scale factor (0.25 = quarter-length runs)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		svg        = flag.String("svg", "", "also write SVG charts into this directory")
+		workers    = flag.Int("workers", 0, "parallel diagnosis workers (0 = GOMAXPROCS, 1 = sequential; artifacts are identical)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *fig == "" && !*all {
 		flag.Usage()
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
 	}
 
 	ids := []string{*fig}
@@ -50,7 +80,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		run(id, *scale, *seed, *svg)
+		run(id, *scale, *seed, *svg, *workers)
 		fmt.Printf("\n[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 }
@@ -68,15 +98,15 @@ func savePlot(dir, name string, cfg plot.Config, series ...*report.Series) {
 	fmt.Printf("(chart written to %s)\n", path)
 }
 
-func accuracyCfg(scale float64, seed int64) experiments.AccuracyConfig {
+func accuracyCfg(scale float64, seed int64, workers int) experiments.AccuracyConfig {
 	slots := int(12 * scale)
 	if slots < 3 {
 		slots = 3
 	}
-	return experiments.AccuracyConfig{Seed: seed, Slots: slots}
+	return experiments.AccuracyConfig{Seed: seed, Slots: slots, Workers: workers}
 }
 
-func run(id string, scale float64, seed int64, svgDir string) {
+func run(id string, scale float64, seed int64, svgDir string, workers int) {
 	switch id {
 	case "1":
 		res := experiments.Figure1(seed)
@@ -106,7 +136,7 @@ func run(id string, scale float64, seed int64, svgDir string) {
 		savePlot(svgDir, "fig3b_drops", plot.Config{Title: "Figure 3b: drops at the VPN"}, res.Drops)
 		savePlot(svgDir, "fig3c_input", plot.Config{Title: "Figure 3c: VPN input rates"}, res.InputNAT, res.InputMon)
 	case "11":
-		res := experiments.Figure11(accuracyCfg(scale, seed))
+		res := experiments.Figure11(accuracyCfg(scale, seed, workers))
 		fmt.Println("=== Figure 11: overall diagnostic accuracy ===")
 		fmt.Printf("rank-1 rate: Microscope %.1f%% vs NetMedic %.1f%% (%d victims)\n",
 			res.MicroRank1*100, res.NetRank1*100, res.Victims)
@@ -115,7 +145,7 @@ func run(id string, scale float64, seed int64, svgDir string) {
 		fmt.Println(res.NetMedic.Downsample(res.NetMedic.Len()/20 + 1).Render())
 		savePlot(svgDir, "fig11_accuracy", plot.Config{Title: "Figure 11: rank of correct cause"}, res.Microscope, res.NetMedic)
 	case "12":
-		res := experiments.Figure12(accuracyCfg(scale, seed))
+		res := experiments.Figure12(accuracyCfg(scale, seed, workers))
 		fmt.Println("=== Figure 12: accuracy per injected culprit ===")
 		for _, kind := range []experiments.InjKind{experiments.InjBurst, experiments.InjInterrupt, experiments.InjBug} {
 			if pair, ok := res.Rank1[kind]; ok {
@@ -123,7 +153,7 @@ func run(id string, scale float64, seed int64, svgDir string) {
 			}
 		}
 	case "13":
-		res := experiments.Figure13(accuracyCfg(scale, seed), nil)
+		res := experiments.Figure13(accuracyCfg(scale, seed, workers), nil)
 		fmt.Println("=== Figure 13: NetMedic correct rate vs window size ===")
 		fmt.Printf("best window: %v (paper: 10ms)\n\n", res.Best)
 		fmt.Println(res.Series.Render())
@@ -138,7 +168,7 @@ func run(id string, scale float64, seed int64, svgDir string) {
 		fmt.Print(res.Rendered)
 	case "15", "t2", "t3":
 		dur := simtime.Duration(float64(200*simtime.Millisecond) * scale)
-		run := experiments.RunWild(experiments.WildConfig{Seed: seed, Duration: dur})
+		run := experiments.RunWild(experiments.WildConfig{Seed: seed, Duration: dur, Workers: workers})
 		switch id {
 		case "15":
 			res := experiments.Figure15(run)
@@ -174,7 +204,7 @@ func run(id string, scale float64, seed int64, svgDir string) {
 		fmt.Print(res.TransientReport)
 	case "ablations":
 		fmt.Println("=== Ablations (beyond the paper's evaluation) ===")
-		base := accuracyCfg(scale, seed)
+		base := accuracyCfg(scale, seed, workers)
 		base.Slots = int(6 * scale)
 		if base.Slots < 3 {
 			base.Slots = 3
@@ -185,7 +215,7 @@ func run(id string, scale float64, seed int64, svgDir string) {
 		fmt.Println(qt.Series.Render())
 		fmt.Printf("mean diagnosed period per threshold (ms): %v\n", qt.MeanPeriodMs)
 	case "sweeps":
-		base := accuracyCfg(scale, seed)
+		base := accuracyCfg(scale, seed, workers)
 		base.Slots = int(6 * scale)
 		if base.Slots < 3 {
 			base.Slots = 3
@@ -195,7 +225,7 @@ func run(id string, scale float64, seed int64, svgDir string) {
 		il := experiments.SweepInterruptLen(base, nil)
 		fmt.Println(bs.Series.Render())
 		fmt.Println(il.Series.Render())
-		run := experiments.SweepHopsRun(accuracyCfg(scale, seed))
+		run := experiments.SweepHopsRun(accuracyCfg(scale, seed, workers))
 		hp := experiments.SweepHops(run)
 		fmt.Println(hp.Series.Render())
 		savePlot(svgDir, "sweep_burst", plot.Config{Title: "Accuracy vs burst size"}, bs.Series)

@@ -12,6 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"microscope/internal/collector"
@@ -19,6 +23,7 @@ import (
 	"microscope/internal/faults"
 	"microscope/internal/netmedic"
 	"microscope/internal/patterns"
+	"microscope/internal/pipeline"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
@@ -40,8 +45,36 @@ func main() {
 		forceLoss  = flag.Bool("force-loss", false, "keep loss diagnosis even when trace health is degraded")
 		withNM     = flag.Bool("netmedic", false, "also run the NetMedic baseline")
 		nmWindow   = flag.Duration("netmedic-window", 10*time.Millisecond, "NetMedic window")
+		workers    = flag.Int("workers", 0, "parallel diagnosis workers (0 = GOMAXPROCS, 1 = sequential; output is identical)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	tr, err := collector.ReadTrace(*traceDir)
 	if err != nil {
@@ -86,14 +119,24 @@ func main() {
 		fmt.Println("trace degraded: loss diagnosis suppressed (use -force-loss to keep it)")
 	}
 
-	eng := core.NewEngine(core.Config{
+	dcfg := core.Config{
 		VictimPercentile:        *percentile,
 		MaxVictims:              *maxVictims,
 		LossVictimsWhenDegraded: *forceLoss,
+		Workers:                 *workers,
+	}
+	res := pipeline.RunStore(st, pipeline.Config{
+		Workers:   *workers,
+		Diagnosis: dcfg,
+		Patterns:  patterns.Config{Threshold: *threshold},
 	})
-	start = time.Now()
-	diags := eng.Diagnose(st)
-	fmt.Printf("diagnosed %d victims (%v)\n", len(diags), time.Since(start).Round(time.Millisecond))
+	diags := res.Diagnoses
+	var stages []string
+	for _, s := range res.Stages {
+		stages = append(stages, fmt.Sprintf("%s %v", s.Name, s.Elapsed.Round(time.Millisecond)))
+	}
+	fmt.Printf("pipeline (%d workers): %s\n", *workers, strings.Join(stages, " | "))
+	fmt.Printf("diagnosed %d victims\n", len(diags))
 
 	for i := 0; i < len(diags) && i < *showDiags; i++ {
 		d := &diags[i]
@@ -109,15 +152,14 @@ func main() {
 
 	if *explain >= 0 && *explain < len(diags) {
 		fmt.Printf("\ncausal tree for victim #%d:\n", *explain)
-		fmt.Print(eng.Explain(st, diags[*explain].Victim).Render())
+		// The engine shares the store's cached index, so this costs one
+		// victim's recursion, not a trace rescan.
+		fmt.Print(core.NewEngine(dcfg).Explain(st, diags[*explain].Victim).Render())
 	}
 
-	pcfg := patterns.Config{Threshold: *threshold}
-	rels := patterns.RelationsFromDiagnoses(st, diags, pcfg)
-	start = time.Now()
-	pats := patterns.Aggregate(rels, pcfg)
-	fmt.Printf("\naggregated %d causal relations into %d patterns (%v)\n",
-		len(rels), len(pats), time.Since(start).Round(time.Millisecond))
+	pats := res.Patterns
+	fmt.Printf("\naggregated %d causal relations into %d patterns\n",
+		res.Relations, len(pats))
 	limit := len(pats)
 	if limit > *showPats {
 		limit = *showPats

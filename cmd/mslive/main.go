@@ -31,6 +31,7 @@ func main() {
 		rateMpps = flag.Float64("rate", 1.2, "offered load in Mpps")
 		seed     = flag.Int64("seed", 1, "random seed")
 		minScore = flag.Float64("min-score", 100, "alert threshold (packets of blame)")
+		workers  = flag.Int("workers", 0, "parallel diagnosis workers per window (0 = GOMAXPROCS, 1 = sequential; alerts are identical)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 	mon := online.New(tr.Meta, online.Config{
 		Window:   simtime.Duration(window.Nanoseconds()),
 		MinScore: *minScore,
+		Workers:  *workers,
 	})
 	// Stream records as a drain loop would.
 	const chunk = 4096

@@ -15,6 +15,7 @@ package autofocus
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"microscope/internal/packet"
 )
@@ -172,9 +173,13 @@ type Config struct {
 	Cache *Cache
 }
 
-// Cache memoizes the generalization lattice of leaves across calls.
+// Cache memoizes the generalization lattice of leaves across calls. It is
+// safe for concurrent use: the parallel pattern pipeline shares one cache
+// across simultaneous Aggregate calls. Entries are pure functions of the
+// key, so a lost race at worst recomputes a value, never corrupts one.
 type Cache struct {
-	m map[cacheKey][]genAgg
+	mu sync.RWMutex
+	m  map[cacheKey][]genAgg
 }
 
 type cacheKey struct {
@@ -188,11 +193,20 @@ func NewCache() *Cache { return &Cache{m: make(map[cacheKey][]genAgg)} }
 
 func (c *Cache) expansions(lf *leaf) []genAgg {
 	k := cacheKey{flow: lf.flow, nf: lf.nf, kind: lf.kind}
-	if g, ok := c.m[k]; ok {
+	c.mu.RLock()
+	g, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
 		return g
 	}
-	g := generalizations(lf, nil)
-	c.m[k] = g
+	g = generalizations(lf, nil)
+	c.mu.Lock()
+	if prev, ok := c.m[k]; ok {
+		g = prev // keep the published slice so all callers share one
+	} else {
+		c.m[k] = g
+	}
+	c.mu.Unlock()
 	return g
 }
 
@@ -316,7 +330,15 @@ func Aggregate(items []Item, cfg Config) []Pattern {
 		}
 		out = append(out, Pattern{Flow: ci.key.flow, NF: ci.key.nf, Weight: residual, Leaves: contributing})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	// Total order: weight desc, then the canonical aggregate-key order, so
+	// the ranking never depends on the (already deterministic) cluster
+	// traversal order above.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return aggKeyLess(aggKey{flow: out[i].Flow, nf: out[i].NF}, aggKey{flow: out[j].Flow, nf: out[j].NF})
+	})
 	if cfg.MaxPatterns > 0 && len(out) > cfg.MaxPatterns {
 		out = out[:cfg.MaxPatterns]
 	}

@@ -2,16 +2,24 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"microscope/internal/collector"
+	"microscope/internal/par"
 	"microscope/internal/simtime"
-	"microscope/internal/stats"
 	"microscope/internal/tracestore"
 )
 
-// Engine runs Microscope diagnosis over a reconstructed trace store.
+// Engine runs Microscope diagnosis over a reconstructed trace store. It is
+// safe for concurrent use; per-victim diagnoses fan out over a bounded
+// worker pool (Config.Workers) and share one memoized view of the trace.
 type Engine struct {
 	cfg Config
+
+	// mu guards the per-store memo below (see memo.go).
+	mu        sync.Mutex
+	memoStore *tracestore.Store
+	memo      *diagMemo
 }
 
 // NewEngine creates a diagnosis engine.
@@ -20,34 +28,60 @@ func NewEngine(cfg Config) *Engine {
 	return &Engine{cfg: cfg}
 }
 
-// diagnoser is per-run state.
+// diagnoser is per-run state: the engine config bound to one store's
+// immutable index and memo. Its methods are safe to call from many
+// goroutines at once.
 type diagnoser struct {
-	cfg Config
-	st  *tracestore.Store
+	cfg  Config
+	st   *tracestore.Store
+	idx  *tracestore.Index
+	memo *diagMemo
 }
 
-// Diagnose selects victims and produces a ranked diagnosis for each.
-func (e *Engine) Diagnose(st *tracestore.Store) []Diagnosis {
-	d := &diagnoser{cfg: e.cfg, st: st}
-	victims := d.findVictims()
-	out := make([]Diagnosis, 0, len(victims))
-	for i := range victims {
-		out = append(out, d.diagnoseVictim(victims[i]))
+// newDiagnoser binds the engine to a store: the shared index is built (or
+// fetched) once, so repeated single-victim calls stop being O(trace) each.
+func (e *Engine) newDiagnoser(st *tracestore.Store) *diagnoser {
+	return &diagnoser{
+		cfg:  e.cfg,
+		st:   st,
+		idx:  st.Index(e.cfg.QueueThreshold),
+		memo: e.memoFor(st),
 	}
+}
+
+// Diagnose selects victims and produces a ranked diagnosis for each,
+// fanning the per-victim causal analyses out over the worker pool. Results
+// are merged in victim order, so the output is byte-identical for any
+// worker count.
+func (e *Engine) Diagnose(st *tracestore.Store) []Diagnosis {
+	d := e.newDiagnoser(st)
+	return e.diagnoseAll(d, d.findVictims())
+}
+
+// DiagnoseVictims diagnoses an externally chosen victim list (the paper's
+// "operators define the victim packets" mode) with the same parallel
+// fan-out as Diagnose. Output order matches the input victim order.
+func (e *Engine) DiagnoseVictims(st *tracestore.Store, victims []Victim) []Diagnosis {
+	return e.diagnoseAll(e.newDiagnoser(st), victims)
+}
+
+func (e *Engine) diagnoseAll(d *diagnoser, victims []Victim) []Diagnosis {
+	out := make([]Diagnosis, len(victims))
+	par.Do(len(victims), e.cfg.Workers, func(i int) {
+		out[i] = d.diagnoseVictim(victims[i])
+	})
 	return out
 }
 
 // FindVictims exposes victim selection on its own (used by tests and by the
 // evaluation harness).
 func (e *Engine) FindVictims(st *tracestore.Store) []Victim {
-	d := &diagnoser{cfg: e.cfg, st: st}
-	return d.findVictims()
+	return e.newDiagnoser(st).findVictims()
 }
 
 // DiagnoseVictim diagnoses a single victim.
 func (e *Engine) DiagnoseVictim(st *tracestore.Store, v Victim) Diagnosis {
-	d := &diagnoser{cfg: e.cfg, st: st}
-	return d.diagnoseVictim(v)
+	return e.newDiagnoser(st).diagnoseVictim(v)
 }
 
 // findVictims implements the victim selection of §4: delivered packets
@@ -60,32 +94,11 @@ func (d *diagnoser) findVictims() []Victim {
 	if len(js) == 0 {
 		return nil
 	}
-	// Per-NF queue-delay statistics for the abnormality test.
-	delayStats := make(map[string]*stats.Welford)
-	var latencies []float64
-	var traceEnd simtime.Time
-	for i := range js {
-		j := &js[i]
-		for h := range j.Hops {
-			hop := &j.Hops[h]
-			if hop.ReadAt == 0 && hop.DepartAt == 0 {
-				continue
-			}
-			w := delayStats[hop.Comp]
-			if w == nil {
-				w = &stats.Welford{}
-				delayStats[hop.Comp] = w
-			}
-			w.Add(float64(hop.ReadAt.Sub(hop.ArriveAt)))
-			if hop.DepartAt > traceEnd {
-				traceEnd = hop.DepartAt
-			}
-		}
-		if j.Delivered {
-			latencies = append(latencies, float64(j.Latency()))
-		}
-	}
-	threshold := stats.Percentile(latencies, d.cfg.VictimPercentile)
+	// Per-NF queue-delay statistics, the latency threshold, and the trace
+	// end come from the shared immutable index instead of an O(trace)
+	// rescan per call.
+	threshold := d.idx.LatencyPercentile(d.cfg.VictimPercentile)
+	traceEnd := d.idx.TraceEnd()
 
 	// Degraded trace health means vanished records are more likely
 	// telemetry loss than packet loss; classifying them as loss victims
@@ -100,7 +113,7 @@ func (d *diagnoser) findVictims() []Victim {
 		j := &js[i]
 		switch {
 		case j.Delivered && float64(j.Latency()) >= threshold && threshold > 0:
-			for _, v := range d.victimHops(i, j, delayStats, VictimLatency) {
+			for _, v := range d.victimHops(i, j, VictimLatency) {
 				victims = append(victims, v)
 			}
 		case !j.Delivered && lossOK && !j.Quarantined:
@@ -163,7 +176,7 @@ func (d *diagnoser) findVictims() []Victim {
 }
 
 // victimHops selects the abnormal hops of a latency victim.
-func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, delayStats map[string]*stats.Welford, kind VictimKind) []Victim {
+func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, kind VictimKind) []Victim {
 	var out []Victim
 	var maxHop *tracestore.JourneyHop
 	var maxDelay simtime.Duration = -1
@@ -177,7 +190,7 @@ func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, delayStats map[st
 			maxDelay = delay
 			maxHop = hop
 		}
-		w := delayStats[hop.Comp]
+		w := d.idx.DelayStats(hop.Comp)
 		if w != nil && w.Abnormal(float64(delay), d.cfg.AbnormalStdDevs, 32) {
 			out = append(out, Victim{
 				Journey:    idx,
@@ -327,26 +340,34 @@ type nfSplit struct {
 
 // splitAtNF decomposes score at an upstream NF into local-processing and
 // input components, proportional to that NF's own Sp and Si over the
-// queuing period anchored at the PreSet subset's first arrival.
+// queuing period anchored at the PreSet subset's first arrival. The
+// period and its scores are memoized per (NF, anchor); only the linear
+// score scaling happens per call.
 func (d *diagnoser) splitAtNF(comp string, anchor simtime.Time, score float64) *nfSplit {
-	qp := d.st.QueuingPeriodThreshold(comp, anchor, d.cfg.QueueThreshold)
-	if qp == nil || qp.NIn == 0 {
-		return nil
-	}
-	r := d.st.PeakRate(comp)
-	if r <= 0 {
-		return nil
-	}
-	ls := localDiagnose(qp, r)
-	total := ls.Si + ls.Sp
-	if total <= 0 {
+	sr := d.memo.split.do(periodKey{comp: comp, end: anchor}, func() *splitResult {
+		qp := d.st.QueuingPeriodThreshold(comp, anchor, d.cfg.QueueThreshold)
+		if qp == nil || qp.NIn == 0 {
+			return nil
+		}
+		r := d.st.PeakRate(comp)
+		if r <= 0 {
+			return nil
+		}
+		ls := localDiagnose(qp, r)
+		total := ls.Si + ls.Sp
+		if total <= 0 {
+			return nil
+		}
+		return &splitResult{qp: qp, ls: ls, total: total}
+	})
+	if sr == nil {
 		return nil
 	}
 	return &nfSplit{
-		qp:         qp,
-		ls:         ls,
-		localShare: score * ls.Sp / total,
-		inputShare: score * ls.Si / total,
+		qp:         sr.qp,
+		ls:         sr.ls,
+		localShare: score * sr.ls.Sp / sr.total,
+		inputShare: score * sr.ls.Si / sr.total,
 	}
 }
 
@@ -427,19 +448,22 @@ func (d *diagnoser) addCause(acc map[causeKey]*Cause, c Cause) {
 	}
 }
 
-// periodJourneys lists the journeys of a queuing period's arrivals.
+// periodJourneys lists the journeys of a queuing period's arrivals,
+// memoized per (NF, period). Callers treat the result as read-only.
 func (d *diagnoser) periodJourneys(comp string, qp *tracestore.QueuingPeriod) []int {
-	v := d.st.View(comp)
-	if v == nil {
-		return nil
-	}
-	var out []int
-	for ai := qp.ArrivalFirst; ai <= qp.ArrivalLast && ai < len(v.Arrivals); ai++ {
-		if j := v.Arrivals[ai].Journey; j >= 0 {
-			out = append(out, j)
+	return d.memo.periodJ.do(periodKey{comp: comp, start: qp.Start, end: qp.End}, func() []int {
+		v := d.st.View(comp)
+		if v == nil {
+			return nil
 		}
-	}
-	return out
+		var out []int
+		for ai := qp.ArrivalFirst; ai <= qp.ArrivalLast && ai < len(v.Arrivals); ai++ {
+			if j := v.Arrivals[ai].Journey; j >= 0 {
+				out = append(out, j)
+			}
+		}
+		return out
+	})
 }
 
 // firstEmit returns the earliest emission time of a path subset.

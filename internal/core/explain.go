@@ -51,7 +51,7 @@ type ExplainShare struct {
 // Explain reproduces the diagnosis of one victim while recording every
 // intermediate quantity. It mirrors DiagnoseVictim's recursion exactly.
 func (e *Engine) Explain(st *tracestore.Store, v Victim) *Explanation {
-	d := &diagnoser{cfg: e.cfg, st: st}
+	d := e.newDiagnoser(st)
 	ex := &Explanation{Victim: v}
 	ex.Root = d.explainAt(v.Comp, v.ArriveAt, 1.0, 0)
 	return ex

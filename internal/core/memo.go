@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
+)
+
+// The §4.3 recursion revisits the same upstream queuing periods for many
+// victims: every victim of one overload episode walks into the same
+// (NF, period) nodes upstream. This file memoizes the budget-independent
+// part of each node — the timespan decomposition, the Figure 7 Si/Sp split,
+// and the period's culprit journeys — keyed by (NF, period), with
+// single-flight semantics so concurrent workers hitting the same node
+// compute it once and everyone else blocks for the result instead of
+// duplicating the work.
+//
+// Determinism: every cached value is a pure function of its key over the
+// immutable trace index, so the cache's contents never depend on which
+// worker populated them or in what order. The budget scaling applied at use
+// sites reproduces the pre-memoization arithmetic expression for expression,
+// keeping scores bit-identical across worker counts.
+
+// periodKey identifies a queuing period at a component. For a fixed store
+// and queue threshold, (comp, start, end) uniquely determines the period.
+type periodKey struct {
+	comp       string
+	start, end simtime.Time
+}
+
+// flight is a single-flight memo table: do(k, fn) returns fn()'s value for
+// k, computing it at most once; concurrent callers of the same key wait for
+// the first computation instead of repeating it.
+type flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+func (f *flight[K, V]) do(k K, fn func() V) V {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.m[k]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.m[k] = c
+	f.mu.Unlock()
+	c.val = fn()
+	close(c.done)
+	return c.val
+}
+
+// propPath is the budget-independent timespan decomposition of one upstream
+// path of a queuing period: everything propagate needs except the score
+// scaling.
+type propPath struct {
+	path     *pathStats
+	weight   float64 // n / total PreSet packets
+	shares   []simtime.Duration
+	srcShare simtime.Duration
+	sum      simtime.Duration
+}
+
+// splitResult is the memoized Figure 7 decomposition at an upstream NF:
+// the queuing period anchored at a PreSet last-arrival plus its local
+// scores. nil period means "no queuing there". The local/input shares are
+// linear in the caller's score, so only the ratio inputs are cached.
+type splitResult struct {
+	qp    *tracestore.QueuingPeriod
+	ls    LocalScores
+	total float64
+}
+
+// diagMemo is the per-(store, threshold) diagnosis cache.
+type diagMemo struct {
+	prop    flight[periodKey, []propPath]
+	split   flight[periodKey, *splitResult]
+	periodJ flight[periodKey, []int]
+}
+
+// memoFor returns the engine's diagnosis cache for st, creating it when the
+// engine sees st for the first time. Engines are typically bound to one
+// store for their lifetime (the experiments' rank-scoring loops, the
+// pipeline); a store switch just drops the old cache.
+func (e *Engine) memoFor(st *tracestore.Store) *diagMemo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.memoStore != st || e.memo == nil {
+		e.memoStore = st
+		e.memo = &diagMemo{}
+	}
+	return e.memo
+}

@@ -60,6 +60,51 @@ type propagated struct {
 }
 
 func (d *diagnoser) propagate(f string, qp *tracestore.QueuingPeriod, budget float64) []propagated {
+	// The decomposition is budget-independent; many victims (and the §4.3
+	// recursion itself) revisit the same (NF, period), so it is memoized
+	// with single-flight semantics and only the linear budget scaling
+	// happens per call.
+	pps := d.memo.prop.do(periodKey{comp: f, start: qp.Start, end: qp.End}, func() []propPath {
+		return d.decomposePeriod(f, qp)
+	})
+	var out []propagated
+	for pi := range pps {
+		pp := &pps[pi]
+		if pp.sum <= 0 {
+			// The subset was no burstier than expected: sustained
+			// input pressure, attributed to the source.
+			out = append(out, propagated{
+				comp: collector.SourceName, score: budget * pp.weight, path: pp.path, compIdx: -1,
+			})
+			continue
+		}
+		if pp.srcShare > 0 {
+			out = append(out, propagated{
+				comp:    collector.SourceName,
+				score:   budget * pp.weight * float64(pp.srcShare) / float64(pp.sum),
+				path:    pp.path,
+				compIdx: -1,
+			})
+		}
+		for i, s := range pp.shares {
+			if s <= 0 {
+				continue
+			}
+			out = append(out, propagated{
+				comp:    pp.path.comps[i+1], // shares[i] belongs to comps[i+1] (comps[0] is source)
+				score:   budget * pp.weight * float64(s) / float64(pp.sum),
+				path:    pp.path,
+				compIdx: i + 1,
+			})
+		}
+	}
+	return out
+}
+
+// decomposePeriod computes the budget-independent half of the §4.2
+// analysis: the PreSet path subsets of the period with their timespan
+// shares. Pure over the immutable index, so safe to cache and share.
+func (d *diagnoser) decomposePeriod(f string, qp *tracestore.QueuingPeriod) []propPath {
 	paths := d.collectPaths(f, qp)
 	if len(paths) == 0 {
 		return nil
@@ -76,44 +121,23 @@ func (d *diagnoser) propagate(f string, qp *tracestore.QueuingPeriod, budget flo
 	for _, p := range paths {
 		total += p.n
 	}
-	var out []propagated
+	pps := make([]propPath, 0, len(paths))
 	for _, p := range paths {
-		weight := float64(p.n) / float64(total)
 		shares, srcShare := timespanShares(texp, p)
 		var sum simtime.Duration
 		for _, s := range shares {
 			sum += s
 		}
 		sum += srcShare
-		if sum <= 0 {
-			// The subset was no burstier than expected: sustained
-			// input pressure, attributed to the source.
-			out = append(out, propagated{
-				comp: collector.SourceName, score: budget * weight, path: p, compIdx: -1,
-			})
-			continue
-		}
-		if srcShare > 0 {
-			out = append(out, propagated{
-				comp:    collector.SourceName,
-				score:   budget * weight * float64(srcShare) / float64(sum),
-				path:    p,
-				compIdx: -1,
-			})
-		}
-		for i, s := range shares {
-			if s <= 0 {
-				continue
-			}
-			out = append(out, propagated{
-				comp:    p.comps[i+1], // shares[i] belongs to comps[i+1] (comps[0] is source)
-				score:   budget * weight * float64(s) / float64(sum),
-				path:    p,
-				compIdx: i + 1,
-			})
-		}
+		pps = append(pps, propPath{
+			path:     p,
+			weight:   float64(p.n) / float64(total),
+			shares:   shares,
+			srcShare: srcShare,
+			sum:      sum,
+		})
 	}
-	return out
+	return pps
 }
 
 // timespanShares runs the backward level pass over one path. comps[0] is

@@ -55,38 +55,16 @@ func (c *ThroughputConfig) setDefaults() {
 func (e *Engine) ThroughputVictims(st *tracestore.Store, cfg ThroughputConfig) []Victim {
 	cfg.setDefaults()
 
-	// Per-flow delivered journeys in delivery order.
-	type delivered struct {
-		journey int
-		at      simtime.Time
-	}
-	byFlow := make(map[packet.FiveTuple][]delivered)
-	var end simtime.Time
-	for i := range st.Journeys {
-		j := &st.Journeys[i]
-		if !j.Delivered || len(j.Hops) == 0 {
+	// Per-flow delivered journeys come pre-sorted from the store's shared
+	// flow index (built once, immutable), already in canonical flow order.
+	fi := st.FlowIndex()
+	var victims []Victim
+	for _, ft := range fi.Flows {
+		ds := fi.Deliveries[ft]
+		if len(ds) < cfg.MinPackets {
 			continue
 		}
-		at := j.Hops[len(j.Hops)-1].DepartAt
-		byFlow[j.Tuple] = append(byFlow[j.Tuple], delivered{journey: i, at: at})
-		if at > end {
-			end = at
-		}
-	}
-	// Deterministic flow order.
-	flows := make([]packet.FiveTuple, 0, len(byFlow))
-	for ft, ds := range byFlow {
-		if len(ds) >= cfg.MinPackets {
-			flows = append(flows, ft)
-		}
-	}
-	sort.Slice(flows, func(i, j int) bool { return flowLess(flows[i], flows[j]) })
-
-	var victims []Victim
-	for _, ft := range flows {
-		ds := byFlow[ft]
-		sort.Slice(ds, func(i, j int) bool { return ds[i].at < ds[j].at })
-		first, last := ds[0].at, ds[len(ds)-1].at
+		first, last := ds[0].At, ds[len(ds)-1].At
 		if last <= first {
 			continue
 		}
@@ -96,7 +74,7 @@ func (e *Engine) ThroughputVictims(st *tracestore.Store, cfg ThroughputConfig) [
 		}
 		counts := make([]float64, nWin)
 		for _, dv := range ds {
-			counts[int(dv.at.Sub(first)/cfg.Window)]++
+			counts[int(dv.At.Sub(first)/cfg.Window)]++
 		}
 		// Baseline over interior windows (edges are partial).
 		interior := counts[1 : nWin-1]
@@ -116,12 +94,12 @@ func (e *Engine) ThroughputVictims(st *tracestore.Store, cfg ThroughputConfig) [
 			// dip carries the evidence (it queued through whatever
 			// starved the flow).
 			dipEnd := first.Add(simtime.Duration(w+1) * cfg.Window)
-			idx := sort.Search(len(ds), func(i int) bool { return ds[i].at >= dipEnd })
+			idx := sort.Search(len(ds), func(i int) bool { return ds[i].At >= dipEnd })
 			if idx >= len(ds) {
 				continue
 			}
-			j := &st.Journeys[ds[idx].journey]
-			if v, ok := worstHopOf(ds[idx].journey, j); ok {
+			j := &st.Journeys[ds[idx].Journey]
+			if v, ok := worstHopOf(ds[idx].Journey, j); ok {
 				v.Kind = VictimThroughput
 				victims = append(victims, v)
 			}
@@ -160,18 +138,5 @@ func worstHopOf(idx int, j *tracestore.Journey) (Victim, bool) {
 	}, true
 }
 
-func flowLess(a, b packet.FiveTuple) bool {
-	if a.SrcIP != b.SrcIP {
-		return a.SrcIP < b.SrcIP
-	}
-	if a.DstIP != b.DstIP {
-		return a.DstIP < b.DstIP
-	}
-	if a.SrcPort != b.SrcPort {
-		return a.SrcPort < b.SrcPort
-	}
-	if a.DstPort != b.DstPort {
-		return a.DstPort < b.DstPort
-	}
-	return a.Proto < b.Proto
-}
+// flowLess is the canonical flow total order (see packet.FiveTuple.Less).
+func flowLess(a, b packet.FiveTuple) bool { return a.Less(b) }

@@ -149,6 +149,11 @@ type Config struct {
 	// Use it when NF queues rarely empty (sustained moderate overload);
 	// the default 0 is the paper's base definition.
 	QueueThreshold int
+	// Workers bounds the per-victim diagnosis fan-out (0 = GOMAXPROCS,
+	// 1 = fully sequential). Any value produces byte-identical output:
+	// victims are diagnosed independently against the immutable trace
+	// index and merged in victim order.
+	Workers int
 }
 
 func (c *Config) setDefaults() {

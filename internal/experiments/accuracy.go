@@ -290,8 +290,14 @@ func SweepHops(run *AccuracyRun) *SweepResult {
 		if !ok {
 			continue
 		}
-		// Worst victims of this distance class first.
-		sort.Slice(cands, func(a, b int) bool { return cands[a].delay > cands[b].delay })
+		// Worst victims of this distance class first; journey index breaks
+		// delay ties so the bucket truncation below is deterministic.
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].delay != cands[b].delay {
+				return cands[a].delay > cands[b].delay
+			}
+			return cands[a].v.Journey < cands[b].v.Journey
+		})
 		if len(cands) > perBucket {
 			cands = cands[:perBucket]
 		}

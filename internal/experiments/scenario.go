@@ -97,6 +97,9 @@ type AccuracyConfig struct {
 	MaxVictims int
 	// NetMedicWindow sets the baseline window (default 10ms).
 	NetMedicWindow simtime.Duration
+	// Workers bounds the per-victim diagnosis fan-out (0 = GOMAXPROCS,
+	// 1 = sequential); results are identical for any value.
+	Workers int
 }
 
 func (c *AccuracyConfig) setDefaults() {
@@ -273,7 +276,7 @@ func RunAccuracy(cfg AccuracyConfig) *AccuracyRun {
 	st := tracestore.Build(col.Trace(collector.MetaFor(topo)))
 	st.Reconstruct()
 
-	eng := core.NewEngine(core.Config{MaxVictims: cfg.MaxVictims})
+	eng := core.NewEngine(core.Config{MaxVictims: cfg.MaxVictims, Workers: cfg.Workers})
 	// Victim selection is per injection slot: each injected problem's
 	// victims are the worst-latency packets within its slot. A single
 	// global percentile would let the most violent injection class
@@ -286,10 +289,7 @@ func RunAccuracy(cfg AccuracyConfig) *AccuracyRun {
 		perSlot = 10
 	}
 	victims := selectSlotVictims(st, injections, cfg.SlotDur, perSlot)
-	diags := make([]core.Diagnosis, len(victims))
-	for i := range victims {
-		diags[i] = eng.DiagnoseVictim(st, victims[i])
-	}
+	diags := eng.DiagnoseVictims(st, victims)
 
 	nm := netmedic.New(st, netmedic.Config{Window: cfg.NetMedicWindow})
 	nmRes := nm.Diagnose(victims)

@@ -36,6 +36,9 @@ type WildConfig struct {
 	// interrupts, microbursts) that a real testbed exhibits and §6.5
 	// relies on ("diverse types of problems emerge at the high load").
 	NoNaturalEvents bool
+	// Workers bounds the per-victim diagnosis fan-out (0 = GOMAXPROCS,
+	// 1 = sequential); results are identical for any value.
+	Workers int
 }
 
 func (c *WildConfig) setDefaults() {
@@ -140,6 +143,7 @@ func RunWild(cfg WildConfig) *WildRun {
 	eng := core.NewEngine(core.Config{
 		VictimPercentile: cfg.VictimPercentile,
 		MaxVictims:       cfg.MaxVictims,
+		Workers:          cfg.Workers,
 	})
 	diags := eng.Diagnose(st)
 	return &WildRun{Config: cfg, Store: st, Diags: diags, Topo: topo}

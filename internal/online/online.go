@@ -12,6 +12,7 @@ import (
 
 	"microscope/internal/collector"
 	"microscope/internal/core"
+	"microscope/internal/pipeline"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
@@ -30,6 +31,10 @@ type Config struct {
 	MaxVictims int
 	// Diagnosis passes through engine knobs (victim percentile etc.).
 	Diagnosis core.Config
+	// Workers bounds each window's per-victim diagnosis fan-out
+	// (0 = GOMAXPROCS, 1 = sequential); alerts are identical for any
+	// value. Overrides Diagnosis.Workers when nonzero.
+	Workers int
 	// HoldOff suppresses repeated alerts for the same <comp, kind> with
 	// onsets within this duration of an already-alerted onset
 	// (default: one Window).
@@ -83,7 +88,10 @@ func (a Alert) String() string {
 type Monitor struct {
 	cfg  Config
 	meta collector.Meta
-	eng  *core.Engine
+	// pcfg is the per-window pipeline configuration: each window runs the
+	// shared staged pipeline with patterns skipped (the monitor merges raw
+	// causes itself).
+	pcfg pipeline.Config
 
 	pending   []collector.BatchRecord
 	nextFlush simtime.Time
@@ -120,10 +128,13 @@ func New(meta collector.Meta, cfg Config) *Monitor {
 	cfg.setDefaults()
 	dcfg := cfg.Diagnosis
 	dcfg.MaxVictims = cfg.MaxVictims
+	if cfg.Workers != 0 {
+		dcfg.Workers = cfg.Workers
+	}
 	return &Monitor{
 		cfg:       cfg,
 		meta:      meta,
-		eng:       core.NewEngine(dcfg),
+		pcfg:      pipeline.Config{Diagnosis: dcfg, SkipPatterns: true},
 		lastAlert: make(map[alertKey]simtime.Time),
 		nextFlush: simtime.Time(cfg.Window),
 	}
@@ -184,12 +195,11 @@ func (m *Monitor) flushWindow() []Alert {
 		return nil
 	}
 	tr := &collector.Trace{Meta: m.meta, Records: window}
-	st := tracestore.Build(tr)
-	st.Reconstruct()
-	health := st.Health()
+	res := pipeline.Run(tr, m.pcfg)
+	health := res.Health
 	m.stats.Unmatched += health.Recon.Unmatched
 	m.stats.Quarantined += health.Recon.Quarantined
-	diags := m.eng.Diagnose(st)
+	diags := res.Diagnoses
 	m.stats.Victims += len(diags)
 
 	// Merge culprits across the window's victims.
@@ -226,7 +236,10 @@ func (m *Monitor) flushWindow() []Alert {
 		if merged[keys[i]].score != merged[keys[j]].score {
 			return merged[keys[i]].score > merged[keys[j]].score
 		}
-		return keys[i].comp < keys[j].comp
+		if keys[i].comp != keys[j].comp {
+			return keys[i].comp < keys[j].comp
+		}
+		return keys[i].kind < keys[j].kind
 	})
 	var out []Alert
 	for _, k := range keys {

@@ -1,0 +1,58 @@
+// Package par provides the bounded fan-out primitive the diagnosis
+// pipeline's parallel stages share. Work items are claimed from an atomic
+// counter so scheduling order never affects which goroutine computes which
+// item; callers keep determinism by writing each result into a slot indexed
+// by the item, never by completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n <= 0 means GOMAXPROCS, and the
+// count never exceeds the number of items.
+func Workers(n, items int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Do runs fn(i) for every i in [0, n) across at most workers goroutines.
+// With workers <= 1 it runs inline, byte-for-byte the sequential loop. fn
+// must be safe for concurrent invocation with distinct i; Do returns only
+// after every call has finished, so results written to slot i of a
+// preallocated slice are visible to the caller.
+func Do(n, workers int, fn func(i int)) {
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

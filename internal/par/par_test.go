@@ -1,0 +1,63 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		n, items, want int
+	}{
+		{0, 100, maxprocs}, // 0 = GOMAXPROCS
+		{-3, 100, maxprocs},
+		{4, 100, 4},
+		{8, 3, 3}, // clamped to items
+		{2, 0, 1}, // never below 1
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.n, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.n, c.items, got, c.want)
+		}
+	}
+}
+
+func TestDoCoversEveryItemExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	called := false
+	Do(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with zero items")
+	}
+}
+
+// TestDoSequentialOrder pins the workers<=1 contract: the inline loop visits
+// items strictly in order, which the pipeline's determinism baseline
+// (Workers=1) relies on.
+func TestDoSequentialOrder(t *testing.T) {
+	var got []int
+	Do(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken: got %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d items, want 5", len(got))
+	}
+}

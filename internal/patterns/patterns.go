@@ -23,6 +23,7 @@ import (
 	"microscope/internal/autofocus"
 	"microscope/internal/core"
 	"microscope/internal/packet"
+	"microscope/internal/par"
 	"microscope/internal/tracestore"
 )
 
@@ -75,6 +76,10 @@ type Config struct {
 	// contributes relation shares to (default 256), keeping the input
 	// size linear in diagnoses.
 	MaxCulpritsPerCause int
+	// Workers bounds the per-group AutoFocus fan-out in both phases
+	// (0 = GOMAXPROCS, 1 = sequential). Output is identical for any
+	// value: groups are independent and results merge in group order.
+	Workers int
 }
 
 func (c *Config) setDefaults() {
@@ -209,13 +214,21 @@ func Aggregate(rels []Relation, cfg Config) []Pattern {
 	}
 	sort.Slice(order, func(i, j int) bool { return culpritKeyLess(order[i], order[j]) })
 
+	// Phase 1 fan-out: each culprit group's victim-dimension AutoFocus is
+	// independent; results land in group-order slots so the phase-2
+	// assembly below sees exactly the sequential order.
+	phase1 := make([][]autofocus.Pattern, len(order))
+	par.Do(len(order), cfg.Workers, func(gi int) {
+		g := groups[order[gi]]
+		phase1[gi] = autofocus.Aggregate(g.items, autofocus.Config{Threshold: cfg.Phase1Threshold, Cache: victimCache})
+	})
+
 	// Phase 2 input: per victim aggregate, the culprit-side items.
 	phase2 := make(map[victimAggKey][]autofocus.Item)
 	var vaOrder []victimAggKey
-	for _, ck := range order {
+	for gi, ck := range order {
 		g := groups[ck]
-		vaggs := autofocus.Aggregate(g.items, autofocus.Config{Threshold: cfg.Phase1Threshold, Cache: victimCache})
-		for _, va := range vaggs {
+		for _, va := range phase1[gi] {
 			vk := victimAggKey{flow: va.Flow, nf: va.NF}
 			if _, seen := phase2[vk]; !seen {
 				vaOrder = append(vaOrder, vk)
@@ -233,26 +246,29 @@ func Aggregate(rels []Relation, cfg Config) []Pattern {
 		}
 	}
 
-	// Phase 2: aggregate culprit dimensions per victim aggregate; apply
-	// the global significance threshold.
-	var out []Pattern
-	for _, vk := range vaOrder {
-		items := phase2[vk]
+	// Phase 2 fan-out: aggregate culprit dimensions per victim aggregate;
+	// apply the global significance threshold. Same slot-merge discipline.
+	phase2Out := make([][]autofocus.Pattern, len(vaOrder))
+	par.Do(len(vaOrder), cfg.Workers, func(vi int) {
+		items := phase2[vaOrder[vi]]
 		var groupW float64
 		for i := range items {
 			groupW += items[i].Weight
 		}
 		if groupW <= 0 {
-			continue
+			return
 		}
 		// Local threshold chosen so the reported weight is significant
 		// globally: w >= th * grand.
 		local := cfg.Threshold * grand / groupW
 		if local > 1 {
-			continue // group too light to ever matter
+			return // group too light to ever matter
 		}
-		caggs := autofocus.Aggregate(items, autofocus.Config{Threshold: local, Cache: culpritCache})
-		for _, ca := range caggs {
+		phase2Out[vi] = autofocus.Aggregate(items, autofocus.Config{Threshold: local, Cache: culpritCache})
+	})
+	var out []Pattern
+	for vi, vk := range vaOrder {
+		for _, ca := range phase2Out[vi] {
 			out = append(out, Pattern{
 				CulpritFlow: ca.Flow,
 				CulpritNF:   ca.NF,
@@ -262,7 +278,14 @@ func Aggregate(rels []Relation, cfg Config) []Pattern {
 			})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	// Total order: score desc, then the rendered pattern text — cheap,
+	// unique per pattern, and independent of assembly order.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].String() < out[j].String()
+	})
 	if cfg.MaxPatterns > 0 && len(out) > cfg.MaxPatterns {
 		out = out[:cfg.MaxPatterns]
 	}

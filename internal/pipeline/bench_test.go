@@ -1,0 +1,30 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"microscope"
+	"microscope/internal/simtime"
+)
+
+// BenchmarkDiagnosePipeline measures the staged pipeline end to end
+// (victims → diagnose → patterns) on the 16-NF evaluation workload at
+// several worker counts. The trace is simulated and reconstructed once;
+// each iteration runs a full diagnosis with a fresh engine, so the
+// single-flight memo cache is measured, not amortized away.
+func BenchmarkDiagnosePipeline(b *testing.B) {
+	tr := buildTrace(42, 40*simtime.Millisecond)
+	st := microscope.Reconstruct(tr)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			victims := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := microscope.DiagnoseStore(st, microscope.DiagnosisConfig{MaxVictims: 300, Workers: w})
+				victims = len(rep.Diagnoses)
+			}
+			b.ReportMetric(float64(victims)*float64(b.N)/b.Elapsed().Seconds(), "victims/s")
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"microscope"
+	"microscope/internal/collector"
+	"microscope/internal/nfsim"
+	"microscope/internal/simtime"
+	"microscope/internal/traffic"
+)
+
+// buildTrace runs the 16-NF evaluation topology under bursty load with
+// injected interrupts and microbursts — the same problem mix mslive
+// streams — and returns the collected trace.
+func buildTrace(seed int64, dur simtime.Duration) *collector.Trace {
+	col := collector.New(collector.Config{})
+	topo := nfsim.BuildEvalTopology(col, nfsim.EvalTopologyConfig{Seed: seed})
+	sim := topo.Sim
+
+	mix := traffic.NewMix(traffic.MixConfig{Flows: 1024, Seed: seed + 1})
+	sched := traffic.Generate(mix, traffic.ScheduleConfig{
+		Rate: simtime.MPPS(1.2), Duration: dur, Seed: seed + 2,
+	})
+	rng := rand.New(rand.NewSource(seed + 3))
+	nfs := topo.AllNFs()
+	for at := simtime.Time(5 * simtime.Millisecond); at < simtime.Time(dur); at = at.Add(8*simtime.Millisecond + simtime.Duration(rng.Int63n(int64(6*simtime.Millisecond)))) {
+		if rng.Intn(2) == 0 {
+			nf := nfs[rng.Intn(len(nfs))]
+			d := 400*simtime.Microsecond + simtime.Duration(rng.Int63n(int64(simtime.Millisecond)))
+			sim.InjectInterrupt(nf, at, d, "det")
+		} else {
+			flow := mix.Flows[rng.Intn(len(mix.Flows))].Tuple
+			sched.InjectBurst(traffic.BurstSpec{
+				ID: int32(at / 1000), At: at, Flow: flow, Count: 600 + rng.Intn(900),
+			})
+		}
+	}
+	sim.LoadSchedule(sched)
+	sim.Run(simtime.Time(dur) + simtime.Time(20*simtime.Millisecond))
+	return col.Trace(collector.MetaFor(topo))
+}
+
+// fingerprint captures every observable output of a report: the rendered
+// text plus a deep dump of all diagnoses, causes (full float precision,
+// culprit journey lists) and patterns.
+func fingerprint(r *microscope.Report) string {
+	var b strings.Builder
+	b.WriteString(r.Render())
+	for i := range r.Diagnoses {
+		d := &r.Diagnoses[i]
+		fmt.Fprintf(&b, "victim %d %s %s %d %d causes=%d\n",
+			d.Victim.Journey, d.Victim.Comp, d.Victim.Kind, d.Victim.ArriveAt, d.Victim.QueueDelay, len(d.Causes))
+		for _, c := range d.Causes {
+			fmt.Fprintf(&b, "  cause %s %s %.17g %d %v\n", c.Comp, c.Kind, c.Score, c.At, c.CulpritJourneys)
+		}
+	}
+	for _, p := range r.Patterns {
+		fmt.Fprintf(&b, "pattern %s score=%.17g\n", p.String(), p.Score)
+	}
+	return b.String()
+}
+
+// TestPipelineDeterminism is the pipeline's contract test: on the 16-NF
+// evaluation workload, a fully sequential run (Workers=1) and a wide
+// parallel run (Workers=8) must produce byte-for-byte identical reports —
+// rendered output, per-victim causes at full float precision, culprit
+// journey lists, and patterns — across several seeds.
+func TestPipelineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 16-NF topology; skipped in -short")
+	}
+	// Under the race detector (an order of magnitude slower) the traces
+	// shrink but all seeds still run: the contract is per-seed.
+	seeds, dur := []int64{1, 7, 42}, 40*simtime.Millisecond
+	if raceEnabled {
+		dur = 8 * simtime.Millisecond
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			tr := buildTrace(seed, dur)
+
+			cfg := microscope.DiagnosisConfig{MaxVictims: 300}
+			cfg.Workers = 1
+			seq := microscope.Diagnose(tr, cfg)
+			cfg.Workers = 8
+			par := microscope.Diagnose(tr, cfg)
+
+			if len(seq.Diagnoses) == 0 {
+				t.Fatalf("workload produced no victims; the determinism check is vacuous")
+			}
+			fseq, fpar := fingerprint(seq), fingerprint(par)
+			if fseq != fpar {
+				t.Fatalf("Workers=1 and Workers=8 reports differ:\n--- sequential ---\n%s\n--- parallel ---\n%s", fseq, fpar)
+			}
+		})
+	}
+}
+
+// TestPipelineStages checks the staged structure: every stage is present,
+// timed, and in order, and SkipPatterns stops after diagnosis.
+func TestPipelineStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 16-NF topology; skipped in -short")
+	}
+	dur := 20 * simtime.Millisecond
+	if raceEnabled {
+		dur = 8 * simtime.Millisecond
+	}
+	tr := buildTrace(3, dur)
+	rep := microscope.Diagnose(tr, microscope.DiagnosisConfig{MaxVictims: 100})
+	want := []string{"index", "victims", "diagnose", "patterns"}
+	if len(rep.Stages) != len(want) {
+		t.Fatalf("got %d stages, want %d: %+v", len(rep.Stages), len(want), rep.Stages)
+	}
+	for i, name := range want {
+		if rep.Stages[i].Name != name {
+			t.Errorf("stage %d = %q, want %q", i, rep.Stages[i].Name, name)
+		}
+		if rep.Stages[i].Elapsed < 0 {
+			t.Errorf("stage %q has negative elapsed %v", name, rep.Stages[i].Elapsed)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package pipeline is the staged diagnosis pipeline every entry point —
+// msdiag and msbench offline, mslive's per-window analysis — routes
+// through. It makes the stages of a Microscope run explicit and
+// independently timed:
+//
+//	reconstruct → index → victims → diagnose → patterns
+//
+// Stage 1 rebuilds packet journeys from the collected trace (§5). Stage 2
+// builds the shared immutable tracestore.Index: per-NF delay statistics,
+// the sorted delivered-latency distribution, and prewarmed queuing-period
+// interval indexes, computed once instead of per DiagnoseVictim call.
+// Stage 3 selects victims (latency / loss). Stage 4 fans the per-victim
+// causal diagnosis (§4.1–§4.3) out over a bounded worker pool, sharing a
+// single-flight memo cache for recursive upstream queuing-period
+// decompositions. Stage 5 aggregates packet-level relations into ranked
+// causal patterns (§4.4), with the per-group AutoFocus calls of both
+// phases running on the same pool.
+//
+// Determinism contract: for a fixed input the pipeline's output is
+// byte-for-byte identical for every Workers value, including 1
+// (sequential). Victims are diagnosed independently against the immutable
+// index and merged in victim order; memoized values are pure functions of
+// their (NF, period) key; every ranking uses a total order.
+package pipeline
+
+import (
+	"time"
+
+	"microscope/internal/collector"
+	"microscope/internal/core"
+	"microscope/internal/patterns"
+	"microscope/internal/tracestore"
+)
+
+// Config tunes a pipeline run.
+type Config struct {
+	// Workers bounds the fan-out of the parallel stages (0 = GOMAXPROCS,
+	// 1 = fully sequential). Any value produces identical output. When
+	// nonzero it overrides Diagnosis.Workers and Patterns.Workers.
+	Workers int
+	// Diagnosis passes through the engine knobs (victim percentile,
+	// recursion depth, queue threshold, ...).
+	Diagnosis core.Config
+	// Patterns tunes the §4.4 aggregation.
+	Patterns patterns.Config
+	// SkipPatterns stops after stage 4 — the online monitor merges raw
+	// causes itself and never needs patterns.
+	SkipPatterns bool
+}
+
+// StageTiming is one stage's wall-clock cost.
+type StageTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// Result is the full output of a pipeline run.
+type Result struct {
+	// Store is the reconstructed trace backing everything downstream.
+	Store *tracestore.Store
+	// Index is the shared immutable trace index the diagnosis ran over.
+	Index *tracestore.Index
+	// Victims is the stage-3 selection, in canonical victim order.
+	Victims []core.Victim
+	// Diagnoses holds per-victim ranked causes, parallel to Victims.
+	Diagnoses []core.Diagnosis
+	// Relations is how many packet-level causal relations stage 5 fed to
+	// AutoFocus (0 when SkipPatterns).
+	Relations int
+	// Patterns is the ranked causal-pattern report (nil when SkipPatterns).
+	Patterns []patterns.Pattern
+	// Health qualifies the run: trace damage and reconstruction outcome.
+	Health tracestore.Health
+	// Stages records per-stage wall-clock timings, in execution order.
+	Stages []StageTiming
+}
+
+// Run executes the full pipeline on a collected trace.
+func Run(tr *collector.Trace, cfg Config) *Result {
+	t0 := time.Now()
+	st := tracestore.Build(tr)
+	st.Reconstruct()
+	res := runStore(st, cfg)
+	res.Stages = append([]StageTiming{{Name: "reconstruct", Elapsed: time.Since(t0) - totalElapsed(res.Stages)}}, res.Stages...)
+	return res
+}
+
+// RunStore executes stages 2–5 on an already-reconstructed store.
+func RunStore(st *tracestore.Store, cfg Config) *Result {
+	return runStore(st, cfg)
+}
+
+func runStore(st *tracestore.Store, cfg Config) *Result {
+	if cfg.Workers != 0 {
+		cfg.Diagnosis.Workers = cfg.Workers
+		cfg.Patterns.Workers = cfg.Workers
+	}
+	res := &Result{Store: st, Health: st.Health()}
+	stage := func(name string, fn func()) {
+		t := time.Now()
+		fn()
+		res.Stages = append(res.Stages, StageTiming{Name: name, Elapsed: time.Since(t)})
+	}
+
+	eng := core.NewEngine(cfg.Diagnosis)
+	stage("index", func() {
+		res.Index = st.Index(cfg.Diagnosis.QueueThreshold)
+	})
+	stage("victims", func() {
+		res.Victims = eng.FindVictims(st)
+	})
+	stage("diagnose", func() {
+		res.Diagnoses = eng.DiagnoseVictims(st, res.Victims)
+	})
+	if cfg.SkipPatterns {
+		return res
+	}
+	stage("patterns", func() {
+		rels := patterns.RelationsFromDiagnoses(st, res.Diagnoses, cfg.Patterns)
+		res.Relations = len(rels)
+		res.Patterns = patterns.Aggregate(rels, cfg.Patterns)
+	})
+	return res
+}
+
+func totalElapsed(stages []StageTiming) time.Duration {
+	var d time.Duration
+	for _, s := range stages {
+		d += s.Elapsed
+	}
+	return d
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package pipeline_test
+
+// raceEnabled lets the heavy simulation-backed tests shrink their workload
+// under the race detector, where execution is an order of magnitude slower.
+// The race run still exercises the same parallel code paths; the full-size
+// determinism sweep runs in the regular (non-race) test pass.
+const raceEnabled = true

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"microscope/internal/collector"
 	"microscope/internal/packet"
@@ -94,6 +95,13 @@ type Store struct {
 	Journeys []Journey
 
 	recon ReconStats
+
+	// mu guards the lazily built shared indexes below. The per-threshold
+	// diagnosis indexes and the flow index are built once and immutable
+	// afterwards, so holders never need the lock to read them.
+	mu      sync.Mutex
+	indexes map[int]*Index
+	flowIdx *FlowIndex
 }
 
 // ReconStats summarizes how reconstruction went.

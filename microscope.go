@@ -45,6 +45,7 @@ import (
 	"microscope/internal/online"
 	"microscope/internal/packet"
 	"microscope/internal/patterns"
+	"microscope/internal/pipeline"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 	"microscope/internal/traffic"
@@ -141,6 +142,10 @@ type DiagnosisConfig struct {
 	// LossVictimsWhenDegraded keeps loss diagnosis active even when the
 	// trace health is degraded (see core.Config).
 	LossVictimsWhenDegraded bool
+	// Workers bounds the parallel fan-out of the diagnosis pipeline
+	// (0 = GOMAXPROCS, 1 = fully sequential). The report is byte-for-byte
+	// identical for every value.
+	Workers int
 }
 
 // Report is the full diagnosis output for one trace.
@@ -155,7 +160,12 @@ type Report struct {
 	// reconstruction coped. Degraded health means loss conclusions were
 	// suppressed (unless forced) and scores deserve skepticism.
 	Health Health
+	// Stages records the pipeline's per-stage wall-clock timings.
+	Stages []PipelineStage
 }
+
+// PipelineStage is one pipeline stage's wall-clock timing.
+type PipelineStage = pipeline.StageTiming
 
 // Diagnose reconstructs a trace and runs the complete Microscope pipeline.
 func Diagnose(tr *Trace, cfg DiagnosisConfig) *Report {
@@ -170,21 +180,27 @@ func Reconstruct(tr *Trace) *Store {
 	return st
 }
 
-// DiagnoseStore runs diagnosis and aggregation on an already-reconstructed
-// store.
+// DiagnoseStore runs the staged pipeline (index → victims → diagnose →
+// patterns) on an already-reconstructed store.
 func DiagnoseStore(st *Store, cfg DiagnosisConfig) *Report {
-	eng := core.NewEngine(core.Config{
-		VictimPercentile:        cfg.VictimPercentile,
-		MaxRecursionDepth:       cfg.MaxRecursionDepth,
-		MaxVictims:              cfg.MaxVictims,
-		SkipLossVictims:         cfg.SkipLossVictims,
-		LossVictimsWhenDegraded: cfg.LossVictimsWhenDegraded,
+	res := pipeline.RunStore(st, pipeline.Config{
+		Workers: cfg.Workers,
+		Diagnosis: core.Config{
+			VictimPercentile:        cfg.VictimPercentile,
+			MaxRecursionDepth:       cfg.MaxRecursionDepth,
+			MaxVictims:              cfg.MaxVictims,
+			SkipLossVictims:         cfg.SkipLossVictims,
+			LossVictimsWhenDegraded: cfg.LossVictimsWhenDegraded,
+		},
+		Patterns: patterns.Config{Threshold: cfg.PatternThreshold},
 	})
-	diags := eng.Diagnose(st)
-	pcfg := patterns.Config{Threshold: cfg.PatternThreshold}
-	rels := patterns.RelationsFromDiagnoses(st, diags, pcfg)
-	pats := patterns.Aggregate(rels, pcfg)
-	return &Report{Store: st, Diagnoses: diags, Patterns: pats, Health: st.Health()}
+	return &Report{
+		Store:     st,
+		Diagnoses: res.Diagnoses,
+		Patterns:  res.Patterns,
+		Health:    res.Health,
+		Stages:    res.Stages,
+	}
 }
 
 // InjectFaults applies deterministic fault models (record loss, truncation,
