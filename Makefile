@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race race-pipeline fuzz bench bench-all
+.PHONY: check vet build test race race-pipeline fuzz bench bench-smoke bench-all
 
 # The full pre-submit gate.
-check: vet build race race-pipeline fuzz
+check: vet build race race-pipeline fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,9 +27,16 @@ race-pipeline:
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/collector
 
-# Pipeline throughput (victims/s per worker count), machine-readable.
+# Pipeline throughput (victims/s per worker count), condensed to a compact
+# machine-readable summary (ns/op, victims/s, B/op, allocs/op per worker
+# count) by cmd/benchfmt.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline | tee BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline | $(GO) run ./cmd/benchfmt | tee BENCH_pipeline.json
+
+# One-iteration pipeline benchmark: catches benchmark bit-rot and gross
+# perf/alloc regressions in the pre-submit gate without the full run's cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchtime=1x -benchmem ./internal/pipeline
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -73,7 +73,7 @@ func TestBuilderDiagnosisWorks(t *testing.T) {
 		if !j.HasTuple || j.Tuple != flowA {
 			continue
 		}
-		hop := j.HopAt("vpn")
+		hop := st.HopAt(j, "vpn")
 		if hop == nil || hop.ReadAt == 0 || hop.ArriveAt < Time(2800*simtime.Microsecond) {
 			continue
 		}

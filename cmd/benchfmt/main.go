@@ -1,0 +1,40 @@
+// Command benchfmt condenses a `go test -json -bench` stream into a
+// compact machine-readable summary. It reads the JSON event stream on
+// stdin, extracts benchmark result lines, and writes one JSON document:
+//
+//	{
+//	  "benchmark": "BenchmarkDiagnosePipeline",
+//	  "cpu": "Intel(R) Xeon(R) ...",
+//	  "results": [
+//	    {"name": "workers=1", "workers": 1, "iterations": 3,
+//	     "ns_per_op": 1.2e10, "victims_per_s": 29.5,
+//	     "b_per_op": 7.7e8, "allocs_per_op": 67348},
+//	    ...
+//	  ]
+//	}
+//
+// Unknown metric units pass through under their unit name with "/" and
+// non-alphanumerics mapped to "_", so custom testing.B ReportMetric
+// units (like victims/s) need no special cases here.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	sum, err := summarize(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's output event we care about.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// Result is one benchmark sub-result, e.g. one workers=N case.
+type Result struct {
+	// Name is the sub-benchmark suffix ("workers=4"), or the full
+	// benchmark name when there is no slash.
+	Name string `json:"name"`
+	// Workers is parsed from a "workers=N" name part (0 when absent).
+	Workers    int   `json:"workers,omitempty"`
+	Iterations int64 `json:"iterations"`
+	// Metrics maps normalized unit names to values: ns_per_op,
+	// b_per_op, allocs_per_op, plus any custom ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Summary is the whole condensed run.
+type Summary struct {
+	Benchmark string   `json:"benchmark"`
+	Goos      string   `json:"goos,omitempty"`
+	Goarch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Pkg       string   `json:"pkg,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// summarize consumes a test2json stream and condenses every benchmark
+// result line found in output events. Non-JSON lines (a raw -bench run
+// piped in directly) are parsed the same way, so both
+// `go test -json | benchfmt` and `go test | benchfmt` work.
+func summarize(sc *bufio.Scanner) (*Summary, error) {
+	sum := &Summary{}
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	// test2json splits one text line across output events (a benchmark's
+	// name flushes before its stats), so JSON-carried output is
+	// reassembled into whole lines before parsing.
+	var partial strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action != "" {
+			if ev.Action != "output" {
+				continue
+			}
+			partial.WriteString(ev.Output)
+			text := partial.String()
+			for {
+				nl := strings.IndexByte(text, '\n')
+				if nl < 0 {
+					break
+				}
+				sum.addLine(text[:nl])
+				text = text[nl+1:]
+			}
+			partial.Reset()
+			partial.WriteString(text)
+			continue
+		}
+		sum.addLine(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if partial.Len() > 0 {
+		sum.addLine(partial.String())
+	}
+	// Deterministic order regardless of interleaving: by workers, then name.
+	sort.SliceStable(sum.Results, func(i, j int) bool {
+		if sum.Results[i].Workers != sum.Results[j].Workers {
+			return sum.Results[i].Workers < sum.Results[j].Workers
+		}
+		return sum.Results[i].Name < sum.Results[j].Name
+	})
+	return sum, nil
+}
+
+func (sum *Summary) addLine(line string) {
+	switch {
+	case strings.HasPrefix(line, "goos: "):
+		sum.Goos = strings.TrimPrefix(line, "goos: ")
+		return
+	case strings.HasPrefix(line, "goarch: "):
+		sum.Goarch = strings.TrimPrefix(line, "goarch: ")
+		return
+	case strings.HasPrefix(line, "cpu: "):
+		sum.CPU = strings.TrimPrefix(line, "cpu: ")
+		return
+	case strings.HasPrefix(line, "pkg: "):
+		sum.Pkg = strings.TrimPrefix(line, "pkg: ")
+		return
+	}
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return
+	}
+	full := fields[0]
+	// Strip the -N GOMAXPROCS suffix go adds ("...-8").
+	if i := strings.LastIndex(full, "-"); i > 0 {
+		if _, err := strconv.Atoi(full[i+1:]); err == nil {
+			full = full[:i]
+		}
+	}
+	bench, name := full, full
+	if i := strings.Index(full, "/"); i >= 0 {
+		bench, name = full[:i], full[i+1:]
+	}
+	if sum.Benchmark == "" {
+		sum.Benchmark = bench
+	}
+	r := Result{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	if i := strings.Index(name, "workers="); i >= 0 {
+		if w, err := strconv.Atoi(name[i+len("workers="):]); err == nil {
+			r.Workers = w
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[normalizeUnit(fields[i+1])] = v
+	}
+	sum.Results = append(sum.Results, r)
+}
+
+// normalizeUnit maps benchmark units to JSON-friendly keys:
+// "ns/op" -> "ns_per_op", "victims/s" -> "victims_per_s".
+func normalizeUnit(u string) string {
+	u = strings.ReplaceAll(u, "/", "_per_")
+	var b strings.Builder
+	for _, c := range u {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteRune(c + 'a' - 'A')
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const jsonStream = `{"Action":"start","Package":"microscope/internal/pipeline"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"goos: linux\n"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"goarch: amd64\n"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"pkg: microscope/internal/pipeline\n"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz\n"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"BenchmarkDiagnosePipeline/workers=8-16         \t       2\t10153847953 ns/op\t        29.55 victims/s\t776417280 B/op\t   67348 allocs/op\n"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"BenchmarkDiagnosePipeline/workers=1-16         \t"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"       1\t18831328570 ns/op\t        15.93 victims/s\t16482161136 B/op\t23823133 allocs/op\n"}
+{"Action":"output","Package":"microscope/internal/pipeline","Output":"PASS\n"}
+{"Action":"pass","Package":"microscope/internal/pipeline"}
+`
+
+func TestSummarizeJSONStream(t *testing.T) {
+	sum, err := summarize(bufio.NewScanner(strings.NewReader(jsonStream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Benchmark != "BenchmarkDiagnosePipeline" {
+		t.Errorf("benchmark: %q", sum.Benchmark)
+	}
+	if sum.Goos != "linux" || sum.Goarch != "amd64" || sum.Pkg != "microscope/internal/pipeline" {
+		t.Errorf("env: %+v", sum)
+	}
+	if !strings.Contains(sum.CPU, "Xeon") {
+		t.Errorf("cpu: %q", sum.CPU)
+	}
+	if len(sum.Results) != 2 {
+		t.Fatalf("results: %d", len(sum.Results))
+	}
+	// Sorted by workers despite reversed input order.
+	if sum.Results[0].Workers != 1 || sum.Results[1].Workers != 8 {
+		t.Fatalf("order: %+v", sum.Results)
+	}
+	r := sum.Results[0]
+	if r.Name != "workers=1" || r.Iterations != 1 {
+		t.Errorf("result 0: %+v", r)
+	}
+	if r.Metrics["ns_per_op"] != 18831328570 {
+		t.Errorf("ns_per_op: %v", r.Metrics["ns_per_op"])
+	}
+	if r.Metrics["victims_per_s"] != 15.93 {
+		t.Errorf("victims_per_s: %v", r.Metrics["victims_per_s"])
+	}
+	if r.Metrics["b_per_op"] != 16482161136 || r.Metrics["allocs_per_op"] != 23823133 {
+		t.Errorf("mem metrics: %v", r.Metrics)
+	}
+}
+
+func TestSummarizeRawBenchOutput(t *testing.T) {
+	raw := "goos: linux\nBenchmarkFoo-4   \t      10\t 123456 ns/op\t    2048 B/op\t      12 allocs/op\nPASS\n"
+	sum, err := summarize(bufio.NewScanner(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 1 {
+		t.Fatalf("results: %d", len(sum.Results))
+	}
+	r := sum.Results[0]
+	if sum.Benchmark != "BenchmarkFoo" || r.Name != "BenchmarkFoo" || r.Workers != 0 {
+		t.Errorf("raw parse: %q %+v", sum.Benchmark, r)
+	}
+	if r.Metrics["ns_per_op"] != 123456 || r.Metrics["allocs_per_op"] != 12 {
+		t.Errorf("metrics: %v", r.Metrics)
+	}
+}
+
+func TestSummarizeIgnoresGarbage(t *testing.T) {
+	raw := "BenchmarkBad one two\nnot a benchmark\nBenchmarkAlso 3\n{\"Action\":\"run\"}\n"
+	sum, err := summarize(bufio.NewScanner(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 0 {
+		t.Errorf("garbage produced results: %+v", sum.Results)
+	}
+}
+
+func TestNormalizeUnit(t *testing.T) {
+	cases := map[string]string{
+		"ns/op":     "ns_per_op",
+		"victims/s": "victims_per_s",
+		"B/op":      "b_per_op",
+		"allocs/op": "allocs_per_op",
+		"MB/s":      "mb_per_s",
+	}
+	for in, want := range cases {
+		if got := normalizeUnit(in); got != want {
+			t.Errorf("normalizeUnit(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

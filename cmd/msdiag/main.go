@@ -138,10 +138,15 @@ func main() {
 	fmt.Printf("pipeline (%d workers): %s\n", *workers, strings.Join(stages, " | "))
 	fmt.Printf("diagnosed %d victims\n", len(diags))
 
+	flowIdx := st.FlowIndex()
 	for i := 0; i < len(diags) && i < *showDiags; i++ {
 		d := &diags[i]
-		fmt.Printf("\nvictim #%d: %s at %s (t=%v, queue delay %v)\n",
-			i, d.Victim.Kind, d.Victim.Comp, d.Victim.ArriveAt, d.Victim.QueueDelay)
+		flow := "?"
+		if d.Victim.HasTuple {
+			flow = flowIdx.Label(d.Victim.Tuple)
+		}
+		fmt.Printf("\nvictim #%d: %s at %s flow %s (t=%v, queue delay %v)\n",
+			i, d.Victim.Kind, d.Victim.Comp, flow, d.Victim.ArriveAt, d.Victim.QueueDelay)
 		for r, c := range d.Causes {
 			if r >= 4 {
 				break

@@ -86,7 +86,7 @@ func main() {
 		if !j.HasTuple || j.Tuple != flowA {
 			continue
 		}
-		hop := j.HopAt("vpn")
+		hop := st.HopAt(j, "vpn")
 		if hop == nil || hop.ReadAt == 0 {
 			continue
 		}

@@ -91,7 +91,7 @@ func TestRandomScenarioInvariants(t *testing.T) {
 				if hop.ReadAt == 0 {
 					continue
 				}
-				qp := st.QueuingPeriodAt(hop.Comp, hop.ArriveAt)
+				qp := st.QueuingPeriodAtID(hop.Comp, hop.ArriveAt)
 				if qp == nil {
 					continue
 				}

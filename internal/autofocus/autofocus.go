@@ -229,6 +229,53 @@ type aggKey struct {
 	nf   NFAgg
 }
 
+type leafKey struct {
+	flow packet.FiveTuple
+	nf   string
+}
+
+// clusterInfo is one lattice cell with members stored as an [off, off+n)
+// span of the scratch arena.
+type clusterInfo struct {
+	key        aggKey
+	generality int
+	total      float64
+	off, n     int32
+}
+
+// aggScratch holds the per-call workspace of Aggregate. The maps and
+// slices are reused across calls (via aggPool), so a steady stream of
+// aggregations — the two-phase pattern pipeline issues thousands —
+// allocates only on high-water-mark growth.
+type aggScratch struct {
+	leafIdx  map[leafKey]int32
+	leaves   []leaf
+	index    map[aggKey]int32
+	clusters []clusterInfo
+	// arena backs all member lists; cursor tracks per-cluster fill.
+	arena  []int32
+	cursor []int32
+	// exps caches per-leaf lattice expansions within the call (shared
+	// Cache slices); genBuf serves the uncached path.
+	exps   [][]genAgg
+	genBuf []genAgg
+}
+
+var aggPool = sync.Pool{New: func() any {
+	return &aggScratch{
+		leafIdx: make(map[leafKey]int32),
+		index:   make(map[aggKey]int32),
+	}
+}}
+
+func (sc *aggScratch) reset() {
+	clear(sc.leafIdx)
+	clear(sc.index)
+	sc.leaves = sc.leaves[:0]
+	sc.clusters = sc.clusters[:0]
+	sc.exps = sc.exps[:0]
+}
+
 // Aggregate runs the hierarchical heavy-hitter search and returns patterns
 // sorted by descending residual weight (most significant first), most
 // specific first among equals.
@@ -237,54 +284,83 @@ func Aggregate(items []Item, cfg Config) []Pattern {
 	if len(items) == 0 {
 		return nil
 	}
+	sc := aggPool.Get().(*aggScratch)
+	defer aggPool.Put(sc)
+	sc.reset()
+
 	// Group identical observations into leaves.
-	type leafKey struct {
-		flow packet.FiveTuple
-		nf   string
-	}
-	leafIdx := make(map[leafKey]int)
-	var leaves []*leaf
 	var total float64
 	for _, it := range items {
 		total += it.Weight
 		k := leafKey{it.Flow, it.NF}
-		if i, ok := leafIdx[k]; ok {
-			leaves[i].weight += it.Weight
+		if i, ok := sc.leafIdx[k]; ok {
+			sc.leaves[i].weight += it.Weight
 			continue
 		}
-		leafIdx[k] = len(leaves)
-		leaves = append(leaves, &leaf{flow: it.Flow, nf: it.NF, kind: it.Kind, weight: it.Weight})
+		sc.leafIdx[k] = int32(len(sc.leaves))
+		sc.leaves = append(sc.leaves, leaf{flow: it.Flow, nf: it.NF, kind: it.Kind, weight: it.Weight})
 	}
 	if total <= 0 {
 		return nil
 	}
 	minW := cfg.Threshold * total
+	leaves := sc.leaves
 
-	// Enumerate every aggregate each leaf belongs to, tracking members.
-	type clusterInfo struct {
-		key        aggKey
-		members    []int
-		generality int
-		total      float64
-	}
-	index := make(map[aggKey]int)
-	var clusters []clusterInfo
-	var genBuf []genAgg
-	for li, lf := range leaves {
+	// Pass 1: enumerate every aggregate each leaf belongs to, counting
+	// members per cell so the membership arena is sized exactly.
+	membership := 0
+	for li := range leaves {
+		lf := &leaves[li]
+		var exp []genAgg
 		if cfg.Cache != nil {
-			genBuf = cfg.Cache.expansions(lf)
+			exp = cfg.Cache.expansions(lf)
+			sc.exps = append(sc.exps, exp)
 		} else {
-			genBuf = generalizations(lf, genBuf[:0])
+			sc.genBuf = generalizations(lf, sc.genBuf[:0])
+			exp = sc.genBuf
 		}
-		for _, agg := range genBuf {
-			ci, ok := index[agg.key]
+		membership += len(exp)
+		for _, agg := range exp {
+			ci, ok := sc.index[agg.key]
 			if !ok {
-				ci = len(clusters)
-				index[agg.key] = ci
-				clusters = append(clusters, clusterInfo{key: agg.key, generality: agg.generality})
+				ci = int32(len(sc.clusters))
+				sc.index[agg.key] = ci
+				sc.clusters = append(sc.clusters, clusterInfo{key: agg.key, generality: agg.generality})
 			}
-			clusters[ci].members = append(clusters[ci].members, li)
-			clusters[ci].total += lf.weight
+			sc.clusters[ci].n++
+			sc.clusters[ci].total += lf.weight
+		}
+	}
+
+	// Pass 2: lay member lists out in one flat arena. Fill order matches
+	// pass 1 (leaf order within each cell), so reporting below walks
+	// members in the same order the old per-cluster appends produced.
+	if cap(sc.arena) < membership {
+		sc.arena = make([]int32, membership)
+	}
+	arena := sc.arena[:membership]
+	if cap(sc.cursor) < len(sc.clusters) {
+		sc.cursor = make([]int32, len(sc.clusters))
+	}
+	cursor := sc.cursor[:len(sc.clusters)]
+	off := int32(0)
+	for ci := range sc.clusters {
+		sc.clusters[ci].off = off
+		cursor[ci] = off
+		off += sc.clusters[ci].n
+	}
+	for li := range leaves {
+		var exp []genAgg
+		if cfg.Cache != nil {
+			exp = sc.exps[li]
+		} else {
+			sc.genBuf = generalizations(&leaves[li], sc.genBuf[:0])
+			exp = sc.genBuf
+		}
+		for _, agg := range exp {
+			ci := sc.index[agg.key]
+			arena[cursor[ci]] = int32(li)
+			cursor[ci]++
 		}
 	}
 
@@ -292,13 +368,13 @@ func Aggregate(items []Item, cfg Config) []Pattern {
 	// exceeds total member weight, so total < minW is a safe exact
 	// filter — and it shrinks the sort set by orders of magnitude on
 	// realistic inputs.
-	kept := clusters[:0]
-	for i := range clusters {
-		if clusters[i].total >= minW {
-			kept = append(kept, clusters[i])
+	kept := sc.clusters[:0]
+	for i := range sc.clusters {
+		if sc.clusters[i].total >= minW {
+			kept = append(kept, sc.clusters[i])
 		}
 	}
-	clusters = kept
+	clusters := kept
 
 	// Order clusters most-specific first; deterministic tiebreak.
 	sort.Slice(clusters, func(i, j int) bool {
@@ -314,15 +390,16 @@ func Aggregate(items []Item, cfg Config) []Pattern {
 	var out []Pattern
 	for i := range clusters {
 		ci := &clusters[i]
+		members := arena[ci.off : ci.off+ci.n]
 		var residual float64
-		for _, li := range ci.members {
+		for _, li := range members {
 			residual += leaves[li].weight - leaves[li].consumed
 		}
 		if residual < minW {
 			continue
 		}
 		contributing := 0
-		for _, li := range ci.members {
+		for _, li := range members {
 			if leaves[li].weight > leaves[li].consumed {
 				contributing++
 			}

@@ -4,7 +4,6 @@ import (
 	"sort"
 	"sync"
 
-	"microscope/internal/collector"
 	"microscope/internal/par"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
@@ -36,6 +35,8 @@ type diagnoser struct {
 	st   *tracestore.Store
 	idx  *tracestore.Index
 	memo *diagMemo
+	// src is the interned traffic source (NoComp when the trace has none).
+	src tracestore.CompID
 }
 
 // newDiagnoser binds the engine to a store: the shared index is built (or
@@ -46,6 +47,7 @@ func (e *Engine) newDiagnoser(st *tracestore.Store) *diagnoser {
 		st:   st,
 		idx:  st.Index(e.cfg.QueueThreshold),
 		memo: e.memoFor(st),
+		src:  st.SourceID(),
 	}
 }
 
@@ -113,9 +115,7 @@ func (d *diagnoser) findVictims() []Victim {
 		j := &js[i]
 		switch {
 		case j.Delivered && float64(j.Latency()) >= threshold && threshold > 0:
-			for _, v := range d.victimHops(i, j, VictimLatency) {
-				victims = append(victims, v)
-			}
+			victims = d.victimHops(victims, i, j, VictimLatency)
 		case !j.Delivered && lossOK && !j.Quarantined:
 			// Ignore packets merely in flight at trace end.
 			lastSeen := j.EmittedAt
@@ -140,19 +140,19 @@ func (d *diagnoser) findVictims() []Victim {
 			last := j.Hops[len(j.Hops)-1]
 			comp, at := last.Comp, last.ArriveAt
 			if last.ReadAt != 0 {
-				best, bestLen := "", -1
-				for _, dn := range d.st.Trace.Meta.Downstreams(last.Comp) {
-					if l := d.st.QueueLenAt(dn, lastSeen); l > bestLen {
+				best, bestLen := tracestore.NoComp, -1
+				for _, dn := range d.st.DownstreamsID(last.Comp) {
+					if l := d.st.QueueLenAtID(dn, lastSeen); l > bestLen {
 						best, bestLen = dn, l
 					}
 				}
-				if best != "" {
+				if best != tracestore.NoComp {
 					comp, at = best, lastSeen
 				}
 			}
 			victims = append(victims, Victim{
 				Journey:    i,
-				Comp:       comp,
+				Comp:       d.st.CompName(comp),
 				ArriveAt:   at,
 				QueueDelay: lastSeen.Sub(last.ArriveAt),
 				Kind:       VictimLoss,
@@ -175,9 +175,9 @@ func (d *diagnoser) findVictims() []Victim {
 	return victims
 }
 
-// victimHops selects the abnormal hops of a latency victim.
-func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, kind VictimKind) []Victim {
-	var out []Victim
+// victimHops appends the abnormal hops of a latency victim to out.
+func (d *diagnoser) victimHops(out []Victim, idx int, j *tracestore.Journey, kind VictimKind) []Victim {
+	n := len(out)
 	var maxHop *tracestore.JourneyHop
 	var maxDelay simtime.Duration = -1
 	for h := range j.Hops {
@@ -190,11 +190,11 @@ func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, kind VictimKind) 
 			maxDelay = delay
 			maxHop = hop
 		}
-		w := d.idx.DelayStats(hop.Comp)
+		w := d.idx.DelayStatsID(hop.Comp)
 		if w != nil && w.Abnormal(float64(delay), d.cfg.AbnormalStdDevs, 32) {
 			out = append(out, Victim{
 				Journey:    idx,
-				Comp:       hop.Comp,
+				Comp:       d.st.CompName(hop.Comp),
 				ArriveAt:   hop.ArriveAt,
 				QueueDelay: delay,
 				Kind:       kind,
@@ -204,10 +204,10 @@ func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, kind VictimKind) 
 		}
 	}
 	// Fall back to the dominant hop so every victim is diagnosable.
-	if len(out) == 0 && maxHop != nil {
+	if len(out) == n && maxHop != nil {
 		out = append(out, Victim{
 			Journey:    idx,
-			Comp:       maxHop.Comp,
+			Comp:       d.st.CompName(maxHop.Comp),
 			ArriveAt:   maxHop.ArriveAt,
 			QueueDelay: maxDelay,
 			Kind:       kind,
@@ -220,21 +220,97 @@ func (d *diagnoser) victimHops(idx int, j *tracestore.Journey, kind VictimKind) 
 
 // causeKey merges recursion branches blaming the same culprit.
 type causeKey struct {
-	comp string
+	comp tracestore.CompID
 	kind CulpritKind
+}
+
+// maxCulpritJourneys bounds the per-cause journey union.
+const maxCulpritJourneys = 4096
+
+// causeAcc is one accumulating cause inside the scratch: the Cause fields
+// minus the string conversion, with a reusable journey buffer.
+type causeAcc struct {
+	key      causeKey
+	score    float64
+	at       simtime.Time
+	journeys []int
+}
+
+// victimScratch is the pooled per-victim accumulator. The recursion writes
+// into it, diagnoseVictim copies the surviving causes out (they escape into
+// the report), and the buffers go back to the pool — steady-state diagnosis
+// allocates only what it returns.
+type victimScratch struct {
+	idx  map[causeKey]int32
+	accs []causeAcc
+}
+
+var victimPool = sync.Pool{New: func() any {
+	return &victimScratch{idx: make(map[causeKey]int32)}
+}}
+
+// add merges a cause into the accumulator, keeping the earliest onset and
+// unioning culprit journeys (bounded).
+func (sc *victimScratch) add(k causeKey, score float64, at simtime.Time, journeys []int) {
+	if score <= 0 {
+		return
+	}
+	if i, ok := sc.idx[k]; ok {
+		a := &sc.accs[i]
+		a.score += score
+		if at < a.at {
+			a.at = at
+		}
+		if len(a.journeys) < maxCulpritJourneys {
+			a.journeys = append(a.journeys, journeys...)
+		}
+		return
+	}
+	// Reuse a retired slot (and its journey buffer) when one is free.
+	var a *causeAcc
+	if n := len(sc.accs); n < cap(sc.accs) {
+		sc.accs = sc.accs[:n+1]
+		a = &sc.accs[n]
+		a.journeys = a.journeys[:0]
+	} else {
+		sc.accs = append(sc.accs, causeAcc{})
+		a = &sc.accs[len(sc.accs)-1]
+	}
+	a.key, a.score, a.at = k, score, at
+	a.journeys = append(a.journeys, journeys...)
+	sc.idx[k] = int32(len(sc.accs) - 1)
+}
+
+func (sc *victimScratch) reset() {
+	clear(sc.idx)
+	sc.accs = sc.accs[:0]
 }
 
 // diagnoseVictim runs §4.1–§4.3 for one victim.
 func (d *diagnoser) diagnoseVictim(v Victim) Diagnosis {
-	acc := make(map[causeKey]*Cause)
-	d.diagnoseAt(v.Comp, v.ArriveAt, 1.0, 0, acc)
+	sc := victimPool.Get().(*victimScratch)
+	d.diagnoseAt(d.st.CompIDOf(v.Comp), v.ArriveAt, 1.0, 0, sc)
 
-	causes := make([]Cause, 0, len(acc))
-	for _, c := range acc {
-		if c.Score >= d.cfg.MinScore {
-			causes = append(causes, *c)
+	causes := make([]Cause, 0, len(sc.accs))
+	for i := range sc.accs {
+		a := &sc.accs[i]
+		if a.score < d.cfg.MinScore {
+			continue
 		}
+		var js []int
+		if len(a.journeys) > 0 {
+			js = append(make([]int, 0, len(a.journeys)), a.journeys...)
+		}
+		causes = append(causes, Cause{
+			Comp:            d.st.CompName(a.key.comp),
+			Kind:            a.key.kind,
+			Score:           a.score,
+			At:              a.at,
+			CulpritJourneys: js,
+		})
 	}
+	sc.reset()
+	victimPool.Put(sc)
 	sort.Slice(causes, func(i, j int) bool {
 		if causes[i].Score != causes[j].Score {
 			return causes[i].Score > causes[j].Score
@@ -249,15 +325,15 @@ func (d *diagnoser) diagnoseVictim(v Victim) Diagnosis {
 
 // diagnoseAt analyses the queuing period at comp ending at t, scaling all
 // scores by weight (recursive shares), and accumulates causes.
-func (d *diagnoser) diagnoseAt(comp string, t simtime.Time, weight float64, depth int, acc map[causeKey]*Cause) {
+func (d *diagnoser) diagnoseAt(comp tracestore.CompID, t simtime.Time, weight float64, depth int, sc *victimScratch) {
 	if depth > d.cfg.MaxRecursionDepth || weight <= 0 {
 		return
 	}
-	qp := d.st.QueuingPeriodThreshold(comp, t, d.cfg.QueueThreshold)
+	qp := d.st.QueuingPeriodThresholdID(comp, t, d.cfg.QueueThreshold)
 	if qp == nil || qp.NIn == 0 {
 		return
 	}
-	r := d.st.PeakRate(comp)
+	r := d.st.PeakRateID(comp)
 	if r <= 0 {
 		return
 	}
@@ -271,62 +347,43 @@ func (d *diagnoser) diagnoseAt(comp string, t simtime.Time, weight float64, dept
 		// Local slow processing at comp. Culprit packets are the
 		// period's arrivals: the packets the NF was slow on (§6.4
 		// uses these to surface bug-triggering flows).
-		d.addCause(acc, Cause{
-			Comp:            comp,
-			Kind:            CulpritLocalProcessing,
-			Score:           weight * ls.Sp,
-			At:              qp.Start,
-			CulpritJourneys: d.periodJourneys(comp, qp),
-		})
+		sc.add(causeKey{comp, CulpritLocalProcessing}, weight*ls.Sp, qp.Start, d.periodJourneys(comp, qp))
 	}
 	if ls.Si > 0 {
 		// Upstream pressure: split across the source and upstream NFs
 		// by timespan analysis, then recurse into reducing NFs (§4.3).
 		budget := weight * ls.Si
 		for _, pr := range d.propagate(comp, qp, budget) {
-			if pr.comp == collector.SourceName {
-				d.addCause(acc, Cause{
-					Comp:            collector.SourceName,
-					Kind:            CulpritSourceTraffic,
-					Score:           pr.score,
-					At:              d.firstEmit(pr.path),
-					CulpritJourneys: pr.path.journeys,
-				})
-				continue
-			}
-			// Recurse into the NF that squeezed the timespan: its
-			// own queuing period when the subset's first packet
-			// arrived explains whether the squeeze was local
-			// processing or its own input (Figure 7).
-			anchor := pr.path.lastArrive[pr.compIdx]
-			sub := d.splitAtNF(pr.comp, anchor, pr.score)
-			if sub == nil {
-				// No queuing there — attribute the squeeze to
-				// local behaviour at that NF (e.g. an
-				// interrupt that buffered packets arrives as
-				// pure processing).
-				d.addCause(acc, Cause{
-					Comp:            pr.comp,
-					Kind:            CulpritLocalProcessing,
-					Score:           pr.score,
-					At:              anchor,
-					CulpritJourneys: pr.path.journeys,
-				})
-				continue
-			}
-			if sub.localShare > 0 {
-				d.addCause(acc, Cause{
-					Comp:            pr.comp,
-					Kind:            CulpritLocalProcessing,
-					Score:           sub.localShare,
-					At:              sub.qp.Start,
-					CulpritJourneys: d.periodJourneys(pr.comp, sub.qp),
-				})
-			}
-			if sub.inputShare > 0 {
-				d.diagnoseAtPeriod(pr.comp, sub.qp, sub.inputShare/maxf(sub.ls.Si, 1e-9), depth+1, acc)
-			}
+			d.attribute(pr, depth, sc)
 		}
+	}
+}
+
+// attribute folds one propagated share into the accumulator: source shares
+// become traffic causes, upstream shares either recurse (Figure 7 split) or
+// land as local processing at the squeezing NF.
+func (d *diagnoser) attribute(pr propagated, depth int, sc *victimScratch) {
+	if pr.comp == d.src {
+		sc.add(causeKey{pr.comp, CulpritSourceTraffic}, pr.score, d.firstEmit(pr.path), pr.path.journeys)
+		return
+	}
+	// Recurse into the NF that squeezed the timespan: its own queuing
+	// period when the subset's first packet arrived explains whether the
+	// squeeze was local processing or its own input (Figure 7).
+	anchor := pr.path.lastArrive[pr.compIdx]
+	sub := d.splitAtNF(pr.comp, anchor, pr.score)
+	if sub == nil {
+		// No queuing there — attribute the squeeze to local behaviour
+		// at that NF (e.g. an interrupt that buffered packets arrives
+		// as pure processing).
+		sc.add(causeKey{pr.comp, CulpritLocalProcessing}, pr.score, anchor, pr.path.journeys)
+		return
+	}
+	if sub.localShare > 0 {
+		sc.add(causeKey{pr.comp, CulpritLocalProcessing}, sub.localShare, sub.qp.Start, d.periodJourneys(pr.comp, sub.qp))
+	}
+	if sub.inputShare > 0 {
+		d.diagnoseAtPeriod(pr.comp, sub.qp, sub.inputShare/maxf(sub.ls.Si, 1e-9), depth+1, sc)
 	}
 }
 
@@ -343,13 +400,13 @@ type nfSplit struct {
 // queuing period anchored at the PreSet subset's first arrival. The
 // period and its scores are memoized per (NF, anchor); only the linear
 // score scaling happens per call.
-func (d *diagnoser) splitAtNF(comp string, anchor simtime.Time, score float64) *nfSplit {
+func (d *diagnoser) splitAtNF(comp tracestore.CompID, anchor simtime.Time, score float64) *nfSplit {
 	sr := d.memo.split.do(periodKey{comp: comp, end: anchor}, func() *splitResult {
-		qp := d.st.QueuingPeriodThreshold(comp, anchor, d.cfg.QueueThreshold)
+		qp := d.st.QueuingPeriodThresholdID(comp, anchor, d.cfg.QueueThreshold)
 		if qp == nil || qp.NIn == 0 {
 			return nil
 		}
-		r := d.st.PeakRate(comp)
+		r := d.st.PeakRateID(comp)
 		if r <= 0 {
 			return nil
 		}
@@ -374,11 +431,11 @@ func (d *diagnoser) splitAtNF(comp string, anchor simtime.Time, score float64) *
 // diagnoseAtPeriod recurses the §4.2 propagation over an already-computed
 // queuing period, with scores scaled so the propagated budget equals
 // weightFrac * Si(qp).
-func (d *diagnoser) diagnoseAtPeriod(comp string, qp *tracestore.QueuingPeriod, weightFrac float64, depth int, acc map[causeKey]*Cause) {
+func (d *diagnoser) diagnoseAtPeriod(comp tracestore.CompID, qp *tracestore.QueuingPeriod, weightFrac float64, depth int, sc *victimScratch) {
 	if depth > d.cfg.MaxRecursionDepth || weightFrac <= 0 {
 		return
 	}
-	r := d.st.PeakRate(comp)
+	r := d.st.PeakRateID(comp)
 	if r <= 0 {
 		return
 	}
@@ -388,71 +445,15 @@ func (d *diagnoser) diagnoseAtPeriod(comp string, qp *tracestore.QueuingPeriod, 
 	}
 	budget := weightFrac * ls.Si
 	for _, pr := range d.propagate(comp, qp, budget) {
-		if pr.comp == collector.SourceName {
-			d.addCause(acc, Cause{
-				Comp:            collector.SourceName,
-				Kind:            CulpritSourceTraffic,
-				Score:           pr.score,
-				At:              d.firstEmit(pr.path),
-				CulpritJourneys: pr.path.journeys,
-			})
-			continue
-		}
-		anchor := pr.path.lastArrive[pr.compIdx]
-		sub := d.splitAtNF(pr.comp, anchor, pr.score)
-		if sub == nil {
-			d.addCause(acc, Cause{
-				Comp:            pr.comp,
-				Kind:            CulpritLocalProcessing,
-				Score:           pr.score,
-				At:              anchor,
-				CulpritJourneys: pr.path.journeys,
-			})
-			continue
-		}
-		if sub.localShare > 0 {
-			d.addCause(acc, Cause{
-				Comp:            pr.comp,
-				Kind:            CulpritLocalProcessing,
-				Score:           sub.localShare,
-				At:              sub.qp.Start,
-				CulpritJourneys: d.periodJourneys(pr.comp, sub.qp),
-			})
-		}
-		if sub.inputShare > 0 {
-			d.diagnoseAtPeriod(pr.comp, sub.qp, sub.inputShare/maxf(sub.ls.Si, 1e-9), depth+1, acc)
-		}
-	}
-}
-
-// addCause merges a cause into the accumulator, keeping the earliest onset
-// and unioning culprit journeys (bounded).
-func (d *diagnoser) addCause(acc map[causeKey]*Cause, c Cause) {
-	if c.Score <= 0 {
-		return
-	}
-	k := causeKey{comp: c.Comp, kind: c.Kind}
-	e := acc[k]
-	if e == nil {
-		cc := c
-		cc.CulpritJourneys = append([]int(nil), c.CulpritJourneys...)
-		acc[k] = &cc
-		return
-	}
-	e.Score += c.Score
-	if c.At < e.At {
-		e.At = c.At
-	}
-	if len(e.CulpritJourneys) < 4096 {
-		e.CulpritJourneys = append(e.CulpritJourneys, c.CulpritJourneys...)
+		d.attribute(pr, depth, sc)
 	}
 }
 
 // periodJourneys lists the journeys of a queuing period's arrivals,
 // memoized per (NF, period). Callers treat the result as read-only.
-func (d *diagnoser) periodJourneys(comp string, qp *tracestore.QueuingPeriod) []int {
+func (d *diagnoser) periodJourneys(comp tracestore.CompID, qp *tracestore.QueuingPeriod) []int {
 	return d.memo.periodJ.do(periodKey{comp: comp, start: qp.Start, end: qp.End}, func() []int {
-		v := d.st.View(comp)
+		v := d.st.ViewID(comp)
 		if v == nil {
 			return nil
 		}

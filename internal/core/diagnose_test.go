@@ -125,7 +125,7 @@ func TestDiagnoseInterruptPropagation(t *testing.T) {
 	vpnVictims, natBlamed := 0, 0
 	for i := range st.Journeys {
 		j := &st.Journeys[i]
-		h := j.HopAt("vpn1")
+		h := st.HopAt(j, "vpn1")
 		if h == nil || h.ReadAt == 0 || h.ArriveAt < intStart.Add(intDur) {
 			continue
 		}

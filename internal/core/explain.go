@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"microscope/internal/collector"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
@@ -53,28 +52,28 @@ type ExplainShare struct {
 func (e *Engine) Explain(st *tracestore.Store, v Victim) *Explanation {
 	d := e.newDiagnoser(st)
 	ex := &Explanation{Victim: v}
-	ex.Root = d.explainAt(v.Comp, v.ArriveAt, 1.0, 0)
+	ex.Root = d.explainAt(st.CompIDOf(v.Comp), v.ArriveAt, 1.0, 0)
 	return ex
 }
 
-func (d *diagnoser) explainAt(comp string, t simtime.Time, weight float64, depth int) *ExplainNode {
+func (d *diagnoser) explainAt(comp tracestore.CompID, t simtime.Time, weight float64, depth int) *ExplainNode {
 	// Unlike the scoring recursion, the explanation keeps zero-weight
 	// nodes: a culprit whose blame is purely local (Sp) still deserves
 	// its queuing-period line in the tree.
 	if depth > d.cfg.MaxRecursionDepth || weight < 0 {
 		return nil
 	}
-	qp := d.st.QueuingPeriodThreshold(comp, t, d.cfg.QueueThreshold)
+	qp := d.st.QueuingPeriodThresholdID(comp, t, d.cfg.QueueThreshold)
 	if qp == nil || qp.NIn == 0 {
 		return nil
 	}
-	r := d.st.PeakRate(comp)
+	r := d.st.PeakRateID(comp)
 	if r <= 0 {
 		return nil
 	}
 	ls := localDiagnose(qp, r)
 	node := &ExplainNode{
-		Comp:   comp,
+		Comp:   d.st.CompName(comp),
 		Anchor: t,
 		Start:  qp.Start,
 		T:      qp.T(),
@@ -90,12 +89,12 @@ func (d *diagnoser) explainAt(comp string, t simtime.Time, weight float64, depth
 	budget := weight * ls.Si
 	for _, pr := range d.propagate(comp, qp, budget) {
 		node.Shares = append(node.Shares, ExplainShare{
-			Comp:    pr.comp,
+			Comp:    d.st.CompName(pr.comp),
 			Score:   pr.score,
-			PathKey: pr.path.key,
+			PathKey: d.pathLabel(pr.path),
 			Packets: pr.path.n,
 		})
-		if pr.comp == collector.SourceName {
+		if pr.comp == d.src {
 			continue
 		}
 		anchor := pr.path.lastArrive[pr.compIdx]

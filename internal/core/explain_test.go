@@ -29,7 +29,7 @@ func TestExplainPropagatedVictim(t *testing.T) {
 	var victim *Victim
 	for i := range st.Journeys {
 		j := &st.Journeys[i]
-		h := j.HopAt("vpn1")
+		h := st.HopAt(j, "vpn1")
 		if h == nil || h.ReadAt == 0 || h.ArriveAt < simtime.Time(1900*simtime.Microsecond) {
 			continue
 		}

@@ -11,7 +11,7 @@ import (
 
 func period(tStart, tEnd simtime.Time, ni, np int) *tracestore.QueuingPeriod {
 	return &tracestore.QueuingPeriod{
-		Comp:  "fw1",
+		Comp:  0,
 		Start: tStart,
 		End:   tEnd,
 		NIn:   ni,
@@ -96,7 +96,7 @@ func TestQueueLen(t *testing.T) {
 func TestTimespanSharesWorkedExample(t *testing.T) {
 	texp := simtime.Duration(1000)
 	p := &pathStats{
-		comps:    []string{"source", "A", "B", "C"},
+		comps:    []tracestore.CompID{0, 1, 2, 3}, // source, A, B, C
 		spans:    []simtime.Duration{800, 400, 600, 300},
 		lastSpan: 300, // arrival span at f equals C's departure span
 	}
@@ -123,7 +123,7 @@ func TestTimespanSharesNoReduction(t *testing.T) {
 	// The span only grew on the way (source 900 -> A 1100) and the
 	// arrival span exceeds Texp: nobody squeezed anything.
 	p := &pathStats{
-		comps:    []string{"source", "A"},
+		comps:    []tracestore.CompID{0, 1}, // source, A
 		spans:    []simtime.Duration{900, 1100},
 		lastSpan: 1100,
 	}
@@ -137,7 +137,7 @@ func TestTimespanSharesSourceOnly(t *testing.T) {
 	// Direct source -> f path (no NFs): the whole reduction is the
 	// source's burstiness.
 	p := &pathStats{
-		comps:    []string{"source"},
+		comps:    []tracestore.CompID{0}, // source only
 		spans:    []simtime.Duration{300},
 		lastSpan: 300,
 	}
@@ -157,13 +157,10 @@ func TestTimespanSharesProperties(t *testing.T) {
 		if len(spansRaw) == 0 || len(spansRaw) > 8 {
 			return true
 		}
-		comps := make([]string, len(spansRaw))
+		comps := make([]tracestore.CompID, len(spansRaw))
 		spans := make([]simtime.Duration, len(spansRaw))
-		comps[0] = "source"
 		for i := range spansRaw {
-			if i > 0 {
-				comps[i] = string(rune('A' + i))
-			}
+			comps[i] = tracestore.CompID(i)
 			spans[i] = simtime.Duration(spansRaw[i])
 		}
 		last := simtime.Duration(lastRaw)

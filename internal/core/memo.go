@@ -24,8 +24,10 @@ import (
 
 // periodKey identifies a queuing period at a component. For a fixed store
 // and queue threshold, (comp, start, end) uniquely determines the period.
+// The component is its interned CompID, so hashing a key never touches a
+// string.
 type periodKey struct {
-	comp       string
+	comp       tracestore.CompID
 	start, end simtime.Time
 }
 

@@ -3,16 +3,18 @@ package core
 import (
 	"sort"
 	"strings"
+	"sync"
 
-	"microscope/internal/collector"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
 
 // pathStats aggregates the PreSet subset that traversed one upstream path.
 type pathStats struct {
+	// key is the path's interned encoding (big-endian CompID bytes) —
+	// an opaque map/sort key, not for display; see diagnoser.pathLabel.
 	key   string
-	comps []string // upstream components in order, starting with "source"
+	comps []tracestore.CompID // upstream components in order, comps[0] is the source
 	// journeys of the subset (journey indices), for culprit reporting.
 	journeys []int
 	n        int
@@ -50,7 +52,7 @@ type pathStats struct {
 // example exactly: a downstream increase (B) zeroes that hop's share and
 // debits the upstream reducer (A) only down to B's span.
 type propagated struct {
-	comp  string
+	comp  tracestore.CompID
 	score float64
 	// subset describes the PreSet packets flowing through this comp for
 	// this share (for recursion and culprit reporting).
@@ -59,7 +61,7 @@ type propagated struct {
 	compIdx int
 }
 
-func (d *diagnoser) propagate(f string, qp *tracestore.QueuingPeriod, budget float64) []propagated {
+func (d *diagnoser) propagate(f tracestore.CompID, qp *tracestore.QueuingPeriod, budget float64) []propagated {
 	// The decomposition is budget-independent; many victims (and the §4.3
 	// recursion itself) revisit the same (NF, period), so it is memoized
 	// with single-flight semantics and only the linear budget scaling
@@ -67,20 +69,20 @@ func (d *diagnoser) propagate(f string, qp *tracestore.QueuingPeriod, budget flo
 	pps := d.memo.prop.do(periodKey{comp: f, start: qp.Start, end: qp.End}, func() []propPath {
 		return d.decomposePeriod(f, qp)
 	})
-	var out []propagated
+	out := make([]propagated, 0, len(pps))
 	for pi := range pps {
 		pp := &pps[pi]
 		if pp.sum <= 0 {
 			// The subset was no burstier than expected: sustained
 			// input pressure, attributed to the source.
 			out = append(out, propagated{
-				comp: collector.SourceName, score: budget * pp.weight, path: pp.path, compIdx: -1,
+				comp: d.src, score: budget * pp.weight, path: pp.path, compIdx: -1,
 			})
 			continue
 		}
 		if pp.srcShare > 0 {
 			out = append(out, propagated{
-				comp:    collector.SourceName,
+				comp:    d.src,
 				score:   budget * pp.weight * float64(pp.srcShare) / float64(pp.sum),
 				path:    pp.path,
 				compIdx: -1,
@@ -104,12 +106,12 @@ func (d *diagnoser) propagate(f string, qp *tracestore.QueuingPeriod, budget flo
 // decomposePeriod computes the budget-independent half of the §4.2
 // analysis: the PreSet path subsets of the period with their timespan
 // shares. Pure over the immutable index, so safe to cache and share.
-func (d *diagnoser) decomposePeriod(f string, qp *tracestore.QueuingPeriod) []propPath {
+func (d *diagnoser) decomposePeriod(f tracestore.CompID, qp *tracestore.QueuingPeriod) []propPath {
 	paths := d.collectPaths(f, qp)
 	if len(paths) == 0 {
 		return nil
 	}
-	rf := d.st.PeakRate(f)
+	rf := d.st.PeakRateID(f)
 	if rf <= 0 {
 		return nil
 	}
@@ -163,15 +165,27 @@ func timespanShares(texp simtime.Duration, p *pathStats) (nfShares []simtime.Dur
 	return nfShares, srcShare
 }
 
+// collectScratch is the pooled per-arrival workspace of collectPaths: the
+// hop walk and the path-key encoding reuse these buffers, so grouping a
+// thousand-packet PreSet allocates only when a new path appears.
+type collectScratch struct {
+	key     []byte
+	comps   []tracestore.CompID
+	departs []simtime.Time
+	arrives []simtime.Time
+}
+
+var collectPool = sync.Pool{New: func() any { return new(collectScratch) }}
+
 // collectPaths groups the PreSet(p) arrivals of the queuing period by the
 // upstream path their journeys took to f, and computes per-path timespans.
-func (d *diagnoser) collectPaths(f string, qp *tracestore.QueuingPeriod) []*pathStats {
-	v := d.st.View(f)
+func (d *diagnoser) collectPaths(f tracestore.CompID, qp *tracestore.QueuingPeriod) []*pathStats {
+	v := d.st.ViewID(f)
 	if v == nil {
 		return nil
 	}
+	cs := collectPool.Get().(*collectScratch)
 	byKey := make(map[string]*pathStats)
-	// Per path, per component position: first/last depart times.
 	for ai := qp.ArrivalFirst; ai <= qp.ArrivalLast && ai < len(v.Arrivals); ai++ {
 		arr := &v.Arrivals[ai]
 		if arr.Journey < 0 || arr.Journey >= len(d.st.Journeys) {
@@ -179,43 +193,64 @@ func (d *diagnoser) collectPaths(f string, qp *tracestore.QueuingPeriod) []*path
 		}
 		j := &d.st.Journeys[arr.Journey]
 		// Upstream path: source plus the journey's hops before f.
-		comps := []string{collector.SourceName}
-		departs := []simtime.Time{j.EmittedAt}
-		arrives := []simtime.Time{j.EmittedAt}
+		cs.comps = append(cs.comps[:0], d.src)
+		cs.departs = append(cs.departs[:0], j.EmittedAt)
+		cs.arrives = append(cs.arrives[:0], j.EmittedAt)
 		for h := range j.Hops {
 			if j.Hops[h].Comp == f {
 				break
 			}
-			comps = append(comps, j.Hops[h].Comp)
-			departs = append(departs, j.Hops[h].DepartAt)
-			arrives = append(arrives, j.Hops[h].ArriveAt)
+			cs.comps = append(cs.comps, j.Hops[h].Comp)
+			cs.departs = append(cs.departs, j.Hops[h].DepartAt)
+			cs.arrives = append(cs.arrives, j.Hops[h].ArriveAt)
 		}
-		key := strings.Join(comps, ">")
-		ps := byKey[key]
+		cs.key = cs.key[:0]
+		for _, c := range cs.comps {
+			cs.key = append(cs.key, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+		}
+		// map[string(bytes)] compiles to a no-allocation lookup; the key
+		// string is materialized only when a new path appears.
+		ps := byKey[string(cs.key)]
 		if ps == nil {
 			ps = &pathStats{
-				key:         key,
-				comps:       comps,
-				spans:       make([]simtime.Duration, len(comps)),
-				firstArrive: make([]simtime.Time, len(comps)),
-				lastArrive:  make([]simtime.Time, len(comps)),
+				key:         string(cs.key),
+				comps:       append([]tracestore.CompID(nil), cs.comps...),
+				spans:       make([]simtime.Duration, len(cs.comps)),
+				firstArrive: make([]simtime.Time, len(cs.comps)),
+				lastArrive:  make([]simtime.Time, len(cs.comps)),
 			}
 			for i := range ps.spans {
 				ps.spans[i] = -1 // marks "unset"
 			}
-			byKey[key] = ps
+			byKey[ps.key] = ps
 		}
 		ps.n++
 		ps.journeys = append(ps.journeys, arr.Journey)
-		ps.accumulate(departs, arrives, arr.At)
+		ps.accumulate(cs.departs, cs.arrives, arr.At)
 	}
+	collectPool.Put(cs)
 	out := make([]*pathStats, 0, len(byKey))
 	for _, ps := range byKey {
 		ps.finish()
 		out = append(out, ps)
 	}
+	// The encoded key orders paths by (CompID sequence, length): a total
+	// deterministic order, so every worker sees the same decomposition.
 	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
 	return out
+}
+
+// pathLabel renders a path's human-readable form ("source>a>b") for
+// explain/report output; hot paths carry only the interned key.
+func (d *diagnoser) pathLabel(p *pathStats) string {
+	var b strings.Builder
+	for i, c := range p.comps {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		b.WriteString(d.st.CompName(c))
+	}
+	return b.String()
 }
 
 // accumulate folds one packet's per-hop depart times and its arrival time

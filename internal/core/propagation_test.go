@@ -81,7 +81,7 @@ func TestDAGAttributesDominantUpstream(t *testing.T) {
 	checked := 0
 	for i := range st.Journeys {
 		j := &st.Journeys[i]
-		hop := j.HopAt("f")
+		hop := st.HopAt(j, "f")
 		if hop == nil || hop.ReadAt == 0 || hop.ArriveAt < after {
 			continue
 		}
@@ -119,7 +119,7 @@ func TestDAGSingleUpstreamBlamed(t *testing.T) {
 	scoreA1, scoreA2 := 0.0, 0.0
 	for i := range st.Journeys {
 		j := &st.Journeys[i]
-		hop := j.HopAt("f")
+		hop := st.HopAt(j, "f")
 		if hop == nil || hop.ReadAt == 0 || hop.ArriveAt < after {
 			continue
 		}
@@ -162,42 +162,59 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestCulpritJourneyCap(t *testing.T) {
-	d := &diagnoser{cfg: Config{}}
-	acc := make(map[causeKey]*Cause)
+	sc := &victimScratch{idx: make(map[causeKey]int32)}
 	many := make([]int, 3000)
 	for i := range many {
 		many[i] = i
 	}
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, CulpritJourneys: many})
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, CulpritJourneys: many})
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, CulpritJourneys: many})
-	got := acc[causeKey{"x", CulpritLocalProcessing}]
-	if got.Score != 3 {
-		t.Errorf("score: %v", got.Score)
+	k := causeKey{comp: 7, kind: CulpritLocalProcessing}
+	sc.add(k, 1, 0, many)
+	sc.add(k, 1, 0, many)
+	sc.add(k, 1, 0, many)
+	got := &sc.accs[sc.idx[k]]
+	if got.score != 3 {
+		t.Errorf("score: %v", got.score)
 	}
-	if len(got.CulpritJourneys) > 4096+len(many) {
-		t.Errorf("culprit journeys unbounded: %d", len(got.CulpritJourneys))
+	if len(got.journeys) > 4096+len(many) {
+		t.Errorf("culprit journeys unbounded: %d", len(got.journeys))
 	}
 }
 
 func TestAddCauseIgnoresNonPositive(t *testing.T) {
-	d := &diagnoser{cfg: Config{}}
-	acc := make(map[causeKey]*Cause)
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 0})
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: -5})
-	if len(acc) != 0 {
+	sc := &victimScratch{idx: make(map[causeKey]int32)}
+	k := causeKey{comp: 7, kind: CulpritLocalProcessing}
+	sc.add(k, 0, 0, nil)
+	sc.add(k, -5, 0, nil)
+	if len(sc.accs) != 0 {
 		t.Error("non-positive causes accumulated")
 	}
 }
 
 func TestAddCauseKeepsEarliestOnset(t *testing.T) {
-	d := &diagnoser{cfg: Config{}}
-	acc := make(map[causeKey]*Cause)
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, At: 500})
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, At: 100})
-	d.addCause(acc, Cause{Comp: "x", Kind: CulpritLocalProcessing, Score: 1, At: 900})
-	got := acc[causeKey{"x", CulpritLocalProcessing}]
-	if got.At != 100 {
-		t.Errorf("onset: %v", got.At)
+	sc := &victimScratch{idx: make(map[causeKey]int32)}
+	k := causeKey{comp: 7, kind: CulpritLocalProcessing}
+	sc.add(k, 1, 500, nil)
+	sc.add(k, 1, 100, nil)
+	sc.add(k, 1, 900, nil)
+	got := &sc.accs[sc.idx[k]]
+	if got.at != 100 {
+		t.Errorf("onset: %v", got.at)
+	}
+}
+
+// TestScratchSlotReuse: reset retires slots but a subsequent add must not
+// resurrect stale journeys from the reused buffer.
+func TestScratchSlotReuse(t *testing.T) {
+	sc := &victimScratch{idx: make(map[causeKey]int32)}
+	k := causeKey{comp: 3, kind: CulpritSourceTraffic}
+	sc.add(k, 2, 50, []int{1, 2, 3})
+	sc.reset()
+	if len(sc.accs) != 0 || len(sc.idx) != 0 {
+		t.Fatalf("reset left state: %d accs, %d keys", len(sc.accs), len(sc.idx))
+	}
+	sc.add(k, 1, 9, []int{42})
+	got := &sc.accs[sc.idx[k]]
+	if got.score != 1 || got.at != 9 || len(got.journeys) != 1 || got.journeys[0] != 42 {
+		t.Errorf("reused slot carried stale state: %+v", got)
 	}
 }

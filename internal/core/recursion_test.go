@@ -72,7 +72,7 @@ func TestTwoLevelRecursion(t *testing.T) {
 	deepSeen := false
 	for i := range st.Journeys {
 		j := &st.Journeys[i]
-		hop := j.HopAt("f")
+		hop := st.HopAt(j, "f")
 		if hop == nil || hop.ReadAt == 0 || hop.ArriveAt < after {
 			continue
 		}

@@ -99,7 +99,7 @@ func (e *Engine) ThroughputVictims(st *tracestore.Store, cfg ThroughputConfig) [
 				continue
 			}
 			j := &st.Journeys[ds[idx].Journey]
-			if v, ok := worstHopOf(ds[idx].Journey, j); ok {
+			if v, ok := worstHopOf(st, ds[idx].Journey, j); ok {
 				v.Kind = VictimThroughput
 				victims = append(victims, v)
 			}
@@ -112,7 +112,7 @@ func (e *Engine) ThroughputVictims(st *tracestore.Store, cfg ThroughputConfig) [
 }
 
 // worstHopOf builds a Victim at the journey's longest-queuing hop.
-func worstHopOf(idx int, j *tracestore.Journey) (Victim, bool) {
+func worstHopOf(st *tracestore.Store, idx int, j *tracestore.Journey) (Victim, bool) {
 	var best *tracestore.JourneyHop
 	var bestDelay simtime.Duration = -1
 	for h := range j.Hops {
@@ -130,7 +130,7 @@ func worstHopOf(idx int, j *tracestore.Journey) (Victim, bool) {
 	}
 	return Victim{
 		Journey:    idx,
-		Comp:       best.Comp,
+		Comp:       st.CompName(best.Comp),
 		ArriveAt:   best.ArriveAt,
 		QueueDelay: bestDelay,
 		Tuple:      j.Tuple,

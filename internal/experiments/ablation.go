@@ -147,7 +147,7 @@ func AblationQueueThreshold(cfg StandingQueueConfig) *AblationQueueThresholdResu
 			// episode with significant queueing delay.
 			for i := range st.Journeys {
 				j := &st.Journeys[i]
-				hop := j.HopAt("fw1")
+				hop := st.HopAt(j, "fw1")
 				if hop == nil || hop.ReadAt == 0 {
 					continue
 				}

@@ -271,7 +271,7 @@ func SweepHops(run *AccuracyRun) *SweepResult {
 		if inj == nil {
 			continue
 		}
-		v, ok := worstHopVictim(i, j)
+		v, ok := worstHopVictim(run.Store, i, j)
 		if !ok || v.QueueDelay < 50*simtime.Microsecond {
 			continue
 		}

@@ -358,7 +358,7 @@ func selectSlotVictims(st *tracestore.Store, injs []Injection, slot simtime.Dura
 			if float64(j.Latency()) < threshold {
 				continue
 			}
-			if v, ok := worstHopVictim(i, j); ok {
+			if v, ok := worstHopVictim(st, i, j); ok {
 				slotVictims = append(slotVictims, v)
 			}
 		}
@@ -386,7 +386,7 @@ func percentile99(xs []float64) float64 {
 }
 
 // worstHopVictim builds a Victim at the journey's longest-queuing hop.
-func worstHopVictim(idx int, j *tracestore.Journey) (core.Victim, bool) {
+func worstHopVictim(st *tracestore.Store, idx int, j *tracestore.Journey) (core.Victim, bool) {
 	var best *tracestore.JourneyHop
 	var bestDelay simtime.Duration = -1
 	for h := range j.Hops {
@@ -404,7 +404,7 @@ func worstHopVictim(idx int, j *tracestore.Journey) (core.Victim, bool) {
 	}
 	return core.Victim{
 		Journey:    idx,
-		Comp:       best.Comp,
+		Comp:       st.CompName(best.Comp),
 		ArriveAt:   best.ArriveAt,
 		QueueDelay: bestDelay,
 		Kind:       core.VictimLatency,
@@ -458,9 +458,10 @@ func hopsBetween(st *tracestore.Store, v *core.Victim, inj *Injection) int {
 		from = collector.SourceName
 	}
 	// Position of the victim comp on the journey.
+	vID, fromID := st.CompIDOf(v.Comp), st.CompIDOf(from)
 	vPos := -1
 	for i := range j.Hops {
-		if j.Hops[i].Comp == v.Comp {
+		if j.Hops[i].Comp == vID {
 			vPos = i
 			break
 		}
@@ -472,7 +473,7 @@ func hopsBetween(st *tracestore.Store, v *core.Victim, inj *Injection) int {
 		return vPos + 1
 	}
 	for i := 0; i <= vPos; i++ {
-		if j.Hops[i].Comp == from {
+		if j.Hops[i].Comp == fromID {
 			return vPos - i
 		}
 	}

@@ -4,11 +4,23 @@ import (
 	"math/rand"
 	"testing"
 
+	"microscope/internal/collector"
 	"microscope/internal/core"
 	"microscope/internal/nfsim"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
+
+// storeWithComps builds an empty Store whose component table interns the
+// given names in declaration order, so tests can mint CompIDs for
+// hand-built journeys.
+func storeWithComps(names ...string) *tracestore.Store {
+	meta := collector.Meta{}
+	for _, n := range names {
+		meta.Components = append(meta.Components, collector.ComponentMeta{Name: n})
+	}
+	return tracestore.Build(&collector.Trace{Meta: meta})
+}
 
 func TestPercentile99(t *testing.T) {
 	xs := make([]float64, 100)
@@ -30,15 +42,16 @@ func TestPercentile99(t *testing.T) {
 }
 
 func TestWorstHopVictim(t *testing.T) {
+	st := storeWithComps("nat1", "fw1", "vpn1", "a")
 	j := &tracestore.Journey{
 		Hops: []tracestore.JourneyHop{
-			{Comp: "nat1", ArriveAt: 100, ReadAt: 150},
-			{Comp: "fw1", ArriveAt: 200, ReadAt: 900}, // 700 queueing
-			{Comp: "vpn1", ArriveAt: 950, ReadAt: 960},
+			{Comp: st.CompIDOf("nat1"), ArriveAt: 100, ReadAt: 150},
+			{Comp: st.CompIDOf("fw1"), ArriveAt: 200, ReadAt: 900}, // 700 queueing
+			{Comp: st.CompIDOf("vpn1"), ArriveAt: 950, ReadAt: 960},
 		},
 		Delivered: true,
 	}
-	v, ok := worstHopVictim(3, j)
+	v, ok := worstHopVictim(st, 3, j)
 	if !ok {
 		t.Fatal("no victim")
 	}
@@ -46,8 +59,8 @@ func TestWorstHopVictim(t *testing.T) {
 		t.Errorf("victim: %+v", v)
 	}
 	// Journey never read anywhere: no victim.
-	empty := &tracestore.Journey{Hops: []tracestore.JourneyHop{{Comp: "a", ArriveAt: 1}}}
-	if _, ok := worstHopVictim(0, empty); ok {
+	empty := &tracestore.Journey{Hops: []tracestore.JourneyHop{{Comp: st.CompIDOf("a"), ArriveAt: 1}}}
+	if _, ok := worstHopVictim(st, 0, empty); ok {
 		t.Error("unread journey produced a victim")
 	}
 }
@@ -67,10 +80,10 @@ func TestBugTriggerFlowRoutesToBugFW(t *testing.T) {
 }
 
 func TestHopsBetween(t *testing.T) {
-	st := &tracestore.Store{}
+	st := storeWithComps("nat1", "fw2", "vpn1")
 	st.Journeys = []tracestore.Journey{{
 		Hops: []tracestore.JourneyHop{
-			{Comp: "nat1"}, {Comp: "fw2"}, {Comp: "vpn1"},
+			{Comp: st.CompIDOf("nat1")}, {Comp: st.CompIDOf("fw2")}, {Comp: st.CompIDOf("vpn1")},
 		},
 	}}
 	v := &core.Victim{Journey: 0, Comp: "vpn1"}
@@ -93,13 +106,13 @@ func TestSelectSlotVictimsWindowing(t *testing.T) {
 	// Build a store with journeys at controlled latencies: a slow group
 	// right after the injection and a slower-but-late group outside the
 	// impact horizon. Only the first group must be selected.
-	st := &tracestore.Store{}
+	st := storeWithComps("fw1")
 	mk := func(emit simtime.Time, delay simtime.Duration) tracestore.Journey {
 		return tracestore.Journey{
 			EmittedAt: emit,
 			Delivered: true,
 			Hops: []tracestore.JourneyHop{{
-				Comp: "fw1", ArriveAt: emit, ReadAt: emit.Add(delay),
+				Comp: st.CompIDOf("fw1"), ArriveAt: emit, ReadAt: emit.Add(delay),
 				DepartAt: emit.Add(delay + 10),
 			}},
 		}

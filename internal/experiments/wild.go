@@ -269,8 +269,9 @@ func pathDistance(st *tracestore.Store, journey int, from, to string) int {
 		if c == collector.SourceName {
 			return -1
 		}
+		id := st.CompIDOf(c)
 		for i := range j.Hops {
-			if j.Hops[i].Comp == c {
+			if j.Hops[i].Comp == id {
 				return i
 			}
 		}

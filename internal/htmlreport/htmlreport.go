@@ -84,6 +84,28 @@ h2 { border-bottom: 1px solid #ddd; padding-bottom: 4px; }
 	}
 	b.WriteString("</table>\n")
 
+	// Worst victims. Flow labels come from the store's flow index, which
+	// caches each tuple's formatted form, so this table costs no
+	// per-row formatting for known flows.
+	if len(in.Diagnoses) > 0 {
+		fi := in.Store.FlowIndex()
+		b.WriteString("<h2>Worst victims</h2>\n<table><tr><th>#</th><th>kind</th><th>component</th><th>flow</th><th>arrival</th><th>queue delay</th></tr>\n")
+		limit := len(in.Diagnoses)
+		if limit > 10 {
+			limit = 10
+		}
+		for i, d := range in.Diagnoses[:limit] {
+			flow := "?"
+			if d.Victim.HasTuple {
+				flow = fi.Label(d.Victim.Tuple)
+			}
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%v</td><td>%v</td></tr>\n",
+				i+1, d.Victim.Kind, html.EscapeString(d.Victim.Comp),
+				html.EscapeString(flow), d.Victim.ArriveAt, d.Victim.QueueDelay)
+		}
+		b.WriteString("</table>\n")
+	}
+
 	// Patterns.
 	if len(in.Patterns) > 0 {
 		b.WriteString("<h2>Causal patterns (culprit &rarr; victim)</h2>\n<table><tr><th>culprit flows</th><th>culprit NF</th><th>victim flows</th><th>victim NF</th><th>score</th></tr>\n")

@@ -1,0 +1,37 @@
+package tracestore
+
+import (
+	"testing"
+
+	"microscope/internal/simtime"
+)
+
+// TestReconstructAllocsPerRecord guards the compact-layout win: journey
+// reconstruction (store build + matching + columnar journey assembly)
+// must stay within a small allocation budget per trace record. The
+// ceiling is generous — it exists to catch a regression back to
+// per-journey/per-arrival allocation patterns, not to pin the exact
+// count.
+func TestReconstructAllocsPerRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement; skipped in -short mode")
+	}
+	sched := cbr(simtime.MPPS(0.3), simtime.Duration(2*simtime.Millisecond), 7)
+	_, st := runChain(t, sched, simtime.MPPS(1), simtime.MPPS(0.9), simtime.MPPS(0.8))
+	nRec := len(st.Trace.Records)
+	if nRec == 0 {
+		t.Fatal("empty trace")
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		s := Build(st.Trace)
+		s.Reconstruct()
+	})
+	perRecord := avg / float64(nRec)
+	// Compact layout lands well under 1 alloc/record (slab-allocated
+	// arenas, no per-journey hop slices); 3 leaves headroom for map
+	// resizing jitter while still catching an O(arrivals) regression.
+	if perRecord > 3 {
+		t.Errorf("reconstruction allocates %.2f allocs/record (%0.f total over %d records), budget 3",
+			perRecord, avg, nRec)
+	}
+}

@@ -22,10 +22,11 @@ type Index struct {
 	QueueThreshold int
 
 	// delayStats holds per-NF queue-delay running statistics for the §4.1
-	// abnormality test, accumulated in journey order (Welford folds are
-	// order-sensitive, and victim selection must not depend on who built
-	// the index).
-	delayStats map[string]*stats.Welford
+	// abnormality test, indexed by CompID and accumulated in journey order
+	// (Welford folds are order-sensitive, and victim selection must not
+	// depend on who built the index). An entry with N()==0 means the
+	// component had no read hops.
+	delayStats []stats.Welford
 	// sortedLatencies are delivered-journey latencies, ascending, for
 	// percentile thresholds.
 	sortedLatencies []float64
@@ -37,7 +38,21 @@ type Index struct {
 func (ix *Index) Store() *Store { return ix.store }
 
 // DelayStats returns the per-NF queue-delay statistics for comp, or nil.
-func (ix *Index) DelayStats(comp string) *stats.Welford { return ix.delayStats[comp] }
+func (ix *Index) DelayStats(comp string) *stats.Welford {
+	return ix.DelayStatsID(ix.store.CompIDOf(comp))
+}
+
+// DelayStatsID is DelayStats for an interned component.
+func (ix *Index) DelayStatsID(comp CompID) *stats.Welford {
+	if comp < 0 || int(comp) >= len(ix.delayStats) {
+		return nil
+	}
+	w := &ix.delayStats[comp]
+	if w.N() == 0 {
+		return nil
+	}
+	return w
+}
 
 // LatencyPercentile returns the p-th percentile of delivered latencies.
 func (ix *Index) LatencyPercentile(p float64) float64 {
@@ -71,7 +86,7 @@ func (s *Store) buildIndex(queueThreshold int) *Index {
 	ix := &Index{
 		store:          s,
 		QueueThreshold: queueThreshold,
-		delayStats:     make(map[string]*stats.Welford),
+		delayStats:     make([]stats.Welford, len(s.views)),
 	}
 	var latencies []float64
 	for i := range s.Journeys {
@@ -81,12 +96,7 @@ func (s *Store) buildIndex(queueThreshold int) *Index {
 			if hop.ReadAt == 0 && hop.DepartAt == 0 {
 				continue
 			}
-			w := ix.delayStats[hop.Comp]
-			if w == nil {
-				w = &stats.Welford{}
-				ix.delayStats[hop.Comp] = w
-			}
-			w.Add(float64(hop.ReadAt.Sub(hop.ArriveAt)))
+			ix.delayStats[hop.Comp].Add(float64(hop.ReadAt.Sub(hop.ArriveAt)))
 			if hop.DepartAt > ix.traceEnd {
 				ix.traceEnd = hop.DepartAt
 			}
@@ -102,8 +112,7 @@ func (s *Store) buildIndex(queueThreshold int) *Index {
 	// pure reads: the period search index always, and the queue-length
 	// timeline (plus its last-below-threshold table) when the threshold
 	// definition is in play.
-	for _, name := range s.order {
-		v := s.comps[name]
+	for _, v := range s.views {
 		s.periodIndexOf(v)
 		if queueThreshold > 0 {
 			tl := s.timelineOf(v)
@@ -132,6 +141,20 @@ type FlowIndex struct {
 	Deliveries map[packet.FiveTuple][]FlowDelivery
 	// End is the latest delivery time across all flows.
 	End simtime.Time
+
+	// labels caches each flow's formatted form so report/render paths
+	// stop re-formatting the same tuple per table row.
+	labels map[packet.FiveTuple]string
+}
+
+// Label returns the flow's formatted form ("src:port > dst:port proto"),
+// cached for every flow the index knows; unknown tuples are formatted on
+// the fly.
+func (fi *FlowIndex) Label(t packet.FiveTuple) string {
+	if s, ok := fi.labels[t]; ok {
+		return s
+	}
+	return t.String()
 }
 
 // FlowIndex returns the per-flow journey index, building it on first use.
@@ -164,6 +187,10 @@ func (s *Store) FlowIndex() *FlowIndex {
 			}
 			return ds[i].Journey < ds[j].Journey
 		})
+	}
+	fi.labels = make(map[packet.FiveTuple]string, len(fi.Flows))
+	for _, t := range fi.Flows {
+		fi.labels[t] = t.String()
 	}
 	s.flowIdx = fi
 	return fi

@@ -1,0 +1,77 @@
+package tracestore
+
+import "microscope/internal/simtime"
+
+// CompID is a dense interned handle for a component name. IDs are assigned
+// at Build in a deterministic order (declared meta components first, then
+// first appearance in record order), so rebuilding a store over the same
+// trace yields the same name↔ID mapping. Hot paths index slices by CompID
+// instead of hashing strings; names reappear only at report/render
+// boundaries via CompName.
+type CompID int32
+
+// NoComp is the sentinel for "no component" (unknown name, no write
+// destination, the virtual hop above the source).
+const NoComp CompID = -1
+
+// CompIDOf returns the interned ID for a component name, or NoComp when the
+// name never appeared in the trace (neither declared nor recorded).
+func (s *Store) CompIDOf(name string) CompID {
+	if id, ok := s.byName[name]; ok {
+		return id
+	}
+	return NoComp
+}
+
+// CompName returns the name for an interned ID ("" for NoComp or an
+// out-of-range ID).
+func (s *Store) CompName(id CompID) string {
+	if id < 0 || int(id) >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+// NumComps returns the number of interned components; valid CompIDs are
+// [0, NumComps).
+func (s *Store) NumComps() int { return len(s.views) }
+
+// SourceID returns the traffic source's CompID, or NoComp when the trace has
+// no source component.
+func (s *Store) SourceID() CompID { return s.srcID }
+
+// ViewID returns the per-component index for an interned ID, or nil.
+func (s *Store) ViewID(id CompID) *CompView {
+	if id < 0 || int(id) >= len(s.views) {
+		return nil
+	}
+	return s.views[id]
+}
+
+// PeakRateID returns r_i for an interned component (0 for the source,
+// unknown IDs, or components without measured rates).
+func (s *Store) PeakRateID(id CompID) simtime.Rate {
+	if id < 0 || int(id) >= len(s.peaks) {
+		return 0
+	}
+	return s.peaks[id]
+}
+
+// KindOfID returns the component kind for an interned ID, defaulting to the
+// component name ("" for NoComp).
+func (s *Store) KindOfID(id CompID) string {
+	if id < 0 || int(id) >= len(s.kinds) {
+		return ""
+	}
+	return s.kinds[id]
+}
+
+// DownstreamsID returns the interned downstream adjacency of a component
+// (deployment-graph edge targets, in edge order). The returned slice is
+// shared and must not be mutated.
+func (s *Store) DownstreamsID(id CompID) []CompID {
+	if id < 0 || int(id) >= len(s.downs) {
+		return nil
+	}
+	return s.downs[id]
+}

@@ -52,7 +52,7 @@ func TestLookaheadResolvesIPIDCollision(t *testing.T) {
 	// must be u1's packet.
 	v := st.View("c")
 	// Arrival 0 = u1's 5, arrival 1 = u1's 8, arrival 2 = u2's 5.
-	if v.Arrivals[0].From != "u1" || v.Arrivals[2].From != "u2" {
+	if st.CompName(v.Arrivals[0].From) != "u1" || st.CompName(v.Arrivals[2].From) != "u2" {
 		t.Fatalf("arrival layout unexpected: %+v", v.Arrivals)
 	}
 }

@@ -10,7 +10,7 @@ import (
 // a component at End: the interval from when the queue last started
 // building from empty (Start) to the packet's arrival.
 type QueuingPeriod struct {
-	Comp  string
+	Comp  CompID
 	Start simtime.Time
 	End   simtime.Time
 	// ArrivalFirst..ArrivalLast (inclusive) index CompView.Arrivals for
@@ -62,10 +62,16 @@ func searchTimes(ts []simtime.Time, t simtime.Time) int {
 }
 
 // QueuingPeriodAt computes the queuing period at comp for a packet that
-// arrived at time t. It returns nil when the component is unknown or has no
-// arrivals at or before t.
+// arrived at time t (string-keyed wrapper of QueuingPeriodAtID).
 func (s *Store) QueuingPeriodAt(comp string, t simtime.Time) *QueuingPeriod {
-	v := s.comps[comp]
+	return s.QueuingPeriodAtID(s.CompIDOf(comp), t)
+}
+
+// QueuingPeriodAtID computes the queuing period at an interned component
+// for a packet that arrived at time t. It returns nil when the component is
+// unknown or has no arrivals at or before t.
+func (s *Store) QueuingPeriodAtID(comp CompID, t simtime.Time) *QueuingPeriod {
+	v := s.ViewID(comp)
 	if v == nil || len(v.Arrivals) == 0 {
 		return nil
 	}
@@ -104,7 +110,12 @@ func (s *Store) QueuingPeriodAt(comp string, t simtime.Time) *QueuingPeriod {
 // stream (arrivals minus dequeues since the last drain). This is exactly
 // n_i - n_p of the queuing period ending at t.
 func (s *Store) QueueLenAt(comp string, t simtime.Time) int {
-	qp := s.QueuingPeriodAt(comp, t)
+	return s.QueueLenAtID(s.CompIDOf(comp), t)
+}
+
+// QueueLenAtID is QueueLenAt for an interned component.
+func (s *Store) QueueLenAtID(comp CompID, t simtime.Time) int {
+	qp := s.QueuingPeriodAtID(comp, t)
 	if qp == nil {
 		return 0
 	}

@@ -3,7 +3,6 @@ package tracestore
 import (
 	"sort"
 
-	"microscope/internal/collector"
 	"microscope/internal/packet"
 	"microscope/internal/simtime"
 )
@@ -19,7 +18,9 @@ type Journey struct {
 	HasTuple bool
 	// EmittedAt is the source write time.
 	EmittedAt simtime.Time
-	// Hops lists traversed NFs in order.
+	// Hops lists traversed NFs in order. The slice is a [start,end) span
+	// of the store's shared hop arena (columnar layout), not an
+	// individually allocated list; callers must not append to it.
 	Hops []JourneyHop
 	// Delivered reports whether the packet reached egress within the
 	// trace. False means dropped in transit or still resident at trace
@@ -34,7 +35,7 @@ type Journey struct {
 
 // JourneyHop is one reconstructed traversal.
 type JourneyHop struct {
-	Comp     string
+	Comp     CompID
 	ArriveAt simtime.Time // upstream write into this comp's queue
 	ReadAt   simtime.Time // dequeue time (zero if never read)
 	DepartAt simtime.Time // this comp's write/deliver time (zero if none)
@@ -45,16 +46,20 @@ type JourneyHop struct {
 	Arrival int
 }
 
-// LastComp returns the last component the packet was observed at.
-func (j *Journey) LastComp() string {
+// LastCompID returns the last component the packet was observed at
+// (NoComp for an empty journey).
+func (j *Journey) LastCompID() CompID {
 	if len(j.Hops) == 0 {
-		return ""
+		return NoComp
 	}
 	return j.Hops[len(j.Hops)-1].Comp
 }
 
-// HopAt returns the hop at the named component, or nil.
-func (j *Journey) HopAt(comp string) *JourneyHop {
+// HopAtID returns the hop at the interned component, or nil.
+func (j *Journey) HopAtID(comp CompID) *JourneyHop {
+	if comp == NoComp {
+		return nil
+	}
 	for i := range j.Hops {
 		if j.Hops[i].Comp == comp {
 			return &j.Hops[i]
@@ -72,29 +77,29 @@ func (j *Journey) Latency() simtime.Duration {
 }
 
 // reconCtx holds per-reconstruction indexes that do not belong in the
-// long-lived store.
+// long-lived store. Every table is a slice indexed by CompID.
 type reconCtx struct {
-	// arrivalsByRec[rec] lists arrival indices (at the destination view)
-	// for each packet position of write record rec.
-	arrivalsByRec [][]int
 	// deqOfArrival[comp][arrivalIdx] = index into ReadEntries, or -1.
-	deqOfArrival map[string][]int
+	deqOfArrival [][]int32
 	// outOfRead[comp][readEntryIdx] = index into the merged out-entry
-	// list, or -1; outIsDeliver tells which list the entry lives in.
-	outOfRead map[string][]int
-	// outEntry[comp] is the merged (write ∪ deliver) entry list; for
+	// list, or -1.
+	outOfRead [][]int32
+	// outEntries[comp] is the merged (write ∪ deliver) entry list; for
 	// each, origin says whether it is a write (index into WriteEntries)
 	// or a deliver (index into DeliverEntries).
-	outEntries map[string][]outEntry
+	outEntries [][]outEntry
 	// readEventIdx[comp][readEntryIdx] = index into Reads.
-	readEventIdx map[string][]int
+	readEventIdx [][]int32
+	// upSlot is matchQueue's upstream→stream-slot scratch, reused across
+	// components.
+	upSlot []int32
 }
 
 type outEntry struct {
 	at      simtime.Time
 	ipid    uint16
-	write   int // index into WriteEntries, -1 if deliver
-	deliver int // index into DeliverEntries, -1 if write
+	write   int32 // index into WriteEntries, -1 if deliver
+	deliver int32 // index into DeliverEntries, -1 if write
 }
 
 // lookaheadDepth is how many future dequeue entries the order side channel
@@ -107,59 +112,44 @@ const reorderSearchBound = 64
 
 // Reconstruct matches records across components and builds journeys.
 func (s *Store) Reconstruct() {
+	n := len(s.views)
 	ctx := &reconCtx{
-		arrivalsByRec: make([][]int, len(s.Trace.Records)),
-		deqOfArrival:  make(map[string][]int),
-		outOfRead:     make(map[string][]int),
-		outEntries:    make(map[string][]outEntry),
-		readEventIdx:  make(map[string][]int),
+		deqOfArrival: make([][]int32, n),
+		outOfRead:    make([][]int32, n),
+		outEntries:   make([][]outEntry, n),
+		readEventIdx: make([][]int32, n),
+		upSlot:       make([]int32, n),
 	}
-	s.indexArrivals(ctx)
-	for _, name := range s.order {
-		s.matchQueue(ctx, s.comps[name])
-		s.threadInternal(ctx, s.comps[name])
+	s.indexReads(ctx)
+	for _, v := range s.views {
+		s.matchQueue(ctx, v)
+		s.threadInternal(ctx, v)
 	}
 	s.buildJourneys(ctx)
 }
 
-// indexArrivals recomputes the record→arrival mapping (mirrors Build's
-// arrival construction order).
-func (s *Store) indexArrivals(ctx *reconCtx) {
-	counts := make(map[string]int)
-	for ri := range s.Trace.Records {
-		r := &s.Trace.Records[ri]
-		if r.Dir != collector.DirWrite {
-			continue
-		}
-		dest := consumerOf(r.Queue)
-		base := counts[dest]
-		idxs := make([]int, len(r.IPIDs))
-		for i := range r.IPIDs {
-			idxs[i] = base + i
-		}
-		counts[dest] = base + len(r.IPIDs)
-		ctx.arrivalsByRec[ri] = idxs
-	}
-	for name, v := range s.comps {
-		ctx.deqOfArrival[name] = fillNeg(len(v.Arrivals))
-		ctx.outOfRead[name] = fillNeg(len(v.ReadEntries))
-		// Per-read-entry event index.
-		ev := make([]int, len(v.ReadEntries))
+// indexReads sizes the per-component match tables and builds the
+// read-entry→read-event index.
+func (s *Store) indexReads(ctx *reconCtx) {
+	for _, v := range s.views {
+		ctx.deqOfArrival[v.ID] = fillNeg(len(v.Arrivals))
+		ctx.outOfRead[v.ID] = fillNeg(len(v.ReadEntries))
+		ev := make([]int32, len(v.ReadEntries))
 		for ei := range v.Reads {
 			end := len(v.ReadEntries)
 			if ei+1 < len(v.Reads) {
 				end = v.Reads[ei+1].FirstEntry
 			}
 			for k := v.Reads[ei].FirstEntry; k < end; k++ {
-				ev[k] = ei
+				ev[k] = int32(ei)
 			}
 		}
-		ctx.readEventIdx[name] = ev
+		ctx.readEventIdx[v.ID] = ev
 	}
 }
 
-func fillNeg(n int) []int {
-	out := make([]int, n)
+func fillNeg(n int) []int32 {
+	out := make([]int32, n)
 	for i := range out {
 		out[i] = -1
 	}
@@ -172,16 +162,18 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 	if len(v.ReadEntries) == 0 || len(v.Arrivals) == 0 {
 		return
 	}
-	// Per-upstream arrival streams.
-	var ups []string
-	upIdx := make(map[string]int)
+	// Per-upstream arrival streams; upSlot maps a CompID to its stream.
+	for i := range ctx.upSlot {
+		ctx.upSlot[i] = -1
+	}
+	var ups []CompID
 	var streams [][]int
 	for ai := range v.Arrivals {
 		u := v.Arrivals[ai].From
-		k, ok := upIdx[u]
-		if !ok {
-			k = len(ups)
-			upIdx[u] = k
+		k := ctx.upSlot[u]
+		if k < 0 {
+			k = int32(len(ups))
+			ctx.upSlot[u] = k
 			ups = append(ups, u)
 			streams = append(streams, nil)
 		}
@@ -189,7 +181,7 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 	}
 	consumed := make([]bool, len(v.Arrivals))
 	ptr := make([]int, len(ups))
-	deqMatch := ctx.deqOfArrival[v.Name]
+	deqMatch := ctx.deqOfArrival[v.ID]
 
 	advance := func(u int) int {
 		for ptr[u] < len(streams[u]) && consumed[streams[u][ptr[u]]] {
@@ -202,16 +194,28 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 	}
 
 	// greedyOK reports whether, in a tentative world where extraConsumed
-	// is taken, the next few dequeues can still find head matches.
+	// is taken, the next few dequeues can still find head matches. The
+	// tentative set is at most 1+lookaheadDepth entries, so a fixed
+	// array with a linear scan beats a per-call map.
 	greedyOK := func(k int, extraConsumed int) int {
-		taken := map[int]bool{extraConsumed: true}
+		var taken [lookaheadDepth + 1]int
+		taken[0] = extraConsumed
+		nt := 1
+		isTaken := func(ai int) bool {
+			for i := 0; i < nt; i++ {
+				if taken[i] == ai {
+					return true
+				}
+			}
+			return false
+		}
 		score := 0
 		for step := 1; step <= lookaheadDepth && k+step < len(v.ReadEntries); step++ {
 			d := v.ReadEntries[k+step]
 			found := false
 			for u := range ups {
 				p := ptr[u]
-				for p < len(streams[u]) && (consumed[streams[u][p]] || taken[streams[u][p]]) {
+				for p < len(streams[u]) && (consumed[streams[u][p]] || isTaken(streams[u][p])) {
 					p++
 				}
 				if p >= len(streams[u]) {
@@ -219,7 +223,8 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 				}
 				ai := streams[u][p]
 				if v.Arrivals[ai].At <= d.At && v.Arrivals[ai].IPID == d.IPID {
-					taken[ai] = true
+					taken[nt] = ai
+					nt++
 					found = true
 					break
 				}
@@ -247,7 +252,7 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 		switch {
 		case len(cands) == 1:
 			consumed[cands[0]] = true
-			deqMatch[cands[0]] = k
+			deqMatch[cands[0]] = int32(k)
 			s.recon.Matched++
 		case len(cands) > 1:
 			// Side channel 3 (order): pick the candidate whose
@@ -274,7 +279,7 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 				s.recon.DupCollisions++
 			}
 			consumed[best] = true
-			deqMatch[best] = k
+			deqMatch[best] = int32(k)
 			s.recon.LookaheadFix++
 		default:
 			// No head matches: same-instant interleavings can put
@@ -304,7 +309,7 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 			}
 			if best >= 0 {
 				consumed[best] = true
-				deqMatch[best] = k
+				deqMatch[best] = int32(k)
 				s.recon.Reordered++
 			} else {
 				s.recon.Unmatched++
@@ -318,22 +323,22 @@ func (s *Store) matchQueue(ctx *reconCtx, v *CompView) {
 func (s *Store) threadInternal(ctx *reconCtx, v *CompView) {
 	outs := make([]outEntry, 0, len(v.WriteEntries)+len(v.DeliverEntries))
 	for i := range v.WriteEntries {
-		outs = append(outs, outEntry{at: v.WriteEntries[i].At, ipid: v.WriteEntries[i].IPID, write: i, deliver: -1})
+		outs = append(outs, outEntry{at: v.WriteEntries[i].At, ipid: v.WriteEntries[i].IPID, write: int32(i), deliver: -1})
 	}
 	for i := range v.DeliverEntries {
-		outs = append(outs, outEntry{at: v.DeliverEntries[i].At, ipid: v.DeliverEntries[i].IPID, write: -1, deliver: i})
+		outs = append(outs, outEntry{at: v.DeliverEntries[i].At, ipid: v.DeliverEntries[i].IPID, write: -1, deliver: int32(i)})
 	}
 	sort.SliceStable(outs, func(i, j int) bool { return outs[i].at < outs[j].at })
-	ctx.outEntries[v.Name] = outs
+	ctx.outEntries[v.ID] = outs
 
 	// Per-IPID FIFO of read entries.
-	buckets := make(map[uint16][]int)
+	buckets := make(map[uint16][]int32)
 	for k := range v.ReadEntries {
 		id := v.ReadEntries[k].IPID
-		buckets[id] = append(buckets[id], k)
+		buckets[id] = append(buckets[id], int32(k))
 	}
 	heads := make(map[uint16]int)
-	outOfRead := ctx.outOfRead[v.Name]
+	outOfRead := ctx.outOfRead[v.ID]
 	for oi := range outs {
 		id := outs[oi].ipid
 		lst := buckets[id]
@@ -341,18 +346,30 @@ func (s *Store) threadInternal(ctx *reconCtx, v *CompView) {
 		// Reads precede writes of the same packet, so the FIFO head is
 		// the match unless the streams are inconsistent.
 		if h < len(lst) && v.ReadEntries[lst[h]].At <= outs[oi].at {
-			outOfRead[lst[h]] = oi
+			outOfRead[lst[h]] = int32(oi)
 			heads[id] = h + 1
 		}
 	}
 }
 
-// buildJourneys threads packets from source emissions to egress.
+// buildJourneys threads packets from source emissions to egress. Hops are
+// appended to one flat arena (capacity = total arrivals, an exact upper
+// bound: every hop consumes one arrival) and each journey's Hops becomes a
+// [start,end) span of it, so a million-packet trace costs one hop
+// allocation instead of a million.
 func (s *Store) buildJourneys(ctx *reconCtx) {
-	src := s.comps[collector.SourceName]
+	src := s.ViewID(s.srcID)
 	if src == nil {
 		return
 	}
+	totalArrivals := 0
+	for _, v := range s.views {
+		totalArrivals += len(v.Arrivals)
+	}
+	arena := make([]JourneyHop, 0, totalArrivals)
+	// Journeys are built sequentially, so span i is
+	// [starts[i], starts[i+1]).
+	starts := make([]int32, 1, len(src.WriteEntries)+1)
 	s.Journeys = make([]Journey, 0, len(src.WriteEntries))
 	for wi := range src.WriteEntries {
 		j := Journey{
@@ -361,12 +378,9 @@ func (s *Store) buildJourneys(ctx *reconCtx) {
 		}
 		comp := src.WriteDest[wi]
 		// Arrival index of this write entry at its destination.
-		ai := s.arrivalIndexOf(ctx, src, wi)
-		for ai >= 0 && comp != "" {
-			v := s.comps[comp]
-			if v == nil {
-				break
-			}
+		ai := s.arrivalIndexOf(src, wi)
+		for ai >= 0 && comp != NoComp {
+			v := s.views[comp]
 			hop := JourneyHop{
 				Comp:      comp,
 				ArriveAt:  v.Arrivals[ai].At,
@@ -382,21 +396,21 @@ func (s *Store) buildJourneys(ctx *reconCtx) {
 			if k < 0 {
 				// Never read: resident at trace end or
 				// overwritten; journey ends here.
-				j.Hops = append(j.Hops, hop)
+				arena = append(arena, hop)
 				break
 			}
 			hop.ReadAt = v.ReadEntries[k].At
-			hop.ReadEvent = ctx.readEventIdx[comp][k]
+			hop.ReadEvent = int(ctx.readEventIdx[comp][k])
 			oi := ctx.outOfRead[comp][k]
 			if oi < 0 {
 				// Read but never emitted: dropped at a
 				// downstream enqueue or in flight at trace end.
-				j.Hops = append(j.Hops, hop)
+				arena = append(arena, hop)
 				break
 			}
 			out := ctx.outEntries[comp][oi]
 			hop.DepartAt = out.at
-			j.Hops = append(j.Hops, hop)
+			arena = append(arena, hop)
 			if out.deliver >= 0 {
 				j.Delivered = true
 				j.Tuple = v.Tuples[out.deliver]
@@ -407,24 +421,31 @@ func (s *Store) buildJourneys(ctx *reconCtx) {
 			}
 			// Continue downstream.
 			next := v.WriteDest[out.write]
-			ai = s.arrivalIndexOf(ctx, v, out.write)
+			ai = s.arrivalIndexOf(v, int(out.write))
 			comp = next
 		}
+		starts = append(starts, int32(len(arena)))
 		if j.Quarantined {
 			s.recon.Quarantined++
 		}
 		s.Journeys = append(s.Journeys, j)
 	}
+	s.hopArena = arena
+	// Fix the spans up after the walk: three-index subslices so an
+	// accidental caller append cannot stomp a neighbouring journey.
+	for i := range s.Journeys {
+		s.Journeys[i].Hops = arena[starts[i]:starts[i+1]:starts[i+1]]
+	}
 }
 
 // arrivalIndexOf maps a component's write entry to the arrival index at the
-// destination view.
-func (s *Store) arrivalIndexOf(ctx *reconCtx, v *CompView, wi int) int {
+// destination view. Arrivals of one write record are contiguous at the
+// destination, so the record's base index plus the batch position suffices.
+func (s *Store) arrivalIndexOf(v *CompView, wi int) int {
 	rec := v.WriteEntries[wi].Rec
-	pos := v.WriteEntries[wi].Pos
-	idxs := ctx.arrivalsByRec[rec]
-	if pos < len(idxs) {
-		return idxs[pos]
+	base := s.arrBase[rec]
+	if base < 0 {
+		return -1
 	}
-	return -1
+	return int(base) + v.WriteEntries[wi].Pos
 }

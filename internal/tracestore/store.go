@@ -7,6 +7,11 @@
 // across adjacent components using the paper's three side channels — the
 // paths of packets (only immediate upstreams are candidates), the timing of
 // packets (a delay bound), and the order of packets (FIFO queues).
+//
+// Component names are interned into dense CompID handles at Build; every
+// hot structure (views, write destinations, arrival origins, journey hops)
+// carries CompIDs and is indexed by slice, with names materialized only at
+// report boundaries.
 package tracestore
 
 import (
@@ -46,7 +51,7 @@ type ReadEvent struct {
 type Arrival struct {
 	At      simtime.Time
 	IPID    uint16
-	From    string // writing component
+	From    CompID // writing component
 	Journey int    // journey index, -1 until reconstruction links it
 	// Quarantined marks an arrival whose dequeue match was ambiguous
 	// (duplicate-IPID collision the side channels could not break);
@@ -56,6 +61,7 @@ type Arrival struct {
 
 // CompView is the per-component index the diagnosis consumes.
 type CompView struct {
+	ID   CompID
 	Name string
 	Meta *collector.ComponentMeta
 
@@ -64,10 +70,10 @@ type CompView struct {
 	// ReadEntries are per-packet read entries in dequeue order.
 	ReadEntries []Entry
 	// WriteEntries are per-packet write entries in transmit order
-	// (merged across destination queues by record order); Dest parallel
-	// array names each entry's destination component.
+	// (merged across destination queues by record order); WriteDest is the
+	// parallel array of interned destination components.
 	WriteEntries []Entry
-	WriteDest    []string
+	WriteDest    []CompID
 	// DeliverEntries are per-packet egress entries; Tuples parallel.
 	DeliverEntries []Entry
 	Tuples         []packet.FiveTuple
@@ -87,12 +93,28 @@ type Store struct {
 	Trace    *collector.Trace
 	MaxBatch int
 
-	comps map[string]*CompView
-	order []string
+	// The interner: names[id] and views[id] are indexed by CompID, byName
+	// is the reverse map. peaks/kinds/downs are the per-component meta
+	// tables the hot paths read by ID instead of rescanning Meta.
+	byName map[string]CompID
+	names  []string
+	views  []*CompView
+	peaks  []simtime.Rate
+	kinds  []string
+	downs  [][]CompID
+	srcID  CompID
+
+	// recDest[rec] is the interned write destination of each record
+	// (NoComp for non-writes); arrBase[rec] is the arrival index at that
+	// destination of the record's first packet. Together they replace the
+	// per-reconstruction record→arrival map.
+	recDest []CompID
+	arrBase []int32
 
 	// Journeys are the reconstructed packet traces, in source-emission
-	// order.
+	// order. Every Journey's Hops slice is a span of the shared hopArena.
 	Journeys []Journey
+	hopArena []JourneyHop
 
 	recon ReconStats
 
@@ -172,6 +194,19 @@ func (h Health) String() string {
 	return s
 }
 
+// view interns name, creating its (empty) per-component view on first use.
+func (s *Store) view(name string) *CompView {
+	if id, ok := s.byName[name]; ok {
+		return s.views[id]
+	}
+	id := CompID(len(s.views))
+	v := &CompView{ID: id, Name: name, Meta: s.Trace.Meta.Component(name)}
+	s.byName[name] = id
+	s.names = append(s.names, name)
+	s.views = append(s.views, v)
+	return v
+}
+
 // Build indexes the trace. Reconstruct must be called afterwards to
 // populate journeys and arrival links.
 func Build(tr *collector.Trace) *Store {
@@ -179,29 +214,27 @@ func Build(tr *collector.Trace) *Store {
 	s := &Store{
 		Trace:    tr,
 		MaxBatch: tr.Meta.MaxBatch,
-		comps:    make(map[string]*CompView),
+		byName:   make(map[string]CompID, len(tr.Meta.Components)+1),
+		srcID:    NoComp,
 	}
 	if s.MaxBatch <= 0 {
 		s.MaxBatch = 32
 	}
-	view := func(name string) *CompView {
-		v := s.comps[name]
-		if v == nil {
-			v = &CompView{Name: name, Meta: tr.Meta.Component(name)}
-			s.comps[name] = v
-			s.order = append(s.order, name)
-		}
-		return v
-	}
-	// Ensure every declared component has a view even if silent.
+	// Ensure every declared component has a view (and a stable CompID)
+	// even if silent; undeclared components that only appear in records
+	// are interned in first-appearance record order.
 	for i := range tr.Meta.Components {
-		view(tr.Meta.Components[i].Name)
+		s.view(tr.Meta.Components[i].Name)
 	}
+	s.recDest = make([]CompID, len(tr.Records))
+	s.arrBase = make([]int32, len(tr.Records))
 	for ri := range tr.Records {
 		r := &tr.Records[ri]
+		s.recDest[ri] = NoComp
+		s.arrBase[ri] = -1
 		switch r.Dir {
 		case collector.DirRead:
-			v := view(r.Comp)
+			v := s.view(r.Comp)
 			v.Reads = append(v.Reads, ReadEvent{
 				At:         r.At,
 				N:          len(r.IPIDs),
@@ -212,14 +245,20 @@ func Build(tr *collector.Trace) *Store {
 				v.ReadEntries = append(v.ReadEntries, Entry{At: r.At, IPID: id, Rec: ri, Pos: pos})
 			}
 		case collector.DirWrite:
-			v := view(r.Comp)
-			dest := consumerOf(r.Queue)
+			v := s.view(r.Comp)
+			dv := s.view(consumerOf(r.Queue))
+			s.recDest[ri] = dv.ID
+			s.arrBase[ri] = int32(len(dv.Arrivals))
 			for pos, id := range r.IPIDs {
 				v.WriteEntries = append(v.WriteEntries, Entry{At: r.At, IPID: id, Rec: ri, Pos: pos})
-				v.WriteDest = append(v.WriteDest, dest)
+				v.WriteDest = append(v.WriteDest, dv.ID)
+				// Arrival lists merge upstream writes per destination
+				// in (time, record order) — record order is already
+				// time order within the trace.
+				dv.Arrivals = append(dv.Arrivals, Arrival{At: r.At, IPID: id, From: v.ID, Journey: -1})
 			}
 		case collector.DirDeliver:
-			v := view(r.Comp)
+			v := s.view(r.Comp)
 			for pos, id := range r.IPIDs {
 				v.DeliverEntries = append(v.DeliverEntries, Entry{At: r.At, IPID: id, Rec: ri, Pos: pos})
 				// A damaged record can carry fewer five-tuples than
@@ -232,19 +271,32 @@ func Build(tr *collector.Trace) *Store {
 			}
 		}
 	}
-	// Build arrival lists: merge upstream writes per destination in
-	// (time, record order) — record order is already time order within
-	// the trace, so a stable pass over records suffices.
-	for ri := range tr.Records {
-		r := &tr.Records[ri]
-		if r.Dir != collector.DirWrite {
-			continue
+	// Intern edge endpoints too, so the downstream adjacency can name
+	// declared-but-silent neighbours, then freeze the per-component meta
+	// tables the diagnosis reads by ID.
+	for _, e := range tr.Meta.Edges {
+		s.view(e.From)
+		s.view(e.To)
+	}
+	n := len(s.views)
+	s.peaks = make([]simtime.Rate, n)
+	s.kinds = make([]string, n)
+	s.downs = make([][]CompID, n)
+	for id, v := range s.views {
+		s.kinds[id] = v.Name
+		if v.Meta != nil {
+			s.peaks[id] = v.Meta.PeakRate
+			if v.Meta.Kind != "" {
+				s.kinds[id] = v.Meta.Kind
+			}
 		}
-		dest := consumerOf(r.Queue)
-		v := view(dest)
-		for _, id := range r.IPIDs {
-			v.Arrivals = append(v.Arrivals, Arrival{At: r.At, IPID: id, From: r.Comp, Journey: -1})
-		}
+	}
+	for _, e := range tr.Meta.Edges {
+		from := s.byName[e.From]
+		s.downs[from] = append(s.downs[from], s.byName[e.To])
+	}
+	if id, ok := s.byName[collector.SourceName]; ok {
+		s.srcID = id
 	}
 	return s
 }
@@ -278,12 +330,13 @@ func consumerOf(queue string) string {
 }
 
 // View returns the per-component index, or nil.
-func (s *Store) View(name string) *CompView { return s.comps[name] }
+func (s *Store) View(name string) *CompView { return s.ViewID(s.CompIDOf(name)) }
 
-// Components returns component names in first-seen order.
+// Components returns component names in CompID order (declared components
+// first, then first appearance in the record stream).
 func (s *Store) Components() []string {
-	out := make([]string, len(s.order))
-	copy(out, s.order)
+	out := make([]string, len(s.names))
+	copy(out, s.names)
 	return out
 }
 
@@ -303,18 +356,27 @@ func (s *Store) Health() Health {
 
 // PeakRate returns r_i for a component (0 for the source or unknown).
 func (s *Store) PeakRate(name string) simtime.Rate {
-	if c := s.Trace.Meta.Component(name); c != nil {
-		return c.PeakRate
-	}
-	return 0
+	return s.PeakRateID(s.CompIDOf(name))
 }
 
 // KindOf returns the component kind, defaulting to the name.
 func (s *Store) KindOf(name string) string {
-	if c := s.Trace.Meta.Component(name); c != nil && c.Kind != "" {
-		return c.Kind
+	if id := s.CompIDOf(name); id != NoComp {
+		return s.kinds[id]
 	}
 	return name
+}
+
+// HopAt returns the named component's hop of a journey, or nil. Hop
+// components are interned; this is the string-keyed convenience wrapper.
+func (s *Store) HopAt(j *Journey, comp string) *JourneyHop {
+	return j.HopAtID(s.CompIDOf(comp))
+}
+
+// LastCompName returns the name of the last component a journey was
+// observed at ("" for an empty journey).
+func (s *Store) LastCompName(j *Journey) string {
+	return s.CompName(j.LastCompID())
 }
 
 // String renders a short summary.

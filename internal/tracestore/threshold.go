@@ -87,13 +87,20 @@ func (tl *qlenTimeline) lastLEFor(k int) []int {
 
 // QueuingPeriodThreshold computes the queuing period at comp for a packet
 // arriving at t, where the period begins after the last instant the queue
-// held at most k packets (k = 0 reduces to the paper's base definition,
-// computed from the same reconstructed timeline).
+// held at most k packets (string-keyed wrapper of
+// QueuingPeriodThresholdID).
 func (s *Store) QueuingPeriodThreshold(comp string, t simtime.Time, k int) *QueuingPeriod {
+	return s.QueuingPeriodThresholdID(s.CompIDOf(comp), t, k)
+}
+
+// QueuingPeriodThresholdID is QueuingPeriodThreshold for an interned
+// component (k = 0 reduces to the paper's base definition, computed from
+// the same reconstructed timeline).
+func (s *Store) QueuingPeriodThresholdID(comp CompID, t simtime.Time, k int) *QueuingPeriod {
 	if k <= 0 {
-		return s.QueuingPeriodAt(comp, t)
+		return s.QueuingPeriodAtID(comp, t)
 	}
-	v := s.comps[comp]
+	v := s.ViewID(comp)
 	if v == nil || len(v.Arrivals) == 0 {
 		return nil
 	}

@@ -78,7 +78,7 @@ func TestJourneysMatchGroundTruth(t *testing.T) {
 		}
 		ok := true
 		for h := range j.Hops {
-			if j.Hops[h].Comp != p.Hops[h].Node ||
+			if st.CompName(j.Hops[h].Comp) != p.Hops[h].Node ||
 				j.Hops[h].ArriveAt != p.Hops[h].EnqueueAt ||
 				j.Hops[h].ReadAt != p.Hops[h].DequeueAt ||
 				j.Hops[h].DepartAt != p.Hops[h].DepartAt {
@@ -171,7 +171,7 @@ func TestJourneysOnDAGTopology(t *testing.T) {
 		if len(j.Hops) == len(want) {
 			same := true
 			for h := range want {
-				if j.Hops[h].Comp != want[h] {
+				if st.CompName(j.Hops[h].Comp) != want[h] {
 					same = false
 					break
 				}
@@ -362,8 +362,8 @@ func TestStoreViewsAndMeta(t *testing.T) {
 	}
 	// Arrivals at fw1 all come from nat1.
 	for _, a := range st.View("fw1").Arrivals {
-		if a.From != "nat1" {
-			t.Fatalf("fw1 arrival from %q", a.From)
+		if st.CompName(a.From) != "nat1" {
+			t.Fatalf("fw1 arrival from %q", st.CompName(a.From))
 		}
 	}
 	// Journey linkage: arrivals carry journey indices after reconstruction.
@@ -379,25 +379,26 @@ func TestStoreViewsAndMeta(t *testing.T) {
 }
 
 func TestJourneyHelpers(t *testing.T) {
+	const a, b, c CompID = 0, 1, 2
 	j := Journey{
 		EmittedAt: 10,
 		Hops: []JourneyHop{
-			{Comp: "a", ArriveAt: 10, ReadAt: 12, DepartAt: 20},
-			{Comp: "b", ArriveAt: 20, ReadAt: 25, DepartAt: 40},
+			{Comp: a, ArriveAt: 10, ReadAt: 12, DepartAt: 20},
+			{Comp: b, ArriveAt: 20, ReadAt: 25, DepartAt: 40},
 		},
 		Delivered: true,
 	}
-	if j.LastComp() != "b" {
-		t.Error("LastComp")
+	if j.LastCompID() != b {
+		t.Error("LastCompID")
 	}
-	if j.HopAt("a") == nil || j.HopAt("c") != nil {
-		t.Error("HopAt")
+	if j.HopAtID(a) == nil || j.HopAtID(c) != nil {
+		t.Error("HopAtID")
 	}
 	if j.Latency() != 30 {
 		t.Errorf("Latency: %v", j.Latency())
 	}
 	var empty Journey
-	if empty.LastComp() != "" || empty.Latency() != -1 {
+	if empty.LastCompID() != NoComp || empty.Latency() != -1 {
 		t.Error("empty journey helpers")
 	}
 }
@@ -437,7 +438,7 @@ func TestLostPacketsTruncatedJourneys(t *testing.T) {
 		if j.Delivered {
 			t.Fatalf("dropped packet %d reconstructed as delivered", i)
 		}
-		if j.LastComp() == "a" { // read at a, vanished before b
+		if st.LastCompName(j) == "a" { // read at a, vanished before b
 			truncated++
 		}
 	}
@@ -501,7 +502,7 @@ func TestReconstructionBehindDynamicLB(t *testing.T) {
 		if len(j.Hops) == len(want) {
 			same := true
 			for h := range want {
-				if j.Hops[h].Comp != want[h] {
+				if st.CompName(j.Hops[h].Comp) != want[h] {
 					same = false
 					break
 				}
@@ -557,8 +558,8 @@ func TestIPIDRewritingNFTruncatesJourneys(t *testing.T) {
 		if j.Delivered {
 			t.Fatalf("journey %d crossed an IPID-rewriting NF", i)
 		}
-		if j.LastComp() != "proxy" {
-			t.Fatalf("journey %d last comp %q, want proxy", i, j.LastComp())
+		if st.LastCompName(j) != "proxy" {
+			t.Fatalf("journey %d last comp %q, want proxy", i, st.LastCompName(j))
 		}
 	}
 	// Both segments still support queuing-period analysis: probe at an
