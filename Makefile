@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race race-pipeline fuzz bench bench-smoke bench-all
+.PHONY: check vet build test race race-pipeline fuzz bench bench-smoke bench-all obs-smoke
 
 # The full pre-submit gate.
-check: vet build race race-pipeline fuzz bench-smoke
+check: vet build race race-pipeline fuzz obs-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,12 @@ bench:
 # perf/alloc regressions in the pre-submit gate without the full run's cost.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchtime=1x -benchmem ./internal/pipeline
+
+# Observability hot-path overhead: the disabled path (nil registry) must
+# stay at a few nanoseconds per event with zero allocations, and the
+# enabled counter/histogram paths must stay allocation-free.
+obs-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem ./internal/obs
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

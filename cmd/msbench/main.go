@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"microscope/internal/experiments"
+	"microscope/internal/obs"
 	"microscope/internal/plot"
 	"microscope/internal/report"
 	"microscope/internal/simtime"
@@ -37,6 +38,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel diagnosis workers (0 = GOMAXPROCS, 1 = sequential; artifacts are identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot aggregated across all runs to this file on exit")
 	)
 	flag.Parse()
 	if *fig == "" && !*all {
@@ -66,6 +68,27 @@ func main() {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				log.Print(err)
 			}
+		}()
+	}
+
+	if *metricsOut != "" {
+		// The experiments build their engines internally, so the registry
+		// is installed process-wide: every pipeline and diagnosis run in
+		// any artifact reports into it via the obs.Default() fallback.
+		reg := obs.New()
+		obs.SetDefault(reg)
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				log.Printf("metrics-out: %v", err)
+				return
+			}
+			fmt.Printf("(metrics snapshot written to %s)\n", *metricsOut)
 		}()
 	}
 

@@ -22,6 +22,7 @@ import (
 	"microscope/internal/core"
 	"microscope/internal/faults"
 	"microscope/internal/netmedic"
+	"microscope/internal/obs"
 	"microscope/internal/patterns"
 	"microscope/internal/pipeline"
 	"microscope/internal/simtime"
@@ -48,6 +49,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel diagnosis workers (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, histograms, spans) to this file on exit")
 	)
 	flag.Parse()
 
@@ -119,17 +121,38 @@ func main() {
 		fmt.Println("trace degraded: loss diagnosis suppressed (use -force-loss to keep it)")
 	}
 
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+	}
 	dcfg := core.Config{
 		VictimPercentile:        *percentile,
 		MaxVictims:              *maxVictims,
 		LossVictimsWhenDegraded: *forceLoss,
 		Workers:                 *workers,
+		Obs:                     reg,
 	}
 	res := pipeline.RunStore(st, pipeline.Config{
 		Workers:   *workers,
 		Diagnosis: dcfg,
 		Patterns:  patterns.Config{Threshold: *threshold},
+		Obs:       reg,
 	})
+	if reg != nil {
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				log.Printf("metrics-out: %v", err)
+				return
+			}
+			fmt.Printf("(metrics snapshot written to %s)\n", *metricsOut)
+		}()
+	}
 	diags := res.Diagnoses
 	var stages []string
 	for _, s := range res.Stages {

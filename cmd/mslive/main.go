@@ -4,7 +4,14 @@
 // monitor, printing alerts as each analysis window closes — Microscope as
 // a monitoring daemon rather than a post-mortem tool.
 //
+// With -listen it also serves the daemon's runtime introspection surface:
+// Prometheus metrics at /metrics (plus a JSON mirror at /metrics.json),
+// liveness at /healthz (503 while warming up or when the latest window's
+// trace health is degraded), and the standard Go profiler under
+// /debug/pprof/.
+//
 //	mslive -dur 500ms -window 100ms
+//	mslive -dur 2s -listen :9090 -hold 30s
 package main
 
 import (
@@ -12,10 +19,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"time"
 
 	"microscope/internal/collector"
 	"microscope/internal/nfsim"
+	"microscope/internal/obs"
 	"microscope/internal/online"
 	"microscope/internal/simtime"
 	"microscope/internal/traffic"
@@ -32,13 +42,48 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		minScore = flag.Float64("min-score", 100, "alert threshold (packets of blame)")
 		workers  = flag.Int("workers", 0, "parallel diagnosis workers per window (0 = GOMAXPROCS, 1 = sequential; alerts are identical)")
+		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty = off)")
+		hold     = flag.Duration("hold", 0, "keep serving the HTTP endpoints this long after the stream ends")
 	)
 	flag.Parse()
 
-	col := collector.New(collector.Config{})
+	// One registry spans the whole daemon: collector ingest, per-window
+	// pipeline runs, and monitor alerting all report into it, and the HTTP
+	// listener serves it while the stream is still being analysed.
+	reg := obs.New()
+
+	col := collector.New(collector.Config{Obs: reg})
 	topo := nfsim.BuildEvalTopology(col, nfsim.EvalTopologyConfig{Seed: *seed})
 	sim := topo.Sim
 	simDur := simtime.Duration(dur.Nanoseconds())
+	meta := collector.MetaFor(topo)
+
+	mon := online.New(meta, online.Config{
+		Window:   simtime.Duration(window.Nanoseconds()),
+		MinScore: *minScore,
+		Workers:  *workers,
+		Obs:      reg,
+	})
+
+	if *listen != "" {
+		handler := obs.Handler(reg, func() (bool, string) {
+			h, ok := mon.Health()
+			if !ok {
+				return false, "warming up: no window diagnosed yet"
+			}
+			return !h.Degraded(), h.String()
+		})
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("listen %s: %v", *listen, err)
+		}
+		log.Printf("serving /metrics /healthz /debug/pprof on %s", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, handler); err != nil {
+				log.Printf("http server: %v", err)
+			}
+		}()
+	}
 
 	mix := traffic.NewMix(traffic.MixConfig{Flows: 2048, Seed: *seed + 1})
 	sched := traffic.Generate(mix, traffic.ScheduleConfig{
@@ -66,15 +111,10 @@ func main() {
 	sim.LoadSchedule(sched)
 	start := time.Now()
 	sim.Run(simtime.Time(simDur) + simtime.Time(50*simtime.Millisecond))
-	tr := col.Trace(collector.MetaFor(topo))
+	tr := col.Trace(meta)
 	fmt.Printf("\nsimulated %v with %d natural events (%d records) in %v\n\n",
 		simDur, events, len(tr.Records), time.Since(start).Round(time.Millisecond))
 
-	mon := online.New(tr.Meta, online.Config{
-		Window:   simtime.Duration(window.Nanoseconds()),
-		MinScore: *minScore,
-		Workers:  *workers,
-	})
 	// Stream records as a drain loop would.
 	const chunk = 4096
 	for i := 0; i < len(tr.Records); i += chunk {
@@ -92,4 +132,9 @@ func main() {
 	st := mon.Stats()
 	fmt.Printf("\nmonitor: %d windows, %d victims diagnosed, %d alerts\n",
 		st.Windows, st.Victims, st.Alerts)
+
+	if *listen != "" && *hold > 0 {
+		log.Printf("stream finished; holding HTTP endpoints for %v", *hold)
+		time.Sleep(*hold)
+	}
 }

@@ -2,6 +2,7 @@ package collector
 
 import (
 	"microscope/internal/nfsim"
+	"microscope/internal/obs"
 	"microscope/internal/packet"
 	"microscope/internal/simtime"
 )
@@ -13,6 +14,9 @@ type Config struct {
 	// drains it synchronously — mirroring the paper's standalone dumper
 	// keeping up with the collector.
 	RingBytes int
+	// Obs receives ingest volume counters (batches, packets, encoded
+	// bytes). nil falls back to the process default registry.
+	Obs *obs.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -38,6 +42,11 @@ type Collector struct {
 	tuples []packet.FiveTuple
 
 	stats Stats
+
+	// Observability handles, resolved once at New (nil = disabled).
+	obsBatches *obs.Counter
+	obsPackets *obs.Counter
+	obsBytes   *obs.Counter
 }
 
 // Stats reports collection volume, used by the overhead evaluation.
@@ -58,10 +67,16 @@ func (s Stats) BytesPerPacket() float64 {
 // New creates a Collector.
 func New(cfg Config) *Collector {
 	cfg.setDefaults()
-	return &Collector{
+	c := &Collector{
 		cfg:  cfg,
 		ring: NewRing(cfg.RingBytes),
 	}
+	if reg := obs.Or(cfg.Obs); reg != nil {
+		c.obsBatches = reg.Counter("microscope_collector_batches_total")
+		c.obsPackets = reg.Counter("microscope_collector_packets_total")
+		c.obsBytes = reg.Counter("microscope_collector_bytes_total")
+	}
+	return c
 }
 
 // Stats returns collection counters.
@@ -103,6 +118,9 @@ func (c *Collector) add(comp, queue string, dir Dir, at simtime.Time, pkts []*pa
 	c.stats.Batches++
 	c.stats.PacketsSeen += uint64(len(pkts))
 	c.stats.BytesEncoded += uint64(n)
+	c.obsBatches.Inc()
+	c.obsPackets.Add(int64(len(pkts)))
+	c.obsBytes.Add(int64(n))
 	c.records = append(c.records, rec)
 }
 

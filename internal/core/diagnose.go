@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
+	"time"
 
+	"microscope/internal/obs"
 	"microscope/internal/par"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
@@ -37,18 +40,38 @@ type diagnoser struct {
 	memo *diagMemo
 	// src is the interned traffic source (NoComp when the trace has none).
 	src tracestore.CompID
+
+	// Observability handles, all nil (zero-cost no-ops) when neither the
+	// config nor the process default carries a registry.
+	victims       *obs.Counter
+	victimNS      *obs.Histogram
+	memoHits      *obs.Counter
+	memoMisses    *obs.Counter
+	scratchNew    *obs.Counter
+	scratchReused *obs.Counter
+	tracer        *obs.Tracer
 }
 
 // newDiagnoser binds the engine to a store: the shared index is built (or
 // fetched) once, so repeated single-victim calls stop being O(trace) each.
 func (e *Engine) newDiagnoser(st *tracestore.Store) *diagnoser {
-	return &diagnoser{
+	d := &diagnoser{
 		cfg:  e.cfg,
 		st:   st,
 		idx:  st.Index(e.cfg.QueueThreshold),
 		memo: e.memoFor(st),
 		src:  st.SourceID(),
 	}
+	if reg := obs.Or(e.cfg.Obs); reg != nil {
+		d.victims = reg.Counter("microscope_diag_victims_total")
+		d.victimNS = reg.Histogram("microscope_diag_victim_ns")
+		d.memoHits = reg.Counter("microscope_diag_memo_hits_total")
+		d.memoMisses = reg.Counter("microscope_diag_memo_misses_total")
+		d.scratchNew = reg.Counter("microscope_diag_scratch_new_total")
+		d.scratchReused = reg.Counter("microscope_diag_scratch_reused_total")
+		d.tracer = reg.Tracer()
+	}
+	return d
 }
 
 // Diagnose selects victims and produces a ranked diagnosis for each,
@@ -65,6 +88,19 @@ func (e *Engine) Diagnose(st *tracestore.Store) []Diagnosis {
 // fan-out as Diagnose. Output order matches the input victim order.
 func (e *Engine) DiagnoseVictims(st *tracestore.Store, victims []Victim) []Diagnosis {
 	return e.diagnoseAll(e.newDiagnoser(st), victims)
+}
+
+// DiagnoseVictimsContext is DiagnoseVictims with cooperative cancellation:
+// a cancelled context stops the per-victim fan-out promptly and returns
+// ctx's error alongside the partial output — slots for victims never
+// diagnosed are zero-valued Diagnoses.
+func (e *Engine) DiagnoseVictimsContext(ctx context.Context, st *tracestore.Store, victims []Victim) ([]Diagnosis, error) {
+	d := e.newDiagnoser(st)
+	out := make([]Diagnosis, len(victims))
+	err := par.DoCtx(ctx, len(victims), e.cfg.Workers, func(i int) {
+		out[i] = d.diagnoseVictim(victims[i])
+	})
+	return out, err
 }
 
 func (e *Engine) diagnoseAll(d *diagnoser, victims []Victim) []Diagnosis {
@@ -243,6 +279,9 @@ type causeAcc struct {
 type victimScratch struct {
 	idx  map[causeKey]int32
 	accs []causeAcc
+	// used distinguishes a pool recycle from a fresh allocation for the
+	// scratch-recycle-rate metrics.
+	used bool
 }
 
 var victimPool = sync.Pool{New: func() any {
@@ -288,7 +327,19 @@ func (sc *victimScratch) reset() {
 
 // diagnoseVictim runs §4.1–§4.3 for one victim.
 func (d *diagnoser) diagnoseVictim(v Victim) Diagnosis {
+	// Wall-clock cost is only read when a registry is live; the disabled
+	// path must not pay for time.Now.
+	var began time.Time
+	if d.victimNS != nil {
+		began = time.Now()
+	}
 	sc := victimPool.Get().(*victimScratch)
+	if sc.used {
+		d.scratchReused.Add(1)
+	} else {
+		sc.used = true
+		d.scratchNew.Add(1)
+	}
 	d.diagnoseAt(d.st.CompIDOf(v.Comp), v.ArriveAt, 1.0, 0, sc)
 
 	causes := make([]Cause, 0, len(sc.accs))
@@ -311,6 +362,16 @@ func (d *diagnoser) diagnoseVictim(v Victim) Diagnosis {
 	}
 	sc.reset()
 	victimPool.Put(sc)
+	d.victims.Add(1)
+	if d.victimNS != nil {
+		elapsed := time.Since(began)
+		d.victimNS.Observe(elapsed)
+		d.tracer.Record(obs.Span{
+			ID: d.tracer.NewID(), Parent: -1,
+			Name: v.Comp, Kind: "victim",
+			Start: began, Dur: elapsed,
+		})
+	}
 	sort.Slice(causes, func(i, j int) bool {
 		if causes[i].Score != causes[j].Score {
 			return causes[i].Score > causes[j].Score
@@ -401,7 +462,7 @@ type nfSplit struct {
 // period and its scores are memoized per (NF, anchor); only the linear
 // score scaling happens per call.
 func (d *diagnoser) splitAtNF(comp tracestore.CompID, anchor simtime.Time, score float64) *nfSplit {
-	sr := d.memo.split.do(periodKey{comp: comp, end: anchor}, func() *splitResult {
+	sr := d.memo.split.do(periodKey{comp: comp, end: anchor}, d.memoHits, d.memoMisses, func() *splitResult {
 		qp := d.st.QueuingPeriodThresholdID(comp, anchor, d.cfg.QueueThreshold)
 		if qp == nil || qp.NIn == 0 {
 			return nil
@@ -452,7 +513,7 @@ func (d *diagnoser) diagnoseAtPeriod(comp tracestore.CompID, qp *tracestore.Queu
 // periodJourneys lists the journeys of a queuing period's arrivals,
 // memoized per (NF, period). Callers treat the result as read-only.
 func (d *diagnoser) periodJourneys(comp tracestore.CompID, qp *tracestore.QueuingPeriod) []int {
-	return d.memo.periodJ.do(periodKey{comp: comp, start: qp.Start, end: qp.End}, func() []int {
+	return d.memo.periodJ.do(periodKey{comp: comp, start: qp.Start, end: qp.End}, d.memoHits, d.memoMisses, func() []int {
 		v := d.st.ViewID(comp)
 		if v == nil {
 			return nil

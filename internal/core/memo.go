@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"microscope/internal/obs"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
@@ -44,19 +45,24 @@ type flightCall[V any] struct {
 	val  V
 }
 
-func (f *flight[K, V]) do(k K, fn func() V) V {
+// do returns fn()'s value for k, computing it at most once. hits/misses
+// are nil-safe observability counters (memo effectiveness is the pipeline's
+// main cache-health signal).
+func (f *flight[K, V]) do(k K, hits, misses *obs.Counter, fn func() V) V {
 	f.mu.Lock()
 	if f.m == nil {
 		f.m = make(map[K]*flightCall[V])
 	}
 	if c, ok := f.m[k]; ok {
 		f.mu.Unlock()
+		hits.Add(1)
 		<-c.done
 		return c.val
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.m[k] = c
 	f.mu.Unlock()
+	misses.Add(1)
 	c.val = fn()
 	close(c.done)
 	return c.val

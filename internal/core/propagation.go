@@ -66,7 +66,7 @@ func (d *diagnoser) propagate(f tracestore.CompID, qp *tracestore.QueuingPeriod,
 	// recursion itself) revisit the same (NF, period), so it is memoized
 	// with single-flight semantics and only the linear budget scaling
 	// happens per call.
-	pps := d.memo.prop.do(periodKey{comp: f, start: qp.Start, end: qp.End}, func() []propPath {
+	pps := d.memo.prop.do(periodKey{comp: f, start: qp.Start, end: qp.End}, d.memoHits, d.memoMisses, func() []propPath {
 		return d.decomposePeriod(f, qp)
 	})
 	out := make([]propagated, 0, len(pps))

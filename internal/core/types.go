@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"microscope/internal/obs"
 	"microscope/internal/packet"
 	"microscope/internal/simtime"
 )
@@ -154,6 +155,11 @@ type Config struct {
 	// victims are diagnosed independently against the immutable trace
 	// index and merged in victim order.
 	Workers int
+	// Obs receives diagnosis metrics (victims diagnosed, memo hit/miss,
+	// scratch-pool recycling, per-victim latency spans). nil falls back to
+	// the process-wide obs.Default(), which is nil — disabled — unless
+	// installed; a disabled registry costs a nil check per event.
+	Obs *obs.Registry
 }
 
 func (c *Config) setDefaults() {

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus writes the registry's metrics in Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-labelled buckets plus _sum and
+// _count. Metric names may embed a label set (`name{k="v"}`); the le label
+// is merged into it for bucket lines. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters, gauges, hists := r.sortedNames()
+	cs := make([]*Counter, len(counters))
+	for i, n := range counters {
+		cs[i] = r.counters[n]
+	}
+	gs := make([]*Gauge, len(gauges))
+	for i, n := range gauges {
+		gs[i] = r.gauges[n]
+	}
+	hs := make([]*Histogram, len(hists))
+	for i, n := range hists {
+		hs[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	lastType := ""
+	typeLine := func(name, typ string) {
+		base := baseName(name)
+		if base != lastType {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+			lastType = base
+		}
+	}
+	for _, c := range cs {
+		typeLine(c.name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.Value())
+	}
+	lastType = ""
+	for _, g := range gs {
+		typeLine(g.name, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", g.name, g.Value())
+	}
+	lastType = ""
+	for _, h := range hs {
+		typeLine(h.name, "histogram")
+		var cum int64
+		for i := 0; i < HistBuckets; i++ {
+			n := h.buckets[i].Load()
+			cum += n
+			// Skip all-zero leading buckets after the first to keep the
+			// exposition small, but always emit a bucket once counts
+			// begin and always emit the final bound.
+			if cum == 0 && i < HistBuckets-1 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s %d\n", withLabel(h.name, "_bucket", fmt.Sprintf(`le="%d"`, BucketLE(i))), cum)
+		}
+		fmt.Fprintf(&b, "%s %d\n", withLabel(h.name, "_bucket", `le="+Inf"`), h.Count())
+		fmt.Fprintf(&b, "%s %d\n", suffixName(h.name, "_sum"), h.SumNS())
+		fmt.Fprintf(&b, "%s %d\n", suffixName(h.name, "_count"), h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// baseName strips a label suffix: `foo{k="v"}` -> `foo`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixName appends suffix to the metric name, before any label set:
+// `foo{k="v"}` + `_sum` -> `foo_sum{k="v"}`.
+func suffixName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// withLabel appends suffix to the base name and merges extra into the
+// label set: `foo{k="v"}` + `_bucket` + `le="1"` -> `foo_bucket{k="v",le="1"}`.
+func withLabel(name, suffix, extra string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:len(name)-1] + "," + extra + "}"
+	}
+	return name + suffix + "{" + extra + "}"
+}
+
+// HistogramSnapshot is one histogram's JSON form. Buckets holds only the
+// populated cells as cumulative counts.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	SumNS   int64         `json:"sum_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one cumulative histogram cell: Count observations at or
+// below LE nanoseconds.
+type BucketCount struct {
+	LE    int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot is the registry's full JSON-serializable state.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []Span                       `json:"spans,omitempty"`
+	SpansTotal uint64                       `json:"spans_total,omitempty"`
+}
+
+// TakeSnapshot captures every metric and the retained spans. On a nil
+// registry it returns an empty snapshot.
+func (r *Registry) TakeSnapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters, gauges, hists := r.sortedNames()
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for _, n := range counters {
+			s.Counters[n] = r.counters[n].Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for _, n := range gauges {
+			s.Gauges[n] = r.gauges[n].Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for _, n := range hists {
+			h := r.hists[n]
+			hs := HistogramSnapshot{Count: h.Count(), SumNS: h.SumNS()}
+			var cum int64
+			for i := 0; i < HistBuckets; i++ {
+				if v := h.buckets[i].Load(); v > 0 {
+					cum += v
+					hs.Buckets = append(hs.Buckets, BucketCount{LE: BucketLE(i), Count: cum})
+				}
+			}
+			s.Histograms[n] = hs
+		}
+	}
+	tracer := r.tracer
+	r.mu.Unlock()
+	s.Spans = tracer.Snapshot()
+	s.SpansTotal = tracer.Total()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. A nil registry writes an
+// empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TakeSnapshot())
+}

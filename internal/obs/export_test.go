@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the exact exposition text for a small registry:
+// one counter, one gauge, one plain histogram, and one labelled histogram.
+// The format is what a Prometheus scraper parses, so it must not drift.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("microscope_diag_victims_total").Add(42)
+	r.Gauge("microscope_store_journeys").Set(7)
+	h := r.Histogram("microscope_diag_victim_ns")
+	h.Observe(1 * time.Nanosecond)
+	h.Observe(3 * time.Nanosecond)
+	h.Observe(1000 * time.Nanosecond)
+	lh := r.Histogram(`microscope_pipeline_stage_ns{stage="index"}`)
+	lh.Observe(5 * time.Nanosecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE microscope_diag_victims_total counter
+microscope_diag_victims_total 42
+# TYPE microscope_store_journeys gauge
+microscope_store_journeys 7
+# TYPE microscope_diag_victim_ns histogram
+microscope_diag_victim_ns_bucket{le="1"} 1
+microscope_diag_victim_ns_bucket{le="2"} 1
+microscope_diag_victim_ns_bucket{le="4"} 2
+microscope_diag_victim_ns_bucket{le="8"} 2
+microscope_diag_victim_ns_bucket{le="16"} 2
+microscope_diag_victim_ns_bucket{le="32"} 2
+microscope_diag_victim_ns_bucket{le="64"} 2
+microscope_diag_victim_ns_bucket{le="128"} 2
+microscope_diag_victim_ns_bucket{le="256"} 2
+microscope_diag_victim_ns_bucket{le="512"} 2
+microscope_diag_victim_ns_bucket{le="1024"} 3
+`
+	got := b.String()
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch:\n--- got ---\n%s\n--- want prefix ---\n%s", got, want)
+	}
+	for _, line := range []string{
+		`microscope_diag_victim_ns_bucket{le="+Inf"} 3`,
+		"microscope_diag_victim_ns_sum 1004",
+		"microscope_diag_victim_ns_count 3",
+		`# TYPE microscope_pipeline_stage_ns histogram`,
+		`microscope_pipeline_stage_ns_bucket{stage="index",le="8"} 1`,
+		`microscope_pipeline_stage_ns_bucket{stage="index",le="+Inf"} 1`,
+		`microscope_pipeline_stage_ns_sum{stage="index"} 5`,
+		`microscope_pipeline_stage_ns_count{stage="index"} 1`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing line %q\nfull output:\n%s", line, got)
+		}
+	}
+
+	// Every non-comment line must be "name[{labels}] value".
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?\d+$`)
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+}
+
+// TestJSONSnapshot round-trips the snapshot through encoding/json and
+// checks the cumulative bucket counts and span payload survive.
+func TestJSONSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("c_total").Add(5)
+	r.Gauge("g").Set(-3)
+	h := r.Histogram("h_ns")
+	h.Observe(1)
+	h.Observe(100)
+	r.Tracer().Record(Span{ID: 1, Parent: -1, Name: "pipeline", Kind: "run", Dur: time.Millisecond})
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, b.String())
+	}
+	if s.Counters["c_total"] != 5 || s.Gauges["g"] != -3 {
+		t.Errorf("scalar metrics lost: %+v", s)
+	}
+	hs := s.Histograms["h_ns"]
+	if hs.Count != 2 || hs.SumNS != 101 {
+		t.Errorf("histogram summary lost: %+v", hs)
+	}
+	if len(hs.Buckets) != 2 || hs.Buckets[0].LE != 1 || hs.Buckets[0].Count != 1 || hs.Buckets[1].Count != 2 {
+		t.Errorf("cumulative buckets wrong: %+v", hs.Buckets)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "pipeline" || s.SpansTotal != 1 {
+		t.Errorf("spans lost: %+v", s.Spans)
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HealthFunc reports liveness for /healthz: ok=false yields a 503 so
+// orchestrators see trace-quality degradation, and detail is the body
+// either way (e.g. a tracestore.Health one-liner).
+type HealthFunc func() (ok bool, detail string)
+
+// Handler serves the runtime introspection surface:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the JSON snapshot (metrics + retained spans)
+//	/healthz       200/503 per the supplied HealthFunc
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// r may be nil (endpoints serve empty metrics) and health may be nil
+// (healthz always reports ok).
+func Handler(r *Registry, health HealthFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		ok, detail := true, "ok"
+		if health != nil {
+			ok, detail = health()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, detail)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerEndpoints drives the introspection surface the way mslive
+// serves it: /metrics must be valid Prometheus text, /healthz must flip to
+// 503 when the health callback reports degradation, and /debug/pprof must
+// answer.
+func TestHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("microscope_monitor_records_total").Add(9)
+	degraded := false
+	srv := httptest.NewServer(Handler(r, func() (bool, string) {
+		if degraded {
+			return false, "health: degraded trace"
+		}
+		return true, "health: clean"
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE microscope_monitor_records_total counter\nmicroscope_monitor_records_total 9\n") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body, hdr = get("/metrics.json")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("/metrics.json status=%d content-type=%q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"microscope_monitor_records_total": 9`) {
+		t.Errorf("/metrics.json missing counter:\n%s", body)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "health: clean") {
+		t.Errorf("healthy /healthz = %d %q", code, body)
+	}
+	degraded = true
+	code, body, _ = get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Errorf("degraded /healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	// nil registry and nil health func still serve.
+	srv2 := httptest.NewServer(Handler(nil, nil))
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-registry /metrics: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv2.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-health /healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}

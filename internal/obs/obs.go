@@ -1,0 +1,326 @@
+// Package obs is Microscope's dependency-free observability plane:
+// sharded lock-free counters, gauges, fixed-bucket power-of-two latency
+// histograms, and a bounded ring-buffer span tracer, with Prometheus text
+// and JSON snapshot exporters.
+//
+// The design goal is that instrumentation costs nothing when disabled and
+// a few atomic operations when enabled. Every handle type (*Counter,
+// *Gauge, *Histogram, *Tracer) and *Registry itself is nil-safe: a nil
+// receiver makes every method a no-op, so instrumented code never branches
+// on "is observability on" — it just calls through a possibly-nil handle.
+// Handles are resolved once per run (registration takes a mutex), then the
+// hot path is a nil check plus an atomic add.
+//
+// A process-wide default registry (Default / SetDefault) lets deep call
+// sites — the experiments harness, engines created inside library code —
+// share one registry without plumbing it through every config. It is nil
+// until SetDefault is called, which is the disabled state.
+package obs
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// defaultReg is the process-wide registry; nil means disabled.
+var defaultReg atomic.Pointer[Registry]
+
+// Default returns the process-wide registry, or nil when observability is
+// globally disabled (the initial state).
+func Default() *Registry { return defaultReg.Load() }
+
+// SetDefault installs r as the process-wide registry. Passing nil disables
+// global observability again.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Or resolves an explicitly configured registry against the process-wide
+// default: cfg wins when non-nil, else Default() (which may be nil).
+func Or(cfg *Registry) *Registry {
+	if cfg != nil {
+		return cfg
+	}
+	return Default()
+}
+
+// Registry owns a namespace of metrics plus one span tracer. Metric
+// registration (Counter/Gauge/Histogram by name) is mutex-guarded and
+// idempotent; the returned handles are lock-free. A nil *Registry is the
+// disabled registry: every method returns a nil handle whose methods are
+// no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   *Tracer
+}
+
+// New creates an empty registry with a default-capacity span tracer.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		tracer:   NewTracer(DefaultSpanCap),
+	}
+}
+
+// Counter returns the named counter, registering it on first use. Names
+// may carry a Prometheus label suffix, e.g.
+// `microscope_pipeline_stage_ns{stage="index"}`; the label set is treated
+// as part of the identity. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = newCounter(name)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Tracer returns the registry's span tracer, or nil on a nil registry.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// counterNames returns registered counter names, sorted.
+func (r *Registry) sortedNames() (counters, gauges, hists []string) {
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}
+
+// cell is one cache-line-padded counter shard. The padding keeps
+// concurrent writers on different shards from false-sharing one line.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded counter. Adds hash to one
+// of GOMAXPROCS-scaled shards so concurrent writers rarely contend on the
+// same cache line; Value sums the shards. A nil *Counter is a no-op.
+type Counter struct {
+	name   string
+	mask   uint32
+	shards []cell
+}
+
+func newCounter(name string) *Counter {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return &Counter{name: name, mask: uint32(n - 1), shards: make([]cell, n)}
+}
+
+// shardIdx derives a shard hint from the address of a stack local: cheap,
+// allocation-free, and strongly correlated with the calling goroutine (and
+// therefore with the running P), which is all the distribution sharding
+// needs.
+func shardIdx() uint32 {
+	var b byte
+	return uint32(uintptr(unsafe.Pointer(&b)) >> 10)
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIdx()&c.mask].v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Name returns the registered name ("" on nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a settable instantaneous value. A nil *Gauge is a no-op.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. No-op on a nil gauge.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered name ("" on nil).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// HistBuckets is the fixed bucket count: bucket i covers values up to and
+// including 2^i nanoseconds, so 40 buckets span 1 ns to ~9 minutes.
+// Values beyond the last bound land in an overflow cell reported only
+// under le="+Inf".
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket power-of-two latency histogram. Observing is
+// three atomic adds and zero allocations. A nil *Histogram is a no-op.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	over    atomic.Int64 // observations beyond the last bucket bound
+	buckets [HistBuckets]atomic.Int64
+}
+
+// bucketOf returns the index of the smallest bucket bound >= n, or
+// HistBuckets when n exceeds every bound.
+func bucketOf(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(n - 1)) // smallest b with n <= 1<<b
+	if b >= HistBuckets {
+		return HistBuckets
+	}
+	return b
+}
+
+// BucketLE returns bucket i's inclusive upper bound in nanoseconds.
+func BucketLE(i int) int64 { return 1 << uint(i) }
+
+// Observe records one duration. No-op on a nil histogram; negative
+// durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(n)
+	if b := bucketOf(n); b < HistBuckets {
+		h.buckets[b].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumNS returns the total observed nanoseconds (0 on nil).
+func (h *Histogram) SumNS() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Name returns the registered name ("" on nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent is the registry's concurrency contract, run under
+// -race by `make race`: parallel increments from many goroutines must sum
+// exactly, regardless of which shards the writers land on.
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("microscope_test_total")
+	const goroutines, perG = 16, 20000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// Registration is idempotent: the same name returns the same counter.
+	if r.Counter("microscope_test_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+// TestGaugeAndHistogramConcurrent exercises the other two metric kinds
+// under contention.
+func TestGaugeAndHistogramConcurrent(t *testing.T) {
+	r := New()
+	g := r.Gauge("microscope_test_gauge")
+	h := r.Histogram("microscope_test_ns")
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 5000
+	wg.Add(goroutines)
+	for w := 0; w < goroutines; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", g.Value(), goroutines*perG)
+	}
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the power-of-two bucket layout:
+// every value lands in the smallest bucket whose inclusive bound covers
+// it, boundaries included.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, // bucket 0: le=1
+		{2, 1},         // le=2
+		{3, 2}, {4, 2}, // le=4
+		{5, 3}, {8, 3}, // le=8
+		{9, 4}, {16, 4}, // le=16
+		{1023, 10}, {1024, 10}, // le=1024
+		{1025, 11},    // le=2048
+		{1 << 30, 30}, // le=2^30 (~1.07s)
+		{1<<30 + 1, 31},
+		{1 << 39, 39},            // last real bucket
+		{1<<39 + 1, HistBuckets}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+		if c.bucket < HistBuckets && c.ns > BucketLE(c.bucket) {
+			t.Errorf("value %d exceeds its bucket bound %d", c.ns, BucketLE(c.bucket))
+		}
+	}
+
+	// Overflow observations appear in count/sum but only the +Inf bucket.
+	var h Histogram
+	h.Observe(time.Duration(1<<39+1) * time.Nanosecond)
+	if h.Count() != 1 || h.over.Load() != 1 {
+		t.Errorf("overflow bookkeeping: count=%d over=%d", h.Count(), h.over.Load())
+	}
+	// Negative durations clamp to zero instead of corrupting the sum.
+	h.Observe(-time.Second)
+	if h.SumNS() != 1<<39+1 {
+		t.Errorf("negative observation changed sum: %d", h.SumNS())
+	}
+}
+
+// TestTracerRing checks the bounded ring: the newest spans win, oldest
+// first in snapshots, and the total keeps counting past the capacity.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Record(Span{ID: int32(i), Parent: -1, Name: "s", Kind: "stage"})
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := int32(3 + i); s.ID != want {
+			t.Errorf("snapshot[%d].ID = %d, want %d (oldest-first)", i, s.ID, want)
+		}
+	}
+	if tr.Total() != 7 {
+		t.Errorf("total = %d, want 7", tr.Total())
+	}
+	if a, b := tr.NewID(), tr.NewID(); b != a+1 {
+		t.Errorf("NewID not monotonic: %d then %d", a, b)
+	}
+}
+
+// TestNilSafety is the disabled-observability contract: every method on a
+// nil registry, handle, or tracer is a no-op and never panics.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	tr := r.Tracer()
+	if c != nil || g != nil || h != nil || tr != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Set(3)
+	g.Add(1)
+	h.Observe(time.Second)
+	tr.Record(Span{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.SumNS() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if tr.Snapshot() != nil || tr.Total() != 0 || tr.NewID() != 0 {
+		t.Fatal("nil tracer must read as empty")
+	}
+	if c.Name() != "" || g.Name() != "" || h.Name() != "" {
+		t.Fatal("nil handles must have empty names")
+	}
+	if s := r.TakeSnapshot(); len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(discard{}); err != nil {
+		t.Fatal(err)
+	}
+	if Or(nil) != Default() {
+		t.Fatal("Or(nil) must fall back to the default registry")
+	}
+	reg := New()
+	if Or(reg) != reg {
+		t.Fatal("Or must prefer the explicit registry")
+	}
+}
+
+// TestDefaultRegistry checks the process-wide default switch.
+func TestDefaultRegistry(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	reg := New()
+	SetDefault(reg)
+	if Default() != reg {
+		t.Fatal("SetDefault did not install the registry")
+	}
+	SetDefault(nil)
+	if Default() != nil {
+		t.Fatal("SetDefault(nil) did not disable the default")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkObsDisabled measures the disabled hot path: a nil counter add,
+// a nil histogram observe, and a nil tracer record — the per-event cost of
+// instrumentation when no registry is attached. This is the `make
+// obs-smoke` overhead criterion.
+func BenchmarkObsDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("x")
+	tr := r.Tracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(1)
+		tr.Record(Span{})
+	}
+}
+
+// BenchmarkObsCounter measures the enabled counter hot path.
+func BenchmarkObsCounter(b *testing.B) {
+	c := New().Counter("x")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+// BenchmarkObsHistogram measures the enabled histogram hot path.
+func BenchmarkObsHistogram(b *testing.B) {
+	h := New().Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}

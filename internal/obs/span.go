@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCap is the default tracer ring capacity. The tracer keeps the
+// most recent spans; the pipeline's stage tree plus a generous tail of
+// per-victim spans fit comfortably.
+const DefaultSpanCap = 4096
+
+// Span is one timed operation: a pipeline stage, a per-victim diagnosis, an
+// AutoFocus phase, or a monitor window. Spans form trees through Parent
+// (an ID within the same producer; -1 marks a root).
+type Span struct {
+	// ID identifies the span within its producer's run.
+	ID int32 `json:"id"`
+	// Parent is the enclosing span's ID, -1 for roots.
+	Parent int32 `json:"parent"`
+	// Name names the operation ("diagnose", a component, a phase).
+	Name string `json:"name"`
+	// Kind classifies it: "run", "stage", "victim", "phase", "window".
+	Kind string `json:"kind"`
+	// Start is the wall-clock begin time.
+	Start time.Time `json:"start"`
+	// Dur is the elapsed time.
+	Dur time.Duration `json:"dur_ns"`
+}
+
+// Tracer is a bounded ring buffer of spans: recording never allocates and
+// never grows; the oldest spans are overwritten once the ring is full. A
+// nil *Tracer is a no-op.
+type Tracer struct {
+	nextID atomic.Int32
+
+	mu    sync.Mutex
+	buf   []Span
+	total uint64 // spans ever recorded
+}
+
+// NewTracer creates a tracer holding at most capacity spans (a
+// non-positive capacity selects DefaultSpanCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &Tracer{buf: make([]Span, 0, capacity)}
+}
+
+// NewID allocates a fresh span ID (0 on a nil tracer).
+func (t *Tracer) NewID() int32 {
+	if t == nil {
+		return 0
+	}
+	return t.nextID.Add(1)
+}
+
+// Record stores one finished span, overwriting the oldest when full.
+// No-op on a nil tracer.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[int(t.total)%cap(t.buf)] = s
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first (nil on a nil tracer).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	// Full ring: the slot the next write would take is the oldest span.
+	head := int(t.total) % cap(t.buf)
+	out = append(out, t.buf[head:]...)
+	return append(out, t.buf[:head]...)
+}
+
+// Total returns how many spans were ever recorded, including overwritten
+// ones (0 on a nil tracer).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

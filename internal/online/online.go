@@ -12,6 +12,7 @@ import (
 
 	"microscope/internal/collector"
 	"microscope/internal/core"
+	"microscope/internal/obs"
 	"microscope/internal/pipeline"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
@@ -39,6 +40,10 @@ type Config struct {
 	// onsets within this duration of an already-alerted onset
 	// (default: one Window).
 	HoldOff simtime.Duration
+	// Obs receives monitor metrics: ingest and alert counters plus
+	// watermark gauges, and is pushed into the per-window pipelines.
+	// nil falls back to the process default registry.
+	Obs *obs.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -100,8 +105,24 @@ type Monitor struct {
 	flushedTo simtime.Time
 	// lastAlert remembers alerted onsets per culprit for hold-off.
 	lastAlert map[alertKey]simtime.Time
+	// lastHealth is the most recent diagnosed window's trace-quality
+	// summary, served by Health() to liveness endpoints.
+	lastHealth    tracestore.Health
+	hasHealth     bool
+	lastWatermark simtime.Time
 
 	stats Stats
+
+	// Observability handles, resolved once at New (nil = disabled).
+	obsRecords      *obs.Counter
+	obsWindows      *obs.Counter
+	obsVictims      *obs.Counter
+	obsAlerts       *obs.Counter
+	obsLateAccepted *obs.Counter
+	obsLateDropped  *obs.Counter
+	obsWatermark    *obs.Gauge
+	obsLag          *obs.Gauge
+	obsPending      *obs.Gauge
 }
 
 type alertKey struct {
@@ -131,17 +152,36 @@ func New(meta collector.Meta, cfg Config) *Monitor {
 	if cfg.Workers != 0 {
 		dcfg.Workers = cfg.Workers
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:       cfg,
 		meta:      meta,
-		pcfg:      pipeline.Config{Diagnosis: dcfg, SkipPatterns: true},
+		pcfg:      pipeline.Config{Diagnosis: dcfg, SkipPatterns: true, Obs: cfg.Obs},
 		lastAlert: make(map[alertKey]simtime.Time),
 		nextFlush: simtime.Time(cfg.Window),
 	}
+	if reg := obs.Or(cfg.Obs); reg != nil {
+		m.obsRecords = reg.Counter("microscope_monitor_records_total")
+		m.obsWindows = reg.Counter("microscope_monitor_windows_total")
+		m.obsVictims = reg.Counter("microscope_monitor_victims_total")
+		m.obsAlerts = reg.Counter("microscope_monitor_alerts_total")
+		m.obsLateAccepted = reg.Counter("microscope_monitor_late_accepted_total")
+		m.obsLateDropped = reg.Counter("microscope_monitor_late_dropped_total")
+		m.obsWatermark = reg.Gauge("microscope_monitor_watermark_ns")
+		m.obsLag = reg.Gauge("microscope_monitor_lag_ns")
+		m.obsPending = reg.Gauge("microscope_monitor_pending_records")
+	}
+	return m
 }
 
 // Stats returns activity counters.
 func (m *Monitor) Stats() Stats { return m.stats }
+
+// Health returns the trace-quality summary of the most recently diagnosed
+// window. ok is false until the first window has been analysed — liveness
+// endpoints report "warming up" rather than a zero-valued healthy Health.
+func (m *Monitor) Health() (h tracestore.Health, ok bool) {
+	return m.lastHealth, m.hasHealth
+}
 
 // Feed appends records and diagnoses any windows they complete, returning
 // the alerts raised. Records should arrive roughly in time order; bounded
@@ -152,9 +192,18 @@ func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 	for _, r := range recs {
 		if r.At < m.flushedTo {
 			m.stats.LateDropped++
+			m.obsLateDropped.Inc()
 			continue
 		}
 		m.stats.Records++
+		m.obsRecords.Inc()
+		if r.At > m.lastWatermark {
+			m.lastWatermark = r.At
+			m.obsWatermark.Set(int64(r.At))
+			// Lag: how far the newest record runs ahead of the last
+			// diagnosed boundary — bounded backlog under steady state.
+			m.obsLag.Set(int64(r.At.Sub(m.flushedTo)))
+		}
 		if n := len(m.pending); n > 0 && r.At < m.pending[n-1].At {
 			// Late but still analysable: insert in time order.
 			i := sort.Search(n, func(i int) bool { return m.pending[i].At > r.At })
@@ -162,6 +211,7 @@ func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 			copy(m.pending[i+1:], m.pending[i:])
 			m.pending[i] = r
 			m.stats.LateAccepted++
+			m.obsLateAccepted.Inc()
 		} else {
 			m.pending = append(m.pending, r)
 		}
@@ -187,6 +237,7 @@ func (m *Monitor) flushWindow() []Alert {
 	m.nextFlush = end.Add(m.cfg.Window)
 	m.flushedTo = end
 	m.stats.Windows++
+	m.obsWindows.Inc()
 
 	// Records in the window (all pending up to end).
 	cut := sort.Search(len(m.pending), func(i int) bool { return m.pending[i].At > end })
@@ -197,10 +248,12 @@ func (m *Monitor) flushWindow() []Alert {
 	tr := &collector.Trace{Meta: m.meta, Records: window}
 	res := pipeline.Run(tr, m.pcfg)
 	health := res.Health
+	m.lastHealth, m.hasHealth = health, true
 	m.stats.Unmatched += health.Recon.Unmatched
 	m.stats.Quarantined += health.Recon.Quarantined
 	diags := res.Diagnoses
 	m.stats.Victims += len(diags)
+	m.obsVictims.Add(int64(len(diags)))
 
 	// Merge culprits across the window's victims.
 	type acc struct {
@@ -267,11 +320,13 @@ func (m *Monitor) flushWindow() []Alert {
 			Health:    health,
 		})
 		m.stats.Alerts++
+		m.obsAlerts.Inc()
 	}
 
 	// Retain the overlap tail.
 	keepFrom := end.Add(-m.cfg.Overlap)
 	start := sort.Search(len(m.pending), func(i int) bool { return m.pending[i].At >= keepFrom })
 	m.pending = append(m.pending[:0], m.pending[start:]...)
+	m.obsPending.Set(int64(len(m.pending)))
 	return out
 }

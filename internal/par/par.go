@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,4 +56,41 @@ func Do(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// DoCtx is Do with cooperative cancellation: every worker checks ctx
+// before claiming the next item, so a cancelled context stops the fan-out
+// promptly — items already claimed finish (fn is never interrupted
+// mid-call), unclaimed items are never started. Returns ctx.Err() when the
+// run was cut short, nil when every item completed. Results for items that
+// never ran are whatever the caller preallocated (zero values), so callers
+// that return partial output must say so.
+func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }

@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -59,5 +62,61 @@ func TestDoSequentialOrder(t *testing.T) {
 	}
 	if len(got) != 5 {
 		t.Fatalf("ran %d items, want 5", len(got))
+	}
+}
+
+// TestDoCtxCompletes: with a live context, DoCtx behaves exactly like Do —
+// every item runs exactly once and no error is returned.
+func TestDoCtxCompletes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		if err := DoCtx(context.Background(), n, workers, func(i int) { counts[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+// TestDoCtxCancelSequential: a context cancelled partway through the
+// sequential loop stops further items and surfaces the cause.
+func TestDoCtxCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := DoCtx(ctx, 100, 1, func(i int) {
+		ran++
+		if i == 9 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d items, want 10 (claimed items finish, later ones never start)", ran)
+	}
+}
+
+// TestDoCtxCancelParallel: cancelling mid-flight stops workers from
+// claiming new items; in-flight calls complete and DoCtx returns the
+// context error.
+func TestDoCtxCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := DoCtx(ctx, 10000, 4, func(i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("cancellation did not cut the run short (%d items ran)", n)
 	}
 }

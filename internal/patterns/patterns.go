@@ -15,13 +15,16 @@
 package patterns
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"microscope/internal/autofocus"
 	"microscope/internal/core"
+	"microscope/internal/obs"
 	"microscope/internal/packet"
 	"microscope/internal/par"
 	"microscope/internal/tracestore"
@@ -80,6 +83,9 @@ type Config struct {
 	// (0 = GOMAXPROCS, 1 = sequential). Output is identical for any
 	// value: groups are independent and results merge in group order.
 	Workers int
+	// Obs receives aggregation metrics (relations in, patterns out, phase
+	// group counts and latencies). nil falls back to the process default.
+	Obs *obs.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -170,9 +176,30 @@ type culpritKey struct {
 
 // Aggregate runs the two-phase aggregation and returns the ranked patterns.
 func Aggregate(rels []Relation, cfg Config) []Pattern {
+	out, _ := AggregateContext(context.Background(), rels, cfg)
+	return out
+}
+
+// AggregateContext is Aggregate with cooperative cancellation: each phase's
+// AutoFocus fan-out checks ctx between groups, and a cancelled context
+// returns nil patterns with ctx's error. With a background context the
+// output is identical to Aggregate.
+func AggregateContext(ctx context.Context, rels []Relation, cfg Config) ([]Pattern, error) {
 	cfg.setDefaults()
 	if len(rels) == 0 {
-		return nil
+		return nil, ctx.Err()
+	}
+	reg := obs.Or(cfg.Obs)
+	phaseNS := func(phase string, began time.Time) {
+		if reg == nil {
+			return
+		}
+		reg.Histogram("microscope_patterns_phase_ns{phase=\"" + phase + "\"}").Observe(time.Since(began))
+	}
+	var phaseStart time.Time
+	if reg != nil {
+		reg.Counter("microscope_patterns_relations_total").Add(int64(len(rels)))
+		phaseStart = time.Now()
 	}
 	var grand float64
 	for i := range rels {
@@ -218,10 +245,17 @@ func Aggregate(rels []Relation, cfg Config) []Pattern {
 	// independent; results land in group-order slots so the phase-2
 	// assembly below sees exactly the sequential order.
 	phase1 := make([][]autofocus.Pattern, len(order))
-	par.Do(len(order), cfg.Workers, func(gi int) {
+	if err := par.DoCtx(ctx, len(order), cfg.Workers, func(gi int) {
 		g := groups[order[gi]]
 		phase1[gi] = autofocus.Aggregate(g.items, autofocus.Config{Threshold: cfg.Phase1Threshold, Cache: victimCache})
-	})
+	}); err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		reg.Counter("microscope_patterns_groups_total{phase=\"victims\"}").Add(int64(len(order)))
+		phaseNS("victims", phaseStart)
+		phaseStart = time.Now()
+	}
 
 	// Phase 2 input: per victim aggregate, the culprit-side items.
 	phase2 := make(map[victimAggKey][]autofocus.Item)
@@ -249,7 +283,7 @@ func Aggregate(rels []Relation, cfg Config) []Pattern {
 	// Phase 2 fan-out: aggregate culprit dimensions per victim aggregate;
 	// apply the global significance threshold. Same slot-merge discipline.
 	phase2Out := make([][]autofocus.Pattern, len(vaOrder))
-	par.Do(len(vaOrder), cfg.Workers, func(vi int) {
+	err := par.DoCtx(ctx, len(vaOrder), cfg.Workers, func(vi int) {
 		items := phase2[vaOrder[vi]]
 		var groupW float64
 		for i := range items {
@@ -266,6 +300,9 @@ func Aggregate(rels []Relation, cfg Config) []Pattern {
 		}
 		phase2Out[vi] = autofocus.Aggregate(items, autofocus.Config{Threshold: local, Cache: culpritCache})
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Pattern
 	for vi, vk := range vaOrder {
 		for _, ca := range phase2Out[vi] {
@@ -289,7 +326,12 @@ func Aggregate(rels []Relation, cfg Config) []Pattern {
 	if cfg.MaxPatterns > 0 && len(out) > cfg.MaxPatterns {
 		out = out[:cfg.MaxPatterns]
 	}
-	return out
+	if reg != nil {
+		reg.Counter("microscope_patterns_groups_total{phase=\"culprits\"}").Add(int64(len(vaOrder)))
+		reg.Counter("microscope_patterns_emitted_total").Add(int64(len(out)))
+		phaseNS("culprits", phaseStart)
+	}
+	return out, nil
 }
 
 func culpritKeyLess(a, b culpritKey) bool {

@@ -27,4 +27,23 @@ func BenchmarkDiagnosePipeline(b *testing.B) {
 			b.ReportMetric(float64(victims)*float64(b.N)/b.Elapsed().Seconds(), "victims/s")
 		})
 	}
+	// The same pipeline with a live metrics registry attached: the
+	// BENCH_pipeline.json delta between workers=N and observed/workers=N
+	// quantifies the enabled-observability cost (the disabled cost is the
+	// plain rows staying flat release over release).
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("observed/workers=%d", w), func(b *testing.B) {
+			victims := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg := microscope.NewRegistry()
+				rep := microscope.DiagnoseStore(st,
+					microscope.WithMaxVictims(300),
+					microscope.WithWorkers(w),
+					microscope.WithObserver(reg))
+				victims = len(rep.Diagnoses)
+			}
+			b.ReportMetric(float64(victims)*float64(b.N)/b.Elapsed().Seconds(), "victims/s")
+		})
+	}
 }

@@ -112,7 +112,7 @@ func TestPipelineStages(t *testing.T) {
 	}
 	tr := buildTrace(3, dur)
 	rep := microscope.Diagnose(tr, microscope.DiagnosisConfig{MaxVictims: 100})
-	want := []string{"index", "victims", "diagnose", "patterns"}
+	want := []string{"reconstruct", "index", "victims", "diagnose", "patterns"}
 	if len(rep.Stages) != len(want) {
 		t.Fatalf("got %d stages, want %d: %+v", len(rep.Stages), len(want), rep.Stages)
 	}
@@ -123,5 +123,58 @@ func TestPipelineStages(t *testing.T) {
 		if rep.Stages[i].Elapsed < 0 {
 			t.Errorf("stage %q has negative elapsed %v", name, rep.Stages[i].Elapsed)
 		}
+	}
+}
+
+// TestPipelineDeterminismWithObserver pins the observability side of the
+// determinism contract: attaching a live metrics registry must not change
+// the report — sequential, parallel, and unobserved runs all fingerprint
+// identically — while the registry itself fills with the run's metrics and
+// spans.
+func TestPipelineDeterminismWithObserver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 16-NF topology; skipped in -short")
+	}
+	dur := 20 * simtime.Millisecond
+	if raceEnabled {
+		dur = 8 * simtime.Millisecond
+	}
+	tr := buildTrace(5, dur)
+
+	plain := microscope.Diagnose(tr, microscope.WithMaxVictims(200))
+	regSeq, regPar := microscope.NewRegistry(), microscope.NewRegistry()
+	seq := microscope.Diagnose(tr, microscope.WithMaxVictims(200),
+		microscope.WithWorkers(1), microscope.WithObserver(regSeq))
+	par := microscope.Diagnose(tr, microscope.WithMaxVictims(200),
+		microscope.WithWorkers(8), microscope.WithObserver(regPar))
+
+	fp, fs, fpar := fingerprint(plain), fingerprint(seq), fingerprint(par)
+	if fs != fp {
+		t.Fatal("attaching a registry changed the sequential report")
+	}
+	if fpar != fp {
+		t.Fatal("attaching a registry changed the parallel report")
+	}
+
+	// The registry must reflect the run it observed.
+	snap := regSeq.TakeSnapshot()
+	if got := snap.Counters["microscope_pipeline_runs_total"]; got != 1 {
+		t.Errorf("pipeline_runs_total = %d, want 1", got)
+	}
+	if got := snap.Counters["microscope_diag_victims_total"]; got != int64(len(seq.Diagnoses)) {
+		t.Errorf("diag_victims_total = %d, want %d", got, len(seq.Diagnoses))
+	}
+	if snap.Gauges["microscope_store_journeys"] == 0 {
+		t.Error("store_journeys gauge not published")
+	}
+	if len(snap.Spans) == 0 || snap.SpansTotal == 0 {
+		t.Error("no spans recorded into the registry tracer")
+	}
+	// The report's own span tree mirrors the stages plus the root.
+	if len(seq.Spans) != len(seq.Stages)+1 {
+		t.Errorf("report has %d spans for %d stages", len(seq.Spans), len(seq.Stages))
+	}
+	if seq.Spans[0].Name != "pipeline" || seq.Spans[0].Parent != -1 {
+		t.Errorf("root span = %+v, want pipeline/-1", seq.Spans[0])
 	}
 }

@@ -18,16 +18,24 @@
 //
 // Determinism contract: for a fixed input the pipeline's output is
 // byte-for-byte identical for every Workers value, including 1
-// (sequential). Victims are diagnosed independently against the immutable
-// index and merged in victim order; memoized values are pure functions of
-// their (NF, period) key; every ranking uses a total order.
+// (sequential), and attaching an observability registry never changes it —
+// metrics and spans are write-only side channels.
+//
+// Cancellation contract: RunContext/RunStoreContext check the context at
+// every stage boundary and inside the stage-4/5 worker fan-outs. A
+// cancelled run returns the partial Result built so far together with an
+// error wrapping ctx.Err(); stages never started leave their Result fields
+// zero.
 package pipeline
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"microscope/internal/collector"
 	"microscope/internal/core"
+	"microscope/internal/obs"
 	"microscope/internal/patterns"
 	"microscope/internal/tracestore"
 )
@@ -46,6 +54,12 @@ type Config struct {
 	// SkipPatterns stops after stage 4 — the online monitor merges raw
 	// causes itself and never needs patterns.
 	SkipPatterns bool
+	// Obs receives pipeline metrics: per-stage latency histograms, run
+	// counts, and the store/diagnosis/pattern instruments of the stages it
+	// is propagated into. nil falls back to the process-wide obs.Default()
+	// (disabled unless installed). A pipeline-level registry is pushed down
+	// into Diagnosis.Obs and Patterns.Obs unless those are already set.
+	Obs *obs.Registry
 }
 
 // StageTiming is one stage's wall-clock cost.
@@ -73,60 +87,181 @@ type Result struct {
 	Health tracestore.Health
 	// Stages records per-stage wall-clock timings, in execution order.
 	Stages []StageTiming
+	// Spans is the run's span tree: a root "pipeline" span (ID 0,
+	// Parent -1) with one child per executed stage. It is always
+	// populated, registry or not, so callers introspect stage structure
+	// without opting into metrics; with a registry attached the same spans
+	// are also recorded into its bounded tracer.
+	Spans []obs.Span
 }
 
 // Run executes the full pipeline on a collected trace.
 func Run(tr *collector.Trace, cfg Config) *Result {
-	t0 := time.Now()
-	st := tracestore.Build(tr)
-	st.Reconstruct()
-	res := runStore(st, cfg)
-	res.Stages = append([]StageTiming{{Name: "reconstruct", Elapsed: time.Since(t0) - totalElapsed(res.Stages)}}, res.Stages...)
+	res, _ := RunContext(context.Background(), tr, cfg)
 	return res
+}
+
+// RunContext is Run with cooperative cancellation. The returned Result is
+// never nil: on cancellation it carries everything completed before the
+// stage that observed ctx.Err(), and the error wraps context.Canceled (or
+// DeadlineExceeded) for errors.Is.
+func RunContext(ctx context.Context, tr *collector.Trace, cfg Config) (*Result, error) {
+	r := newRun(cfg)
+	if err := r.stage(ctx, "reconstruct", func() {
+		st := tracestore.Build(tr)
+		st.Reconstruct()
+		r.res.Store = st
+		r.res.Health = st.Health()
+		st.RecordObs(r.reg)
+	}); err != nil {
+		return r.finish(), err
+	}
+	return r.runStore(ctx)
 }
 
 // RunStore executes stages 2–5 on an already-reconstructed store.
 func RunStore(st *tracestore.Store, cfg Config) *Result {
-	return runStore(st, cfg)
+	res, _ := RunStoreContext(context.Background(), st, cfg)
+	return res
 }
 
-func runStore(st *tracestore.Store, cfg Config) *Result {
+// RunStoreContext is RunStore with cooperative cancellation; see
+// RunContext for the partial-result contract.
+func RunStoreContext(ctx context.Context, st *tracestore.Store, cfg Config) (*Result, error) {
+	r := newRun(cfg)
+	r.res.Store = st
+	r.res.Health = st.Health()
+	st.RecordObs(r.reg)
+	return r.runStore(ctx)
+}
+
+// run is one pipeline execution: the resolved config, the observability
+// registry (nil = disabled), and the Result under construction.
+type run struct {
+	cfg   Config
+	reg   *obs.Registry
+	res   *Result
+	began time.Time
+}
+
+func newRun(cfg Config) *run {
 	if cfg.Workers != 0 {
 		cfg.Diagnosis.Workers = cfg.Workers
 		cfg.Patterns.Workers = cfg.Workers
 	}
-	res := &Result{Store: st, Health: st.Health()}
-	stage := func(name string, fn func()) {
-		t := time.Now()
-		fn()
-		res.Stages = append(res.Stages, StageTiming{Name: name, Elapsed: time.Since(t)})
+	reg := obs.Or(cfg.Obs)
+	if reg != nil {
+		// Push the pipeline's registry into the stages so their internal
+		// instruments (diagnosis memo counters, pattern phase timings)
+		// land in the same place — without clobbering an explicitly
+		// different per-stage registry.
+		if cfg.Diagnosis.Obs == nil {
+			cfg.Diagnosis.Obs = reg
+		}
+		if cfg.Patterns.Obs == nil {
+			cfg.Patterns.Obs = reg
+		}
+		reg.Counter("microscope_pipeline_runs_total").Inc()
 	}
-
-	eng := core.NewEngine(cfg.Diagnosis)
-	stage("index", func() {
-		res.Index = st.Index(cfg.Diagnosis.QueueThreshold)
-	})
-	stage("victims", func() {
-		res.Victims = eng.FindVictims(st)
-	})
-	stage("diagnose", func() {
-		res.Diagnoses = eng.DiagnoseVictims(st, res.Victims)
-	})
-	if cfg.SkipPatterns {
-		return res
-	}
-	stage("patterns", func() {
-		rels := patterns.RelationsFromDiagnoses(st, res.Diagnoses, cfg.Patterns)
-		res.Relations = len(rels)
-		res.Patterns = patterns.Aggregate(rels, cfg.Patterns)
-	})
-	return res
+	return &run{cfg: cfg, reg: reg, res: &Result{}, began: time.Now()}
 }
 
-func totalElapsed(stages []StageTiming) time.Duration {
-	var d time.Duration
-	for _, s := range stages {
-		d += s.Elapsed
+// stage runs one named stage unless ctx is already done, recording its
+// wall-clock cost as a StageTiming, a child span, and (when a registry is
+// attached) a per-stage latency histogram sample. The error, if any, is
+// "pipeline canceled during <name> stage" wrapping ctx.Err().
+func (r *run) stage(ctx context.Context, name string, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("pipeline canceled during %s stage: %w", name, err)
 	}
-	return d
+	t := time.Now()
+	fn()
+	elapsed := time.Since(t)
+	r.res.Stages = append(r.res.Stages, StageTiming{Name: name, Elapsed: elapsed})
+	r.res.Spans = append(r.res.Spans, obs.Span{
+		ID:     int32(len(r.res.Spans)) + 1,
+		Parent: 0,
+		Name:   name,
+		Kind:   "stage",
+		Start:  t,
+		Dur:    elapsed,
+	})
+	if r.reg != nil {
+		r.reg.Histogram("microscope_pipeline_stage_ns{stage=\"" + name + "\"}").Observe(elapsed)
+	}
+	// A cancellation that raced the stage still counts as completing it:
+	// the work is done and its outputs are valid. The next stage boundary
+	// observes the context.
+	return nil
+}
+
+// finish closes the root span (and mirrors the tree into the registry's
+// tracer) before the Result is handed back.
+func (r *run) finish() *Result {
+	root := obs.Span{
+		ID:     0,
+		Parent: -1,
+		Name:   "pipeline",
+		Kind:   "pipeline",
+		Start:  r.began,
+		Dur:    time.Since(r.began),
+	}
+	r.res.Spans = append([]obs.Span{root}, r.res.Spans...)
+	if r.reg != nil {
+		tr := r.reg.Tracer()
+		// Remap ordinal IDs onto the tracer's global sequence so trees
+		// from successive runs stay distinguishable in the ring.
+		base := tr.NewID()
+		for i := range r.res.Spans {
+			s := r.res.Spans[i]
+			s.ID += base
+			if s.Parent >= 0 {
+				s.Parent += base
+			}
+			tr.Record(s)
+			if i < len(r.res.Spans)-1 {
+				tr.NewID()
+			}
+		}
+	}
+	return r.res
+}
+
+// runStore executes stages 2–5 against r.res.Store.
+func (r *run) runStore(ctx context.Context) (*Result, error) {
+	st := r.res.Store
+	eng := core.NewEngine(r.cfg.Diagnosis)
+	if err := r.stage(ctx, "index", func() {
+		r.res.Index = st.Index(r.cfg.Diagnosis.QueueThreshold)
+	}); err != nil {
+		return r.finish(), err
+	}
+	if err := r.stage(ctx, "victims", func() {
+		r.res.Victims = eng.FindVictims(st)
+	}); err != nil {
+		return r.finish(), err
+	}
+	var stageErr error
+	if err := r.stage(ctx, "diagnose", func() {
+		r.res.Diagnoses, stageErr = eng.DiagnoseVictimsContext(ctx, st, r.res.Victims)
+	}); err != nil {
+		return r.finish(), err
+	}
+	if stageErr != nil {
+		return r.finish(), fmt.Errorf("pipeline canceled during diagnose stage: %w", stageErr)
+	}
+	if r.cfg.SkipPatterns {
+		return r.finish(), nil
+	}
+	if err := r.stage(ctx, "patterns", func() {
+		rels := patterns.RelationsFromDiagnoses(st, r.res.Diagnoses, r.cfg.Patterns)
+		r.res.Relations = len(rels)
+		r.res.Patterns, stageErr = patterns.AggregateContext(ctx, rels, r.cfg.Patterns)
+	}); err != nil {
+		return r.finish(), err
+	}
+	if stageErr != nil {
+		return r.finish(), fmt.Errorf("pipeline canceled during patterns stage: %w", stageErr)
+	}
+	return r.finish(), nil
 }

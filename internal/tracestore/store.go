@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"microscope/internal/collector"
+	"microscope/internal/obs"
 	"microscope/internal/packet"
 	"microscope/internal/simtime"
 )
@@ -377,6 +378,31 @@ func (s *Store) HopAt(j *Journey, comp string) *JourneyHop {
 // observed at ("" for an empty journey).
 func (s *Store) LastCompName(j *Journey) string {
 	return s.CompName(j.LastCompID())
+}
+
+// RecordObs publishes the store's reconstruction outcome on reg. The
+// metrics are gauges, not counters, so publishing the same store twice (or
+// several window stores in sequence, as the online monitor does) stays
+// idempotent: the gauges always describe the most recent store. A nil
+// registry is a no-op.
+func (s *Store) RecordObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h := s.Health()
+	reg.Gauge("microscope_store_records").Set(int64(h.Records))
+	reg.Gauge("microscope_store_journeys").Set(int64(h.Journeys))
+	reg.Gauge("microscope_store_components").Set(int64(len(s.names)))
+	reg.Gauge("microscope_store_matched").Set(int64(h.Recon.Matched))
+	reg.Gauge("microscope_store_reordered").Set(int64(h.Recon.Reordered))
+	reg.Gauge("microscope_store_lookahead_fixed").Set(int64(h.Recon.LookaheadFix))
+	reg.Gauge("microscope_store_unmatched").Set(int64(h.Recon.Unmatched))
+	reg.Gauge("microscope_store_quarantined").Set(int64(h.Recon.Quarantined))
+	var degraded int64
+	if h.Degraded() {
+		degraded = 1
+	}
+	reg.Gauge("microscope_store_degraded").Set(degraded)
 }
 
 // String renders a short summary.

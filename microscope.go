@@ -35,6 +35,7 @@
 package microscope
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -162,15 +163,31 @@ type Report struct {
 	Health Health
 	// Stages records the pipeline's per-stage wall-clock timings.
 	Stages []PipelineStage
+	// Spans is the run's span tree: a root "pipeline" span (Parent -1)
+	// with one child per executed stage. Always populated, with or
+	// without a registry attached.
+	Spans []Span
 }
 
 // PipelineStage is one pipeline stage's wall-clock timing.
 type PipelineStage = pipeline.StageTiming
 
 // Diagnose reconstructs a trace and runs the complete Microscope pipeline.
-func Diagnose(tr *Trace, cfg DiagnosisConfig) *Report {
-	st := Reconstruct(tr)
-	return DiagnoseStore(st, cfg)
+// It accepts either functional options (WithWorkers, WithObserver, ...) or
+// a legacy DiagnosisConfig / Options struct applied wholesale; with no
+// options every knob takes its documented default.
+func Diagnose(tr *Trace, opts ...Option) *Report {
+	rep, _ := DiagnoseContext(context.Background(), tr, opts...)
+	return rep
+}
+
+// DiagnoseContext is Diagnose with cooperative cancellation: a cancelled
+// context stops the stage fan-out promptly and returns the partial report
+// built so far together with an error wrapping ctx.Err().
+func DiagnoseContext(ctx context.Context, tr *Trace, opts ...Option) (*Report, error) {
+	o := resolve(opts)
+	res, err := pipeline.RunContext(ctx, tr, o.pipelineConfig())
+	return reportFrom(res), err
 }
 
 // Reconstruct indexes a trace and rebuilds packet journeys (§5).
@@ -182,24 +199,28 @@ func Reconstruct(tr *Trace) *Store {
 
 // DiagnoseStore runs the staged pipeline (index → victims → diagnose →
 // patterns) on an already-reconstructed store.
-func DiagnoseStore(st *Store, cfg DiagnosisConfig) *Report {
-	res := pipeline.RunStore(st, pipeline.Config{
-		Workers: cfg.Workers,
-		Diagnosis: core.Config{
-			VictimPercentile:        cfg.VictimPercentile,
-			MaxRecursionDepth:       cfg.MaxRecursionDepth,
-			MaxVictims:              cfg.MaxVictims,
-			SkipLossVictims:         cfg.SkipLossVictims,
-			LossVictimsWhenDegraded: cfg.LossVictimsWhenDegraded,
-		},
-		Patterns: patterns.Config{Threshold: cfg.PatternThreshold},
-	})
+func DiagnoseStore(st *Store, opts ...Option) *Report {
+	rep, _ := DiagnoseStoreContext(context.Background(), st, opts...)
+	return rep
+}
+
+// DiagnoseStoreContext is DiagnoseStore with cooperative cancellation; see
+// DiagnoseContext for the partial-report contract.
+func DiagnoseStoreContext(ctx context.Context, st *Store, opts ...Option) (*Report, error) {
+	o := resolve(opts)
+	res, err := pipeline.RunStoreContext(ctx, st, o.pipelineConfig())
+	return reportFrom(res), err
+}
+
+// reportFrom projects a pipeline result onto the public Report.
+func reportFrom(res *pipeline.Result) *Report {
 	return &Report{
-		Store:     st,
+		Store:     res.Store,
 		Diagnoses: res.Diagnoses,
 		Patterns:  res.Patterns,
 		Health:    res.Health,
 		Stages:    res.Stages,
+		Spans:     res.Spans,
 	}
 }
 
@@ -297,12 +318,9 @@ func NetMedicRank(st *Store, victims []Victim, window Duration) []netmedic.Resul
 
 // DiagnoseOne diagnoses a single chosen victim — e.g. a specific packet an
 // operator cares about — without global victim selection.
-func DiagnoseOne(st *Store, v Victim, cfg DiagnosisConfig) Diagnosis {
-	eng := core.NewEngine(core.Config{
-		VictimPercentile:  cfg.VictimPercentile,
-		MaxRecursionDepth: cfg.MaxRecursionDepth,
-	})
-	return eng.DiagnoseVictim(st, v)
+func DiagnoseOne(st *Store, v Victim, opts ...Option) Diagnosis {
+	o := resolve(opts)
+	return core.NewEngine(o.coreConfig()).DiagnoseVictim(st, v)
 }
 
 // Explanation re-exports the causal-tree explanation of one diagnosis.
@@ -311,12 +329,9 @@ type Explanation = core.Explanation
 // Explain reproduces one victim's diagnosis as a readable recursion tree
 // (the Figure 7 decomposition): every queuing period, its Si/Sp split, and
 // the timespan attribution of each upstream share.
-func Explain(st *Store, v Victim, cfg DiagnosisConfig) *Explanation {
-	eng := core.NewEngine(core.Config{
-		VictimPercentile:  cfg.VictimPercentile,
-		MaxRecursionDepth: cfg.MaxRecursionDepth,
-	})
-	return eng.Explain(st, v)
+func Explain(st *Store, v Victim, opts ...Option) *Explanation {
+	o := resolve(opts)
+	return core.NewEngine(o.coreConfig()).Explain(st, v)
 }
 
 // AlignClocks estimates per-component clock offsets from a trace collected
@@ -344,13 +359,9 @@ func NewMonitor(meta TraceMeta, cfg MonitorConfig) *Monitor {
 }
 
 // Victims exposes victim selection without full diagnosis.
-func Victims(st *Store, cfg DiagnosisConfig) []Victim {
-	eng := core.NewEngine(core.Config{
-		VictimPercentile: cfg.VictimPercentile,
-		MaxVictims:       cfg.MaxVictims,
-		SkipLossVictims:  cfg.SkipLossVictims,
-	})
-	return eng.FindVictims(st)
+func Victims(st *Store, opts ...Option) []Victim {
+	o := resolve(opts)
+	return core.NewEngine(o.coreConfig()).FindVictims(st)
 }
 
 // WorkloadConfig configures background traffic generation.

@@ -1,0 +1,181 @@
+package microscope
+
+import (
+	"microscope/internal/core"
+	"microscope/internal/obs"
+	"microscope/internal/patterns"
+	"microscope/internal/pipeline"
+)
+
+// Registry is the observability registry the toolkit reports into:
+// counters, gauges, fixed-bucket latency histograms, and a bounded span
+// tracer. Create one with NewRegistry, attach it with WithObserver (or
+// DiagnosisConfig-less entry points), and serve or dump it via its
+// WritePrometheus / WriteJSON methods. All methods on a nil *Registry are
+// no-ops, so "observability disabled" costs a nil check per event.
+type Registry = obs.Registry
+
+// Span is one recorded timing span: pipeline runs and stages, per-victim
+// diagnoses. Parent is -1 for roots.
+type Span = obs.Span
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.New() }
+
+// Option configures a diagnosis entry point (Diagnose, DiagnoseStore,
+// DiagnoseOne, Explain, Victims and their Context variants). Two kinds of
+// value satisfy it: the With* functional options below, and the legacy
+// DiagnosisConfig / Options structs applied wholesale — so pre-options
+// call sites like Diagnose(tr, DiagnosisConfig{Workers: 4}) keep
+// compiling and behave identically.
+type Option interface {
+	apply(*Options)
+}
+
+// Options is the canonical resolved configuration every facade entry point
+// reduces its Option list to. The zero value means "all defaults"; fields
+// left zero inherit the documented engine defaults downstream.
+type Options struct {
+	// VictimPercentile selects latency victims (default 99).
+	VictimPercentile float64
+	// MaxRecursionDepth caps the §4.3 recursion (default 5).
+	MaxRecursionDepth int
+	// MaxVictims caps how many victims are diagnosed (0 = all).
+	MaxVictims int
+	// PatternThreshold is the §4.4 aggregation threshold (default 1%).
+	PatternThreshold float64
+	// SkipLossVictims disables loss diagnosis.
+	SkipLossVictims bool
+	// LossVictimsWhenDegraded keeps loss diagnosis active even when the
+	// trace health is degraded.
+	LossVictimsWhenDegraded bool
+	// Workers bounds the parallel fan-out (0 = GOMAXPROCS, 1 = fully
+	// sequential). Output is byte-for-byte identical for every value.
+	Workers int
+	// QueueThreshold is the §7 non-empty-queue extension: a queuing
+	// period starts when the queue last held at most this many packets.
+	QueueThreshold int
+	// SkipPatterns stops the pipeline after per-victim diagnosis.
+	SkipPatterns bool
+	// Metrics receives runtime metrics and spans; nil disables
+	// observability (beyond the process-wide default, if installed).
+	Metrics *Registry
+}
+
+// apply merges o into dst wholesale, making Options itself an Option.
+func (o Options) apply(dst *Options) { *dst = o }
+
+// apply lets the legacy struct config act as an Option: the struct is the
+// whole configuration, exactly as the pre-options API treated it.
+func (c DiagnosisConfig) apply(dst *Options) {
+	*dst = Options{
+		VictimPercentile:        c.VictimPercentile,
+		MaxRecursionDepth:       c.MaxRecursionDepth,
+		MaxVictims:              c.MaxVictims,
+		PatternThreshold:        c.PatternThreshold,
+		SkipLossVictims:         c.SkipLossVictims,
+		LossVictimsWhenDegraded: c.LossVictimsWhenDegraded,
+		Workers:                 c.Workers,
+	}
+}
+
+// optionFunc adapts a closure to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// WithWorkers bounds the parallel fan-out of every pipeline stage
+// (0 = GOMAXPROCS, 1 = fully sequential). Any value produces
+// byte-identical reports.
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *Options) { o.Workers = n })
+}
+
+// WithObserver attaches a metrics registry: stage latencies, victim
+// counts, memo effectiveness, and spans land in reg. Attaching a registry
+// never changes diagnosis output.
+func WithObserver(reg *Registry) Option {
+	return optionFunc(func(o *Options) { o.Metrics = reg })
+}
+
+// WithMaxVictims caps how many victims are diagnosed (0 = all). The cap
+// samples evenly across the run rather than truncating.
+func WithMaxVictims(n int) Option {
+	return optionFunc(func(o *Options) { o.MaxVictims = n })
+}
+
+// WithVictimPercentile selects latency victims above this percentile of
+// delivered latency (default 99).
+func WithVictimPercentile(p float64) Option {
+	return optionFunc(func(o *Options) { o.VictimPercentile = p })
+}
+
+// WithMaxRecursionDepth caps the §4.3 upstream recursion (default 5).
+func WithMaxRecursionDepth(d int) Option {
+	return optionFunc(func(o *Options) { o.MaxRecursionDepth = d })
+}
+
+// WithPatternThreshold sets the §4.4 significance fraction (default 0.01).
+func WithPatternThreshold(th float64) Option {
+	return optionFunc(func(o *Options) { o.PatternThreshold = th })
+}
+
+// WithQueueThreshold enables the §7 non-empty-queue extension: queuing
+// periods start when the queue last held at most n packets.
+func WithQueueThreshold(n int) Option {
+	return optionFunc(func(o *Options) { o.QueueThreshold = n })
+}
+
+// WithoutLossVictims disables loss-victim diagnosis entirely.
+func WithoutLossVictims() Option {
+	return optionFunc(func(o *Options) { o.SkipLossVictims = true })
+}
+
+// WithLossVictimsWhenDegraded keeps loss-victim classification active even
+// on a degraded trace (by default a known-damaged trace suppresses it).
+func WithLossVictimsWhenDegraded() Option {
+	return optionFunc(func(o *Options) { o.LossVictimsWhenDegraded = true })
+}
+
+// WithoutPatterns stops the pipeline after per-victim diagnosis, skipping
+// the §4.4 aggregation.
+func WithoutPatterns() Option {
+	return optionFunc(func(o *Options) { o.SkipPatterns = true })
+}
+
+// resolve folds an Option list into the canonical Options, applying them
+// in order (later options win).
+func resolve(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}
+
+// coreConfig converts the resolved options into the diagnosis-engine
+// configuration.
+func (o *Options) coreConfig() core.Config {
+	return core.Config{
+		VictimPercentile:        o.VictimPercentile,
+		MaxRecursionDepth:       o.MaxRecursionDepth,
+		MaxVictims:              o.MaxVictims,
+		SkipLossVictims:         o.SkipLossVictims,
+		LossVictimsWhenDegraded: o.LossVictimsWhenDegraded,
+		QueueThreshold:          o.QueueThreshold,
+		Workers:                 o.Workers,
+		Obs:                     o.Metrics,
+	}
+}
+
+// pipelineConfig converts the resolved options into the staged-pipeline
+// configuration.
+func (o *Options) pipelineConfig() pipeline.Config {
+	return pipeline.Config{
+		Workers:      o.Workers,
+		Diagnosis:    o.coreConfig(),
+		Patterns:     patterns.Config{Threshold: o.PatternThreshold, Obs: o.Metrics},
+		SkipPatterns: o.SkipPatterns,
+		Obs:          o.Metrics,
+	}
+}
