@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: check vet build test race race-pipeline fuzz bench bench-smoke bench-all obs-smoke
+.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all obs-smoke
 
 # The full pre-submit gate.
-check: vet build race race-pipeline fuzz obs-smoke bench-smoke
+check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants (determinism, sort totality, CompID discipline,
+# obs handle safety, pool reset) enforced by the mslint analyzer suite.
+# Suppress a finding with `//mslint:allow <analyzer> <reason>` on the
+# flagged line or the line above it.
+lint:
+	$(GO) run ./cmd/mslint ./...
 
 build:
 	$(GO) build ./...

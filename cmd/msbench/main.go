@@ -102,8 +102,9 @@ func main() {
 		}
 	}
 	for _, id := range ids {
-		start := time.Now()
+		start := time.Now() //mslint:allow nondet wall-clock progress banner, not diagnosis output
 		run(id, *scale, *seed, *svg, *workers)
+		//mslint:allow nondet wall-clock progress banner, not diagnosis output
 		fmt.Printf("\n[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -138,7 +138,7 @@ func main() {
 	}
 
 	sim.LoadSchedule(sched)
-	start := time.Now()
+	start := time.Now() //mslint:allow nondet wall-clock progress banner, not diagnosis output
 	sim.Run(simtime.Time(simDur) + simtime.Time(50*simtime.Millisecond))
 	tr := col.Trace(meta)
 
@@ -166,8 +166,9 @@ func main() {
 		log.Fatal(err)
 	}
 	st := col.Stats()
+	elapsed := time.Since(start).Round(time.Millisecond) //mslint:allow nondet wall-clock progress banner, not diagnosis output
 	fmt.Printf("simulated %v of traffic (%d packets scheduled) in %v\n",
-		simDur, sched.Len(), time.Since(start).Round(time.Millisecond))
+		simDur, sched.Len(), elapsed)
 	fmt.Printf("collected %d batch records, %d packet entries, %.2f B/packet\n",
 		len(tr.Records), st.PacketsSeen, st.BytesPerPacket())
 	fmt.Printf("trace written to %s\n", *out)

@@ -1,0 +1,69 @@
+// Command mslint runs Microscope's static-analysis suite (a multichecker
+// over the analyzers in internal/lint) and exits nonzero on any
+// diagnostic. It is part of `make check`:
+//
+//	go run ./cmd/mslint ./...
+//
+// Findings are suppressed case by case with
+//
+//	//mslint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"microscope/internal/lint"
+	"microscope/internal/lint/driver"
+	"microscope/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mslint [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mslint: %v\n", err)
+		return 2
+	}
+	diags, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "mslint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "mslint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -109,11 +109,12 @@ func main() {
 	}
 
 	sim.LoadSchedule(sched)
-	start := time.Now()
+	start := time.Now() //mslint:allow nondet wall-clock progress banner, not diagnosis output
 	sim.Run(simtime.Time(simDur) + simtime.Time(50*simtime.Millisecond))
 	tr := col.Trace(meta)
+	elapsed := time.Since(start).Round(time.Millisecond) //mslint:allow nondet wall-clock progress banner, not diagnosis output
 	fmt.Printf("\nsimulated %v with %d natural events (%d records) in %v\n\n",
-		simDur, events, len(tr.Records), time.Since(start).Round(time.Millisecond))
+		simDur, events, len(tr.Records), elapsed)
 
 	// Stream records as a drain loop would.
 	const chunk = 4096

@@ -185,6 +185,7 @@ func (d *diagnoser) collectPaths(f tracestore.CompID, qp *tracestore.QueuingPeri
 		return nil
 	}
 	cs := collectPool.Get().(*collectScratch)
+	//mslint:allow compid the key is a byte-encoded CompID sequence (allocation-free lookup), not a component name
 	byKey := make(map[string]*pathStats)
 	for ai := qp.ArrivalFirst; ai <= qp.ArrivalLast && ai < len(v.Arrivals); ai++ {
 		arr := &v.Arrivals[ai]

@@ -9,6 +9,7 @@ import (
 	"microscope/internal/report"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
+	"sort"
 	"microscope/internal/traffic"
 )
 
@@ -148,9 +149,16 @@ func topCulprit(diags []core.Diagnosis) (string, string) {
 			scores[c.Comp+"/"+c.Kind.String()] += c.Score
 		}
 	}
+	// Iterate in sorted key order so score ties resolve to the same
+	// culprit on every run (map order is randomized per process).
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	best, bestComp, bestScore := "none", "", 0.0
-	for k, v := range scores {
-		if v > bestScore {
+	for _, k := range keys {
+		if v := scores[k]; v > bestScore {
 			best, bestScore = k, v
 			bestComp = k[:indexByte(k, '/')]
 		}

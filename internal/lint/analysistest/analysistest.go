@@ -1,0 +1,114 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the in-tree framework.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/ and are plain Go
+// packages (they must type-check; they may import the standard library
+// and module packages such as microscope/internal/obs). A line expecting
+// diagnostics carries a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted or backquoted regexp per expected diagnostic on that
+// line. Diagnostics produced by the driver itself (malformed
+// //mslint:allow comments, analyzer name "mslint") participate in
+// matching too, so fixtures can cover the suppression path end to end.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"microscope/internal/lint/analysis"
+	"microscope/internal/lint/driver"
+	"microscope/internal/lint/loader"
+)
+
+// wantRx extracts the quoted regexps of a want comment.
+var wantRx = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> relative to the test's directory, applies
+// the analyzer, and reports every mismatch between produced diagnostics
+// and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	p, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := driver.RunPackage(p, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants, err := collectWants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		key := posKey{filepath.Base(d.Position.Filename), d.Position.Line}
+		exps := wants[key]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", d.Position, d.Message, d.Analyzer)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, e.raw)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+func collectWants(p *loader.Package) (map[posKey][]*expectation, error) {
+	wants := map[posKey][]*expectation{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				for _, m := range wantRx.FindAllStringSubmatch(body, -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,98 @@
+// Package compid polices the CompID discipline: hot-path diagnosis
+// packages key state by dense interned tracestore.CompID handles, never
+// by component-name strings. PR 3's columnar layout exists because
+// map[string] lookups and string compares dominated the diagnosis
+// profile; this analyzer stops them from creeping back.
+//
+// It applies only where the discipline holds — packages named core,
+// patterns, autofocus, pipeline, tracestore or online that can see the
+// CompID accessors (import tracestore, or are tracestore itself) — and
+// flags:
+//   - any map[string] type (state, fields, make, literals), and
+//   - string ==/!= where an operand is a CompName(...) call (resolve the
+//     name then compare defeats the interner; compare the CompIDs).
+//
+// Cold-path exceptions (report label maps, keys that are byte-encoded
+// CompID sequences, the interner itself) carry //mslint:allow compid
+// annotations with their reasons.
+package compid
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"microscope/internal/lint/analysis"
+)
+
+// Analyzer is the CompID-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "compid",
+	Doc: "flags map[string] state and component-name string comparisons in " +
+		"hot-path packages that have CompID accessors available",
+	Run: run,
+}
+
+// policed names the packages under the CompID discipline.
+var policed = map[string]bool{
+	"core":       true,
+	"patterns":   true,
+	"autofocus":  true,
+	"pipeline":   true,
+	"tracestore": true,
+	"online":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !policed[pass.Pkg.Name()] {
+		return nil
+	}
+	if pass.Pkg.Name() != "tracestore" && !pass.ImportsPathSuffix("internal/tracestore") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.MapType:
+				if keyIsString(pass, n) {
+					pass.Reportf(n.Pos(),
+						"map[string]-keyed state in a CompID package: key by tracestore.CompID (dense int32) instead, or annotate why a string key is required")
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if isCompNameCall(pass, side) {
+						pass.Reportf(n.Pos(),
+							"string comparison on a resolved component name: compare CompIDs instead of CompName(...) results")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func keyIsString(pass *analysis.Pass, mt *ast.MapType) bool {
+	t := pass.TypeOf(mt.Key)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// isCompNameCall reports whether e is a call to a function or method
+// named CompName (the tracestore reverse-interning accessor and its
+// mirrors on views/stores).
+func isCompNameCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == "CompName"
+}

@@ -1,0 +1,16 @@
+package compid_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/compid"
+)
+
+func TestCompIDPoliced(t *testing.T) {
+	analysistest.Run(t, compid.Analyzer, "core")
+}
+
+func TestCompIDUnpolicedPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, compid.Analyzer, "report")
+}

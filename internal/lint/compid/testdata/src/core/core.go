@@ -1,0 +1,23 @@
+// Package core is the compid positive fixture: a policed package name
+// with the CompID accessors in scope.
+package core
+
+import "microscope/internal/tracestore"
+
+type perComp struct {
+	byName map[string]int // want `map\[string\]-keyed state in a CompID package`
+	byID   map[tracestore.CompID]int
+}
+
+func matchByName(st *tracestore.Store, id tracestore.CompID, name string) bool {
+	return st.CompName(id) == name // want `string comparison on a resolved component name`
+}
+
+func matchByID(a, b tracestore.CompID) bool {
+	return a == b
+}
+
+//mslint:allow compid fixture: cold-path report labels, built once per run
+func labelTable() map[string]string {
+	return map[string]string{"nat1": "NAT"} //mslint:allow compid fixture: cold-path report labels, built once per run
+}

@@ -1,0 +1,14 @@
+// Package report is the compid negative fixture: the same constructs
+// as the core fixture in a package that is not under the CompID
+// discipline produce no diagnostics.
+package report
+
+import "microscope/internal/tracestore"
+
+type table struct {
+	rows map[string]int
+}
+
+func render(st *tracestore.Store, id tracestore.CompID, name string) bool {
+	return st.CompName(id) == name
+}

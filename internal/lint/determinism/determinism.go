@@ -1,0 +1,290 @@
+// Package determinism flags sources of run-to-run nondeterminism:
+// wall-clock reads, draws from the global math/rand source, and map
+// iteration whose order leaks into results. Microscope guarantees
+// byte-identical diagnosis output for any worker count (DESIGN.md
+// "Pipeline architecture"); all three constructs break that guarantee
+// silently, surviving every test until a scheduler or hash-seed change
+// exposes them.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"microscope/internal/lint/analysis"
+)
+
+// Analyzer is the determinism checker. The "nondet" alias is accepted in
+// //mslint:allow comments.
+var Analyzer = &analysis.Analyzer{
+	Name:    "determinism",
+	Aliases: []string{"nondet"},
+	Doc: "flags time.Now/time.Since, global math/rand draws, and map iteration " +
+		"that accumulates or selects results without a following deterministic sort",
+	Run: run,
+}
+
+// sortName matches callee names that establish a deterministic order
+// (sort.Slice, sort.Strings, slices.Sort, local sortFoo helpers...).
+var sortName = regexp.MustCompile(`(?i)sort`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BlockStmt:
+				checkBlock(pass, n)
+			case *ast.CaseClause:
+				checkStmts(pass, n.Body)
+			case *ast.CommClause:
+				checkStmts(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags wall-clock and global-source randomness calls.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; diagnosis output must not depend on it (derive timing from the trace, or annotate why this is observability-only)",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level draws use the shared global source; constructors
+		// (New, NewSource, ...) and methods on an explicitly seeded
+		// *rand.Rand are fine.
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && !isConstructor(fn.Name()) {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the global source; use a seeded *rand.Rand so replays are reproducible",
+				fn.Name())
+		}
+	}
+}
+
+func isConstructor(name string) bool {
+	return len(name) >= 3 && name[:3] == "New"
+}
+
+// checkBlock scans a statement list for map-range loops whose body
+// accumulates results, requiring a later sibling sort over the
+// accumulated value.
+func checkBlock(pass *analysis.Pass, b *ast.BlockStmt) { checkStmts(pass, b.List) }
+
+func checkStmts(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rng, ok := s.(*ast.RangeStmt)
+		if !ok || !rangesOverMap(pass, rng) {
+			continue
+		}
+		for _, acc := range accumulations(pass, rng) {
+			if acc.obj != nil && sortedLater(pass, stmts[i+1:], acc.obj) {
+				continue
+			}
+			pass.Reportf(acc.pos, "%s inside map iteration: order is random per run; %s", acc.what, acc.fix)
+		}
+	}
+}
+
+func rangesOverMap(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// accumulation is one order-sensitive effect found in a map-range body.
+type accumulation struct {
+	pos  token.Pos
+	what string
+	fix  string
+	// obj is the accumulated variable when a later sort can discharge
+	// the finding; nil means no sort can help (sends, selections).
+	obj types.Object
+}
+
+// accumulations finds appends to outer slices, channel sends, and
+// comparison-guarded selections (argmax/argmin) in the loop body.
+func accumulations(pass *analysis.Pass, rng *ast.RangeStmt) []accumulation {
+	var out []accumulation
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			loopVars[pass.ObjectOf(id)] = true
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			out = append(out, accumulation{
+				pos:  n.Pos(),
+				what: "channel send",
+				fix:  "collect into a slice, sort, then send",
+			})
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj != nil && obj.Pos() < rng.Pos() {
+					out = append(out, accumulation{
+						pos:  n.Pos(),
+						what: "append to a slice declared outside the loop",
+						fix:  "sort the slice afterwards (a sibling sort call discharges this)",
+						obj:  obj,
+					})
+				}
+			}
+		case *ast.IfStmt:
+			condVars := comparedLoopVars(pass, n.Cond, loopVars)
+			if len(condVars) > 0 && assignsUncomparedLoopVar(pass, n.Body, rng, loopVars, condVars) {
+				out = append(out, accumulation{
+					pos:  n.Pos(),
+					what: "comparison-guarded selection (argmax over map values)",
+					fix:  "iterate sorted keys or add a total tie-break on the key",
+				})
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// comparedLoopVars collects the loop variables that appear inside an
+// order comparison (< > <= >=) of cond.
+func comparedLoopVars(pass *analysis.Pass, cond ast.Expr, loopVars map[types.Object]bool) map[types.Object]bool {
+	found := map[types.Object]bool{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && loopVars[pass.ObjectOf(id)] {
+					found[pass.ObjectOf(id)] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// assignsUncomparedLoopVar reports whether body assigns to a variable
+// declared before the range statement a value derived from a loop
+// variable that the guarding comparison does not constrain. A pure
+// running max (`if v > best { best = v }`) only copies compared
+// variables and is order-independent; copying the *other* loop variable
+// (`if v > best { bestKey = k }`) ties the result to iteration order
+// among equal values.
+func assignsUncomparedLoopVar(pass *analysis.Pass, body *ast.BlockStmt, rng *ast.RangeStmt, loopVars, condVars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok == token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil || obj.Pos() >= rng.Pos() {
+				continue
+			}
+			ast.Inspect(as.Rhs[i], func(m ast.Node) bool {
+				if rid, ok := m.(*ast.Ident); ok {
+					if robj := pass.ObjectOf(rid); loopVars[robj] && !condVars[robj] {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedLater reports whether a statement after the loop calls a sort-ish
+// function with the accumulated variable among its arguments.
+func sortedLater(pass *analysis.Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !calleeNameMatches(call, sortName) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeNameMatches(call *ast.CallExpr, rx *regexp.Regexp) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return rx.MatchString(fun.Name)
+	case *ast.SelectorExpr:
+		// Match the method/func name or the package qualifier, so both
+		// sort.Strings and slices.SortFunc qualify.
+		if rx.MatchString(fun.Sel.Name) {
+			return true
+		}
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return rx.MatchString(id.Name)
+		}
+	}
+	return false
+}

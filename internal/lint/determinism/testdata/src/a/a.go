@@ -1,0 +1,96 @@
+// Package a is the determinism analyzer fixture: wall-clock reads,
+// global rand draws, and order-sensitive map iteration.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var sink []string
+var last time.Time
+
+func wallClock() {
+	last = time.Now() // want `time\.Now reads the wall clock`
+}
+
+func wallElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the global source`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(6) // ok: draws from an explicit source
+}
+
+func newSource() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // ok: constructors draw nothing
+}
+
+func mapAppend(m map[string]int) {
+	for k := range m {
+		sink = append(sink, k) // want `append to a slice declared outside the loop`
+	}
+}
+
+func mapAppendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: deterministically sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceAppend(xs []string) []string {
+	var out []string
+	for _, x := range xs { // ok: slice iteration is ordered
+		out = append(out, x)
+	}
+	return out
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send`
+	}
+}
+
+func argMax(m map[string]float64) string {
+	best, bestScore := "", 0.0
+	for k, v := range m {
+		if v > bestScore { // want `comparison-guarded selection`
+			best, bestScore = k, v
+		}
+	}
+	return best
+}
+
+func pureMax(m map[int]int) int {
+	maxK := 0
+	for k := range m {
+		if k > maxK {
+			maxK = k // ok: running max over the compared variable itself
+		}
+	}
+	return maxK
+}
+
+func allowed() {
+	last = time.Now() //mslint:allow determinism fixture: wall-clock banner only
+}
+
+func allowedAlias() {
+	last = time.Now() //mslint:allow nondet fixture: wall-clock banner only
+}
+
+func allowedStandalone(m map[string]int) {
+	for k := range m {
+		//mslint:allow determinism fixture: order genuinely does not matter here
+		sink = append(sink, k)
+	}
+}

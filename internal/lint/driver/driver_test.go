@@ -1,0 +1,103 @@
+package driver_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"microscope/internal/lint/analysis"
+	"microscope/internal/lint/driver"
+	"microscope/internal/lint/loader"
+)
+
+// dummy reports one diagnostic per function declaration, giving every
+// fixture function a predictable finding to suppress (or not).
+var dummy = &analysis.Analyzer{
+	Name:    "dummy",
+	Aliases: []string{"dum"},
+	Doc:     "reports every function declaration",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s declared", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressionAndMetaDiagnostics(t *testing.T) {
+	p, err := loader.LoadDir("testdata/src/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.RunPackage(p, []*analysis.Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byMessage := map[string]string{} // message fragment -> analyzer
+	for _, d := range diags {
+		byMessage[d.Message] = d.Analyzer
+	}
+
+	// Findings without a valid allow survive.
+	for _, fn := range []string{"plain", "bare", "unknown"} {
+		if byMessage["func "+fn+" declared"] != "dummy" {
+			t.Errorf("expected surviving dummy diagnostic for %s; got %v", fn, diags)
+		}
+	}
+	// Standalone and trailing allows suppress.
+	for _, fn := range []string{"standalone", "trailing"} {
+		if _, ok := byMessage["func "+fn+" declared"]; ok {
+			t.Errorf("allow comment did not suppress the %s diagnostic", fn)
+		}
+	}
+	// Malformed allows are reported under the meta analyzer name.
+	var sawBare, sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer != driver.MetaName {
+			continue
+		}
+		if strings.Contains(d.Message, "has no reason") {
+			sawBare = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "nosuch"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawBare {
+		t.Errorf("bare allow comment produced no meta diagnostic: %v", diags)
+	}
+	if !sawUnknown {
+		t.Errorf("unknown-analyzer allow produced no meta diagnostic: %v", diags)
+	}
+
+	if want := 5; len(diags) != want {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), want, diags)
+	}
+}
+
+func TestAliasSuppresses(t *testing.T) {
+	p, err := loader.LoadDir("testdata/src/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := &analysis.Analyzer{
+		Name:    "dum2",
+		Aliases: []string{"dummy"}, // fixture allows say "dummy"
+		Doc:     dummy.Doc,
+		Run:     dummy.Run,
+	}
+	diags, err := driver.RunPackage(p, []*analysis.Analyzer{alias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "func standalone") || strings.Contains(d.Message, "func trailing") {
+			t.Errorf("alias grant did not suppress: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package meta is the driver fixture: every function declaration is
+// reported by a dummy analyzer, and allow comments in each position and
+// each malformed shape exercise the suppression path.
+package meta
+
+func plain() {}
+
+//mslint:allow dummy fixture: standalone allow on the line above
+func standalone() {}
+
+func trailing() {} //mslint:allow dummy fixture: trailing allow on the same line
+
+//mslint:allow dummy
+func bare() {}
+
+//mslint:allow nosuch fixture: names an analyzer that does not exist
+func unknown() {}

@@ -1,0 +1,26 @@
+// Package lint assembles Microscope's static-analysis suite: custom
+// analyzers that reject whole classes of determinism, layout and
+// observability regressions at `make check` time, before any trace is
+// replayed. See DESIGN.md §"Static analysis" for the invariant each
+// analyzer protects.
+package lint
+
+import (
+	"microscope/internal/lint/analysis"
+	"microscope/internal/lint/compid"
+	"microscope/internal/lint/determinism"
+	"microscope/internal/lint/obssafe"
+	"microscope/internal/lint/poolreset"
+	"microscope/internal/lint/sorttotal"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		compid.Analyzer,
+		determinism.Analyzer,
+		obssafe.Analyzer,
+		poolreset.Analyzer,
+		sorttotal.Analyzer,
+	}
+}

@@ -1,0 +1,246 @@
+// Package loader type-checks Go packages for the lint suite without
+// golang.org/x/tools. It shells out to `go list -deps -export` to learn
+// package layout and to obtain compiled export data from the build cache,
+// parses the target packages' sources, and type-checks them with the
+// standard library's gc importer reading that export data. This mirrors
+// what x/tools' go/packages does in LoadAllSyntax mode for the root
+// packages, at a fraction of the machinery.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -export -json` over args and decodes the
+// stream of package objects.
+func goList(args []string) ([]listPkg, error) {
+	cmdArgs := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies types.Importer by reading gc export data files
+// located via go list. It wraps the stdlib gc importer's lookup mode.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typeInfo allocates a fully-populated types.Info.
+func typeInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load parses and type-checks the packages matching the go list patterns
+// (e.g. "./...", "microscope/..."). Only non-test files of the matched
+// packages are loaded; their dependencies are consumed as compiled export
+// data from the build cache.
+func Load(patterns ...string) ([]*Package, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var roots []listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, root := range roots {
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, root.ImportPath, root.Name, root.Dir, absJoin(root.Dir, root.GoFiles))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	//mslint:allow sorttotal import paths are unique within one go list invocation
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir —
+// analysistest fixtures live outside the module's package graph, so dir's
+// imports are resolved with a dedicated go list call. The package's
+// import path is synthesized as "testdata/<dirname>".
+func LoadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Pre-parse to learn the import set, then fetch export data for it.
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	importSet := map[string]bool{}
+	name := ""
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		name = af.Name.Name
+		for _, spec := range af.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err == nil && p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+		asts = append(asts, af)
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := exportImporter(fset, exports)
+	return checkParsed(fset, imp, "testdata/"+filepath.Base(dir), name, dir, asts)
+}
+
+func absJoin(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+func check(fset *token.FileSet, imp types.Importer, importPath, name, dir string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	return checkParsed(fset, imp, importPath, name, dir, asts)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, importPath, name, dir string, asts []*ast.File) (*Package, error) {
+	info := typeInfo()
+	var tcErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, asts, info)
+	if len(tcErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, tcErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Name:       name,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      asts,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

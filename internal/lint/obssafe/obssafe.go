@@ -1,0 +1,162 @@
+// Package obssafe enforces the nil-safe-handle contract of internal/obs.
+// Every obs handle (*Counter, *Gauge, *Histogram, *Tracer) is nil-safe: a
+// nil receiver makes every method a no-op, which is what lets
+// instrumented hot paths call through handles unconditionally. Outside
+// internal/obs the analyzer flags:
+//   - nil comparisons on handle values — branching on enablement
+//     reintroduces the pattern the contract removes, and the branch body
+//     tends to grow unguarded dereferences (perf-motivated exceptions
+//     that guard an expensive operand like time.Now carry annotations);
+//   - dereferencing a handle (*h) — panics when observability is off;
+//   - declaring non-pointer handle or Registry values — handles embed
+//     atomics and mutexes, so a value copy tears state.
+//
+// *Registry nil checks are exempt: resolution time (obs.Or) is exactly
+// where "is observability on" is decided.
+package obssafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"microscope/internal/lint/analysis"
+)
+
+// Analyzer is the obs-handle contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "obssafe",
+	Doc: "flags nil comparisons, dereferences and value copies of obs handles " +
+		"outside internal/obs; handles are nil-safe and must be called through",
+	Run: run,
+}
+
+// handleNames are the nil-safe handle types.
+var handleNames = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Tracer":    true,
+}
+
+// valueNames additionally forbids value-typed Registry declarations.
+var valueNames = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Tracer":    true,
+	"Registry":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	if !pass.ImportsPathSuffix("internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Selector expressions that are the operand of a pointer type
+		// (*obs.Counter) are the correct spelling, not a value copy; a
+		// TypeSpec RHS (type Registry = obs.Registry) is a re-export,
+		// not a declaration of copyable state.
+		pointerInner := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				pointerInner[ast.Unparen(n.X)] = true
+			case *ast.TypeSpec:
+				pointerInner[ast.Unparen(n.Type)] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkNilCompare(pass, n)
+			case *ast.StarExpr:
+				checkDeref(pass, n)
+			case *ast.SelectorExpr:
+				if !pointerInner[n] {
+					checkValueType(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkNilCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for i, side := range []ast.Expr{be.X, be.Y} {
+		other := be.Y
+		if i == 1 {
+			other = be.X
+		}
+		if !isNil(pass, other) {
+			continue
+		}
+		if name := obsHandle(pass.TypeOf(side)); name != "" && handleNames[name] {
+			pass.Reportf(be.Pos(),
+				"nil check on *obs.%s: handles are nil-safe, call through them unconditionally (annotate if the branch guards an expensive operand)", name)
+			return
+		}
+	}
+}
+
+func checkDeref(pass *analysis.Pass, se *ast.StarExpr) {
+	tv, ok := pass.TypesInfo.Types[se]
+	if !ok || !tv.IsValue() {
+		return // *obs.Counter as a type is the correct spelling
+	}
+	if name := obsHandle(pass.TypeOf(se.X)); name != "" && handleNames[name] {
+		pass.Reportf(se.Pos(),
+			"dereference of *obs.%s: panics when observability is disabled (nil handle); use the handle's methods", name)
+	}
+}
+
+// checkValueType flags a selector used as a bare (non-pointer) obs handle
+// type: value declarations copy the handle's atomics.
+func checkValueType(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	tv, ok := pass.TypesInfo.Types[sel]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+		return
+	}
+	if name := obsHandle(tv.Type); name != "" && valueNames[name] {
+		pass.Reportf(sel.Pos(),
+			"value-typed obs.%s declaration: handles embed atomics/mutexes and must be held as *obs.%s", name, name)
+	}
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// obsHandle returns the obs type name when t (possibly behind one
+// pointer) is a named type from internal/obs, else "".
+func obsHandle(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,12 @@
+package obssafe_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/obssafe"
+)
+
+func TestObsSafe(t *testing.T) {
+	analysistest.Run(t, obssafe.Analyzer, "a")
+}

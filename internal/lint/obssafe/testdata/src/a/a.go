@@ -1,0 +1,46 @@
+// Package a is the obssafe analyzer fixture: nil checks, dereferences
+// and value copies of nil-safe obs handles.
+package a
+
+import "microscope/internal/obs"
+
+// Registry re-exports are not copyable-state declarations.
+type Registry = obs.Registry
+
+type metrics struct {
+	hits *obs.Counter
+	q    *obs.Gauge
+}
+
+var leakedCounter obs.Counter // want `value-typed obs\.Counter declaration`
+
+var leakedRegistry obs.Registry // want `value-typed obs\.Registry declaration`
+
+func nilCheck(c *obs.Counter) {
+	if c != nil { // want `nil check on \*obs\.Counter`
+		c.Inc()
+	}
+}
+
+func deref(h *obs.Histogram) {
+	_ = *h // want `dereference of \*obs\.Histogram`
+}
+
+func callThrough(c *obs.Counter, g *obs.Gauge) {
+	c.Add(1)
+	g.Set(2)
+}
+
+func resolve(r *obs.Registry) *obs.Registry {
+	if r == nil { // ok: Registry nil checks are the resolution point
+		return obs.Default()
+	}
+	return r
+}
+
+func allowedGuard(c *obs.Counter) {
+	//mslint:allow obssafe fixture: the branch guards an expensive operand
+	if c != nil {
+		c.Inc()
+	}
+}

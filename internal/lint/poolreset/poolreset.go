@@ -1,0 +1,271 @@
+// Package poolreset checks sync.Pool discipline in the pooled-scratch
+// pattern PR 3 introduced: every value taken with Get must be (a) reset —
+// before use or on the way back in — and (b) returned with Put in the
+// same function (directly, deferred, or via a put-helper that owns both
+// steps). A Get without a Put leaks warm scratch and silently degrades
+// the pool to plain allocation; a Get without a reset lets one victim's
+// diagnosis read another's leftover accumulators, which is both wrong and
+// nondeterministic under pool reuse.
+//
+// Accepted reset evidence for a value v: v.reset()/v.Reset() calls,
+// clear(v.f), truncating re-slices v.f = v.f[:0] (including through
+// append(v.f[:0], ...)), or passing v to a helper whose name starts with
+// put/free/release/recycle (reset-on-put). Put evidence: pool.Put(v) —
+// possibly deferred — or the same put-helper call.
+package poolreset
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"microscope/internal/lint/analysis"
+)
+
+// Analyzer is the pooled-scratch discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolreset",
+	Doc: "flags sync.Pool.Get values that are never reset or never Put back " +
+		"in the same function",
+	Run: run,
+}
+
+var putHelper = regexp.MustCompile(`(?i)^(put|free|release|recycle)`)
+var resetName = regexp.MustCompile(`(?i)reset`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc inspects one function body for Get sites bound directly in it
+// (nested func literals are their own functions).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, rhs := range as.Rhs {
+			call := unwrapGet(pass, rhs)
+			if call == nil {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				pass.Reportf(call.Pos(), "sync.Pool.Get result must be bound to a variable so reset and Put can be verified")
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			hasPut, hasReset := evidence(pass, body, obj)
+			switch {
+			case !hasPut && !hasReset:
+				pass.Reportf(call.Pos(), "pooled value %s is neither reset nor Put back: reset its state and return it to the pool on every path", id.Name)
+			case !hasPut:
+				pass.Reportf(call.Pos(), "pooled value %s is never Put back to the pool in this function: the pool degrades to plain allocation", id.Name)
+			case !hasReset:
+				pass.Reportf(call.Pos(), "pooled value %s is never reset: recycled scratch leaks state between uses", id.Name)
+			}
+		}
+	})
+	// An unbound Get used as an expression (e.g. use(p.Get().(*T)))
+	// can never be Put back.
+	walkShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolGet(pass, call) {
+			return
+		}
+		if !boundByParent(body, call) {
+			pass.Reportf(call.Pos(), "sync.Pool.Get result must be bound to a variable so reset and Put can be verified")
+		}
+	})
+}
+
+// evidence scans the whole function body (nested literals included, so
+// deferred closures count) for Put and reset proof about obj.
+func evidence(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) (hasPut, hasReset bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, _ := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			switch {
+			case sel != nil && sel.Sel.Name == "Put" && isPool(pass, sel.X) && argRefs(pass, n, obj):
+				hasPut = true
+			case sel != nil && resetName.MatchString(sel.Sel.Name) && refersTo(pass, sel.X, obj):
+				hasReset = true
+			case sel != nil && sel.Sel.Name == "Clear" && refersTo(pass, sel.X, obj):
+				hasReset = true
+			default:
+				if name := calleeName(n); name != "" && argRefs(pass, n, obj) {
+					if putHelper.MatchString(name) {
+						hasPut, hasReset = true, true // reset-on-put helper
+					} else if resetName.MatchString(name) {
+						hasReset = true
+					}
+				}
+				// clear(v.f)
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "clear" && argRefs(pass, n, obj) {
+					hasReset = true
+				}
+			}
+		case *ast.AssignStmt:
+			// v.f = v.f[:0] or v.f = append(v.f[:0], ...): truncating
+			// re-slice of the pooled value's own field.
+			for _, lhs := range n.Lhs {
+				if fieldOf(pass, lhs, obj) {
+					if truncates(pass, n, obj) {
+						hasReset = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return hasPut, hasReset
+}
+
+// truncates reports whether the assignment's RHSes contain a [:0]-style
+// re-slice of a field of obj.
+func truncates(pass *analysis.Pass, as *ast.AssignStmt, obj types.Object) bool {
+	found := false
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			sl, ok := n.(*ast.SliceExpr)
+			if !ok {
+				return true
+			}
+			if fieldOf(pass, sl.X, obj) && isZero(sl.High) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+func isZero(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}
+
+// fieldOf reports whether e is obj or a selector chain rooted at obj.
+func fieldOf(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.ObjectOf(x) == obj
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func refersTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	return fieldOf(pass, e, obj)
+}
+
+func argRefs(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	for _, a := range call.Args {
+		if fieldOf(pass, a, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// unwrapGet returns the pool Get call when rhs is pool.Get() or
+// pool.Get().(*T), else nil.
+func unwrapGet(pass *analysis.Pass, rhs ast.Expr) *ast.CallExpr {
+	e := ast.Unparen(rhs)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !isPoolGet(pass, call) {
+		return nil
+	}
+	return call
+}
+
+func isPoolGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	return isPool(pass, sel.X)
+}
+
+func isPool(pass *analysis.Pass, e ast.Expr) bool {
+	return analysis.NamedFrom(pass.TypeOf(e), "sync", "Pool")
+}
+
+// boundByParent reports whether the Get call is the (possibly
+// type-asserted) RHS of an assignment somewhere in body.
+func boundByParent(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	bound := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			e := ast.Unparen(rhs)
+			if ta, ok := e.(*ast.TypeAssertExpr); ok {
+				e = ast.Unparen(ta.X)
+			}
+			if e == call {
+				bound = true
+			}
+		}
+		return !bound
+	})
+	return bound
+}
+
+// walkShallow visits every node in body without descending into nested
+// function literals.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

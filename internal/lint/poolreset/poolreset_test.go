@@ -1,0 +1,12 @@
+package poolreset_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/poolreset"
+)
+
+func TestPoolReset(t *testing.T) {
+	analysistest.Run(t, poolreset.Analyzer, "a")
+}

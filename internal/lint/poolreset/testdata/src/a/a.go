@@ -1,0 +1,81 @@
+// Package a is the poolreset analyzer fixture: sync.Pool scratch with
+// and without reset/Put discipline.
+package a
+
+import "sync"
+
+type scratch struct {
+	buf []byte
+	n   int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) reset() {
+	s.buf = s.buf[:0]
+	s.n = 0
+}
+
+func putScratch(s *scratch) {
+	s.reset()
+	pool.Put(s)
+}
+
+func okResetThenDeferPut() {
+	s := pool.Get().(*scratch)
+	s.reset()
+	defer pool.Put(s)
+	s.n++
+}
+
+func okTruncatingReslice() {
+	s := pool.Get().(*scratch)
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, 1)
+	pool.Put(s)
+}
+
+func okDeferredClosure() {
+	s := pool.Get().(*scratch)
+	defer func() {
+		s.reset()
+		pool.Put(s)
+	}()
+	s.n++
+}
+
+func okPutHelper() {
+	s := pool.Get().(*scratch)
+	defer putScratch(s)
+	s.n++
+}
+
+func badNeither() {
+	s := pool.Get().(*scratch) // want `neither reset nor Put back`
+	s.n++
+}
+
+func badNoPut() {
+	s := pool.Get().(*scratch) // want `never Put back to the pool`
+	s.reset()
+	s.n = 1
+}
+
+func badNoReset() {
+	s := pool.Get().(*scratch) // want `never reset: recycled scratch leaks state`
+	s.n++
+	pool.Put(s)
+}
+
+func badUnbound() {
+	use(pool.Get().(*scratch)) // want `must be bound to a variable`
+}
+
+func use(s *scratch) { _ = s }
+
+func allowedHandoff() {
+	//mslint:allow poolreset fixture: ownership transfers to the caller
+	s := pool.Get().(*scratch)
+	s.reset()
+	use(s)
+}

@@ -1,0 +1,136 @@
+// Package sorttotal flags sort.Slice calls whose less function is not a
+// total order. sort.Slice is unstable: elements that compare equal keep
+// the order they arrived in, and in Microscope arrival order varies with
+// the worker count, so a comparator with ties yields different — equally
+// "sorted" — outputs for Workers=1 vs 8. PR 2 audited every comparator to
+// a total order; this analyzer keeps it that way.
+//
+// A less function is accepted when it:
+//   - has a tie-break chain (any if statement or || / && composition),
+//   - delegates to a named comparator (return f(...)),
+//   - compares whole slice elements of basic type (equal elements are
+//     indistinguishable, so tie order cannot be observed), or
+//   - compares a projection whose name marks it unique (id, idx, index,
+//     seq, key).
+//
+// sort.SliceStable is exempt: stability itself makes tie order
+// deterministic given deterministic input order. Float projections are
+// still flagged under sort.Slice since x < y is not a total order in the
+// presence of NaN and float ties are common (scores).
+package sorttotal
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"microscope/internal/lint/analysis"
+)
+
+// Analyzer is the total-order comparator checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "sorttotal",
+	Doc: "flags sort.Slice comparators without a tie-break chain: unstable sort " +
+		"plus ties makes output depend on arrival order (worker count)",
+	Run: run,
+}
+
+// uniqueName matches projection names conventionally unique within the
+// sorted slice (map keys, dense indices).
+var uniqueName = regexp.MustCompile(`(?i)^(id|ids|idx|index|seq|key|keys)$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if !analysis.IsPkgFunc(fn, "sort", "Slice") || len(call.Args) != 2 {
+				return true
+			}
+			less, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkLess(pass, call.Args[0], less)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLess inspects a func-literal comparator passed to sort.Slice.
+func checkLess(pass *analysis.Pass, slice ast.Expr, less *ast.FuncLit) {
+	// Any multi-statement body, if statement, or boolean composition is
+	// taken as a tie-break chain.
+	if len(less.Body.List) != 1 {
+		return
+	}
+	ret, ok := less.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return
+	}
+	cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok {
+		// return someLess(a, b): delegated comparator, assumed total.
+		return
+	}
+	switch cmp.Op.String() {
+	case "<", ">", "<=", ">=":
+	default:
+		return // ||, &&, ==: composed or not an order at all
+	}
+
+	// Comparing the whole element (xs[i] < xs[j]) of basic type: ties
+	// are identical values, so any tie order is observationally equal.
+	if isWholeElement(cmp.X) && isWholeElement(cmp.Y) {
+		return
+	}
+
+	if t := pass.TypeOf(cmp.X); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			pass.Reportf(cmp.Pos(),
+				"sort.Slice comparator orders by a single float key: ties (and NaN) make unstable sort output depend on input order; add an equality branch and a tie-break chain")
+			return
+		}
+	}
+	if name := projectionName(cmp.X); name != "" && uniqueName.MatchString(name) {
+		return
+	}
+	pass.Reportf(cmp.Pos(),
+		"sort.Slice comparator orders by a single key: if the key is not unique, unstable sort output depends on input order; add a tie-break chain, use sort.SliceStable, or annotate why the key is unique")
+}
+
+// isWholeElement reports whether e is a plain index expression xs[i] of
+// basic element type: the comparison then sees the entire element.
+func isWholeElement(e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	_, isIdent := ast.Unparen(ix.X).(*ast.Ident)
+	if !isIdent {
+		// Allow one selector level (s.ids[i]) too.
+		_, isSel := ast.Unparen(ix.X).(*ast.SelectorExpr)
+		if !isSel {
+			return false
+		}
+	}
+	_, isIdx := ast.Unparen(ix.Index).(*ast.Ident)
+	return isIdx
+}
+
+// projectionName extracts the final selector name of a compared
+// projection like xs[i].Score or keys[i].comp — or "" when the expression
+// has no selector (calls, arithmetic, ...).
+func projectionName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return projectionName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package sorttotal_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/sorttotal"
+)
+
+func TestSortTotal(t *testing.T) {
+	analysistest.Run(t, sorttotal.Analyzer, "a")
+}

@@ -1,0 +1,58 @@
+// Package a is the sorttotal analyzer fixture: comparators with and
+// without total orders.
+package a
+
+import "sort"
+
+type el struct {
+	Score float64
+	Name  string
+	ID    int
+}
+
+func badFloat(xs []el) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Score > xs[j].Score }) // want `single float key`
+}
+
+func badSingle(xs []el) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Name < xs[j].Name }) // want `single key`
+}
+
+func okChain(xs []el) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Score != xs[j].Score {
+			return xs[i].Score > xs[j].Score
+		}
+		return xs[i].Name < xs[j].Name
+	})
+}
+
+func okStable(xs []el) {
+	// Stability makes tie order deterministic given deterministic input.
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].Score > xs[j].Score })
+}
+
+func okWholeElement(xs []int) {
+	// Equal elements are indistinguishable; tie order is unobservable.
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func okUniqueKey(xs []el) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].ID < xs[j].ID })
+}
+
+func lessEl(a, b el) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Name < b.Name
+}
+
+func okDelegated(xs []el) {
+	sort.Slice(xs, func(i, j int) bool { return lessEl(xs[i], xs[j]) })
+}
+
+func okAllowed(xs []el) {
+	//mslint:allow sorttotal fixture: Name is unique by construction here
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Name < xs[j].Name })
+}

@@ -194,12 +194,13 @@ func AggregateContext(ctx context.Context, rels []Relation, cfg Config) ([]Patte
 		if reg == nil {
 			return
 		}
+		//mslint:allow nondet phase latency sample for obs histograms, never in the pattern output
 		reg.Histogram("microscope_patterns_phase_ns{phase=\"" + phase + "\"}").Observe(time.Since(began))
 	}
 	var phaseStart time.Time
 	if reg != nil {
 		reg.Counter("microscope_patterns_relations_total").Add(int64(len(rels)))
-		phaseStart = time.Now()
+		phaseStart = time.Now() //mslint:allow nondet phase latency sample for obs histograms, never in the pattern output
 	}
 	var grand float64
 	for i := range rels {
@@ -254,7 +255,7 @@ func AggregateContext(ctx context.Context, rels []Relation, cfg Config) ([]Patte
 	if reg != nil {
 		reg.Counter("microscope_patterns_groups_total{phase=\"victims\"}").Add(int64(len(order)))
 		phaseNS("victims", phaseStart)
-		phaseStart = time.Now()
+		phaseStart = time.Now() //mslint:allow nondet phase latency sample for obs histograms, never in the pattern output
 	}
 
 	// Phase 2 input: per victim aggregate, the culprit-side items.

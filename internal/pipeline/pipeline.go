@@ -163,6 +163,7 @@ func newRun(cfg Config) *run {
 		}
 		reg.Counter("microscope_pipeline_runs_total").Inc()
 	}
+	//mslint:allow nondet spans and stage timings are observability metadata; diagnosis payloads never read them
 	return &run{cfg: cfg, reg: reg, res: &Result{}, began: time.Now()}
 }
 
@@ -174,9 +175,9 @@ func (r *run) stage(ctx context.Context, name string, fn func()) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("pipeline canceled during %s stage: %w", name, err)
 	}
-	t := time.Now()
+	t := time.Now() //mslint:allow nondet stage timing is observability metadata, not diagnosis output
 	fn()
-	elapsed := time.Since(t)
+	elapsed := time.Since(t) //mslint:allow nondet stage timing is observability metadata, not diagnosis output
 	r.res.Stages = append(r.res.Stages, StageTiming{Name: name, Elapsed: elapsed})
 	r.res.Spans = append(r.res.Spans, obs.Span{
 		ID:     int32(len(r.res.Spans)) + 1,
@@ -204,7 +205,8 @@ func (r *run) finish() *Result {
 		Name:   "pipeline",
 		Kind:   "pipeline",
 		Start:  r.began,
-		Dur:    time.Since(r.began),
+		//mslint:allow nondet span duration is observability metadata, not diagnosis output
+		Dur: time.Since(r.began),
 	}
 	r.res.Spans = append([]obs.Span{root}, r.res.Spans...)
 	if r.reg != nil {

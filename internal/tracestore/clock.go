@@ -27,6 +27,7 @@ import (
 // for multi-upstream queues the estimator falls back to nearest-read
 // matching, which stays correct as long as the relative skew is smaller
 // than the inter-batch spacing.
+//mslint:allow compid AlignClocks runs on the raw collector trace before the interner exists
 func AlignClocks(tr *collector.Trace) (map[string]simtime.Duration, *collector.Trace) {
 	// maxSkew bounds the relative offset the estimator searches for.
 	const maxSkew = 50 * simtime.Millisecond
@@ -37,8 +38,9 @@ func AlignClocks(tr *collector.Trace) (map[string]simtime.Duration, *collector.T
 		at   simtime.Time
 		ipid uint16
 	}
+	//mslint:allow compid clock alignment runs on the raw collector trace before the interner exists
 	writeSeq := make(map[string]map[string][]entry) // dest -> upstream -> entries
-	readSeq := make(map[string][]entry)
+	readSeq := make(map[string][]entry) //mslint:allow compid clock alignment runs on the raw collector trace before the interner exists
 	for i := range tr.Records {
 		r := &tr.Records[i]
 		switch r.Dir {
@@ -46,6 +48,7 @@ func AlignClocks(tr *collector.Trace) (map[string]simtime.Duration, *collector.T
 			dest := consumerOf(r.Queue)
 			m := writeSeq[dest]
 			if m == nil {
+				//mslint:allow compid clock alignment runs on the raw collector trace before the interner exists
 				m = make(map[string][]entry)
 				writeSeq[dest] = m
 			}
@@ -121,6 +124,7 @@ func AlignClocks(tr *collector.Trace) (map[string]simtime.Duration, *collector.T
 	}
 
 	// Propagate offsets from the source through the component graph.
+	//mslint:allow compid offsets are keyed by raw collector names; the store is not built yet
 	offsets := map[string]simtime.Duration{collector.SourceName: 0}
 	// Breadth-first over meta edges; min across upstream estimates.
 	changed := true

@@ -97,7 +97,7 @@ type Store struct {
 	// The interner: names[id] and views[id] are indexed by CompID, byName
 	// is the reverse map. peaks/kinds/downs are the per-component meta
 	// tables the hot paths read by ID instead of rescanning Meta.
-	byName map[string]CompID
+	byName map[string]CompID //mslint:allow compid this IS the interner: the one sanctioned name-to-CompID map
 	names  []string
 	views  []*CompView
 	peaks  []simtime.Rate
@@ -215,7 +215,7 @@ func Build(tr *collector.Trace) *Store {
 	s := &Store{
 		Trace:    tr,
 		MaxBatch: tr.Meta.MaxBatch,
-		byName:   make(map[string]CompID, len(tr.Meta.Components)+1),
+		byName:   make(map[string]CompID, len(tr.Meta.Components)+1), //mslint:allow compid this IS the interner: the one sanctioned name-to-CompID map
 		srcID:    NoComp,
 	}
 	if s.MaxBatch <= 0 {
