@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all obs-smoke
+.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all obs-smoke soak soak-smoke
 
 # The full pre-submit gate.
-check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke
+check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,9 +36,16 @@ fuzz:
 
 # Pipeline throughput (victims/s per worker count), condensed to a compact
 # machine-readable summary (ns/op, victims/s, B/op, allocs/op per worker
-# count) by cmd/benchfmt.
+# count) by cmd/benchfmt. The run is gated against the previous
+# BENCH_pipeline.json: a >25% worsening of any metric fails the target, and
+# the baseline is only promoted (mv) when the gate passes, so a regressed
+# run can never overwrite the numbers it regressed from.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline | $(GO) run ./cmd/benchfmt | tee BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline > BENCH_pipeline.raw.tmp
+	$(GO) run ./cmd/benchfmt -prev BENCH_pipeline.json -gate < BENCH_pipeline.raw.tmp > BENCH_pipeline.json.tmp
+	rm -f BENCH_pipeline.raw.tmp
+	mv BENCH_pipeline.json.tmp BENCH_pipeline.json
+	cat BENCH_pipeline.json
 
 # One-iteration pipeline benchmark: catches benchmark bit-rot and gross
 # perf/alloc regressions in the pre-submit gate without the full run's cost.
@@ -53,3 +60,13 @@ obs-smoke:
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# The full overload/chaos soak: >=1000 windows of injected overload,
+# stalls, truncation, and panics through the online path, under -race.
+soak:
+	$(GO) test -race -timeout 30m ./internal/resilience/chaostest
+
+# The same harness at smoke size (-short: 300 windows), for the
+# pre-submit gate and CI.
+soak-smoke:
+	$(GO) test -race -short -timeout 10m ./internal/resilience/chaostest

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// regression is one metric that moved the wrong way past the tolerance.
+type regression struct {
+	Name   string  // sub-benchmark ("workers=4")
+	Metric string  // normalized unit key ("ns_per_op")
+	Prev   float64 // baseline value
+	Cur    float64 // this run's value
+	Frac   float64 // fractional worsening relative to the baseline
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%)",
+		r.Name, r.Metric, r.Prev, r.Cur, 100*r.Frac)
+}
+
+// lowerIsBetter reports the regression direction for a metric key: rate
+// metrics ("victims_per_s" and anything else normalized from a /s unit)
+// regress when they drop; cost metrics (ns_per_op, b_per_op,
+// allocs_per_op, unknown units) regress when they grow.
+func lowerIsBetter(metric string) bool {
+	return !strings.HasSuffix(metric, "_per_s")
+}
+
+// compare diffs cur against a previous Summary and returns every metric
+// whose fractional worsening exceeds maxRegress. Sub-benchmarks are
+// matched by name; entries present on only one side are ignored (new or
+// retired cases are not regressions).
+func compare(prev, cur *Summary, maxRegress float64) []regression {
+	base := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		base[r.Name] = r
+	}
+	var regs []regression
+	for _, c := range cur.Results {
+		p, ok := base[c.Name]
+		if !ok {
+			continue
+		}
+		metrics := make([]string, 0, len(c.Metrics))
+		for m := range c.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			cv := c.Metrics[metric]
+			pv, ok := p.Metrics[metric]
+			if !ok || pv <= 0 {
+				continue
+			}
+			var frac float64
+			if lowerIsBetter(metric) {
+				frac = (cv - pv) / pv
+			} else {
+				frac = (pv - cv) / pv
+			}
+			if frac > maxRegress {
+				regs = append(regs, regression{Name: c.Name, Metric: metric, Prev: pv, Cur: cv, Frac: frac})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// loadSummary reads a previously written benchfmt summary.
+func loadSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import "testing"
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Metrics: metrics}
+}
+
+func TestCompareDirections(t *testing.T) {
+	prev := &Summary{Results: []Result{
+		res("workers=1", map[string]float64{
+			"ns_per_op": 1000, "victims_per_s": 50, "b_per_op": 800, "allocs_per_op": 10,
+		}),
+	}}
+	cur := &Summary{Results: []Result{
+		res("workers=1", map[string]float64{
+			"ns_per_op": 1400, "victims_per_s": 30, "b_per_op": 810, "allocs_per_op": 9,
+		}),
+	}}
+	regs := compare(prev, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (ns up 40%%, victims/s down 40%%), got %v", regs)
+	}
+	// Sorted by metric name: ns_per_op, then victims_per_s.
+	if regs[0].Metric != "ns_per_op" || regs[1].Metric != "victims_per_s" {
+		t.Errorf("wrong metrics flagged: %v", regs)
+	}
+	for _, r := range regs {
+		if r.Frac < 0.39 || r.Frac > 0.41 {
+			t.Errorf("fraction for %s = %v, want ~0.40", r.Metric, r.Frac)
+		}
+	}
+}
+
+func TestCompareImprovementsAndNewCasesPass(t *testing.T) {
+	prev := &Summary{Results: []Result{
+		res("workers=1", map[string]float64{"ns_per_op": 1000, "victims_per_s": 50}),
+		res("retired", map[string]float64{"ns_per_op": 5}),
+	}}
+	cur := &Summary{Results: []Result{
+		res("workers=1", map[string]float64{"ns_per_op": 600, "victims_per_s": 90}),
+		res("workers=8", map[string]float64{"ns_per_op": 99999}),
+	}}
+	if regs := compare(prev, cur, 0.25); len(regs) != 0 {
+		t.Errorf("improvements or unmatched cases flagged: %v", regs)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	prev := &Summary{Results: []Result{res("w", map[string]float64{"ns_per_op": 1000})}}
+	within := &Summary{Results: []Result{res("w", map[string]float64{"ns_per_op": 1200})}}
+	beyond := &Summary{Results: []Result{res("w", map[string]float64{"ns_per_op": 1300})}}
+	if regs := compare(prev, within, 0.25); len(regs) != 0 {
+		t.Errorf("+20%% flagged at 25%% tolerance: %v", regs)
+	}
+	if regs := compare(prev, beyond, 0.25); len(regs) != 1 {
+		t.Errorf("+30%% not flagged at 25%% tolerance: %v", regs)
+	}
+}
+
+func TestCompareZeroBaselineIgnored(t *testing.T) {
+	prev := &Summary{Results: []Result{res("w", map[string]float64{"allocs_per_op": 0})}}
+	cur := &Summary{Results: []Result{res("w", map[string]float64{"allocs_per_op": 3})}}
+	if regs := compare(prev, cur, 0.25); len(regs) != 0 {
+		t.Errorf("zero baseline produced a regression (division hazard): %v", regs)
+	}
+}

@@ -16,16 +16,32 @@
 // Unknown metric units pass through under their unit name with "/" and
 // non-alphanumerics mapped to "_", so custom testing.B ReportMetric
 // units (like victims/s) need no special cases here.
+//
+// With -prev it also diffs this run against a previously written summary
+// and reports every metric that regressed beyond -max-regress (rates like
+// victims/s regress downward, costs like ns/op upward). -gate turns those
+// reports into a non-zero exit, so `make bench` can refuse to promote a
+// regressed baseline:
+//
+//	go test -bench ... -json | benchfmt -prev BENCH_pipeline.json -gate
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 )
 
 func main() {
+	var (
+		prev       = flag.String("prev", "", "previous benchfmt summary to diff against (missing file = no comparison)")
+		gate       = flag.Bool("gate", false, "exit non-zero when any metric regresses beyond -max-regress")
+		maxRegress = flag.Float64("max-regress", 0.25, "tolerated fractional worsening per metric before it counts as a regression")
+	)
+	flag.Parse()
+
 	sum, err := summarize(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
@@ -36,5 +52,30 @@ func main() {
 	if err := enc.Encode(sum); err != nil {
 		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *prev == "" {
+		return
+	}
+	base, err := loadSummary(*prev)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// First run: nothing to compare, and nothing to gate on.
+			fmt.Fprintf(os.Stderr, "benchfmt: no baseline at %s, skipping comparison\n", *prev)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	regs := compare(base, sum, *maxRegress)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchfmt: no regressions beyond %.0f%% vs %s\n", 100**maxRegress, *prev)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchfmt: regression: %s\n", r)
+	}
+	if *gate {
+		os.Exit(2)
 	}
 }

@@ -6,27 +6,41 @@
 //
 // With -listen it also serves the daemon's runtime introspection surface:
 // Prometheus metrics at /metrics (plus a JSON mirror at /metrics.json),
-// liveness at /healthz (503 while warming up or when the latest window's
-// trace health is degraded), and the standard Go profiler under
+// liveness at /healthz (503 while warming up, when the latest window's
+// trace health is degraded, or when the overload ladder skipped the
+// latest window; the body reports the active degradation level and shed/
+// skip/quarantine counts), and the standard Go profiler under
 // /debug/pprof/.
 //
+// The overload defenses are armed with -ring-cap (bounded ingest plus the
+// degradation ladder and panic containment), and tuned with -shed-policy,
+// -window-deadline, and -max-mem. SIGINT/SIGTERM stop the stream cleanly:
+// pending windows are flushed, final stats printed, and the HTTP server
+// shut down gracefully.
+//
 //	mslive -dur 500ms -window 100ms
-//	mslive -dur 2s -listen :9090 -hold 30s
+//	mslive -dur 2s -listen :9090 -hold 30s -ring-cap 200000 -window-deadline 2s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"microscope/internal/collector"
 	"microscope/internal/nfsim"
 	"microscope/internal/obs"
 	"microscope/internal/online"
+	"microscope/internal/resilience"
 	"microscope/internal/simtime"
 	"microscope/internal/traffic"
 )
@@ -44,8 +58,27 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel diagnosis workers per window (0 = GOMAXPROCS, 1 = sequential; alerts are identical)")
 		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty = off)")
 		hold     = flag.Duration("hold", 0, "keep serving the HTTP endpoints this long after the stream ends")
+		ringCap  = flag.Int("ring-cap", 0, "bound the ingest buffer to this many records and arm the degradation ladder + panic containment (0 = unbounded, no defenses)")
+		shedPol  = flag.String("shed-policy", "drop-oldest", "what a full ingest ring sheds: drop-oldest (windows) or reject-new (arrivals)")
+		deadline = flag.Duration("window-deadline", 0, "wall-clock budget per analysis window; an overrunning window is skipped and counted (0 = none)")
+		maxMem   = flag.Int64("max-mem", 0, "heap hard watermark in MiB; crossing half of it degrades diagnosis one rung, crossing it two (0 = off)")
 	)
 	flag.Parse()
+
+	policy, err := resilience.ParseShedPolicy(*shedPol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rcfg := resilience.Config{}
+	if *ringCap > 0 {
+		rcfg = resilience.Auto(*ringCap)
+	}
+	rcfg.Policy = policy
+	rcfg.WindowDeadline = *deadline
+	if *maxMem > 0 {
+		rcfg.MemHardBytes = *maxMem << 20
+		rcfg.MemSoftBytes = rcfg.MemHardBytes / 2
+	}
 
 	// One registry spans the whole daemon: collector ingest, per-window
 	// pipeline runs, and monitor alerting all report into it, and the HTTP
@@ -59,27 +92,40 @@ func main() {
 	meta := collector.MetaFor(topo)
 
 	mon := online.New(meta, online.Config{
-		Window:   simtime.Duration(window.Nanoseconds()),
-		MinScore: *minScore,
-		Workers:  *workers,
-		Obs:      reg,
+		Window:     simtime.Duration(window.Nanoseconds()),
+		MinScore:   *minScore,
+		Workers:    *workers,
+		Obs:        reg,
+		Resilience: rcfg,
 	})
 
+	// SIGINT/SIGTERM end the stream early but cleanly: the drain loop
+	// stops at the next chunk boundary and the HTTP server is shut down
+	// gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var srv *http.Server
 	if *listen != "" {
 		handler := obs.Handler(reg, func() (bool, string) {
 			h, ok := mon.Health()
 			if !ok {
 				return false, "warming up: no window diagnosed yet"
 			}
-			return !h.Degraded(), h.String()
+			st := mon.Stats()
+			deg := mon.LastDegradation()
+			detail := fmt.Sprintf("%s degradation=%s shed=%d skipped=%d quarantined=%d backlog=%d",
+				h, deg, st.RecordsShed, st.WindowsSkipped, st.WindowsQuarantined, mon.Backlog())
+			return !h.Degraded() && deg < resilience.Skipped, detail
 		})
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			log.Fatalf("listen %s: %v", *listen, err)
 		}
 		log.Printf("serving /metrics /healthz /debug/pprof on %s", ln.Addr())
+		srv = &http.Server{Handler: handler}
 		go func() {
-			if err := http.Serve(ln, handler); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("http server: %v", err)
 			}
 		}()
@@ -116,26 +162,55 @@ func main() {
 	fmt.Printf("\nsimulated %v with %d natural events (%d records) in %v\n\n",
 		simDur, events, len(tr.Records), elapsed)
 
-	// Stream records as a drain loop would.
-	const chunk = 4096
-	for i := 0; i < len(tr.Records); i += chunk {
-		end := i + chunk
-		if end > len(tr.Records) {
-			end = len(tr.Records)
-		}
-		for _, a := range mon.Feed(tr.Records[i:end]) {
-			fmt.Println("ALERT", a)
-		}
-	}
-	for _, a := range mon.Flush() {
+	// Stream records through the monitor's drain loop, as a deployment's
+	// transport shim would, honouring the retry policy and cancellation.
+	if err := online.FeedSource(ctx, mon, &chunkSource{records: tr.Records, chunk: 4096}, func(a online.Alert) {
 		fmt.Println("ALERT", a)
+	}); err != nil {
+		log.Printf("stream stopped: %v", err)
 	}
 	st := mon.Stats()
 	fmt.Printf("\nmonitor: %d windows, %d victims diagnosed, %d alerts\n",
 		st.Windows, st.Victims, st.Alerts)
-
-	if *listen != "" && *hold > 0 {
-		log.Printf("stream finished; holding HTTP endpoints for %v", *hold)
-		time.Sleep(*hold)
+	if rcfg.Enabled() {
+		fmt.Printf("resilience: degradation=%s degraded=%d shed=%d records (%d windows), skipped=%d, quarantined=%d, deadline-exceeded=%d\n",
+			mon.LastDegradation(), st.Degraded, st.RecordsShed, st.WindowsShed,
+			st.WindowsSkipped, st.WindowsQuarantined, st.DeadlineExceeded)
 	}
+
+	if srv != nil && *hold > 0 {
+		log.Printf("stream finished; holding HTTP endpoints for %v (signal to stop)", *hold)
+		select {
+		case <-time.After(*hold):
+		case <-ctx.Done():
+		}
+	}
+	if srv != nil {
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}
+}
+
+// chunkSource adapts the in-memory record slice to the monitor's
+// RecordSource, delivering fixed-size chunks like a transport would.
+type chunkSource struct {
+	records []collector.BatchRecord
+	chunk   int
+	pos     int
+}
+
+func (s *chunkSource) Next() ([]collector.BatchRecord, error) {
+	if s.pos >= len(s.records) {
+		return nil, io.EOF
+	}
+	end := s.pos + s.chunk
+	if end > len(s.records) {
+		end = len(s.records)
+	}
+	out := s.records[s.pos:end]
+	s.pos = end
+	return out, nil
 }

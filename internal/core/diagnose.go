@@ -3,11 +3,14 @@ package core
 import (
 	"context"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microscope/internal/obs"
 	"microscope/internal/par"
+	"microscope/internal/resilience"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
@@ -22,6 +25,9 @@ type Engine struct {
 	mu        sync.Mutex
 	memoStore *tracestore.Store
 	memo      *diagMemo
+
+	// panics counts victims quarantined by the ContainPanics boundary.
+	panics atomic.Int64
 }
 
 // NewEngine creates a diagnosis engine.
@@ -45,6 +51,7 @@ type diagnoser struct {
 	// config nor the process default carries a registry.
 	victims       *obs.Counter
 	victimNS      *obs.Histogram
+	victimPanics  *obs.Counter
 	memoHits      *obs.Counter
 	memoMisses    *obs.Counter
 	scratchNew    *obs.Counter
@@ -65,6 +72,7 @@ func (e *Engine) newDiagnoser(st *tracestore.Store) *diagnoser {
 	if reg := obs.Or(e.cfg.Obs); reg != nil {
 		d.victims = reg.Counter("microscope_diag_victims_total")
 		d.victimNS = reg.Histogram("microscope_diag_victim_ns")
+		d.victimPanics = reg.Counter("microscope_diag_victim_panics_total")
 		d.memoHits = reg.Counter("microscope_diag_memo_hits_total")
 		d.memoMisses = reg.Counter("microscope_diag_memo_misses_total")
 		d.scratchNew = reg.Counter("microscope_diag_scratch_new_total")
@@ -97,19 +105,44 @@ func (e *Engine) DiagnoseVictims(st *tracestore.Store, victims []Victim) []Diagn
 func (e *Engine) DiagnoseVictimsContext(ctx context.Context, st *tracestore.Store, victims []Victim) ([]Diagnosis, error) {
 	d := e.newDiagnoser(st)
 	out := make([]Diagnosis, len(victims))
-	err := par.DoCtx(ctx, len(victims), e.cfg.Workers, func(i int) {
-		out[i] = d.diagnoseVictim(victims[i])
-	})
+	err := par.DoCtx(ctx, len(victims), e.cfg.Workers, e.victimTask(d, victims, out))
 	return out, err
 }
 
 func (e *Engine) diagnoseAll(d *diagnoser, victims []Victim) []Diagnosis {
 	out := make([]Diagnosis, len(victims))
-	par.Do(len(victims), e.cfg.Workers, func(i int) {
-		out[i] = d.diagnoseVictim(victims[i])
-	})
+	par.Do(len(victims), e.cfg.Workers, e.victimTask(d, victims, out))
 	return out
 }
+
+// victimTask builds the per-victim work function the fan-out runs. With
+// ContainPanics set, each task is a crash-containment boundary: a panic
+// quarantines that one victim — its slot keeps the Victim with no causes,
+// its pooled scratch is simply never returned — and the other workers
+// never notice. Quarantine is deterministic: whether a given victim
+// panics depends only on the victim, not on worker scheduling.
+func (e *Engine) victimTask(d *diagnoser, victims []Victim, out []Diagnosis) func(i int) {
+	plain := func(i int) {
+		if e.cfg.ChaosHook != nil {
+			e.cfg.ChaosHook("victim:" + strconv.Itoa(i))
+		}
+		out[i] = d.diagnoseVictim(victims[i])
+	}
+	if !e.cfg.ContainPanics {
+		return plain
+	}
+	return func(i int) {
+		if err := resilience.Contain("victim", func() { plain(i) }); err != nil {
+			out[i] = Diagnosis{Victim: victims[i]}
+			e.panics.Add(1)
+			d.victimPanics.Inc()
+		}
+	}
+}
+
+// ContainedPanics returns how many victims this engine quarantined via the
+// ContainPanics boundary over its lifetime.
+func (e *Engine) ContainedPanics() int64 { return e.panics.Load() }
 
 // FindVictims exposes victim selection on its own (used by tests and by the
 // evaluation harness).

@@ -43,11 +43,21 @@ type flight[K comparable, V any] struct {
 type flightCall[V any] struct {
 	done chan struct{}
 	val  V
+	// ok distinguishes a completed computation from one whose fn panicked
+	// mid-flight (the panic is contained further up; see below). The write
+	// happens before close(done), so waiters reading after <-done see it.
+	ok bool
 }
 
 // do returns fn()'s value for k, computing it at most once. hits/misses
 // are nil-safe observability counters (memo effectiveness is the pipeline's
 // main cache-health signal).
+//
+// Panic safety: when fn panics, the flight is unpoisoned — the key is
+// removed so later callers recompute, and waiters already blocked on the
+// flight are released and compute fn themselves instead of trusting a
+// half-built value. The panic itself keeps unwinding to the per-victim
+// containment boundary (resilience.Contain); do never swallows it.
 func (f *flight[K, V]) do(k K, hits, misses *obs.Counter, fn func() V) V {
 	f.mu.Lock()
 	if f.m == nil {
@@ -57,13 +67,28 @@ func (f *flight[K, V]) do(k K, hits, misses *obs.Counter, fn func() V) V {
 		f.mu.Unlock()
 		hits.Add(1)
 		<-c.done
-		return c.val
+		if c.ok {
+			return c.val
+		}
+		// The first flight panicked before producing a value; fall through
+		// to an independent computation in this caller's own containment
+		// scope.
+		return fn()
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.m[k] = c
 	f.mu.Unlock()
 	misses.Add(1)
+	defer func() {
+		if !c.ok {
+			f.mu.Lock()
+			delete(f.m, k)
+			f.mu.Unlock()
+			close(c.done)
+		}
+	}()
 	c.val = fn()
+	c.ok = true
 	close(c.done)
 	return c.val
 }

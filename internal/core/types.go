@@ -155,6 +155,19 @@ type Config struct {
 	// victims are diagnosed independently against the immutable trace
 	// index and merged in victim order.
 	Workers int
+	// ContainPanics is the worker-task crash-containment boundary: a panic
+	// inside one victim's diagnosis quarantines that victim (its Diagnosis
+	// carries the Victim and no causes) instead of killing the process.
+	// Contained panics are counted (Engine.ContainedPanics and the
+	// microscope_diag_victim_panics_total counter). Off by default: the
+	// offline tools prefer a loud crash.
+	ContainPanics bool
+	// ChaosHook, when non-nil, runs before each victim's diagnosis with
+	// scope "victim:<index>" — the chaos harness injects worker-task
+	// panics and stalls through it. Hook decisions keyed on the index are
+	// identical for every worker count, keeping chaos runs deterministic.
+	// Never set in production.
+	ChaosHook func(scope string)
 	// Obs receives diagnosis metrics (victims diagnosed, memo hit/miss,
 	// scratch-pool recycling, per-victim latency spans). nil falls back to
 	// the process-wide obs.Default(), which is nil — disabled — unless

@@ -1,0 +1,61 @@
+// Package containment enforces the panic-containment boundary of the
+// online path: recover() is permitted only inside internal/resilience,
+// whose Contain is the single sanctioned recovery site. A stray recover
+// anywhere else silently swallows bugs that should either crash loudly
+// (offline tools) or be quarantined and counted (online path) — it hides
+// the failure from the resilience counters, skips the quarantine
+// bookkeeping, and leaves half-mutated shared state in play.
+//
+// The analyzer flags every use of the builtin recover in any package
+// other than internal/resilience (the spec requires builtins to be
+// called, so flagging the resolved identifier covers every position a
+// recover can appear in). An identifier named recover that resolves to
+// a local declaration is not the builtin and passes.
+// Test files are outside the loader's file set, so test helpers that
+// assert "this must panic" via recover are unaffected.
+package containment
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"microscope/internal/lint/analysis"
+)
+
+// Analyzer is the recover()-containment checker.
+var Analyzer = &analysis.Analyzer{
+	Name:    "containment",
+	Aliases: []string{"recover"},
+	Doc: "flags recover() outside internal/resilience; resilience.Contain " +
+		"is the only sanctioned recovery site",
+	Run: run,
+}
+
+// sanctioned reports whether pkgPath is the resilience package itself.
+// Suffix matching mirrors analysis.ImportsPathSuffix so analysistest
+// fixtures (import path "testdata/resilience") exercise the exemption.
+func sanctioned(pkgPath string) bool {
+	return pkgPath == "microscope/internal/resilience" ||
+		strings.HasSuffix(pkgPath, "/resilience")
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && sanctioned(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name != "recover" {
+				return true
+			}
+			if _, builtin := pass.ObjectOf(id).(*types.Builtin); !builtin {
+				return true // shadowed: resolves to a local declaration
+			}
+			pass.Reportf(id.Pos(), "recover() outside internal/resilience: wrap the unit in resilience.Contain so the panic is quarantined and counted instead of silently swallowed")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package containment_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/containment"
+)
+
+func TestContainment(t *testing.T) {
+	analysistest.Run(t, containment.Analyzer, "a")
+}
+
+func TestContainmentExemptsResiliencePackage(t *testing.T) {
+	analysistest.Run(t, containment.Analyzer, "resilience")
+}

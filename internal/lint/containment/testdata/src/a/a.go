@@ -1,0 +1,37 @@
+// Package a is the containment analyzer fixture: recover() in every
+// disguise outside the resilience package, plus the shapes that must
+// pass (shadowed identifiers, sanctioned suppressions).
+package a
+
+import "fmt"
+
+// Direct deferred recover — the classic stray swallow.
+func badDeferredRecover() {
+	defer func() {
+		if r := recover(); r != nil { // want `recover\(\) outside internal/resilience`
+			fmt.Println("swallowed", r)
+		}
+	}()
+}
+
+// Bare call outside a defer (a no-op at runtime, still a violation).
+func badBareRecover() {
+	recover() // want `recover\(\) outside internal/resilience`
+}
+
+// A local function named recover shadows the builtin: not a recovery
+// site, no diagnostic.
+func okShadowed() {
+	recover := func() any { return nil }
+	if recover() != nil {
+		fmt.Println("not the builtin")
+	}
+}
+
+// A suppression names the analyzer (or its "recover" alias) and states
+// why; the driver honours it.
+func okSuppressed() {
+	defer func() {
+		_ = recover() //mslint:allow containment fixture: demonstrates the escape hatch
+	}()
+}

@@ -1,0 +1,21 @@
+// Package resilience stands in for microscope/internal/resilience: the
+// one package where recover() is sanctioned. The analyzer must produce
+// no diagnostics here.
+package resilience
+
+// contain mirrors the real Contain: the sanctioned recovery site.
+func contain(fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = asError(v)
+		}
+	}()
+	fn()
+	return nil
+}
+
+type panicErr struct{ v any }
+
+func (e *panicErr) Error() string { return "contained panic" }
+
+func asError(v any) error { return &panicErr{v: v} }

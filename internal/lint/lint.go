@@ -8,6 +8,7 @@ package lint
 import (
 	"microscope/internal/lint/analysis"
 	"microscope/internal/lint/compid"
+	"microscope/internal/lint/containment"
 	"microscope/internal/lint/determinism"
 	"microscope/internal/lint/obssafe"
 	"microscope/internal/lint/poolreset"
@@ -18,6 +19,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		compid.Analyzer,
+		containment.Analyzer,
 		determinism.Analyzer,
 		obssafe.Analyzer,
 		poolreset.Analyzer,

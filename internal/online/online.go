@@ -7,13 +7,17 @@
 package online
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"microscope/internal/collector"
 	"microscope/internal/core"
 	"microscope/internal/obs"
 	"microscope/internal/pipeline"
+	"microscope/internal/resilience"
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
 )
@@ -25,6 +29,14 @@ type Config struct {
 	// Overlap is carried from the previous window so queuing periods
 	// that straddle the boundary stay intact (default 20 ms).
 	Overlap simtime.Duration
+	// MaxLookahead bounds how far beyond the current watermark a record's
+	// timestamp may plausibly land: anything further is a corrupt
+	// timestamp (a truncated or bit-flipped record that survived decode
+	// resync) and is dropped and counted, because advancing the watermark
+	// to it would fast-forward the flush boundary and silently discard
+	// every genuine record behind it as late. Default 4096 windows;
+	// negative disables the guard.
+	MaxLookahead simtime.Duration
 	// MinScore is the alert threshold on a window's merged culprit
 	// score, in packets (default 100).
 	MinScore float64
@@ -44,6 +56,17 @@ type Config struct {
 	// watermark gauges, and is pushed into the per-window pipelines.
 	// nil falls back to the process default registry.
 	Obs *obs.Registry
+	// Resilience arms the overload defenses: bounded ingest with a shed
+	// policy, the degradation ladder, the per-window deadline and memory
+	// watermarks, and panic containment. The zero value keeps the
+	// pre-resilience behaviour (unbounded buffering, full diagnosis,
+	// panics propagate).
+	Resilience resilience.Config
+	// ChaosHook, when non-nil, fires with scope "window:<n>" before each
+	// window's analysis and is forwarded into the per-window pipeline
+	// (scopes "stage:<name>" and "victim:<i>"). The chaos harness injects
+	// deterministic faults through it; never set in production.
+	ChaosHook func(scope string)
 }
 
 func (c *Config) setDefaults() {
@@ -52,6 +75,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Overlap == 0 {
 		c.Overlap = 20 * simtime.Millisecond
+	}
+	if c.MaxLookahead == 0 {
+		c.MaxLookahead = 4096 * c.Window
 	}
 	if c.MinScore == 0 {
 		c.MinScore = 100
@@ -98,7 +124,13 @@ type Monitor struct {
 	// causes itself).
 	pcfg pipeline.Config
 
-	pending   []collector.BatchRecord
+	// pending is the bounded ingest ring (unbounded when RingCapacity=0).
+	pending *resilience.Ring[collector.BatchRecord]
+	// winScratch is the reusable window-extraction buffer: records
+	// [0, cut) are copied out of the ring here before analysis.
+	winScratch []collector.BatchRecord
+	// mem samples the heap against the configured watermarks.
+	mem       *resilience.MemWatcher
 	nextFlush simtime.Time
 	// flushedTo is the end of the last diagnosed window; records older
 	// than this are too late to analyse.
@@ -110,19 +142,31 @@ type Monitor struct {
 	lastHealth    tracestore.Health
 	hasHealth     bool
 	lastWatermark simtime.Time
+	// lastDegradation is the ladder rung the most recent window ran at.
+	lastDegradation resilience.Level
 
 	stats Stats
 
 	// Observability handles, resolved once at New (nil = disabled).
-	obsRecords      *obs.Counter
-	obsWindows      *obs.Counter
-	obsVictims      *obs.Counter
-	obsAlerts       *obs.Counter
-	obsLateAccepted *obs.Counter
-	obsLateDropped  *obs.Counter
-	obsWatermark    *obs.Gauge
-	obsLag          *obs.Gauge
-	obsPending      *obs.Gauge
+	obsRecords       *obs.Counter
+	obsWindows       *obs.Counter
+	obsVictims       *obs.Counter
+	obsAlerts        *obs.Counter
+	obsLateAccepted  *obs.Counter
+	obsLateDropped   *obs.Counter
+	obsWatermark     *obs.Gauge
+	obsLag           *obs.Gauge
+	obsPending       *obs.Gauge
+	obsRecordsShed   *obs.Counter
+	obsWindowsShed   *obs.Counter
+	obsSkipped       *obs.Counter
+	obsQuarantined   *obs.Counter
+	obsDeadline      *obs.Counter
+	obsDegradation   *obs.Gauge
+	obsOccupancy     *obs.Gauge
+	obsRetries       *obs.Counter
+	obsChunksDropped *obs.Counter
+	obsImplausible   *obs.Counter
 }
 
 type alertKey struct {
@@ -142,6 +186,38 @@ type Stats struct {
 	// Unmatched and Quarantined accumulate per-window reconstruction
 	// damage across the monitor's lifetime.
 	Unmatched, Quarantined int
+	// RecordsShed counts records discarded by the bounded-ingest shed
+	// policy (rejected arrivals under ShedRejectNew, or arrivals whose
+	// window was dropped under ShedDropOldest).
+	RecordsShed int
+	// WindowsShed counts whole un-diagnosed windows abandoned by
+	// ShedDropOldest to make room for fresher records.
+	WindowsShed int
+	// Degraded counts windows the ladder ran below Full.
+	Degraded int
+	// WindowsSkipped counts windows the ladder skipped outright
+	// (including deadline-exceeded windows).
+	WindowsSkipped int
+	// WindowsQuarantined counts windows abandoned whole by panic
+	// containment: the stream lived on, the window's output was discarded.
+	WindowsQuarantined int
+	// DeadlineExceeded counts windows cut off by the wall-clock budget.
+	DeadlineExceeded int
+	// ContainedPanics counts victims quarantined inside otherwise-healthy
+	// windows by the worker-task containment boundary.
+	ContainedPanics int
+	// SourceRetries counts backoff-and-retry passes FeedSource made
+	// against a transiently failing record source.
+	SourceRetries int
+	// ChunksDropped counts source chunks abandoned after the retry
+	// budget ran out.
+	ChunksDropped int
+	// ImplausibleDropped counts records discarded by the watermark
+	// plausibility guard: a timestamp more than MaxLookahead beyond the
+	// watermark is corruption, not the future, and must not be allowed to
+	// fast-forward the stream (which would lazily discard everything that
+	// follows as late).
+	ImplausibleDropped int
 }
 
 // New creates a monitor for a deployment described by meta.
@@ -153,13 +229,30 @@ func New(meta collector.Meta, cfg Config) *Monitor {
 		dcfg.Workers = cfg.Workers
 	}
 	m := &Monitor{
-		cfg:       cfg,
-		meta:      meta,
-		pcfg:      pipeline.Config{Diagnosis: dcfg, SkipPatterns: true, Obs: cfg.Obs},
+		cfg:  cfg,
+		meta: meta,
+		pcfg: pipeline.Config{
+			Diagnosis:     dcfg,
+			SkipPatterns:  true,
+			Obs:           cfg.Obs,
+			ContainPanics: cfg.Resilience.ContainPanics,
+			ChaosHook:     cfg.ChaosHook,
+		},
+		pending:   resilience.NewRing[collector.BatchRecord](cfg.Resilience.RingCapacity),
 		lastAlert: make(map[alertKey]simtime.Time),
 		nextFlush: simtime.Time(cfg.Window),
 	}
-	if reg := obs.Or(cfg.Obs); reg != nil {
+	reg := obs.Or(cfg.Obs)
+	if cfg.Resilience.MemSoftBytes > 0 || cfg.Resilience.MemHardBytes > 0 {
+		m.mem = &resilience.MemWatcher{
+			SoftBytes: cfg.Resilience.MemSoftBytes,
+			HardBytes: cfg.Resilience.MemHardBytes,
+		}
+		if reg != nil {
+			m.mem.Gauge = reg.Gauge("microscope_resilience_heap_bytes")
+		}
+	}
+	if reg != nil {
 		m.obsRecords = reg.Counter("microscope_monitor_records_total")
 		m.obsWindows = reg.Counter("microscope_monitor_windows_total")
 		m.obsVictims = reg.Counter("microscope_monitor_victims_total")
@@ -169,12 +262,29 @@ func New(meta collector.Meta, cfg Config) *Monitor {
 		m.obsWatermark = reg.Gauge("microscope_monitor_watermark_ns")
 		m.obsLag = reg.Gauge("microscope_monitor_lag_ns")
 		m.obsPending = reg.Gauge("microscope_monitor_pending_records")
+		m.obsRecordsShed = reg.Counter("microscope_resilience_records_shed_total")
+		m.obsWindowsShed = reg.Counter("microscope_resilience_windows_shed_total")
+		m.obsSkipped = reg.Counter("microscope_resilience_windows_skipped_total")
+		m.obsQuarantined = reg.Counter("microscope_resilience_windows_quarantined_total")
+		m.obsDeadline = reg.Counter("microscope_resilience_deadline_exceeded_total")
+		m.obsDegradation = reg.Gauge("microscope_resilience_degradation_level")
+		m.obsOccupancy = reg.Gauge("microscope_resilience_ring_occupancy_permille")
+		m.obsRetries = reg.Counter("microscope_resilience_source_retries_total")
+		m.obsChunksDropped = reg.Counter("microscope_resilience_chunks_dropped_total")
+		m.obsImplausible = reg.Counter("microscope_resilience_implausible_records_total")
 	}
 	return m
 }
 
 // Stats returns activity counters.
 func (m *Monitor) Stats() Stats { return m.stats }
+
+// LastDegradation returns the ladder rung the most recent window ran at
+// (Full before the first window).
+func (m *Monitor) LastDegradation() resilience.Level { return m.lastDegradation }
+
+// Backlog returns how many buffered records await diagnosis.
+func (m *Monitor) Backlog() int { return m.pending.Len() }
 
 // Health returns the trace-quality summary of the most recently diagnosed
 // window. ok is false until the first window has been analysed — liveness
@@ -187,6 +297,9 @@ func (m *Monitor) Health() (h tracestore.Health, ok bool) {
 // the alerts raised. Records should arrive roughly in time order; bounded
 // lateness is tolerated (late records are sorted into the open window), but
 // a record older than an already-diagnosed window is dropped and counted.
+// When the ingest ring is full the configured shed policy decides what
+// gives: the arrival (ShedRejectNew) or the oldest un-diagnosed window
+// (ShedDropOldest).
 func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 	var out []Alert
 	for _, r := range recs {
@@ -195,8 +308,12 @@ func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 			m.obsLateDropped.Inc()
 			continue
 		}
-		m.stats.Records++
-		m.obsRecords.Inc()
+		if m.cfg.MaxLookahead > 0 && m.lastWatermark > 0 &&
+			r.At > m.lastWatermark.Add(m.cfg.MaxLookahead) {
+			m.stats.ImplausibleDropped++
+			m.obsImplausible.Inc()
+			continue
+		}
 		if r.At > m.lastWatermark {
 			m.lastWatermark = r.At
 			m.obsWatermark.Set(int64(r.At))
@@ -204,34 +321,81 @@ func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 			// diagnosed boundary — bounded backlog under steady state.
 			m.obsLag.Set(int64(r.At.Sub(m.flushedTo)))
 		}
-		if n := len(m.pending); n > 0 && r.At < m.pending[n-1].At {
-			// Late but still analysable: insert in time order.
-			i := sort.Search(n, func(i int) bool { return m.pending[i].At > r.At })
-			m.pending = append(m.pending, collector.BatchRecord{})
-			copy(m.pending[i+1:], m.pending[i:])
-			m.pending[i] = r
-			m.stats.LateAccepted++
-			m.obsLateAccepted.Inc()
-		} else {
-			m.pending = append(m.pending, r)
-		}
+		// Flush every window this record's timestamp closes before
+		// buffering it. Flushing first (rather than after the insert, as a
+		// purely unbounded consumer could) matters for bounded rings: the
+		// flush retains only the overlap tail, so a boundary-crossing
+		// record still drains the ring even when arrivals are being shed.
 		for r.At >= m.nextFlush {
 			out = append(out, m.flushWindow()...)
 		}
+		if m.pending.Full() {
+			if m.cfg.Resilience.Policy == resilience.ShedRejectNew {
+				m.stats.RecordsShed++
+				m.obsRecordsShed.Inc()
+				continue
+			}
+			// ShedDropOldest: abandon whole un-diagnosed windows until
+			// there is room. Each shed advances the flush boundary, so the
+			// loop strictly progresses; if the arrival's own window is
+			// shed from under it, the arrival is shed with it.
+			for m.pending.Full() {
+				m.shedOldestWindow()
+			}
+			if r.At < m.flushedTo {
+				m.stats.RecordsShed++
+				m.obsRecordsShed.Inc()
+				continue
+			}
+		}
+		m.stats.Records++
+		m.obsRecords.Inc()
+		if n := m.pending.Len(); n > 0 && r.At < m.pending.At(n-1).At {
+			// Late but still analysable: insert in time order.
+			i := m.pending.Search(func(p collector.BatchRecord) bool { return p.At > r.At })
+			m.pending.Insert(i, r)
+			m.stats.LateAccepted++
+			m.obsLateAccepted.Inc()
+		} else {
+			m.pending.Append(r)
+		}
+		m.obsOccupancy.Set(int64(m.pending.Occupancy() * 1000))
 	}
 	return out
 }
 
+// shedOldestWindow abandons the oldest un-diagnosed window: its records
+// are discarded, the flush boundary advances as if it had been analysed,
+// and nothing downstream ever sees it. Fresh data wins, history loses.
+func (m *Monitor) shedOldestWindow() {
+	end := m.nextFlush
+	cut := m.pending.Search(func(p collector.BatchRecord) bool { return p.At > end })
+	m.pending.DropFront(cut)
+	m.flushedTo = end
+	m.nextFlush = end.Add(m.cfg.Window)
+	if cut > 0 {
+		// Boundary advances past empty stretches don't count as shed
+		// windows — nothing was lost there.
+		m.stats.WindowsShed++
+		m.obsWindowsShed.Inc()
+		m.stats.RecordsShed += cut
+		m.obsRecordsShed.Add(int64(cut))
+	}
+}
+
 // Flush diagnoses whatever remains (end of stream).
 func (m *Monitor) Flush() []Alert {
-	if len(m.pending) == 0 {
+	if m.pending.Len() == 0 {
 		return nil
 	}
 	return m.flushWindow()
 }
 
 // flushWindow diagnoses records up to nextFlush and retains the overlap
-// tail for the next window.
+// tail for the next window. Under pressure it runs the window at the rung
+// the degradation ladder picks; a window that overruns its deadline or
+// panics is abandoned whole — counted, never half-reported — and the
+// stream lives on.
 func (m *Monitor) flushWindow() []Alert {
 	end := m.nextFlush
 	m.nextFlush = end.Add(m.cfg.Window)
@@ -240,13 +404,70 @@ func (m *Monitor) flushWindow() []Alert {
 	m.obsWindows.Inc()
 
 	// Records in the window (all pending up to end).
-	cut := sort.Search(len(m.pending), func(i int) bool { return m.pending[i].At > end })
-	window := m.pending[:cut]
-	if len(window) == 0 {
+	cut := m.pending.Search(func(p collector.BatchRecord) bool { return p.At > end })
+	if cut == 0 {
 		return nil
 	}
-	tr := &collector.Trace{Meta: m.meta, Records: window}
-	res := pipeline.Run(tr, m.pcfg)
+
+	// Pick the ladder rung from deterministic pressure signals: the
+	// window's own record count and the whole-window backlog queued behind
+	// it. The heap watermark (memSteps) is a machine-local safety net,
+	// usually 0 and off by default.
+	backlog := 0
+	if m.cfg.Window > 0 && m.lastWatermark > end {
+		backlog = int(m.lastWatermark.Sub(end) / m.cfg.Window)
+	}
+	memSteps := 0
+	if m.mem != nil {
+		memSteps = m.mem.Steps()
+	}
+	level := m.cfg.Resilience.Ladder.Decide(cut, backlog, memSteps)
+	m.setDegradation(level)
+	if level > resilience.Full {
+		m.stats.Degraded++
+	}
+	if level >= resilience.Skipped {
+		m.stats.WindowsSkipped++
+		m.obsSkipped.Inc()
+		m.retainOverlap(end)
+		return nil
+	}
+
+	// Extract the window into the reusable scratch buffer; nothing that
+	// survives this call aliases it.
+	m.winScratch = m.pending.CopyRange(m.winScratch[:0], 0, cut)
+	tr := &collector.Trace{Meta: m.meta, Records: m.winScratch}
+	pcfg := m.pcfg
+	pcfg.Degrade = level
+	ctx := context.Background()
+	cancel := func() {}
+	if d := m.cfg.Resilience.WindowDeadline; d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	var res *pipeline.Result
+	var runErr error
+	analyse := func() {
+		if m.cfg.ChaosHook != nil {
+			m.cfg.ChaosHook("window:" + strconv.Itoa(m.stats.Windows-1))
+		}
+		res, runErr = pipeline.RunContext(ctx, tr, pcfg)
+	}
+	if m.cfg.Resilience.ContainPanics {
+		// Window-granularity containment: a panic anywhere in the
+		// analysis — including the hook itself — quarantines this window.
+		if perr := resilience.Contain("window", analyse); perr != nil {
+			runErr = perr
+		}
+	} else {
+		analyse()
+	}
+	cancel()
+	if runErr != nil {
+		m.quarantineOrSkip(runErr)
+		m.retainOverlap(end)
+		return nil
+	}
+	m.stats.ContainedPanics += int(res.ContainedPanics)
 	health := res.Health
 	m.lastHealth, m.hasHealth = health, true
 	m.stats.Unmatched += health.Recon.Unmatched
@@ -323,10 +544,44 @@ func (m *Monitor) flushWindow() []Alert {
 		m.obsAlerts.Inc()
 	}
 
-	// Retain the overlap tail.
-	keepFrom := end.Add(-m.cfg.Overlap)
-	start := sort.Search(len(m.pending), func(i int) bool { return m.pending[i].At >= keepFrom })
-	m.pending = append(m.pending[:0], m.pending[start:]...)
-	m.obsPending.Set(int64(len(m.pending)))
+	m.retainOverlap(end)
 	return out
+}
+
+// retainOverlap drops buffered records before the overlap tail of the
+// window ending at end, keeping boundary-straddling queuing periods
+// intact for the next window.
+func (m *Monitor) retainOverlap(end simtime.Time) {
+	keepFrom := end.Add(-m.cfg.Overlap)
+	start := m.pending.Search(func(p collector.BatchRecord) bool { return p.At >= keepFrom })
+	m.pending.DropFront(start)
+	m.obsPending.Set(int64(m.pending.Len()))
+	m.obsOccupancy.Set(int64(m.pending.Occupancy() * 1000))
+}
+
+// setDegradation records the rung the current window runs at.
+func (m *Monitor) setDegradation(l resilience.Level) {
+	m.lastDegradation = l
+	m.obsDegradation.Set(int64(l))
+}
+
+// quarantineOrSkip books a window that produced no usable output: a
+// contained panic quarantines it, a blown deadline (or outer
+// cancellation) skips it. Either way the window's partial output is
+// discarded — half a diagnosis would break the determinism contract —
+// and the stream continues.
+func (m *Monitor) quarantineOrSkip(err error) {
+	if resilience.IsPanic(err) {
+		m.stats.WindowsQuarantined++
+		m.obsQuarantined.Inc()
+		m.setDegradation(resilience.Skipped)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		m.stats.DeadlineExceeded++
+		m.obsDeadline.Inc()
+	}
+	m.stats.WindowsSkipped++
+	m.obsSkipped.Inc()
+	m.setDegradation(resilience.Skipped)
 }

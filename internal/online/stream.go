@@ -1,0 +1,123 @@
+package online
+
+// The drain loop between a deployment's record transport and the monitor.
+// A real shim hands the monitor chunks of records pulled off a wire or a
+// shared-memory segment; both fail in boring, transient ways — a torn
+// read mid-frame, a stalled producer, a segment whose header got cut.
+// FeedSource wraps that loop with the resilience retry policy so a
+// hiccup backs off and re-attempts instead of tearing the daemon down,
+// and a chunk that stays bad is counted and skipped, never fatal.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
+	"microscope/internal/collector"
+	"microscope/internal/resilience"
+)
+
+// RecordSource yields successive chunks of batch records from wherever
+// the deployment's shim delivers them. Next returns io.EOF at end of
+// stream. Errors wrapped with resilience.Transient are retried by
+// FeedSource under the monitor's RetryPolicy; any other error stops the
+// drain loop. A source should make progress across calls even while
+// failing (re-fetch or internally skip the bad chunk) — a source that
+// fails in place forever is cut off when the retry budget of each pass
+// is exhausted one chunk-drop at a time.
+type RecordSource interface {
+	Next() ([]collector.BatchRecord, error)
+}
+
+// FeedSource drains src into m until io.EOF, context cancellation, or a
+// permanent source error, invoking onAlert (nil = discard) for every
+// alert the monitor raises, including those from the final Flush.
+// Transient source errors retry with the monitor's capped
+// exponential-backoff policy; a chunk still failing when the attempt
+// budget runs out is dropped — counted in Stats.ChunksDropped — and the
+// loop moves on. The returned error is nil on EOF.
+func FeedSource(ctx context.Context, m *Monitor, src RecordSource, onAlert func(Alert)) error {
+	emit := func(alerts []Alert) {
+		if onAlert == nil {
+			return
+		}
+		for _, a := range alerts {
+			onAlert(a)
+		}
+	}
+	for {
+		var recs []collector.BatchRecord
+		err := m.cfg.Resilience.Retry.Run(ctx, "source.next", func() error {
+			var e error
+			recs, e = src.Next()
+			return e
+		}, func(int, time.Duration) {
+			m.stats.SourceRetries++
+			m.obsRetries.Inc()
+		})
+		switch {
+		case err == nil:
+			emit(m.Feed(recs))
+		case errors.Is(err, io.EOF):
+			emit(m.Flush())
+			return nil
+		case resilience.IsTransient(err):
+			// The retry budget ran out while the fault was still live:
+			// this chunk is lost, the stream is not.
+			m.stats.ChunksDropped++
+			m.obsChunksDropped.Inc()
+		default:
+			return err
+		}
+	}
+}
+
+// EncodedSource is a RecordSource over a sequence of encoder segments —
+// the shape a file- or socket-backed transport delivers. Each Next
+// decodes one segment tolerantly (collector.DecodeStream): corrupt
+// frames inside a segment are resynced past and accounted in Decode, and
+// a segment with no usable header at all is consumed and reported as a
+// transient error, so FeedSource backs off and the stream continues with
+// the next segment.
+type EncodedSource struct {
+	// Segments are the encoded chunks, in stream order.
+	Segments [][]byte
+	// Fault, when non-nil, runs before each read with the upcoming
+	// segment index; returning an error injects a source fault without
+	// consuming the segment (the chaos harness's stall/hiccup hook).
+	Fault func(seg int) error
+	// Decode accumulates tolerant-decode damage across segments.
+	Decode collector.DecodeStats
+
+	pos int
+}
+
+// Next implements RecordSource.
+func (s *EncodedSource) Next() ([]collector.BatchRecord, error) {
+	if s.pos >= len(s.Segments) {
+		return nil, io.EOF
+	}
+	if s.Fault != nil {
+		if err := s.Fault(s.pos); err != nil {
+			return nil, err
+		}
+	}
+	seg := s.Segments[s.pos]
+	s.pos++
+	recs, st, err := collector.DecodeStream(seg)
+	s.Decode.Records += st.Records
+	s.Decode.Skipped += st.Skipped
+	s.Decode.Resyncs += st.Resyncs
+	s.Decode.Resorted += st.Resorted
+	s.Decode.BytesSkipped += st.BytesSkipped
+	if err != nil {
+		// No usable header: the whole segment is gone. The position
+		// already advanced, so the retry that follows reads the next
+		// segment rather than spinning on this one.
+		s.Decode.Skipped++
+		s.Decode.BytesSkipped += len(seg)
+		return nil, resilience.Transient(err)
+	}
+	return recs, nil
+}

@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,7 +9,10 @@ import (
 
 	"microscope"
 	"microscope/internal/collector"
+	"microscope/internal/core"
 	"microscope/internal/nfsim"
+	"microscope/internal/pipeline"
+	"microscope/internal/resilience"
 	"microscope/internal/simtime"
 	"microscope/internal/traffic"
 )
@@ -98,6 +102,116 @@ func TestPipelineDeterminism(t *testing.T) {
 			}
 		})
 	}
+}
+
+// resultFingerprint deep-dumps a raw pipeline result the way fingerprint
+// does a report: victims, causes at full float precision, and patterns.
+func resultFingerprint(r *pipeline.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "level=%v victims=%d diagnoses=%d contained=%d relations=%d\n",
+		r.Degradation, len(r.Victims), len(r.Diagnoses), r.ContainedPanics, r.Relations)
+	for _, v := range r.Victims {
+		fmt.Fprintf(&b, "victim %d %s %s %d %d\n", v.Journey, v.Comp, v.Kind, v.ArriveAt, v.QueueDelay)
+	}
+	for i := range r.Diagnoses {
+		for _, c := range r.Diagnoses[i].Causes {
+			fmt.Fprintf(&b, "  cause %s %s %.17g %d %v\n", c.Comp, c.Kind, c.Score, c.At, c.CulpritJourneys)
+		}
+	}
+	for _, p := range r.Patterns {
+		fmt.Fprintf(&b, "pattern %s score=%.17g\n", p.String(), p.Score)
+	}
+	return b.String()
+}
+
+// TestPipelineDeterminismDegraded extends the determinism contract to the
+// overload path: every degradation-ladder rung, and a run with chaos-
+// injected victim panics under containment, must still produce
+// byte-identical output at Workers=1 and Workers=8.
+func TestPipelineDeterminismDegraded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 16-NF topology; skipped in -short")
+	}
+	dur := 20 * simtime.Millisecond
+	if raceEnabled {
+		dur = 8 * simtime.Millisecond
+	}
+	tr := buildTrace(9, dur)
+
+	for _, lvl := range []resilience.Level{resilience.NoPatterns, resilience.VictimsOnly, resilience.Skipped} {
+		t.Run(lvl.String(), func(t *testing.T) {
+			run := func(workers int) *pipeline.Result {
+				res, err := pipeline.RunContext(context.Background(), tr, pipeline.Config{
+					Workers:   workers,
+					Diagnosis: core.Config{MaxVictims: 300},
+					Degrade:   lvl,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			seq, par := run(1), run(8)
+			if seq.Degradation != lvl {
+				t.Errorf("Degradation = %v, want %v", seq.Degradation, lvl)
+			}
+			if lvl >= resilience.VictimsOnly && len(seq.Diagnoses) != 0 {
+				t.Errorf("rung %v still diagnosed %d victims", lvl, len(seq.Diagnoses))
+			}
+			if lvl == resilience.NoPatterns && (len(seq.Diagnoses) == 0 || seq.Patterns != nil) {
+				t.Errorf("no-patterns rung: diagnoses=%d patterns=%v", len(seq.Diagnoses), seq.Patterns)
+			}
+			fseq, fpar := resultFingerprint(seq), resultFingerprint(par)
+			if fseq != fpar {
+				t.Fatalf("degraded run differs across worker counts:\n--- sequential ---\n%s\n--- parallel ---\n%s", fseq, fpar)
+			}
+		})
+	}
+
+	t.Run("victim-panics", func(t *testing.T) {
+		hook := func(scope string) {
+			if scope == "victim:2" || scope == "victim:5" {
+				panic("chaos: injected victim panic")
+			}
+		}
+		run := func(workers int) *pipeline.Result {
+			res, err := pipeline.RunContext(context.Background(), tr, pipeline.Config{
+				Workers:   workers,
+				Diagnosis: core.Config{MaxVictims: 300},
+				// Patterns dominate the wall clock and play no part in
+				// victim-level containment; the rung subtests above cover
+				// pattern-stage determinism.
+				SkipPatterns:  true,
+				ContainPanics: true,
+				ChaosHook:     hook,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return res
+		}
+		seq, par := run(1), run(8)
+		if seq.ContainedPanics != 2 {
+			t.Fatalf("contained %d panics, want 2", seq.ContainedPanics)
+		}
+		fseq, fpar := resultFingerprint(seq), resultFingerprint(par)
+		if fseq != fpar {
+			t.Fatalf("contained-panic run differs across worker counts:\n--- sequential ---\n%s\n--- parallel ---\n%s", fseq, fpar)
+		}
+	})
+
+	t.Run("facade", func(t *testing.T) {
+		// The options surface maps the rung through to the report.
+		rep := microscope.Diagnose(tr, microscope.WithMaxVictims(300),
+			microscope.WithDegradation(microscope.DegradeNoPatterns),
+			microscope.WithPanicContainment())
+		if rep.Degradation != microscope.DegradeNoPatterns {
+			t.Errorf("report degradation = %v, want no-patterns", rep.Degradation)
+		}
+		if len(rep.Patterns) != 0 {
+			t.Errorf("no-patterns report still has %d patterns", len(rep.Patterns))
+		}
+	})
 }
 
 // TestPipelineStages checks the staged structure: every stage is present,

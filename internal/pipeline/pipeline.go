@@ -37,6 +37,7 @@ import (
 	"microscope/internal/core"
 	"microscope/internal/obs"
 	"microscope/internal/patterns"
+	"microscope/internal/resilience"
 	"microscope/internal/tracestore"
 )
 
@@ -54,6 +55,26 @@ type Config struct {
 	// SkipPatterns stops after stage 4 — the online monitor merges raw
 	// causes itself and never needs patterns.
 	SkipPatterns bool
+	// Degrade runs the pipeline at a reduced level of the overload
+	// degradation ladder. resilience.Full (the zero value) is the normal
+	// run; NoPatterns stops after diagnosis (like SkipPatterns);
+	// VictimsOnly stops after victim selection; Skipped stops right after
+	// reconstruction, reporting only store health. Degraded runs are still
+	// deterministic: the same level over the same input yields
+	// byte-identical output for every Workers value.
+	Degrade resilience.Level
+	// ContainPanics arms the crash-containment boundaries: a panic inside
+	// one victim's diagnosis quarantines that victim, and a panic inside a
+	// stage surfaces as a *resilience.PanicError from RunContext instead of
+	// killing the process. The partial Result holds everything completed
+	// before the crash. Off by default — the offline tools prefer a loud
+	// crash with a full stack.
+	ContainPanics bool
+	// ChaosHook, when non-nil, fires at the start of each stage with scope
+	// "stage:<name>" and is forwarded to the diagnosis engine (scope
+	// "victim:<i>"). The chaos harness injects deterministic faults through
+	// it. Never set in production.
+	ChaosHook func(scope string)
 	// Obs receives pipeline metrics: per-stage latency histograms, run
 	// counts, and the store/diagnosis/pattern instruments of the stages it
 	// is propagated into. nil falls back to the process-wide obs.Default()
@@ -85,6 +106,12 @@ type Result struct {
 	Patterns []patterns.Pattern
 	// Health qualifies the run: trace damage and reconstruction outcome.
 	Health tracestore.Health
+	// Degradation echoes the ladder level the run executed at (Config.
+	// Degrade): LevelFull unless the caller asked for less.
+	Degradation resilience.Level
+	// ContainedPanics counts victims quarantined by the worker-task
+	// containment boundary during this run (0 unless ContainPanics).
+	ContainedPanics int64
 	// Stages records per-stage wall-clock timings, in execution order.
 	Stages []StageTiming
 	// Spans is the run's span tree: a root "pipeline" span (ID 0,
@@ -149,6 +176,12 @@ func newRun(cfg Config) *run {
 		cfg.Diagnosis.Workers = cfg.Workers
 		cfg.Patterns.Workers = cfg.Workers
 	}
+	if cfg.ContainPanics {
+		cfg.Diagnosis.ContainPanics = true
+	}
+	if cfg.ChaosHook != nil {
+		cfg.Diagnosis.ChaosHook = cfg.ChaosHook
+	}
 	reg := obs.Or(cfg.Obs)
 	if reg != nil {
 		// Push the pipeline's registry into the stages so their internal
@@ -175,8 +208,22 @@ func (r *run) stage(ctx context.Context, name string, fn func()) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("pipeline canceled during %s stage: %w", name, err)
 	}
+	body := fn
+	if r.cfg.ChaosHook != nil {
+		// The hook fires inside the containment boundary so injected
+		// stage panics exercise the same recovery path as real ones.
+		body = func() {
+			r.cfg.ChaosHook("stage:" + name)
+			fn()
+		}
+	}
 	t := time.Now() //mslint:allow nondet stage timing is observability metadata, not diagnosis output
-	fn()
+	var crashed error
+	if r.cfg.ContainPanics {
+		crashed = resilience.Contain("stage:"+name, body)
+	} else {
+		body()
+	}
 	elapsed := time.Since(t) //mslint:allow nondet stage timing is observability metadata, not diagnosis output
 	r.res.Stages = append(r.res.Stages, StageTiming{Name: name, Elapsed: elapsed})
 	r.res.Spans = append(r.res.Spans, obs.Span{
@@ -189,6 +236,12 @@ func (r *run) stage(ctx context.Context, name string, fn func()) error {
 	})
 	if r.reg != nil {
 		r.reg.Histogram("microscope_pipeline_stage_ns{stage=\"" + name + "\"}").Observe(elapsed)
+	}
+	if crashed != nil {
+		if r.reg != nil {
+			r.reg.Counter("microscope_pipeline_stage_panics_total").Inc()
+		}
+		return fmt.Errorf("pipeline crashed during %s stage: %w", name, crashed)
 	}
 	// A cancellation that raced the stage still counts as completing it:
 	// the work is done and its outputs are valid. The next stage boundary
@@ -229,8 +282,13 @@ func (r *run) finish() *Result {
 	return r.res
 }
 
-// runStore executes stages 2–5 against r.res.Store.
+// runStore executes stages 2–5 against r.res.Store, honouring the
+// degradation ladder: each level peels stages off the tail of the run.
 func (r *run) runStore(ctx context.Context) (*Result, error) {
+	r.res.Degradation = r.cfg.Degrade
+	if r.cfg.Degrade >= resilience.Skipped {
+		return r.finish(), nil
+	}
 	st := r.res.Store
 	eng := core.NewEngine(r.cfg.Diagnosis)
 	if err := r.stage(ctx, "index", func() {
@@ -243,16 +301,21 @@ func (r *run) runStore(ctx context.Context) (*Result, error) {
 	}); err != nil {
 		return r.finish(), err
 	}
+	if r.cfg.Degrade >= resilience.VictimsOnly {
+		return r.finish(), nil
+	}
 	var stageErr error
-	if err := r.stage(ctx, "diagnose", func() {
+	err := r.stage(ctx, "diagnose", func() {
 		r.res.Diagnoses, stageErr = eng.DiagnoseVictimsContext(ctx, st, r.res.Victims)
-	}); err != nil {
+	})
+	r.res.ContainedPanics = eng.ContainedPanics()
+	if err != nil {
 		return r.finish(), err
 	}
 	if stageErr != nil {
 		return r.finish(), fmt.Errorf("pipeline canceled during diagnose stage: %w", stageErr)
 	}
-	if r.cfg.SkipPatterns {
+	if r.cfg.SkipPatterns || r.cfg.Degrade >= resilience.NoPatterns {
 		return r.finish(), nil
 	}
 	if err := r.stage(ctx, "patterns", func() {

@@ -1,0 +1,59 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic converted into a value by Contain: what panicked
+// (the scope label), the recovered value, and the goroutine stack at the
+// point of the panic. It satisfies errors.As so callers distinguish a
+// contained crash from cancellation or I/O failure.
+type PanicError struct {
+	// Scope labels the containment boundary that caught the panic, e.g.
+	// "stage:diagnose", "victim", or "window".
+	Scope string
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured inside recover.
+	Stack []byte
+}
+
+// Error implements error. The stack is not included — it is for logs and
+// debugging, not for the one-line error chain.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Scope, e.Value)
+}
+
+// IsPanic reports whether err wraps a contained panic.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// Contain runs fn and converts a panic into a *PanicError instead of
+// unwinding past the caller — the crash-containment boundary the online
+// path wraps around every window, pipeline stage, and worker task. The
+// offending unit is quarantined by its caller (counted, its output
+// discarded) and the stream stays alive.
+//
+// This is the only sanctioned recover() site in the tree: the mslint
+// containment analyzer rejects recover() anywhere outside this package,
+// because a stray recover silently swallows bugs that should either crash
+// loudly (offline tools) or be quarantined and counted (online path).
+//
+// A contained panic does NOT attempt to repair shared state the panicking
+// code may have half-mutated; callers must only contain units whose
+// failure leaves shared state consistent (per-window traces and stores are
+// rebuilt from scratch each window; per-victim scratch is simply not
+// returned to its pool).
+func Contain(scope string, fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Scope: scope, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}

@@ -1,0 +1,74 @@
+package resilience
+
+import (
+	"runtime"
+
+	"microscope/internal/obs"
+)
+
+// MemWatcher samples the Go heap against soft/hard watermarks and turns
+// the reading into ladder escalation steps. Heap size is a wall-machine
+// signal — the same trace can sit at different heap sizes across runs —
+// so the watcher is a safety net against the monitor itself becoming the
+// memory hog, not part of the determinism contract; both watermarks
+// default to off.
+//
+// ReadMemStats stops the world briefly, so samples are taken every Every
+// calls (default 8 — once per few windows) and the last reading is reused
+// in between.
+type MemWatcher struct {
+	// SoftBytes escalates the degradation ladder by one step when the
+	// heap exceeds it (0 = off).
+	SoftBytes int64
+	// HardBytes escalates by two steps (0 = off).
+	HardBytes int64
+	// Every is the sampling interval in calls (default 8).
+	Every int
+	// Gauge, when non-nil, receives each heap sample.
+	Gauge *obs.Gauge
+
+	calls     int
+	lastSteps int
+	lastHeap  int64
+}
+
+// Enabled reports whether any watermark is set.
+func (w *MemWatcher) Enabled() bool {
+	return w != nil && (w.SoftBytes > 0 || w.HardBytes > 0)
+}
+
+// Steps returns the ladder escalation the current heap demands: 0 below
+// the soft watermark, 1 between soft and hard, 2 at or beyond hard.
+func (w *MemWatcher) Steps() int {
+	if !w.Enabled() {
+		return 0
+	}
+	every := w.Every
+	if every <= 0 {
+		every = 8
+	}
+	if w.calls%every == 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		w.lastHeap = int64(ms.HeapAlloc)
+		w.Gauge.Set(w.lastHeap)
+		switch {
+		case w.HardBytes > 0 && w.lastHeap >= w.HardBytes:
+			w.lastSteps = 2
+		case w.SoftBytes > 0 && w.lastHeap >= w.SoftBytes:
+			w.lastSteps = 1
+		default:
+			w.lastSteps = 0
+		}
+	}
+	w.calls++
+	return w.lastSteps
+}
+
+// HeapBytes returns the most recent heap sample (0 before the first).
+func (w *MemWatcher) HeapBytes() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.lastHeap
+}

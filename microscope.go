@@ -161,6 +161,12 @@ type Report struct {
 	// reconstruction coped. Degraded health means loss conclusions were
 	// suppressed (unless forced) and scores deserve skepticism.
 	Health Health
+	// Degradation is the degradation-ladder rung the run executed at:
+	// DegradeFull unless the caller asked for less (WithDegradation).
+	Degradation DegradationLevel
+	// ContainedPanics counts victims quarantined by crash containment
+	// (always 0 without WithPanicContainment).
+	ContainedPanics int64
 	// Stages records the pipeline's per-stage wall-clock timings.
 	Stages []PipelineStage
 	// Spans is the run's span tree: a root "pipeline" span (Parent -1)
@@ -215,12 +221,14 @@ func DiagnoseStoreContext(ctx context.Context, st *Store, opts ...Option) (*Repo
 // reportFrom projects a pipeline result onto the public Report.
 func reportFrom(res *pipeline.Result) *Report {
 	return &Report{
-		Store:     res.Store,
-		Diagnoses: res.Diagnoses,
-		Patterns:  res.Patterns,
-		Health:    res.Health,
-		Stages:    res.Stages,
-		Spans:     res.Spans,
+		Store:           res.Store,
+		Diagnoses:       res.Diagnoses,
+		Patterns:        res.Patterns,
+		Health:          res.Health,
+		Degradation:     res.Degradation,
+		ContainedPanics: res.ContainedPanics,
+		Stages:          res.Stages,
+		Spans:           res.Spans,
 	}
 }
 

@@ -5,6 +5,23 @@ import (
 	"microscope/internal/obs"
 	"microscope/internal/patterns"
 	"microscope/internal/pipeline"
+	"microscope/internal/resilience"
+)
+
+// DegradationLevel is a rung of the overload degradation ladder: how much
+// of the pipeline a run executes when resources are short.
+type DegradationLevel = resilience.Level
+
+// Degradation-ladder rungs, re-exported.
+const (
+	// DegradeFull runs the whole pipeline (the default).
+	DegradeFull = resilience.Full
+	// DegradeNoPatterns skips the §4.4 pattern aggregation.
+	DegradeNoPatterns = resilience.NoPatterns
+	// DegradeVictimsOnly stops after victim selection.
+	DegradeVictimsOnly = resilience.VictimsOnly
+	// DegradeSkipped reports only reconstruction health.
+	DegradeSkipped = resilience.Skipped
 )
 
 // Registry is the observability registry the toolkit reports into:
@@ -57,6 +74,13 @@ type Options struct {
 	QueueThreshold int
 	// SkipPatterns stops the pipeline after per-victim diagnosis.
 	SkipPatterns bool
+	// Degrade runs the pipeline at a reduced degradation-ladder rung;
+	// DegradeFull (zero) is the normal run. Degraded runs stay
+	// deterministic for every Workers value.
+	Degrade DegradationLevel
+	// ContainPanics quarantines a panicking victim (or stage) instead of
+	// crashing the process; see WithPanicContainment.
+	ContainPanics bool
 	// Metrics receives runtime metrics and spans; nil disables
 	// observability (beyond the process-wide default, if installed).
 	Metrics *Registry
@@ -143,6 +167,23 @@ func WithoutPatterns() Option {
 	return optionFunc(func(o *Options) { o.SkipPatterns = true })
 }
 
+// WithDegradation runs the pipeline at a reduced degradation-ladder rung —
+// what the online monitor does on its own under overload, exposed here so
+// batch callers (and tests) can reproduce a degraded window exactly. The
+// report's Degradation field echoes the rung.
+func WithDegradation(l DegradationLevel) Option {
+	return optionFunc(func(o *Options) { o.Degrade = l })
+}
+
+// WithPanicContainment arms crash containment: a panic inside one
+// victim's diagnosis quarantines that victim (its Diagnosis keeps the
+// Victim, no causes) and a panic inside a stage surfaces as an error with
+// the partial report, instead of killing the process. Off by default —
+// batch tools prefer a loud crash with a full stack.
+func WithPanicContainment() Option {
+	return optionFunc(func(o *Options) { o.ContainPanics = true })
+}
+
 // resolve folds an Option list into the canonical Options, applying them
 // in order (later options win).
 func resolve(opts []Option) Options {
@@ -172,10 +213,12 @@ func (o *Options) coreConfig() core.Config {
 // configuration.
 func (o *Options) pipelineConfig() pipeline.Config {
 	return pipeline.Config{
-		Workers:      o.Workers,
-		Diagnosis:    o.coreConfig(),
-		Patterns:     patterns.Config{Threshold: o.PatternThreshold, Obs: o.Metrics},
-		SkipPatterns: o.SkipPatterns,
-		Obs:          o.Metrics,
+		Workers:       o.Workers,
+		Diagnosis:     o.coreConfig(),
+		Patterns:      patterns.Config{Threshold: o.PatternThreshold, Obs: o.Metrics},
+		SkipPatterns:  o.SkipPatterns,
+		Degrade:       o.Degrade,
+		ContainPanics: o.ContainPanics,
+		Obs:           o.Metrics,
 	}
 }
