@@ -40,9 +40,13 @@ fuzz:
 # BENCH_pipeline.json: a >25% worsening of any metric fails the target, and
 # the baseline is only promoted (mv) when the gate passes, so a regressed
 # run can never overwrite the numbers it regressed from.
+# Both steps clean up their temp files on failure so a failed run (or a
+# tripped gate) leaves no stale BENCH_pipeline.*.tmp artifacts behind.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline > BENCH_pipeline.raw.tmp
-	$(GO) run ./cmd/benchfmt -prev BENCH_pipeline.json -gate < BENCH_pipeline.raw.tmp > BENCH_pipeline.json.tmp
+	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline > BENCH_pipeline.raw.tmp \
+		|| { rm -f BENCH_pipeline.raw.tmp; exit 1; }
+	$(GO) run ./cmd/benchfmt -prev BENCH_pipeline.json -gate < BENCH_pipeline.raw.tmp > BENCH_pipeline.json.tmp \
+		|| { rm -f BENCH_pipeline.raw.tmp BENCH_pipeline.json.tmp; exit 1; }
 	rm -f BENCH_pipeline.raw.tmp
 	mv BENCH_pipeline.json.tmp BENCH_pipeline.json
 	cat BENCH_pipeline.json

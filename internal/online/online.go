@@ -35,8 +35,20 @@ type Config struct {
 	// resync) and is dropped and counted, because advancing the watermark
 	// to it would fast-forward the flush boundary and silently discard
 	// every genuine record behind it as late. Default 4096 windows;
-	// negative disables the guard.
+	// negative disables the guard. See ResyncAfter for how the monitor
+	// recovers when the stream itself genuinely jumps past the horizon.
 	MaxLookahead simtime.Duration
+	// ResyncAfter is the recovery path for the MaxLookahead guard: after
+	// this many consecutive beyond-horizon records whose timestamps are
+	// mutually consistent (each within MaxLookahead of the previous one),
+	// the monitor concludes the stream — not the watermark — is right (a
+	// real gap, e.g. a collector outage longer than MaxLookahead), accepts
+	// the record, and jumps the watermark forward. Corrupt timestamps are
+	// independent bit-patterns and practically never form a consistent
+	// run, so the guard still catches them. Default 8; negative disables
+	// resync (beyond-horizon records are then dropped forever, the
+	// pre-resync behaviour).
+	ResyncAfter int
 	// MinScore is the alert threshold on a window's merged culprit
 	// score, in packets (default 100).
 	MinScore float64
@@ -78,6 +90,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxLookahead == 0 {
 		c.MaxLookahead = 4096 * c.Window
+	}
+	if c.ResyncAfter == 0 {
+		c.ResyncAfter = 8
 	}
 	if c.MinScore == 0 {
 		c.MinScore = 100
@@ -142,6 +157,12 @@ type Monitor struct {
 	lastHealth    tracestore.Health
 	hasHealth     bool
 	lastWatermark simtime.Time
+	// implausibleAt / implausibleRun track the current run of
+	// beyond-horizon timestamps for ResyncAfter: implausibleAt is the most
+	// recent one, implausibleRun how many mutually-consistent ones in a
+	// row. Any accepted in-horizon record resets the run.
+	implausibleAt  simtime.Time
+	implausibleRun int
 	// lastDegradation is the ladder rung the most recent window ran at.
 	lastDegradation resilience.Level
 
@@ -167,6 +188,7 @@ type Monitor struct {
 	obsRetries       *obs.Counter
 	obsChunksDropped *obs.Counter
 	obsImplausible   *obs.Counter
+	obsResyncs       *obs.Counter
 }
 
 type alertKey struct {
@@ -218,6 +240,11 @@ type Stats struct {
 	// fast-forward the stream (which would lazily discard everything that
 	// follows as late).
 	ImplausibleDropped int
+	// WatermarkResyncs counts the times the guard's recovery path fired:
+	// ResyncAfter mutually-consistent beyond-horizon timestamps in a row
+	// proved a genuine stream gap, and the watermark jumped forward to
+	// follow the stream instead of dropping it forever.
+	WatermarkResyncs int
 }
 
 // New creates a monitor for a deployment described by meta.
@@ -272,6 +299,7 @@ func New(meta collector.Meta, cfg Config) *Monitor {
 		m.obsRetries = reg.Counter("microscope_resilience_source_retries_total")
 		m.obsChunksDropped = reg.Counter("microscope_resilience_chunks_dropped_total")
 		m.obsImplausible = reg.Counter("microscope_resilience_implausible_records_total")
+		m.obsResyncs = reg.Counter("microscope_resilience_watermark_resyncs_total")
 	}
 	return m
 }
@@ -310,9 +338,18 @@ func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 		}
 		if m.cfg.MaxLookahead > 0 && m.lastWatermark > 0 &&
 			r.At > m.lastWatermark.Add(m.cfg.MaxLookahead) {
-			m.stats.ImplausibleDropped++
-			m.obsImplausible.Inc()
-			continue
+			if !m.noteImplausible(r.At) {
+				m.stats.ImplausibleDropped++
+				m.obsImplausible.Inc()
+				continue
+			}
+			// Resync: the run proved a genuine stream gap. Fall through
+			// and accept the record; the watermark jumps with it below.
+		} else if m.implausibleRun != 0 {
+			// An in-horizon record breaks any beyond-horizon run: corrupt
+			// timestamps interleaved with live data never accumulate into
+			// a spurious resync.
+			m.implausibleRun = 0
 		}
 		if r.At > m.lastWatermark {
 			m.lastWatermark = r.At
@@ -326,7 +363,11 @@ func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 		// purely unbounded consumer could) matters for bounded rings: the
 		// flush retains only the overlap tail, so a boundary-crossing
 		// record still drains the ring even when arrivals are being shed.
-		for r.At >= m.nextFlush {
+		// Strictly greater: flushWindow's cut predicate (At > end) closes
+		// a window *including* records timestamped exactly at its end, so
+		// an At == nextFlush arrival must be buffered first and flushed
+		// with the window it belongs to — matching offline assignment.
+		for r.At > m.nextFlush {
 			out = append(out, m.flushWindow()...)
 		}
 		if m.pending.Full() {
@@ -362,6 +403,40 @@ func (m *Monitor) Feed(recs []collector.BatchRecord) []Alert {
 		m.obsOccupancy.Set(int64(m.pending.Occupancy() * 1000))
 	}
 	return out
+}
+
+// noteImplausible books one beyond-horizon timestamp and decides whether
+// it completes a resync run. A corrupt timestamp is an independent
+// bit-pattern that almost never lands near another one, but a genuine
+// stream gap (collector outage, transport stall longer than MaxLookahead)
+// resumes with timestamps that are mutually consistent. After ResyncAfter
+// consecutive beyond-horizon records each within MaxLookahead of the
+// previous one — bounded reordering in the resumed stream is tolerated by
+// comparing absolute distance — the stream wins: the caller accepts the
+// record and the watermark jumps forward with it. The run's earlier
+// records were already dropped and counted; only the completing record is
+// recovered, and the stream flows again from there.
+func (m *Monitor) noteImplausible(at simtime.Time) (resync bool) {
+	if m.cfg.ResyncAfter < 0 {
+		return false
+	}
+	d := at.Sub(m.implausibleAt)
+	if d < 0 {
+		d = -d
+	}
+	if m.implausibleRun == 0 || d > m.cfg.MaxLookahead {
+		m.implausibleRun = 1
+	} else {
+		m.implausibleRun++
+	}
+	m.implausibleAt = at
+	if m.implausibleRun < m.cfg.ResyncAfter {
+		return false
+	}
+	m.implausibleRun = 0
+	m.stats.WatermarkResyncs++
+	m.obsResyncs.Inc()
+	return true
 }
 
 // shedOldestWindow abandons the oldest un-diagnosed window: its records

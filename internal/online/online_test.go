@@ -7,6 +7,7 @@ import (
 	"microscope/internal/core"
 	"microscope/internal/nfsim"
 	"microscope/internal/packet"
+	"microscope/internal/resilience"
 	"microscope/internal/simtime"
 	"microscope/internal/traffic"
 )
@@ -156,6 +157,92 @@ func TestMonitorToleratesLateRecords(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("interrupt not alerted under late delivery: %v", alerts)
+	}
+}
+
+// TestWindowBoundaryRecord: a record timestamped exactly at a window end
+// belongs to the window it closes (flushWindow's cut predicate is
+// At > end), so Feed must buffer it before flushing — never flush the
+// window out from under it and strand it in the next one.
+func TestWindowBoundaryRecord(t *testing.T) {
+	w := simtime.Duration(100 * simtime.Microsecond)
+	m := New(collector.Meta{MaxBatch: 32}, Config{Window: w, Overlap: 1})
+	m.Feed([]collector.BatchRecord{
+		{Comp: "nf1", At: simtime.Time(w) / 2, Dir: collector.DirRead, IPIDs: []uint16{1}},
+		{Comp: "nf1", At: simtime.Time(w), Dir: collector.DirRead, IPIDs: []uint16{2}},
+	})
+	if st := m.Stats(); st.Windows != 0 {
+		t.Fatalf("boundary record flushed its own window early: %+v", st)
+	}
+	// The first record strictly past the boundary closes the window, with
+	// the boundary record inside it.
+	m.Feed([]collector.BatchRecord{
+		{Comp: "nf1", At: simtime.Time(w) + 1, Dir: collector.DirRead, IPIDs: []uint16{3}},
+	})
+	if st := m.Stats(); st.Windows != 1 {
+		t.Fatalf("strictly-later record did not close the window: %+v", st)
+	}
+	if h, ok := m.Health(); !ok || h.Records != 2 {
+		t.Fatalf("closing window analysed %d records (ok=%v), want 2 — boundary record excluded", h.Records, ok)
+	}
+}
+
+// TestWatermarkResyncAfterGap: a stream gap longer than MaxLookahead must
+// not poison the monitor forever. The guard drops the first beyond-horizon
+// records — indistinguishable from corruption — but once ResyncAfter
+// mutually-consistent timestamps arrive in a row, the watermark jumps
+// forward and the stream flows again. Lone corrupt timestamps still die at
+// the guard, and any in-horizon record resets the run.
+func TestWatermarkResyncAfterGap(t *testing.T) {
+	w := simtime.Duration(100 * simtime.Microsecond)
+	m := New(collector.Meta{MaxBatch: 32}, Config{
+		Window:       w,
+		Overlap:      w / 5,
+		MaxLookahead: 4 * w,
+		ResyncAfter:  5,
+		Resilience:   resilience.Config{ContainPanics: true},
+	})
+	rec := func(i int, at simtime.Time) collector.BatchRecord {
+		return collector.BatchRecord{Comp: "nf1", At: at, Dir: collector.DirRead, IPIDs: []uint16{uint16(i)}}
+	}
+	var recs []collector.BatchRecord
+	for i := 0; i < 20; i++ {
+		recs = append(recs, rec(i, simtime.Time(i)*simtime.Time(w)/10))
+	}
+	m.Feed(recs)
+	if st := m.Stats(); st.ImplausibleDropped != 0 {
+		t.Fatalf("clean prefix tripped the plausibility guard: %+v", st)
+	}
+	// A lone corrupt far-future timestamp is dropped, no resync...
+	m.Feed([]collector.BatchRecord{rec(100, simtime.Time(99 * w))})
+	if st := m.Stats(); st.ImplausibleDropped != 1 || st.WatermarkResyncs != 0 {
+		t.Fatalf("lone corrupt timestamp not dropped cleanly: %+v", st)
+	}
+	// ...and the next in-horizon record resets the consistency run, so the
+	// lone corruption cannot count toward the resumed stream's run below
+	// even though it happens to land near it.
+	m.Feed([]collector.BatchRecord{rec(101, simtime.Time(2*w) + 1)})
+	// The stream resumes 100 windows out — far beyond MaxLookahead. The
+	// first ResyncAfter-1 resumed records are still dropped; the run's
+	// completing record is accepted, the watermark jumps, and everything
+	// after flows normally.
+	gap := simtime.Time(100 * w)
+	var resumed []collector.BatchRecord
+	for i := 0; i < 10; i++ {
+		resumed = append(resumed, rec(200+i, gap+simtime.Time(i)*simtime.Time(w)/10))
+	}
+	before := m.Stats().Records
+	m.Feed(resumed)
+	st := m.Stats()
+	if st.WatermarkResyncs != 1 {
+		t.Fatalf("gap did not resync the watermark: %+v", st)
+	}
+	// 1 lone corrupt + the 4 run records before the resync completed.
+	if st.ImplausibleDropped != 5 {
+		t.Fatalf("implausible drops = %d, want 5: %+v", st.ImplausibleDropped, st)
+	}
+	if got := st.Records - before; got != 6 {
+		t.Fatalf("post-gap records accepted = %d, want 6 — the stream is still poisoned: %+v", got, st)
 	}
 }
 
