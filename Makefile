@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all obs-smoke soak soak-smoke
+.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all scale-check obs-smoke soak soak-smoke
 
 # The full pre-submit gate.
 check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke soak-smoke
@@ -25,9 +25,10 @@ race:
 	$(GO) test -race -timeout 30m ./...
 
 # The parallel diagnosis pipeline must be race-free and deterministic at
-# any GOMAXPROCS; -cpu=1,4 runs its tests both sequential and wide.
+# any GOMAXPROCS; -cpu=1,4,8 runs its tests sequential, moderate, and wider
+# than the partition scheduler's default chunking assumes.
 race-pipeline:
-	$(GO) test -race -timeout 30m -cpu=1,4 ./internal/pipeline
+	$(GO) test -race -timeout 30m -cpu=1,4,8 ./internal/pipeline
 
 # The decoder must survive adversarial bytes; crashers land in
 # internal/collector/testdata/fuzz/ and become regression inputs.
@@ -45,11 +46,22 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchmem -json ./internal/pipeline > BENCH_pipeline.raw.tmp \
 		|| { rm -f BENCH_pipeline.raw.tmp; exit 1; }
-	$(GO) run ./cmd/benchfmt -prev BENCH_pipeline.json -gate < BENCH_pipeline.raw.tmp > BENCH_pipeline.json.tmp \
+	$(GO) run ./cmd/benchfmt -prev BENCH_pipeline.json -gate -min-speedup 1.0 < BENCH_pipeline.raw.tmp > BENCH_pipeline.json.tmp \
 		|| { rm -f BENCH_pipeline.raw.tmp BENCH_pipeline.json.tmp; exit 1; }
 	rm -f BENCH_pipeline.raw.tmp
 	mv BENCH_pipeline.json.tmp BENCH_pipeline.json
 	cat BENCH_pipeline.json
+
+# Cross-worker-count scaling gate on its own, at a short benchtime: fails
+# when the widest workers=N case is slower than the narrowest (a refactor
+# that serialized the hot path), without touching the BENCH baseline.
+# Skips automatically on single-CPU hosts where speedup is impossible.
+scale-check:
+	$(GO) test -run '^$$' -bench BenchmarkDiagnosePipeline -benchtime 2x -json ./internal/pipeline > BENCH_scale.raw.tmp \
+		|| { rm -f BENCH_scale.raw.tmp; exit 1; }
+	$(GO) run ./cmd/benchfmt -gate -min-speedup 1.0 < BENCH_scale.raw.tmp > /dev/null \
+		|| { rm -f BENCH_scale.raw.tmp; exit 1; }
+	rm -f BENCH_scale.raw.tmp
 
 # One-iteration pipeline benchmark: catches benchmark bit-rot and gross
 # perf/alloc regressions in the pre-submit gate without the full run's cost.

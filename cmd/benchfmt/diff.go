@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -76,11 +78,19 @@ func compare(prev, cur *Summary, maxRegress float64) []regression {
 	return regs
 }
 
+// errNoBaseline marks a baseline file that exists but holds nothing to
+// compare against (empty or whitespace-only — e.g. a `touch`ed placeholder
+// or a truncated write). Callers treat it like a missing file.
+var errNoBaseline = errors.New("baseline is empty")
+
 // loadSummary reads a previously written benchfmt summary.
 func loadSummary(path string) (*Summary, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("%s: %w", path, errNoBaseline)
 	}
 	var s Summary
 	if err := json.Unmarshal(data, &s); err != nil {

@@ -29,16 +29,19 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 )
 
 func main() {
 	var (
-		prev       = flag.String("prev", "", "previous benchfmt summary to diff against (missing file = no comparison)")
-		gate       = flag.Bool("gate", false, "exit non-zero when any metric regresses beyond -max-regress")
+		prev       = flag.String("prev", "", "previous benchfmt summary to diff against (missing or empty file = no comparison)")
+		gate       = flag.Bool("gate", false, "exit non-zero when any metric regresses beyond -max-regress or scaling misses -min-speedup")
 		maxRegress = flag.Float64("max-regress", 0.25, "tolerated fractional worsening per metric before it counts as a regression")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "required ns/op speedup of the widest workers=N case over the narrowest within this run (<=0 disables; skipped automatically at GOMAXPROCS=1)")
 	)
 	flag.Parse()
 
@@ -54,28 +57,57 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *prev == "" {
-		return
+	exit := 0
+	if badScaling(sum, *minSpeedup) && *gate {
+		exit = 3
 	}
-	base, err := loadSummary(*prev)
+	if *prev != "" && regressed(sum, *prev, *maxRegress) && *gate {
+		exit = 2
+	}
+	os.Exit(exit)
+}
+
+// regressed diffs sum against the baseline at path and reports whether any
+// metric regressed beyond maxRegress. A missing or empty baseline is a
+// first run: it passes with a note, so `make bench` promotes the fresh
+// summary into place instead of dying before a baseline can ever exist.
+func regressed(sum *Summary, path string, maxRegress float64) bool {
+	base, err := loadSummary(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			// First run: nothing to compare, and nothing to gate on.
-			fmt.Fprintf(os.Stderr, "benchfmt: no baseline at %s, skipping comparison\n", *prev)
-			return
+		if errors.Is(err, fs.ErrNotExist) || errors.Is(err, errNoBaseline) {
+			fmt.Fprintf(os.Stderr, "benchfmt: no baseline at %s, skipping comparison (this run becomes the baseline)\n", path)
+			return false
 		}
 		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
 		os.Exit(1)
 	}
-	regs := compare(base, sum, *maxRegress)
+	regs := compare(base, sum, maxRegress)
 	if len(regs) == 0 {
-		fmt.Fprintf(os.Stderr, "benchfmt: no regressions beyond %.0f%% vs %s\n", 100**maxRegress, *prev)
-		return
+		fmt.Fprintf(os.Stderr, "benchfmt: no regressions beyond %.0f%% vs %s\n", 100*maxRegress, path)
+		return false
 	}
 	for _, r := range regs {
 		fmt.Fprintf(os.Stderr, "benchfmt: regression: %s\n", r)
 	}
-	if *gate {
-		os.Exit(2)
+	return true
+}
+
+// badScaling runs the cross-worker-count scaling check and reports whether
+// any benchmark family missed minSpeedup.
+func badScaling(sum *Summary, minSpeedup float64) bool {
+	outs, skip := checkScaling(sum, minSpeedup)
+	if skip != "" {
+		fmt.Fprintf(os.Stderr, "benchfmt: %s\n", skip)
+		return false
 	}
+	bad := false
+	for _, o := range outs {
+		if o.Speedup < minSpeedup {
+			bad = true
+			fmt.Fprintf(os.Stderr, "benchfmt: scaling failure: %s (need %.2fx)\n", o, minSpeedup)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchfmt: scaling ok: %s\n", o)
+		}
+	}
+	return bad
 }

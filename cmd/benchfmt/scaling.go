@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cross-worker-count scaling gate: a parallel refactor that accidentally
+// serializes (a global lock on the hot path, arenas churning through a
+// pool) still passes per-metric regression gates as long as every worker
+// count slows down together. The scaling check compares ns/op across the
+// workers=N sub-benchmarks of one run and fails when the widest
+// configuration is not at least -min-speedup times faster than the
+// narrowest.
+
+// scalingOutcome is one group's measured scaling.
+type scalingOutcome struct {
+	Group   string  // sub-benchmark family ("workers=*", "observed/workers=*")
+	Base    string  // narrowest case ("workers=1")
+	Wide    string  // widest case ("workers=8")
+	Speedup float64 // base ns/op divided by wide ns/op
+}
+
+func (o scalingOutcome) String() string {
+	return fmt.Sprintf("%s: %s -> %s speedup %.2fx", o.Group, o.Base, o.Wide, o.Speedup)
+}
+
+// groupPattern masks the workers=N token of a result name so all worker
+// counts of one family compare against each other.
+func groupPattern(name string, workers int) string {
+	return strings.Replace(name, fmt.Sprintf("workers=%d", workers), "workers=*", 1)
+}
+
+// checkScaling computes the per-family speedups of a run. It returns a
+// non-empty skip note instead when the gate cannot apply: disabled
+// (minSpeedup <= 0), a single-core run (GOMAXPROCS=1 leaves parallel
+// speedup physically impossible, so failing would only punish small CI
+// hosts), or no family with at least two worker counts.
+func checkScaling(sum *Summary, minSpeedup float64) (outs []scalingOutcome, skip string) {
+	if minSpeedup <= 0 {
+		return nil, "scaling gate disabled (-min-speedup <= 0)"
+	}
+	maxprocs := 0
+	for _, r := range sum.Results {
+		mp := r.Maxprocs
+		if mp == 0 {
+			mp = 1
+		}
+		if mp > maxprocs {
+			maxprocs = mp
+		}
+	}
+	if maxprocs <= 1 {
+		return nil, "GOMAXPROCS=1, scaling gate skipped (parallel speedup impossible on one CPU)"
+	}
+	groups := make(map[string][]Result)
+	for _, r := range sum.Results {
+		if r.Workers <= 0 {
+			continue
+		}
+		if _, ok := r.Metrics["ns_per_op"]; !ok {
+			continue
+		}
+		g := groupPattern(r.Name, r.Workers)
+		groups[g] = append(groups[g], r)
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		rs := groups[g]
+		base, wide := rs[0], rs[0]
+		for _, r := range rs[1:] {
+			if r.Workers < base.Workers {
+				base = r
+			}
+			if r.Workers > wide.Workers {
+				wide = r
+			}
+		}
+		if base.Workers == wide.Workers {
+			continue
+		}
+		wideNS := wide.Metrics["ns_per_op"]
+		if wideNS <= 0 {
+			continue
+		}
+		outs = append(outs, scalingOutcome{
+			Group:   g,
+			Base:    base.Name,
+			Wide:    wide.Name,
+			Speedup: base.Metrics["ns_per_op"] / wideNS,
+		})
+	}
+	if len(outs) == 0 {
+		return nil, "no multi-worker benchmark family found, scaling gate skipped"
+	}
+	return outs, ""
+}

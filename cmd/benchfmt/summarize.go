@@ -20,7 +20,12 @@ type Result struct {
 	// benchmark name when there is no slash.
 	Name string `json:"name"`
 	// Workers is parsed from a "workers=N" name part (0 when absent).
-	Workers    int   `json:"workers,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Maxprocs is the GOMAXPROCS the case ran under, parsed from the "-N"
+	// suffix go appends to benchmark names (1 when absent — go omits the
+	// suffix on single-proc runs). The scaling gate uses it to skip hosts
+	// where parallel speedup is impossible.
+	Maxprocs   int   `json:"maxprocs,omitempty"`
 	Iterations int64 `json:"iterations"`
 	// Metrics maps normalized unit names to values: ns_per_op,
 	// b_per_op, allocs_per_op, plus any custom ReportMetric units.
@@ -115,10 +120,12 @@ func (sum *Summary) addLine(line string) {
 		return
 	}
 	full := fields[0]
-	// Strip the -N GOMAXPROCS suffix go adds ("...-8").
+	// Strip the -N GOMAXPROCS suffix go adds ("...-8"), keeping the value:
+	// the scaling gate needs to know single-proc runs from wide ones.
+	maxprocs := 1
 	if i := strings.LastIndex(full, "-"); i > 0 {
-		if _, err := strconv.Atoi(full[i+1:]); err == nil {
-			full = full[:i]
+		if n, err := strconv.Atoi(full[i+1:]); err == nil && n > 0 {
+			full, maxprocs = full[:i], n
 		}
 	}
 	bench, name := full, full
@@ -128,7 +135,7 @@ func (sum *Summary) addLine(line string) {
 	if sum.Benchmark == "" {
 		sum.Benchmark = bench
 	}
-	r := Result{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	r := Result{Name: name, Maxprocs: maxprocs, Iterations: iters, Metrics: make(map[string]float64)}
 	if i := strings.Index(name, "workers="); i >= 0 {
 		if w, err := strconv.Atoi(name[i+len("workers="):]); err == nil {
 			r.Workers = w

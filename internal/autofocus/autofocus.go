@@ -171,6 +171,12 @@ type Config struct {
 	// Callers that aggregate many overlapping item sets (the two-phase
 	// pattern pipeline does) should share one.
 	Cache *Cache
+	// Scratch, when non-nil, is a caller-owned workspace reused across
+	// calls instead of a pool round-trip per call. A worker that issues
+	// many Aggregate calls (the pattern pipeline's per-group fan-outs)
+	// should hold one for its whole run. Never share one Scratch between
+	// concurrent calls.
+	Scratch *Scratch
 }
 
 // Cache memoizes the generalization lattice of leaves across calls. It is
@@ -261,12 +267,29 @@ type aggScratch struct {
 	genBuf []genAgg
 }
 
+// Scratch is an exported handle on the Aggregate workspace, for callers
+// that want one long-lived workspace per worker instead of per-call pool
+// traffic (see Config.Scratch).
+type Scratch struct {
+	s aggScratch
+}
+
 var aggPool = sync.Pool{New: func() any {
-	return &aggScratch{
+	return &Scratch{s: aggScratch{
 		leafIdx: make(map[leafKey]int32),
 		index:   make(map[aggKey]int32),
-	}
+	}}
 }}
+
+// GetScratch takes a workspace from the shared pool. Ownership transfers to
+// the caller until PutScratch; each Aggregate call resets it before use.
+func GetScratch() *Scratch {
+	//mslint:allow poolreset ownership transfers to the caller across many Aggregate calls; Aggregate resets before each use and PutScratch returns it
+	return aggPool.Get().(*Scratch)
+}
+
+// PutScratch returns a workspace to the pool.
+func PutScratch(s *Scratch) { aggPool.Put(s) }
 
 func (sc *aggScratch) reset() {
 	clear(sc.leafIdx)
@@ -284,8 +307,13 @@ func Aggregate(items []Item, cfg Config) []Pattern {
 	if len(items) == 0 {
 		return nil
 	}
-	sc := aggPool.Get().(*aggScratch)
-	defer aggPool.Put(sc)
+	scr := cfg.Scratch
+	if scr == nil {
+		//mslint:allow poolreset reset happens below via sc.reset() on the inner aggScratch
+		scr = aggPool.Get().(*Scratch)
+		defer aggPool.Put(scr)
+	}
+	sc := &scr.s
 	sc.reset()
 
 	// Group identical observations into leaves.

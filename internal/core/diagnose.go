@@ -17,7 +17,8 @@ import (
 
 // Engine runs Microscope diagnosis over a reconstructed trace store. It is
 // safe for concurrent use; per-victim diagnoses fan out over a bounded
-// worker pool (Config.Workers) and share one memoized view of the trace.
+// worker pool (Config.Workers) with NF-partitioned scheduling and share one
+// sharded memoized view of the trace.
 type Engine struct {
 	cfg Config
 
@@ -82,20 +83,34 @@ func (e *Engine) newDiagnoser(st *tracestore.Store) *diagnoser {
 	return d
 }
 
+// acquireArena takes a worker arena for the length of a run (or a one-shot
+// call) and records whether the pool recycled a warm one.
+func (d *diagnoser) acquireArena() *workerArena {
+	a, reused := getArena()
+	if reused {
+		d.scratchReused.Add(1)
+	} else {
+		d.scratchNew.Add(1)
+	}
+	return a
+}
+
 // Diagnose selects victims and produces a ranked diagnosis for each,
 // fanning the per-victim causal analyses out over the worker pool. Results
 // are merged in victim order, so the output is byte-identical for any
 // worker count.
 func (e *Engine) Diagnose(st *tracestore.Store) []Diagnosis {
 	d := e.newDiagnoser(st)
-	return e.diagnoseAll(d, d.findVictims())
+	out, _, _ := e.diagnosePartitioned(context.Background(), d, d.findVictims())
+	return out
 }
 
 // DiagnoseVictims diagnoses an externally chosen victim list (the paper's
 // "operators define the victim packets" mode) with the same parallel
 // fan-out as Diagnose. Output order matches the input victim order.
 func (e *Engine) DiagnoseVictims(st *tracestore.Store, victims []Victim) []Diagnosis {
-	return e.diagnoseAll(e.newDiagnoser(st), victims)
+	out, _, _ := e.diagnosePartitioned(context.Background(), e.newDiagnoser(st), victims)
+	return out
 }
 
 // DiagnoseVictimsContext is DiagnoseVictims with cooperative cancellation:
@@ -103,41 +118,220 @@ func (e *Engine) DiagnoseVictims(st *tracestore.Store, victims []Victim) []Diagn
 // ctx's error alongside the partial output — slots for victims never
 // diagnosed are zero-valued Diagnoses.
 func (e *Engine) DiagnoseVictimsContext(ctx context.Context, st *tracestore.Store, victims []Victim) ([]Diagnosis, error) {
-	d := e.newDiagnoser(st)
-	out := make([]Diagnosis, len(victims))
-	err := par.DoCtx(ctx, len(victims), e.cfg.Workers, e.victimTask(d, victims, out))
+	out, _, err := e.diagnosePartitioned(ctx, e.newDiagnoser(st), victims)
 	return out, err
 }
 
-func (e *Engine) diagnoseAll(d *diagnoser, victims []Victim) []Diagnosis {
-	out := make([]Diagnosis, len(victims))
-	par.Do(len(victims), e.cfg.Workers, e.victimTask(d, victims, out))
-	return out
+// RunStats describes how one diagnosis fan-out was scheduled: the victim
+// partitions built from the deployment graph and the worker count that ran
+// them. Purely observational — the numbers never influence output.
+type RunStats struct {
+	// Partitions is how many NF-subgraph partitions the victims formed
+	// (after oversized partitions were split for load balance).
+	Partitions int
+	// LargestPartition is the victim count of the biggest partition.
+	LargestPartition int
+	// Workers is the resolved worker count that executed the run.
+	Workers int
 }
 
-// victimTask builds the per-victim work function the fan-out runs. With
-// ContainPanics set, each task is a crash-containment boundary: a panic
-// quarantines that one victim — its slot keeps the Victim with no causes,
-// its pooled scratch is simply never returned — and the other workers
-// never notice. Quarantine is deterministic: whether a given victim
-// panics depends only on the victim, not on worker scheduling.
-func (e *Engine) victimTask(d *diagnoser, victims []Victim, out []Diagnosis) func(i int) {
-	plain := func(i int) {
-		if e.cfg.ChaosHook != nil {
-			e.cfg.ChaosHook("victim:" + strconv.Itoa(i))
+// DiagnoseVictimsStats is DiagnoseVictimsContext plus the scheduling stats
+// of the run, for pipeline observability.
+func (e *Engine) DiagnoseVictimsStats(ctx context.Context, st *tracestore.Store, victims []Victim) ([]Diagnosis, RunStats, error) {
+	return e.diagnosePartitioned(ctx, e.newDiagnoser(st), victims)
+}
+
+// victimPartition is one schedulable unit of a diagnosis run: victims (by
+// index into the run's victim slice) whose diagnoses walk the same NF
+// subgraph, stolen whole by one worker.
+type victimPartition struct {
+	comp    tracestore.CompID
+	victims []int32
+}
+
+// maxPartitionFactor bounds partition size at roughly
+// len(victims)/(workers*maxPartitionFactor): with a single overloaded NF
+// producing most victims, one monolithic partition would serialize the run,
+// so oversized partitions split into consecutive chunks — enough per worker
+// to balance load, big enough that stealing stays per-partition, not
+// per-victim.
+const maxPartitionFactor = 4
+
+// minPartitionChunk keeps split chunks from degenerating into per-victim
+// stealing on small runs.
+const minPartitionChunk = 32
+
+// partitionVictims groups victim indices by victim NF — the upstream
+// closure of the victim's NF is the region of the memo and index its
+// diagnosis touches, so same-NF victims revisit the same keys and belong on
+// the same worker. Partitions are ordered deterministically for LPT
+// scheduling: descending victim count, then descending upstream-closure
+// size (the per-victim cost proxy), then ascending CompID, then chunk
+// order. Victim order within a partition is ascending, preserving the
+// sequential walk inside each subgraph.
+func (d *diagnoser) partitionVictims(victims []Victim, workers int) []victimPartition {
+	nc := d.st.NumComps()
+	// perComp[nc] buckets victims at components the store never interned
+	// (defensive: externally supplied victim lists).
+	perComp := make([][]int32, nc+1)
+	for i := range victims {
+		c := d.st.CompIDOf(victims[i].Comp)
+		slot := nc
+		if c >= 0 && int(c) < nc {
+			slot = int(c)
 		}
-		out[i] = d.diagnoseVictim(victims[i])
+		perComp[slot] = append(perComp[slot], int32(i))
 	}
+	chunkCap := len(victims)
+	if workers > 1 {
+		chunkCap = (len(victims) + workers*maxPartitionFactor - 1) / (workers * maxPartitionFactor)
+		if chunkCap < minPartitionChunk {
+			chunkCap = minPartitionChunk
+		}
+	}
+	parts := make([]victimPartition, 0, nc/2)
+	for slot, vs := range perComp {
+		if len(vs) == 0 {
+			continue
+		}
+		comp := tracestore.CompID(slot)
+		if slot == nc {
+			comp = tracestore.NoComp
+		}
+		for off := 0; off < len(vs); off += chunkCap {
+			end := off + chunkCap
+			if end > len(vs) {
+				end = len(vs)
+			}
+			parts = append(parts, victimPartition{comp: comp, victims: vs[off:end]})
+		}
+	}
+	sort.SliceStable(parts, func(i, j int) bool {
+		if len(parts[i].victims) != len(parts[j].victims) {
+			return len(parts[i].victims) > len(parts[j].victims)
+		}
+		ci, cj := d.idx.ClosureSizeID(parts[i].comp), d.idx.ClosureSizeID(parts[j].comp)
+		if ci != cj {
+			return ci > cj
+		}
+		if parts[i].comp != parts[j].comp {
+			return parts[i].comp < parts[j].comp
+		}
+		// Same comp: chunks of one NF keep their ascending victim order.
+		return parts[i].victims[0] < parts[j].victims[0]
+	})
+	return parts
+}
+
+// diagnosePartitioned is the diagnosis fan-out: victims grouped into
+// NF-subgraph partitions, partitions stolen whole by workers, each worker
+// reusing one long-lived scratch arena for its entire share of the run, and
+// per-partition result batches merged into victim order once at the end.
+// Output is byte-identical for every worker count: each victim's diagnosis
+// is a pure function of the victim over the immutable index and memo, and
+// the merge writes by victim index regardless of which worker computed it.
+func (e *Engine) diagnosePartitioned(ctx context.Context, d *diagnoser, victims []Victim) ([]Diagnosis, RunStats, error) {
+	out := make([]Diagnosis, len(victims))
+	if len(victims) == 0 {
+		return out, RunStats{}, ctx.Err()
+	}
+	workers := par.Workers(e.cfg.Workers, len(victims))
+	if workers <= 1 {
+		// Sequential: plain victim-order walk with one arena. Same
+		// cancellation granularity (one ctx check per victim) as the
+		// parallel path, and the old per-victim fan-out before it.
+		a := d.acquireArena()
+		defer putArena(a)
+		stats := RunStats{Partitions: 1, LargestPartition: len(victims), Workers: 1}
+		err := par.DoCtx(ctx, len(victims), 1, e.victimTask(d, victims, out, a))
+		return out, stats, err
+	}
+
+	parts := d.partitionVictims(victims, workers)
+	stats := RunStats{Partitions: len(parts), Workers: par.Workers(workers, len(parts))}
+	for i := range parts {
+		if n := len(parts[i].victims); n > stats.LargestPartition {
+			stats.LargestPartition = n
+		}
+	}
+	// One long-lived arena per worker for the whole run — acquired (and
+	// returned) here rather than per victim, so the scratch population is
+	// bounded by the worker count instead of churning through the pool
+	// once per victim.
+	arenas := make([]*workerArena, stats.Workers)
+	for w := range arenas {
+		arenas[w] = d.acquireArena()
+	}
+	defer func() {
+		for _, a := range arenas {
+			putArena(a)
+		}
+	}()
+
+	batches := make([][]Diagnosis, len(parts))
+	err := par.DoWorkersCtx(ctx, len(parts), stats.Workers, func(worker, pi int) {
+		a := arenas[worker]
+		p := parts[pi]
+		batch := make([]Diagnosis, len(p.victims))
+		for k, vi := range p.victims {
+			if ctx.Err() != nil {
+				// Prompt cancellation even inside a stolen partition;
+				// unfilled batch slots merge as zero values (the partial-
+				// output contract).
+				break
+			}
+			batch[k] = e.diagnoseContained(d, victims, int(vi), a)
+		}
+		batches[pi] = batch
+	})
+	// Batched slot merge: one pass in partition order, after every worker
+	// has quiesced — workers never write the shared output slice, so they
+	// cannot false-share output cache lines while diagnosing.
+	for pi := range parts {
+		if batches[pi] == nil {
+			continue
+		}
+		for k, vi := range parts[pi].victims {
+			out[vi] = batches[pi][k]
+		}
+	}
+	return out, stats, err
+}
+
+// diagnoseOne runs one victim's diagnosis (by index, so the chaos hook and
+// containment quarantine stay keyed on the victim, not the worker or
+// partition) against a caller-owned arena.
+func (e *Engine) diagnoseOne(d *diagnoser, victims []Victim, i int, a *workerArena) Diagnosis {
+	if e.cfg.ChaosHook != nil {
+		e.cfg.ChaosHook("victim:" + strconv.Itoa(i))
+	}
+	return d.diagnoseVictim(victims[i], a)
+}
+
+// victimTask builds the per-victim work function the sequential fan-out
+// runs: diagnose victim i into out[i] against the shared arena.
+func (e *Engine) victimTask(d *diagnoser, victims []Victim, out []Diagnosis, a *workerArena) func(i int) {
+	return func(i int) { out[i] = e.diagnoseContained(d, victims, i, a) }
+}
+
+// diagnoseContained wraps diagnoseOne in the crash-containment boundary
+// when ContainPanics is set: a panic quarantines that one victim — its slot
+// keeps the Victim with no causes — and the rest of the run never notices.
+// Quarantine is deterministic: whether a given victim panics depends only
+// on the victim, not on worker scheduling. The worker's arena stays safe
+// across a contained panic because every victim's diagnosis begins by
+// resetting it.
+func (e *Engine) diagnoseContained(d *diagnoser, victims []Victim, i int, a *workerArena) Diagnosis {
 	if !e.cfg.ContainPanics {
-		return plain
+		return e.diagnoseOne(d, victims, i, a)
 	}
-	return func(i int) {
-		if err := resilience.Contain("victim", func() { plain(i) }); err != nil {
-			out[i] = Diagnosis{Victim: victims[i]}
-			e.panics.Add(1)
-			d.victimPanics.Inc()
-		}
+	var diag Diagnosis
+	if err := resilience.Contain("victim", func() { diag = e.diagnoseOne(d, victims, i, a) }); err != nil {
+		diag = Diagnosis{Victim: victims[i]}
+		e.panics.Add(1)
+		d.victimPanics.Add(1)
 	}
+	return diag
 }
 
 // ContainedPanics returns how many victims this engine quarantined via the
@@ -152,7 +346,10 @@ func (e *Engine) FindVictims(st *tracestore.Store) []Victim {
 
 // DiagnoseVictim diagnoses a single victim.
 func (e *Engine) DiagnoseVictim(st *tracestore.Store, v Victim) Diagnosis {
-	return e.newDiagnoser(st).diagnoseVictim(v)
+	d := e.newDiagnoser(st)
+	a := d.acquireArena()
+	defer putArena(a)
+	return d.diagnoseVictim(v, a)
 }
 
 // findVictims implements the victim selection of §4: delivered packets
@@ -293,6 +490,11 @@ type causeKey struct {
 	kind CulpritKind
 }
 
+// slot returns the key's index into the scratch slot tables: CompIDs are
+// dense and CulpritKind has two values, so (comp, kind) flattens to
+// comp*2+kind.
+func (k causeKey) slot() int { return int(k.comp)*2 + int(k.kind) }
+
 // maxCulpritJourneys bounds the per-cause journey union.
 const maxCulpritJourneys = 4096
 
@@ -305,21 +507,62 @@ type causeAcc struct {
 	journeys []int
 }
 
-// victimScratch is the pooled per-victim accumulator. The recursion writes
-// into it, diagnoseVictim copies the surviving causes out (they escape into
-// the report), and the buffers go back to the pool — steady-state diagnosis
-// allocates only what it returns.
+// victimScratch is the per-victim cause accumulator of a worker arena. The
+// recursion writes into it, diagnoseVictim copies the surviving causes out
+// (they escape into the report), and the arena is reused for the worker's
+// next victim — steady-state diagnosis allocates only what it returns.
+//
+// Lookup is a generation-stamped slot array indexed by causeKey.slot()
+// instead of a map: reset between victims is amortized O(1) (bump the
+// generation; stale stamps become invisible), where clearing a map is O(its
+// population) per victim.
 type victimScratch struct {
-	idx  map[causeKey]int32
-	accs []causeAcc
-	// used distinguishes a pool recycle from a fresh allocation for the
-	// scratch-recycle-rate metrics.
-	used bool
+	gen     uint32
+	slotGen []uint32 // generation at which slot was last written
+	slots   []int32  // slot -> index into accs, valid iff slotGen matches gen
+	accs    []causeAcc
 }
 
-var victimPool = sync.Pool{New: func() any {
-	return &victimScratch{idx: make(map[causeKey]int32)}
-}}
+// reset retires all accumulated causes in O(1): the generation bump makes
+// every slot stamp stale. Retired causeAcc slots keep their journey buffer
+// capacity for reuse. Generation 0 is never live (a zeroed stamp must not
+// look current), so the counter skips it on wrap.
+func (sc *victimScratch) reset() {
+	sc.accs = sc.accs[:0]
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stale stamps could alias the new generation
+		clear(sc.slotGen)
+		sc.gen = 1
+	}
+}
+
+// grow ensures the slot tables cover index si.
+func (sc *victimScratch) grow(si int) {
+	n := len(sc.slotGen)
+	if n == 0 {
+		n = 64
+	}
+	for n <= si {
+		n *= 2
+	}
+	slotGen := make([]uint32, n)
+	copy(slotGen, sc.slotGen)
+	slots := make([]int32, n)
+	copy(slots, sc.slots)
+	sc.slotGen, sc.slots = slotGen, slots
+}
+
+// get returns the live accumulator for k, or nil. Test hook and add helper.
+func (sc *victimScratch) get(k causeKey) *causeAcc {
+	if sc.gen == 0 {
+		return nil
+	}
+	si := k.slot()
+	if si < 0 || si >= len(sc.slotGen) || sc.slotGen[si] != sc.gen {
+		return nil
+	}
+	return &sc.accs[sc.slots[si]]
+}
 
 // add merges a cause into the accumulator, keeping the earliest onset and
 // unioning culprit journeys (bounded).
@@ -327,8 +570,20 @@ func (sc *victimScratch) add(k causeKey, score float64, at simtime.Time, journey
 	if score <= 0 {
 		return
 	}
-	if i, ok := sc.idx[k]; ok {
-		a := &sc.accs[i]
+	if sc.gen == 0 {
+		// Zero-value scratch: a generation of 0 would make every zeroed
+		// stamp look live, so start the first generation lazily.
+		sc.reset()
+	}
+	si := k.slot()
+	if si < 0 {
+		return
+	}
+	if si >= len(sc.slotGen) {
+		sc.grow(si)
+	}
+	if sc.slotGen[si] == sc.gen {
+		a := &sc.accs[sc.slots[si]]
 		a.score += score
 		if at < a.at {
 			a.at = at
@@ -350,51 +605,69 @@ func (sc *victimScratch) add(k causeKey, score float64, at simtime.Time, journey
 	}
 	a.key, a.score, a.at = k, score, at
 	a.journeys = append(a.journeys, journeys...)
-	sc.idx[k] = int32(len(sc.accs) - 1)
+	sc.slots[si] = int32(len(sc.accs) - 1)
+	sc.slotGen[si] = sc.gen
 }
 
-func (sc *victimScratch) reset() {
-	clear(sc.idx)
-	sc.accs = sc.accs[:0]
+// workerArena is one worker's long-lived scratch for an entire diagnosis
+// run: the per-victim cause accumulator plus the §4.2 path-walk buffers.
+// Each worker of the partitioned fan-out owns one arena for its whole run
+// instead of round-tripping a sync.Pool per victim, so the scratch
+// population — and with it the run's bytes/op — is bounded by the worker
+// count, not the victim count.
+type workerArena struct {
+	sc victimScratch
+	cs collectScratch
+	// used marks an arena that has been through the pool before, for the
+	// scratch-recycle-rate metrics.
+	used bool
 }
 
-// diagnoseVictim runs §4.1–§4.3 for one victim.
-func (d *diagnoser) diagnoseVictim(v Victim) Diagnosis {
+var arenaPool = sync.Pool{New: func() any { return new(workerArena) }}
+
+// getArena takes an arena from the pool and reports whether it is a warm
+// recycle. Ownership transfers to the caller for the length of a run;
+// putArena returns it.
+func getArena() (a *workerArena, reused bool) {
+	//mslint:allow poolreset ownership transfers to the caller for a whole run; every victim resets sc before use and putArena returns the arena
+	a = arenaPool.Get().(*workerArena)
+	reused = a.used
+	a.used = true
+	return a, reused
+}
+
+func putArena(a *workerArena) { arenaPool.Put(a) }
+
+// diagnoseVictim runs §4.1–§4.3 for one victim against the caller's arena.
+func (d *diagnoser) diagnoseVictim(v Victim, a *workerArena) Diagnosis {
 	// Wall-clock cost is only read when a registry is live; the disabled
 	// path must not pay for time.Now.
 	var began time.Time
 	if d.victimNS != nil { //mslint:allow obssafe nil check guards the expensive time.Now below, not a method call
 		began = time.Now() //mslint:allow nondet per-victim latency sample for obs histograms, never in the Diagnosis
 	}
-	sc := victimPool.Get().(*victimScratch)
-	if sc.used {
-		d.scratchReused.Add(1)
-	} else {
-		sc.used = true
-		d.scratchNew.Add(1)
-	}
-	d.diagnoseAt(d.st.CompIDOf(v.Comp), v.ArriveAt, 1.0, 0, sc)
+	sc := &a.sc
+	sc.reset()
+	d.diagnoseAt(d.st.CompIDOf(v.Comp), v.ArriveAt, 1.0, 0, a)
 
 	causes := make([]Cause, 0, len(sc.accs))
 	for i := range sc.accs {
-		a := &sc.accs[i]
-		if a.score < d.cfg.MinScore {
+		acc := &sc.accs[i]
+		if acc.score < d.cfg.MinScore {
 			continue
 		}
 		var js []int
-		if len(a.journeys) > 0 {
-			js = append(make([]int, 0, len(a.journeys)), a.journeys...)
+		if len(acc.journeys) > 0 {
+			js = append(make([]int, 0, len(acc.journeys)), acc.journeys...)
 		}
 		causes = append(causes, Cause{
-			Comp:            d.st.CompName(a.key.comp),
-			Kind:            a.key.kind,
-			Score:           a.score,
-			At:              a.at,
+			Comp:            d.st.CompName(acc.key.comp),
+			Kind:            acc.key.kind,
+			Score:           acc.score,
+			At:              acc.at,
 			CulpritJourneys: js,
 		})
 	}
-	sc.reset()
-	victimPool.Put(sc)
 	d.victims.Add(1)
 	if d.victimNS != nil { //mslint:allow obssafe nil check guards the expensive time.Since below, not a method call
 		elapsed := time.Since(began) //mslint:allow nondet per-victim latency sample for obs histograms, never in the Diagnosis
@@ -418,8 +691,9 @@ func (d *diagnoser) diagnoseVictim(v Victim) Diagnosis {
 }
 
 // diagnoseAt analyses the queuing period at comp ending at t, scaling all
-// scores by weight (recursive shares), and accumulates causes.
-func (d *diagnoser) diagnoseAt(comp tracestore.CompID, t simtime.Time, weight float64, depth int, sc *victimScratch) {
+// scores by weight (recursive shares), and accumulates causes into the
+// arena's scratch.
+func (d *diagnoser) diagnoseAt(comp tracestore.CompID, t simtime.Time, weight float64, depth int, a *workerArena) {
 	if depth > d.cfg.MaxRecursionDepth || weight <= 0 {
 		return
 	}
@@ -441,14 +715,14 @@ func (d *diagnoser) diagnoseAt(comp tracestore.CompID, t simtime.Time, weight fl
 		// Local slow processing at comp. Culprit packets are the
 		// period's arrivals: the packets the NF was slow on (§6.4
 		// uses these to surface bug-triggering flows).
-		sc.add(causeKey{comp, CulpritLocalProcessing}, weight*ls.Sp, qp.Start, d.periodJourneys(comp, qp))
+		a.sc.add(causeKey{comp, CulpritLocalProcessing}, weight*ls.Sp, qp.Start, d.periodJourneys(comp, qp))
 	}
 	if ls.Si > 0 {
 		// Upstream pressure: split across the source and upstream NFs
 		// by timespan analysis, then recurse into reducing NFs (§4.3).
 		budget := weight * ls.Si
-		for _, pr := range d.propagate(comp, qp, budget) {
-			d.attribute(pr, depth, sc)
+		for _, pr := range d.propagate(comp, qp, budget, a) {
+			d.attribute(pr, depth, a)
 		}
 	}
 }
@@ -456,9 +730,9 @@ func (d *diagnoser) diagnoseAt(comp tracestore.CompID, t simtime.Time, weight fl
 // attribute folds one propagated share into the accumulator: source shares
 // become traffic causes, upstream shares either recurse (Figure 7 split) or
 // land as local processing at the squeezing NF.
-func (d *diagnoser) attribute(pr propagated, depth int, sc *victimScratch) {
+func (d *diagnoser) attribute(pr propagated, depth int, a *workerArena) {
 	if pr.comp == d.src {
-		sc.add(causeKey{pr.comp, CulpritSourceTraffic}, pr.score, d.firstEmit(pr.path), pr.path.journeys)
+		a.sc.add(causeKey{pr.comp, CulpritSourceTraffic}, pr.score, d.firstEmit(pr.path), pr.path.journeys)
 		return
 	}
 	// Recurse into the NF that squeezed the timespan: its own queuing
@@ -470,14 +744,14 @@ func (d *diagnoser) attribute(pr propagated, depth int, sc *victimScratch) {
 		// No queuing there — attribute the squeeze to local behaviour
 		// at that NF (e.g. an interrupt that buffered packets arrives
 		// as pure processing).
-		sc.add(causeKey{pr.comp, CulpritLocalProcessing}, pr.score, anchor, pr.path.journeys)
+		a.sc.add(causeKey{pr.comp, CulpritLocalProcessing}, pr.score, anchor, pr.path.journeys)
 		return
 	}
 	if sub.localShare > 0 {
-		sc.add(causeKey{pr.comp, CulpritLocalProcessing}, sub.localShare, sub.qp.Start, d.periodJourneys(pr.comp, sub.qp))
+		a.sc.add(causeKey{pr.comp, CulpritLocalProcessing}, sub.localShare, sub.qp.Start, d.periodJourneys(pr.comp, sub.qp))
 	}
 	if sub.inputShare > 0 {
-		d.diagnoseAtPeriod(pr.comp, sub.qp, sub.inputShare/maxf(sub.ls.Si, 1e-9), depth+1, sc)
+		d.diagnoseAtPeriod(pr.comp, sub.qp, sub.inputShare/maxf(sub.ls.Si, 1e-9), depth+1, a)
 	}
 }
 
@@ -525,7 +799,7 @@ func (d *diagnoser) splitAtNF(comp tracestore.CompID, anchor simtime.Time, score
 // diagnoseAtPeriod recurses the §4.2 propagation over an already-computed
 // queuing period, with scores scaled so the propagated budget equals
 // weightFrac * Si(qp).
-func (d *diagnoser) diagnoseAtPeriod(comp tracestore.CompID, qp *tracestore.QueuingPeriod, weightFrac float64, depth int, sc *victimScratch) {
+func (d *diagnoser) diagnoseAtPeriod(comp tracestore.CompID, qp *tracestore.QueuingPeriod, weightFrac float64, depth int, a *workerArena) {
 	if depth > d.cfg.MaxRecursionDepth || weightFrac <= 0 {
 		return
 	}
@@ -538,8 +812,8 @@ func (d *diagnoser) diagnoseAtPeriod(comp tracestore.CompID, qp *tracestore.Queu
 		return
 	}
 	budget := weightFrac * ls.Si
-	for _, pr := range d.propagate(comp, qp, budget) {
-		d.attribute(pr, depth, sc)
+	for _, pr := range d.propagate(comp, qp, budget, a) {
+		d.attribute(pr, depth, a)
 	}
 }
 

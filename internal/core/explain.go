@@ -51,12 +51,14 @@ type ExplainShare struct {
 // intermediate quantity. It mirrors DiagnoseVictim's recursion exactly.
 func (e *Engine) Explain(st *tracestore.Store, v Victim) *Explanation {
 	d := e.newDiagnoser(st)
+	a := d.acquireArena()
+	defer putArena(a)
 	ex := &Explanation{Victim: v}
-	ex.Root = d.explainAt(st.CompIDOf(v.Comp), v.ArriveAt, 1.0, 0)
+	ex.Root = d.explainAt(st.CompIDOf(v.Comp), v.ArriveAt, 1.0, 0, a)
 	return ex
 }
 
-func (d *diagnoser) explainAt(comp tracestore.CompID, t simtime.Time, weight float64, depth int) *ExplainNode {
+func (d *diagnoser) explainAt(comp tracestore.CompID, t simtime.Time, weight float64, depth int, a *workerArena) *ExplainNode {
 	// Unlike the scoring recursion, the explanation keeps zero-weight
 	// nodes: a culprit whose blame is purely local (Sp) still deserves
 	// its queuing-period line in the tree.
@@ -87,7 +89,7 @@ func (d *diagnoser) explainAt(comp tracestore.CompID, t simtime.Time, weight flo
 		return node
 	}
 	budget := weight * ls.Si
-	for _, pr := range d.propagate(comp, qp, budget) {
+	for _, pr := range d.propagate(comp, qp, budget, a) {
 		node.Shares = append(node.Shares, ExplainShare{
 			Comp:    d.st.CompName(pr.comp),
 			Score:   pr.score,
@@ -106,7 +108,7 @@ func (d *diagnoser) explainAt(comp tracestore.CompID, t simtime.Time, weight flo
 		if sub.inputShare > 0 {
 			childWeight = sub.inputShare / maxf(sub.ls.Si, 1e-9)
 		}
-		if child := d.explainAt(pr.comp, anchor, childWeight, depth+1); child != nil {
+		if child := d.explainAt(pr.comp, anchor, childWeight, depth+1, a); child != nil {
 			node.Children = append(node.Children, child)
 		}
 	}

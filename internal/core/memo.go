@@ -17,6 +17,14 @@ import (
 // compute it once and everyone else blocks for the result instead of
 // duplicating the work.
 //
+// The memo is sharded: keys hash onto power-of-two shards, each with its
+// own lock, so workers touching different regions of the deployment graph
+// never serialize on one global mutex. The NF-partitioned scheduler
+// (diagnose.go) assigns victims of one NF subgraph to one worker, which
+// makes a worker's keys mostly shard-local and cross-worker collisions
+// rare; when they do collide, only the colliding shard is contended, not
+// the whole table.
+//
 // Determinism: every cached value is a pure function of its key over the
 // immutable trace index, so the cache's contents never depend on which
 // worker populated them or in what order. The budget scaling applied at use
@@ -32,12 +40,39 @@ type periodKey struct {
 	start, end simtime.Time
 }
 
-// flight is a single-flight memo table: do(k, fn) returns fn()'s value for
-// k, computing it at most once; concurrent callers of the same key wait for
-// the first computation instead of repeating it.
-type flight[K comparable, V any] struct {
+// memoShards is the shard count of every single-flight table. Power of two
+// so shard selection is a mask; 64 shards keep the collision probability
+// negligible at realistic worker counts (≤ GOMAXPROCS) while costing only
+// a few KB per table.
+const memoShards = 64
+
+// shardOf mixes a periodKey into its shard index. The three fields are
+// folded through distinct 64-bit odd multipliers (splitmix64-style) so
+// nearby periods — same comp, adjacent times — spread across shards
+// instead of clustering on one.
+func shardOf(k periodKey) uint32 {
+	h := uint64(uint32(k.comp)) * 0x9E3779B97F4A7C15
+	h ^= uint64(k.start) * 0xBF58476D1CE4E5B9
+	h ^= uint64(k.end) * 0x94D049BB133111EB
+	h ^= h >> 29
+	return uint32(h) & (memoShards - 1)
+}
+
+// flight is a sharded single-flight memo table keyed by periodKey:
+// do(k, fn) returns fn()'s value for k, computing it at most once;
+// concurrent callers of the same key wait for the first computation
+// instead of repeating it.
+type flight[V any] struct {
+	shards [memoShards]flightShard[V]
+}
+
+// flightShard is one lock domain of the table. The pad spaces shards a
+// cache line apart so two workers hitting adjacent shards do not false-
+// share the mutex word.
+type flightShard[V any] struct {
 	mu sync.Mutex
-	m  map[K]*flightCall[V]
+	m  map[periodKey]*flightCall[V]
+	_  [64 - 16]byte // pad to one cache line
 }
 
 type flightCall[V any] struct {
@@ -51,20 +86,23 @@ type flightCall[V any] struct {
 
 // do returns fn()'s value for k, computing it at most once. hits/misses
 // are nil-safe observability counters (memo effectiveness is the pipeline's
-// main cache-health signal).
+// main cache-health signal). The shard lock is held only for the map
+// lookup/insert — never across fn or the wait — so the critical section is
+// a few dozen nanoseconds regardless of how expensive the decomposition is.
 //
 // Panic safety: when fn panics, the flight is unpoisoned — the key is
 // removed so later callers recompute, and waiters already blocked on the
 // flight are released and compute fn themselves instead of trusting a
 // half-built value. The panic itself keeps unwinding to the per-victim
 // containment boundary (resilience.Contain); do never swallows it.
-func (f *flight[K, V]) do(k K, hits, misses *obs.Counter, fn func() V) V {
-	f.mu.Lock()
-	if f.m == nil {
-		f.m = make(map[K]*flightCall[V])
+func (f *flight[V]) do(k periodKey, hits, misses *obs.Counter, fn func() V) V {
+	sh := &f.shards[shardOf(k)]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[periodKey]*flightCall[V])
 	}
-	if c, ok := f.m[k]; ok {
-		f.mu.Unlock()
+	if c, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
 		hits.Add(1)
 		<-c.done
 		if c.ok {
@@ -76,14 +114,14 @@ func (f *flight[K, V]) do(k K, hits, misses *obs.Counter, fn func() V) V {
 		return fn()
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
-	f.m[k] = c
-	f.mu.Unlock()
+	sh.m[k] = c
+	sh.mu.Unlock()
 	misses.Add(1)
 	defer func() {
 		if !c.ok {
-			f.mu.Lock()
-			delete(f.m, k)
-			f.mu.Unlock()
+			sh.mu.Lock()
+			delete(sh.m, k)
+			sh.mu.Unlock()
 			close(c.done)
 		}
 	}()
@@ -116,9 +154,9 @@ type splitResult struct {
 
 // diagMemo is the per-(store, threshold) diagnosis cache.
 type diagMemo struct {
-	prop    flight[periodKey, []propPath]
-	split   flight[periodKey, *splitResult]
-	periodJ flight[periodKey, []int]
+	prop    flight[[]propPath]
+	split   flight[*splitResult]
+	periodJ flight[[]int]
 }
 
 // memoFor returns the engine's diagnosis cache for st, creating it when the

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"microscope/internal/simtime"
+	"testing"
+)
+
+// TestFlightComputesOnce: any number of concurrent and sequential do()
+// calls for one key run fn exactly once; everyone sees the first value.
+func TestFlightComputesOnce(t *testing.T) {
+	var f flight[int]
+	k := periodKey{comp: 3, start: 10, end: 20}
+	var calls atomic.Int32
+
+	const goroutines = 32
+	results := make([]int, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			results[g] = f.do(k, nil, nil, func() int {
+				return int(calls.Add(1)) * 100
+			})
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for g, r := range results {
+		if r != 100 {
+			t.Fatalf("goroutine %d saw %d, want 100", g, r)
+		}
+	}
+	// A later call is a pure cache hit.
+	if v := f.do(k, nil, nil, func() int { t.Fatal("recomputed"); return 0 }); v != 100 {
+		t.Fatalf("cached value = %d", v)
+	}
+}
+
+// TestFlightDistinctKeys: different keys compute independently, even when
+// they land on the same shard.
+func TestFlightDistinctKeys(t *testing.T) {
+	var f flight[int]
+	k1 := periodKey{comp: 1, start: 1, end: 2}
+	// Scan for a second key on the same shard as k1 — shard collision must
+	// not conflate keys.
+	k2 := periodKey{comp: 2, start: 1, end: 2}
+	for s := int64(0); shardOf(k2) != shardOf(k1); s++ {
+		k2.start = simtime.Time(s)
+	}
+	v1 := f.do(k1, nil, nil, func() int { return 11 })
+	v2 := f.do(k2, nil, nil, func() int { return 22 })
+	if v1 != 11 || v2 != 22 {
+		t.Fatalf("colliding-shard keys conflated: %d %d", v1, v2)
+	}
+}
+
+// TestFlightSlowComputationDoesNotBlockShard: the shard lock is not held
+// across fn, so a slow computation on one key never blocks another key —
+// even one hashing to the same shard.
+func TestFlightSlowComputationDoesNotBlockShard(t *testing.T) {
+	var f flight[int]
+	k1 := periodKey{comp: 1, start: 1, end: 2}
+	k2 := periodKey{comp: 2, start: 1, end: 2}
+	for s := int64(0); shardOf(k2) != shardOf(k1); s++ {
+		k2.start = simtime.Time(s)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.do(k1, nil, nil, func() int {
+			close(entered)
+			<-release
+			return 1
+		})
+	}()
+	<-entered
+	// k1's fn is in flight and parked. k2 on the same shard must proceed.
+	if v := f.do(k2, nil, nil, func() int { return 2 }); v != 2 {
+		t.Fatalf("same-shard key blocked or conflated: %d", v)
+	}
+	close(release)
+	<-done
+}
+
+// TestFlightPanicUnpoisons: a panicking fn leaves no poisoned entry —
+// concurrent waiters fall back to their own computation, and later callers
+// recompute fresh.
+func TestFlightPanicUnpoisons(t *testing.T) {
+	var f flight[int]
+	k := periodKey{comp: 9, start: 5, end: 6}
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	panicked := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic swallowed by flight.do")
+			}
+			close(panicked)
+		}()
+		f.do(k, nil, nil, func() int {
+			close(inFlight)
+			<-release
+			panic("chaos")
+		})
+	}()
+	<-inFlight
+
+	// This waiter blocks on the in-flight call, sees it die, and computes
+	// its own value.
+	waiterDone := make(chan int, 1)
+	go func() {
+		waiterDone <- f.do(k, nil, nil, func() int { return 42 })
+	}()
+	close(release)
+	<-panicked
+	if v := <-waiterDone; v != 42 {
+		t.Fatalf("waiter after panic got %d, want its own 42", v)
+	}
+	// The key is unpoisoned: a later caller computes fresh (or reuses the
+	// waiter's committed value — both are sound; what it must not do is
+	// hang or observe the panicked flight).
+	v := f.do(k, nil, nil, func() int { return 7 })
+	if v != 42 && v != 7 {
+		t.Fatalf("post-panic value = %d", v)
+	}
+}
+
+// TestShardOfSpread: adjacent periods at one component — the common
+// workload shape — spread over many shards instead of clustering.
+func TestShardOfSpread(t *testing.T) {
+	seen := make(map[uint32]bool)
+	for i := int64(0); i < 64; i++ {
+		k := periodKey{comp: 5, start: simtime.Time(i * 1000), end: simtime.Time(i*1000 + 500)}
+		s := shardOf(k)
+		if s >= memoShards {
+			t.Fatalf("shard %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < memoShards/4 {
+		t.Errorf("64 adjacent periods hit only %d shards", len(seen))
+	}
+}

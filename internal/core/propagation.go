@@ -3,7 +3,6 @@ package core
 import (
 	"sort"
 	"strings"
-	"sync"
 
 	"microscope/internal/simtime"
 	"microscope/internal/tracestore"
@@ -61,13 +60,14 @@ type propagated struct {
 	compIdx int
 }
 
-func (d *diagnoser) propagate(f tracestore.CompID, qp *tracestore.QueuingPeriod, budget float64) []propagated {
+func (d *diagnoser) propagate(f tracestore.CompID, qp *tracestore.QueuingPeriod, budget float64, a *workerArena) []propagated {
 	// The decomposition is budget-independent; many victims (and the §4.3
 	// recursion itself) revisit the same (NF, period), so it is memoized
 	// with single-flight semantics and only the linear budget scaling
-	// happens per call.
+	// happens per call. The computing caller's arena supplies the walk
+	// scratch; the cached value never references it.
 	pps := d.memo.prop.do(periodKey{comp: f, start: qp.Start, end: qp.End}, d.memoHits, d.memoMisses, func() []propPath {
-		return d.decomposePeriod(f, qp)
+		return d.decomposePeriod(f, qp, &a.cs)
 	})
 	out := make([]propagated, 0, len(pps))
 	for pi := range pps {
@@ -106,8 +106,8 @@ func (d *diagnoser) propagate(f tracestore.CompID, qp *tracestore.QueuingPeriod,
 // decomposePeriod computes the budget-independent half of the §4.2
 // analysis: the PreSet path subsets of the period with their timespan
 // shares. Pure over the immutable index, so safe to cache and share.
-func (d *diagnoser) decomposePeriod(f tracestore.CompID, qp *tracestore.QueuingPeriod) []propPath {
-	paths := d.collectPaths(f, qp)
+func (d *diagnoser) decomposePeriod(f tracestore.CompID, qp *tracestore.QueuingPeriod, cs *collectScratch) []propPath {
+	paths := d.collectPaths(f, qp, cs)
 	if len(paths) == 0 {
 		return nil
 	}
@@ -165,9 +165,11 @@ func timespanShares(texp simtime.Duration, p *pathStats) (nfShares []simtime.Dur
 	return nfShares, srcShare
 }
 
-// collectScratch is the pooled per-arrival workspace of collectPaths: the
-// hop walk and the path-key encoding reuse these buffers, so grouping a
-// thousand-packet PreSet allocates only when a new path appears.
+// collectScratch is the per-arrival workspace of collectPaths: the hop walk
+// and the path-key encoding reuse these buffers, so grouping a
+// thousand-packet PreSet allocates only when a new path appears. It lives
+// inside the worker arena (diagnose.go) and is reused across every
+// collectPaths call a worker makes during a run.
 type collectScratch struct {
 	key     []byte
 	comps   []tracestore.CompID
@@ -175,16 +177,13 @@ type collectScratch struct {
 	arrives []simtime.Time
 }
 
-var collectPool = sync.Pool{New: func() any { return new(collectScratch) }}
-
 // collectPaths groups the PreSet(p) arrivals of the queuing period by the
 // upstream path their journeys took to f, and computes per-path timespans.
-func (d *diagnoser) collectPaths(f tracestore.CompID, qp *tracestore.QueuingPeriod) []*pathStats {
+func (d *diagnoser) collectPaths(f tracestore.CompID, qp *tracestore.QueuingPeriod, cs *collectScratch) []*pathStats {
 	v := d.st.ViewID(f)
 	if v == nil {
 		return nil
 	}
-	cs := collectPool.Get().(*collectScratch)
 	//mslint:allow compid the key is a byte-encoded CompID sequence (allocation-free lookup), not a component name
 	byKey := make(map[string]*pathStats)
 	for ai := qp.ArrivalFirst; ai <= qp.ArrivalLast && ai < len(v.Arrivals); ai++ {
@@ -229,7 +228,6 @@ func (d *diagnoser) collectPaths(f tracestore.CompID, qp *tracestore.QueuingPeri
 		ps.journeys = append(ps.journeys, arr.Journey)
 		ps.accumulate(cs.departs, cs.arrives, arr.At)
 	}
-	collectPool.Put(cs)
 	out := make([]*pathStats, 0, len(byKey))
 	for _, ps := range byKey {
 		ps.finish()

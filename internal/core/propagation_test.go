@@ -162,7 +162,7 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestCulpritJourneyCap(t *testing.T) {
-	sc := &victimScratch{idx: make(map[causeKey]int32)}
+	sc := new(victimScratch)
 	many := make([]int, 3000)
 	for i := range many {
 		many[i] = i
@@ -171,9 +171,9 @@ func TestCulpritJourneyCap(t *testing.T) {
 	sc.add(k, 1, 0, many)
 	sc.add(k, 1, 0, many)
 	sc.add(k, 1, 0, many)
-	got := &sc.accs[sc.idx[k]]
-	if got.score != 3 {
-		t.Errorf("score: %v", got.score)
+	got := sc.get(k)
+	if got == nil || got.score != 3 {
+		t.Fatalf("acc: %+v", got)
 	}
 	if len(got.journeys) > 4096+len(many) {
 		t.Errorf("culprit journeys unbounded: %d", len(got.journeys))
@@ -181,40 +181,61 @@ func TestCulpritJourneyCap(t *testing.T) {
 }
 
 func TestAddCauseIgnoresNonPositive(t *testing.T) {
-	sc := &victimScratch{idx: make(map[causeKey]int32)}
+	sc := new(victimScratch)
 	k := causeKey{comp: 7, kind: CulpritLocalProcessing}
 	sc.add(k, 0, 0, nil)
 	sc.add(k, -5, 0, nil)
-	if len(sc.accs) != 0 {
+	if len(sc.accs) != 0 || sc.get(k) != nil {
 		t.Error("non-positive causes accumulated")
 	}
 }
 
 func TestAddCauseKeepsEarliestOnset(t *testing.T) {
-	sc := &victimScratch{idx: make(map[causeKey]int32)}
+	sc := new(victimScratch)
 	k := causeKey{comp: 7, kind: CulpritLocalProcessing}
 	sc.add(k, 1, 500, nil)
 	sc.add(k, 1, 100, nil)
 	sc.add(k, 1, 900, nil)
-	got := &sc.accs[sc.idx[k]]
-	if got.at != 100 {
-		t.Errorf("onset: %v", got.at)
+	got := sc.get(k)
+	if got == nil || got.at != 100 {
+		t.Errorf("onset: %+v", got)
 	}
 }
 
 // TestScratchSlotReuse: reset retires slots but a subsequent add must not
 // resurrect stale journeys from the reused buffer.
 func TestScratchSlotReuse(t *testing.T) {
-	sc := &victimScratch{idx: make(map[causeKey]int32)}
+	sc := new(victimScratch)
 	k := causeKey{comp: 3, kind: CulpritSourceTraffic}
 	sc.add(k, 2, 50, []int{1, 2, 3})
 	sc.reset()
-	if len(sc.accs) != 0 || len(sc.idx) != 0 {
-		t.Fatalf("reset left state: %d accs, %d keys", len(sc.accs), len(sc.idx))
+	if len(sc.accs) != 0 || sc.get(k) != nil {
+		t.Fatalf("reset left state: %d accs, live key", len(sc.accs))
 	}
 	sc.add(k, 1, 9, []int{42})
-	got := &sc.accs[sc.idx[k]]
-	if got.score != 1 || got.at != 9 || len(got.journeys) != 1 || got.journeys[0] != 42 {
+	got := sc.get(k)
+	if got == nil || got.score != 1 || got.at != 9 || len(got.journeys) != 1 || got.journeys[0] != 42 {
 		t.Errorf("reused slot carried stale state: %+v", got)
+	}
+}
+
+// TestScratchGenerationWrap: a full uint32 generation wrap must not let
+// pre-wrap stamps alias post-wrap generations.
+func TestScratchGenerationWrap(t *testing.T) {
+	sc := new(victimScratch)
+	k := causeKey{comp: 5, kind: CulpritLocalProcessing}
+	sc.add(k, 3, 10, nil)
+	sc.gen = ^uint32(0) // force the next reset to wrap
+	sc.reset()
+	if sc.gen != 1 {
+		t.Fatalf("gen after wrap: %d", sc.gen)
+	}
+	if sc.get(k) != nil {
+		t.Fatal("stale slot visible after generation wrap")
+	}
+	sc.add(k, 1, 2, nil)
+	got := sc.get(k)
+	if got == nil || got.score != 1 || got.at != 2 {
+		t.Errorf("post-wrap acc: %+v", got)
 	}
 }

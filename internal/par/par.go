@@ -1,4 +1,4 @@
-// Package par provides the bounded fan-out primitive the diagnosis
+// Package par provides the bounded fan-out primitives the diagnosis
 // pipeline's parallel stages share. Work items are claimed from an atomic
 // counter so scheduling order never affects which goroutine computes which
 // item; callers keep determinism by writing each result into a slot indexed
@@ -66,13 +66,30 @@ func Do(n, workers int, fn func(i int)) {
 // never ran are whatever the caller preallocated (zero values), so callers
 // that return partial output must say so.
 func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return DoWorkersCtx(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
+// DoWorkersCtx is DoCtx with worker identity: fn receives (worker, i) where
+// worker is a stable index in [0, Workers(workers, n)). A worker processes
+// every item it claims on the same goroutine, so callers may keep
+// per-worker mutable state (long-lived scratch arenas) indexed by the
+// worker id without synchronization. The partitioned diagnosis scheduler
+// passes whole victim partitions as items, so a partition is stolen whole
+// — never split across workers mid-flight.
+//
+// Identity must never influence results, only reuse: output for a fixed
+// input is required to be byte-identical for every workers value, which
+// holds as long as fn(worker, i)'s observable effect depends only on i.
+// With workers <= 1 the loop runs inline as worker 0, strictly in item
+// order, with the same per-item ctx checks as the parallel path.
+func DoWorkersCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	workers = Workers(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return ctx.Err()
 	}
@@ -80,16 +97,16 @@ func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()

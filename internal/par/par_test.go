@@ -120,3 +120,104 @@ func TestDoCtxCancelParallel(t *testing.T) {
 		t.Fatalf("cancellation did not cut the run short (%d items ran)", n)
 	}
 }
+
+// TestDoWorkersCtxCoversEveryItem: every index runs exactly once and every
+// reported worker id is within [0, resolved workers).
+func TestDoWorkersCtxCoversEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		var badWorker atomic.Int32
+		max := Workers(workers, n)
+		if err := DoWorkersCtx(context.Background(), n, workers, func(worker, i int) {
+			if worker < 0 || worker >= max {
+				badWorker.Store(int32(worker) + 1)
+			}
+			counts[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if w := badWorker.Load(); w != 0 {
+			t.Fatalf("workers=%d: worker id %d out of range [0,%d)", workers, w-1, max)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+// TestDoWorkersCtxSequential: the workers<=1 path runs in index order on
+// worker 0 with one ctx check per item — the semantics the diagnosis
+// engine's sequential leg depends on for its cancellation tests.
+func TestDoWorkersCtxSequential(t *testing.T) {
+	var got []int
+	if err := DoWorkersCtx(context.Background(), 5, 1, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("sequential run reported worker %d", worker)
+		}
+		got = append(got, i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d items, want 5", len(got))
+	}
+}
+
+// TestDoWorkersCtxWorkerAffinity: a worker id is stable for the goroutine
+// that reports it — two items observed by the same worker id never run
+// concurrently. This is the property per-worker arenas rely on.
+func TestDoWorkersCtxWorkerAffinity(t *testing.T) {
+	const n, workers = 2000, 4
+	max := Workers(workers, n)
+	busy := make([]atomic.Int32, max)
+	var overlap atomic.Int32
+	err := DoWorkersCtx(context.Background(), n, workers, func(worker, i int) {
+		if busy[worker].Add(1) != 1 {
+			overlap.Store(1)
+		}
+		busy[worker].Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlap.Load() != 0 {
+		t.Fatal("two items ran concurrently under one worker id")
+	}
+}
+
+// TestDoWorkersCtxCancel: cancellation stops new claims; the error is the
+// context's.
+func TestDoWorkersCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := DoWorkersCtx(ctx, 10000, 4, func(worker, i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("cancellation did not cut the run short (%d items ran)", n)
+	}
+}
+
+// TestDoCtxDelegates: DoCtx and DoWorkersCtx agree — same coverage, same
+// zero-items behaviour.
+func TestDoCtxDelegates(t *testing.T) {
+	if err := DoWorkersCtx(context.Background(), 0, 4, func(worker, i int) {
+		t.Fatal("ran an item of an empty set")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -244,12 +244,19 @@ func AggregateContext(ctx context.Context, rels []Relation, cfg Config) ([]Patte
 
 	// Phase 1 fan-out: each culprit group's victim-dimension AutoFocus is
 	// independent; results land in group-order slots so the phase-2
-	// assembly below sees exactly the sequential order.
+	// assembly below sees exactly the sequential order. Each worker holds
+	// one AutoFocus scratch for its whole share of the groups instead of a
+	// pool round-trip per group.
 	phase1 := make([][]autofocus.Pattern, len(order))
-	if err := par.DoCtx(ctx, len(order), cfg.Workers, func(gi int) {
+	scratches := acquireScratches(par.Workers(cfg.Workers, len(order)))
+	err := par.DoWorkersCtx(ctx, len(order), cfg.Workers, func(worker, gi int) {
 		g := groups[order[gi]]
-		phase1[gi] = autofocus.Aggregate(g.items, autofocus.Config{Threshold: cfg.Phase1Threshold, Cache: victimCache})
-	}); err != nil {
+		phase1[gi] = autofocus.Aggregate(g.items, autofocus.Config{
+			Threshold: cfg.Phase1Threshold, Cache: victimCache, Scratch: scratches[worker],
+		})
+	})
+	releaseScratches(scratches)
+	if err != nil {
 		return nil, err
 	}
 	if reg != nil {
@@ -282,9 +289,11 @@ func AggregateContext(ctx context.Context, rels []Relation, cfg Config) ([]Patte
 	}
 
 	// Phase 2 fan-out: aggregate culprit dimensions per victim aggregate;
-	// apply the global significance threshold. Same slot-merge discipline.
+	// apply the global significance threshold. Same slot-merge and
+	// per-worker-scratch discipline as phase 1.
 	phase2Out := make([][]autofocus.Pattern, len(vaOrder))
-	err := par.DoCtx(ctx, len(vaOrder), cfg.Workers, func(vi int) {
+	scratches = acquireScratches(par.Workers(cfg.Workers, len(vaOrder)))
+	err = par.DoWorkersCtx(ctx, len(vaOrder), cfg.Workers, func(worker, vi int) {
 		items := phase2[vaOrder[vi]]
 		var groupW float64
 		for i := range items {
@@ -299,8 +308,11 @@ func AggregateContext(ctx context.Context, rels []Relation, cfg Config) ([]Patte
 		if local > 1 {
 			return // group too light to ever matter
 		}
-		phase2Out[vi] = autofocus.Aggregate(items, autofocus.Config{Threshold: local, Cache: culpritCache})
+		phase2Out[vi] = autofocus.Aggregate(items, autofocus.Config{
+			Threshold: local, Cache: culpritCache, Scratch: scratches[worker],
+		})
 	})
+	releaseScratches(scratches)
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +345,21 @@ func AggregateContext(ctx context.Context, rels []Relation, cfg Config) ([]Patte
 		phaseNS("culprits", phaseStart)
 	}
 	return out, nil
+}
+
+// acquireScratches takes one AutoFocus workspace per worker of a fan-out.
+func acquireScratches(workers int) []*autofocus.Scratch {
+	out := make([]*autofocus.Scratch, workers)
+	for i := range out {
+		out[i] = autofocus.GetScratch()
+	}
+	return out
+}
+
+func releaseScratches(ss []*autofocus.Scratch) {
+	for _, s := range ss {
+		autofocus.PutScratch(s)
+	}
 }
 
 func culpritKeyLess(a, b culpritKey) bool {

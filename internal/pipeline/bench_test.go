@@ -19,6 +19,7 @@ func BenchmarkDiagnosePipeline(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			victims := 0
+			b.ReportAllocs() // bytes/op and allocs/op always, -benchmem or not
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rep := microscope.DiagnoseStore(st, microscope.DiagnosisConfig{MaxVictims: 300, Workers: w})
@@ -34,6 +35,7 @@ func BenchmarkDiagnosePipeline(b *testing.B) {
 	for _, w := range []int{1, 8} {
 		b.Run(fmt.Sprintf("observed/workers=%d", w), func(b *testing.B) {
 			victims := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				reg := microscope.NewRegistry()

@@ -92,6 +92,8 @@ func TestPipelineDeterminism(t *testing.T) {
 			seq := microscope.Diagnose(tr, cfg)
 			cfg.Workers = 8
 			par := microscope.Diagnose(tr, cfg)
+			cfg.Workers = 0 // resolve to GOMAXPROCS, whatever this host has
+			def := microscope.Diagnose(tr, cfg)
 
 			if len(seq.Diagnoses) == 0 {
 				t.Fatalf("workload produced no victims; the determinism check is vacuous")
@@ -99,6 +101,9 @@ func TestPipelineDeterminism(t *testing.T) {
 			fseq, fpar := fingerprint(seq), fingerprint(par)
 			if fseq != fpar {
 				t.Fatalf("Workers=1 and Workers=8 reports differ:\n--- sequential ---\n%s\n--- parallel ---\n%s", fseq, fpar)
+			}
+			if fdef := fingerprint(def); fdef != fseq {
+				t.Fatalf("Workers=GOMAXPROCS report differs from Workers=1:\n--- sequential ---\n%s\n--- default ---\n%s", fseq, fdef)
 			}
 		})
 	}

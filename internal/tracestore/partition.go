@@ -1,0 +1,85 @@
+package tracestore
+
+import "sort"
+
+// NF-subgraph metadata for the partitioned diagnosis scheduler.
+//
+// A victim diagnosed at NF f only ever touches queuing periods — and
+// therefore memo keys and per-component index structures — at f and the
+// NFs upstream of f in the deployment graph (§4.2/§4.3 recursion walks
+// strictly upstream). The upstream closure of f is that region. The
+// pipeline's scheduler groups victims by NF so one worker owns all victims
+// whose recursions revisit the same closure, and uses closure size as a
+// deterministic cost proxy when ordering partitions: a victim at the tail
+// of a 16-NF chain decomposes through up to 16 components, one at the head
+// through 2.
+
+// UpstreamsID returns the interned upstream adjacency of a component
+// (deployment-graph edge sources, in edge order). The returned slice is
+// shared and must not be mutated.
+func (s *Store) UpstreamsID(id CompID) []CompID {
+	if id < 0 || int(id) >= len(s.ups) {
+		return nil
+	}
+	return s.ups[id]
+}
+
+// UpstreamClosureID returns the upstream closure of comp: comp itself plus
+// every component that can reach it along deployment-graph edges, excluding
+// the traffic source (the source carries no queuing periods, so it is
+// outside every memo region). The slice is sorted ascending by CompID,
+// shared, and must not be mutated. It is computed once per Index build and
+// O(1) afterwards.
+func (ix *Index) UpstreamClosureID(comp CompID) []CompID {
+	if comp < 0 || int(comp) >= len(ix.closures) {
+		return nil
+	}
+	return ix.closures[comp]
+}
+
+// ClosureSizeID returns len(UpstreamClosureID(comp)) — the deterministic
+// per-victim cost proxy the partitioned scheduler orders partitions by.
+func (ix *Index) ClosureSizeID(comp CompID) int {
+	return len(ix.UpstreamClosureID(comp))
+}
+
+// buildClosures computes every component's upstream closure with one
+// reverse BFS per component. Quadratic in the worst case, but the closure
+// is bounded by the deployment graph (tens to hundreds of NFs), not the
+// trace, and it runs once per Index build.
+func (s *Store) buildClosures() [][]CompID {
+	n := len(s.views)
+	closures := make([][]CompID, n)
+	// seen is generation-stamped so the BFS does not reallocate a visited
+	// set per component.
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var queue []CompID
+	for c := 0; c < n; c++ {
+		id := CompID(c)
+		if id == s.srcID {
+			closures[c] = nil // the source has no closure of its own
+			continue
+		}
+		queue = append(queue[:0], id)
+		seen[c] = int32(c)
+		closure := []CompID{id}
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, up := range s.ups[cur] {
+				if up == s.srcID || seen[up] == int32(c) {
+					continue
+				}
+				seen[up] = int32(c)
+				closure = append(closure, up)
+				queue = append(queue, up)
+			}
+		}
+		sort.Slice(closure, func(i, j int) bool { return closure[i] < closure[j] })
+		closures[c] = closure
+	}
+	return closures
+}

@@ -1,0 +1,146 @@
+package tracestore
+
+import (
+	"testing"
+
+	"microscope/internal/collector"
+	"microscope/internal/simtime"
+)
+
+// diamondStore builds a store over the deployment graph
+//
+//	source -> a -> b -> d
+//	            \-> c -/
+//
+// with no packets: closure computation is a pure function of the graph.
+func diamondStore(t *testing.T) *Store {
+	t.Helper()
+	col := collector.New(collector.Config{})
+	meta := collector.Meta{
+		Components: []collector.ComponentMeta{
+			{Name: "source", Kind: "source"},
+			{Name: "a", Kind: "nat", PeakRate: simtime.MPPS(1)},
+			{Name: "b", Kind: "fw", PeakRate: simtime.MPPS(1)},
+			{Name: "c", Kind: "fw", PeakRate: simtime.MPPS(1)},
+			{Name: "d", Kind: "vpn", PeakRate: simtime.MPPS(1), Egress: true},
+		},
+		Edges: []collector.Edge{
+			{From: "source", To: "a"},
+			{From: "a", To: "b"}, {From: "a", To: "c"},
+			{From: "b", To: "d"}, {From: "c", To: "d"},
+		},
+	}
+	return Build(col.Trace(meta))
+}
+
+func TestUpstreamClosure(t *testing.T) {
+	st := diamondStore(t)
+	ix := st.Index(0)
+	names := func(ids []CompID) []string {
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = st.CompName(id)
+		}
+		return out
+	}
+	cases := []struct {
+		comp string
+		want []string
+	}{
+		{"a", []string{"a"}},
+		{"b", []string{"a", "b"}},
+		{"c", []string{"a", "c"}},
+		{"d", []string{"a", "b", "c", "d"}},
+	}
+	for _, tc := range cases {
+		got := names(ix.UpstreamClosureID(st.CompIDOf(tc.comp)))
+		if len(got) != len(tc.want) {
+			t.Fatalf("closure(%s) = %v, want %v", tc.comp, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("closure(%s) = %v, want %v", tc.comp, got, tc.want)
+			}
+		}
+		if ix.ClosureSizeID(st.CompIDOf(tc.comp)) != len(tc.want) {
+			t.Errorf("ClosureSizeID(%s) != %d", tc.comp, len(tc.want))
+		}
+	}
+	// Closures are ascending CompID: a interned before b before c before d.
+	dcl := ix.UpstreamClosureID(st.CompIDOf("d"))
+	for i := 1; i < len(dcl); i++ {
+		if dcl[i-1] >= dcl[i] {
+			t.Fatalf("closure(d) not sorted: %v", dcl)
+		}
+	}
+}
+
+func TestUpstreamClosureExcludesSource(t *testing.T) {
+	st := diamondStore(t)
+	ix := st.Index(0)
+	src := st.SourceID()
+	if src == NoComp {
+		t.Fatal("no source interned")
+	}
+	if got := ix.UpstreamClosureID(src); got != nil {
+		t.Errorf("source closure = %v, want nil", got)
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		for _, id := range ix.UpstreamClosureID(st.CompIDOf(name)) {
+			if id == src {
+				t.Errorf("closure(%s) contains the source", name)
+			}
+		}
+	}
+	// Out-of-range and NoComp are nil, not panics.
+	if ix.UpstreamClosureID(NoComp) != nil || ix.UpstreamClosureID(CompID(999)) != nil {
+		t.Error("out-of-range closure not nil")
+	}
+	if ix.ClosureSizeID(NoComp) != 0 {
+		t.Error("out-of-range closure size not 0")
+	}
+}
+
+func TestUpstreamsID(t *testing.T) {
+	st := diamondStore(t)
+	ups := st.UpstreamsID(st.CompIDOf("d"))
+	if len(ups) != 2 {
+		t.Fatalf("upstreams(d) = %d, want 2", len(ups))
+	}
+	got := map[string]bool{}
+	for _, u := range ups {
+		got[st.CompName(u)] = true
+	}
+	if !got["b"] || !got["c"] {
+		t.Errorf("upstreams(d) = %v", got)
+	}
+	if st.UpstreamsID(NoComp) != nil {
+		t.Error("upstreams(NoComp) not nil")
+	}
+}
+
+// TestUpstreamClosureCycle guards the BFS against deployment graphs with
+// back-edges (middlebox loops): it must terminate and include each node
+// once.
+func TestUpstreamClosureCycle(t *testing.T) {
+	col := collector.New(collector.Config{})
+	meta := collector.Meta{
+		Components: []collector.ComponentMeta{
+			{Name: "source", Kind: "source"},
+			{Name: "a", Kind: "nat", PeakRate: simtime.MPPS(1)},
+			{Name: "b", Kind: "fw", PeakRate: simtime.MPPS(1), Egress: true},
+		},
+		Edges: []collector.Edge{
+			{From: "source", To: "a"},
+			{From: "a", To: "b"}, {From: "b", To: "a"},
+		},
+	}
+	st := Build(col.Trace(meta))
+	ix := st.Index(0)
+	for _, name := range []string{"a", "b"} {
+		cl := ix.UpstreamClosureID(st.CompIDOf(name))
+		if len(cl) != 2 {
+			t.Errorf("closure(%s) = %v, want both NFs exactly once", name, cl)
+		}
+	}
+}

@@ -103,6 +103,7 @@ type Store struct {
 	peaks  []simtime.Rate
 	kinds  []string
 	downs  [][]CompID
+	ups    [][]CompID
 	srcID  CompID
 
 	// recDest[rec] is the interned write destination of each record
@@ -283,6 +284,7 @@ func Build(tr *collector.Trace) *Store {
 	s.peaks = make([]simtime.Rate, n)
 	s.kinds = make([]string, n)
 	s.downs = make([][]CompID, n)
+	s.ups = make([][]CompID, n)
 	for id, v := range s.views {
 		s.kinds[id] = v.Name
 		if v.Meta != nil {
@@ -293,8 +295,9 @@ func Build(tr *collector.Trace) *Store {
 		}
 	}
 	for _, e := range tr.Meta.Edges {
-		from := s.byName[e.From]
-		s.downs[from] = append(s.downs[from], s.byName[e.To])
+		from, to := s.byName[e.From], s.byName[e.To]
+		s.downs[from] = append(s.downs[from], to)
+		s.ups[to] = append(s.ups[to], from)
 	}
 	if id, ok := s.byName[collector.SourceName]; ok {
 		s.srcID = id
