@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all scale-check obs-smoke soak soak-smoke
+.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all bench-stream scale-check stream-check obs-smoke soak soak-smoke
 
 # The full pre-submit gate.
-check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke soak-smoke
+check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke soak-smoke stream-check
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,29 @@ scale-check:
 	$(GO) run ./cmd/benchfmt -gate -min-speedup 1.0 < BENCH_scale.raw.tmp > /dev/null \
 		|| { rm -f BENCH_scale.raw.tmp; exit 1; }
 	rm -f BENCH_scale.raw.tmp
+
+# Streaming window-loop benchmark: mode=full (rebuild the pipeline every
+# flush) against mode=incr (RunIncremental over retained stream state) on
+# the same window schedule. The paired within-run ratio is gated at >=3x,
+# and the summary (windows/s, retained_bytes, allocs) is promoted to
+# BENCH_stream.json only when both the ratio gate and the per-metric
+# regression gate against the previous baseline pass.
+bench-stream:
+	$(GO) test -run '^$$' -bench BenchmarkStreamingWindows -benchtime 3x -benchmem -json ./internal/pipeline > BENCH_stream.raw.tmp \
+		|| { rm -f BENCH_stream.raw.tmp; exit 1; }
+	$(GO) run ./cmd/benchfmt -prev BENCH_stream.json -gate -min-stream-speedup 3.0 < BENCH_stream.raw.tmp > BENCH_stream.json.tmp \
+		|| { rm -f BENCH_stream.raw.tmp BENCH_stream.json.tmp; exit 1; }
+	rm -f BENCH_stream.raw.tmp
+	mv BENCH_stream.json.tmp BENCH_stream.json
+	cat BENCH_stream.json
+
+# The incremental-vs-rebuild equivalence suite under -race: every window's
+# incremental report must be byte-identical to a cold rebuild of the same
+# window at every worker count, plus the stream-grid unit tests. This is
+# the streaming index's correctness contract; run it before touching
+# tracestore/stream.go or pipeline/stream.go.
+stream-check:
+	$(GO) test -race -timeout 30m -run 'TestIncrementalEquivalence|TestStream|TestSegOf' ./internal/pipeline ./internal/tracestore
 
 # One-iteration pipeline benchmark: catches benchmark bit-rot and gross
 # perf/alloc regressions in the pre-submit gate without the full run's cost.

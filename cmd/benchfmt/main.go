@@ -24,6 +24,11 @@
 // regressed baseline:
 //
 //	go test -bench ... -json | benchfmt -prev BENCH_pipeline.json -gate
+//
+// -min-stream-speedup gates the paired streaming benchmark instead: the
+// run's mode=full ns/op must exceed mode=incr ns/op by the given factor
+// (exit 4 under -gate), with no baseline involved — both sides come from
+// the same run, so machine speed cancels out.
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 		gate       = flag.Bool("gate", false, "exit non-zero when any metric regresses beyond -max-regress or scaling misses -min-speedup")
 		maxRegress = flag.Float64("max-regress", 0.25, "tolerated fractional worsening per metric before it counts as a regression")
 		minSpeedup = flag.Float64("min-speedup", 1.0, "required ns/op speedup of the widest workers=N case over the narrowest within this run (<=0 disables; skipped automatically at GOMAXPROCS=1)")
+		minStream  = flag.Float64("min-stream-speedup", 0, "required ns/op speedup of mode=incr over mode=full within this run (<=0 disables; skipped when the run has no such pair)")
 	)
 	flag.Parse()
 
@@ -58,6 +64,9 @@ func main() {
 	}
 
 	exit := 0
+	if badStream(sum, *minStream) && *gate {
+		exit = 4
+	}
 	if badScaling(sum, *minSpeedup) && *gate {
 		exit = 3
 	}
@@ -90,6 +99,22 @@ func regressed(sum *Summary, path string, maxRegress float64) bool {
 		fmt.Fprintf(os.Stderr, "benchfmt: regression: %s\n", r)
 	}
 	return true
+}
+
+// badStream runs the full-vs-incremental streaming check and reports
+// whether the paired speedup missed minSpeedup.
+func badStream(sum *Summary, minSpeedup float64) bool {
+	out, skip := checkStream(sum, minSpeedup)
+	if skip != "" {
+		fmt.Fprintf(os.Stderr, "benchfmt: %s\n", skip)
+		return false
+	}
+	if out.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchfmt: stream speedup failure: %s (need %.2fx)\n", out, minSpeedup)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "benchfmt: stream speedup ok: %s\n", out)
+	return false
 }
 
 // badScaling runs the cross-worker-count scaling check and reports whether

@@ -1,0 +1,49 @@
+package main
+
+import "fmt"
+
+// Streaming-speedup gate: the incremental window path only earns its
+// complexity while it beats re-running the batch pipeline per flush by a
+// healthy margin. BenchmarkStreamingWindows emits the two modes as paired
+// sub-benchmarks ("mode=full", "mode=incr") over the same window
+// schedule; the gate compares their ns/op within one run, so machine
+// speed cancels out and no stored baseline is needed.
+
+// streamOutcome is one run's measured full-vs-incremental speedup.
+type streamOutcome struct {
+	Full    string  // batch-rebuild case name ("mode=full")
+	Incr    string  // incremental case name ("mode=incr")
+	Speedup float64 // full ns/op divided by incremental ns/op
+}
+
+func (o streamOutcome) String() string {
+	return fmt.Sprintf("%s -> %s speedup %.2fx", o.Full, o.Incr, o.Speedup)
+}
+
+// checkStream computes the mode=full / mode=incr ns/op ratio of a run. It
+// returns a non-empty skip note when the gate cannot apply: disabled
+// (minSpeedup <= 0) or the run holds no such mode pair (any other
+// benchmark stream, including BenchmarkDiagnosePipeline).
+func checkStream(sum *Summary, minSpeedup float64) (out streamOutcome, skip string) {
+	if minSpeedup <= 0 {
+		return out, "stream gate disabled (-min-stream-speedup <= 0)"
+	}
+	var full, incr *Result
+	for i := range sum.Results {
+		r := &sum.Results[i]
+		switch r.Name {
+		case "mode=full":
+			full = r
+		case "mode=incr":
+			incr = r
+		}
+	}
+	if full == nil || incr == nil {
+		return out, "no mode=full/mode=incr pair found, stream gate skipped"
+	}
+	fullNS, incrNS := full.Metrics["ns_per_op"], incr.Metrics["ns_per_op"]
+	if fullNS <= 0 || incrNS <= 0 {
+		return out, "mode pair missing ns_per_op, stream gate skipped"
+	}
+	return streamOutcome{Full: full.Name, Incr: incr.Name, Speedup: fullNS / incrNS}, ""
+}

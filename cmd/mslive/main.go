@@ -62,6 +62,7 @@ func main() {
 		shedPol  = flag.String("shed-policy", "drop-oldest", "what a full ingest ring sheds: drop-oldest (windows) or reject-new (arrivals)")
 		deadline = flag.Duration("window-deadline", 0, "wall-clock budget per analysis window; an overrunning window is skipped and counted (0 = none)")
 		maxMem   = flag.Int64("max-mem", 0, "heap hard watermark in MiB; crossing half of it degrades diagnosis one rung, crossing it two (0 = off)")
+		incr     = flag.Bool("incremental", true, "use the incremental sliding-window index (seal each record once, carry the diagnosis memo) instead of rebuilding every window")
 	)
 	flag.Parse()
 
@@ -92,11 +93,12 @@ func main() {
 	meta := collector.MetaFor(topo)
 
 	mon := online.New(meta, online.Config{
-		Window:     simtime.Duration(window.Nanoseconds()),
-		MinScore:   *minScore,
-		Workers:    *workers,
-		Obs:        reg,
-		Resilience: rcfg,
+		Window:      simtime.Duration(window.Nanoseconds()),
+		MinScore:    *minScore,
+		Workers:     *workers,
+		Obs:         reg,
+		Resilience:  rcfg,
+		Incremental: *incr,
 	})
 
 	// SIGINT/SIGTERM end the stream early but cleanly: the drain loop
@@ -172,6 +174,11 @@ func main() {
 	st := mon.Stats()
 	fmt.Printf("\nmonitor: %d windows, %d victims diagnosed, %d alerts\n",
 		st.Windows, st.Victims, st.Alerts)
+	if ss, ok := mon.StreamStats(); ok {
+		fmt.Printf("stream: %d segments sealed (%d evicted, %d retained, %.1f MiB), %d records, %d journeys\n",
+			ss.EvictedTotal+ss.RetainedSegments, ss.EvictedTotal, ss.RetainedSegments,
+			float64(ss.RetainedBytes)/(1<<20), ss.Records, ss.Journeys)
+	}
 	if rcfg.Enabled() {
 		fmt.Printf("resilience: degradation=%s degraded=%d shed=%d records (%d windows), skipped=%d, quarantined=%d, deadline-exceeded=%d\n",
 			mon.LastDegradation(), st.Degraded, st.RecordsShed, st.WindowsShed,

@@ -55,6 +55,7 @@ type diagnoser struct {
 	victimPanics  *obs.Counter
 	memoHits      *obs.Counter
 	memoMisses    *obs.Counter
+	memoReused    *obs.Counter
 	scratchNew    *obs.Counter
 	scratchReused *obs.Counter
 	tracer        *obs.Tracer
@@ -76,6 +77,7 @@ func (e *Engine) newDiagnoser(st *tracestore.Store) *diagnoser {
 		d.victimPanics = reg.Counter("microscope_diag_victim_panics_total")
 		d.memoHits = reg.Counter("microscope_diag_memo_hits_total")
 		d.memoMisses = reg.Counter("microscope_diag_memo_misses_total")
+		d.memoReused = reg.Counter("microscope_stream_memo_reused_hits_total")
 		d.scratchNew = reg.Counter("microscope_diag_scratch_new_total")
 		d.scratchReused = reg.Counter("microscope_diag_scratch_reused_total")
 		d.tracer = reg.Tracer()
@@ -769,7 +771,7 @@ type nfSplit struct {
 // period and its scores are memoized per (NF, anchor); only the linear
 // score scaling happens per call.
 func (d *diagnoser) splitAtNF(comp tracestore.CompID, anchor simtime.Time, score float64) *nfSplit {
-	sr := d.memo.split.do(periodKey{comp: comp, end: anchor}, d.memoHits, d.memoMisses, func() *splitResult {
+	sr := d.memo.split.do(periodKey{comp: comp, end: anchor}, d.memoHits, d.memoMisses, d.memoReused, func() *splitResult {
 		qp := d.st.QueuingPeriodThresholdID(comp, anchor, d.cfg.QueueThreshold)
 		if qp == nil || qp.NIn == 0 {
 			return nil
@@ -820,7 +822,7 @@ func (d *diagnoser) diagnoseAtPeriod(comp tracestore.CompID, qp *tracestore.Queu
 // periodJourneys lists the journeys of a queuing period's arrivals,
 // memoized per (NF, period). Callers treat the result as read-only.
 func (d *diagnoser) periodJourneys(comp tracestore.CompID, qp *tracestore.QueuingPeriod) []int {
-	return d.memo.periodJ.do(periodKey{comp: comp, start: qp.Start, end: qp.End}, d.memoHits, d.memoMisses, func() []int {
+	return d.memo.periodJ.do(periodKey{comp: comp, start: qp.Start, end: qp.End}, d.memoHits, d.memoMisses, d.memoReused, func() []int {
 		v := d.st.ViewID(comp)
 		if v == nil {
 			return nil

@@ -17,19 +17,26 @@ import (
 // compute it once and everyone else blocks for the result instead of
 // duplicating the work.
 //
-// The memo is sharded: keys hash onto power-of-two shards, each with its
-// own lock, so workers touching different regions of the deployment graph
-// never serialize on one global mutex. The NF-partitioned scheduler
-// (diagnose.go) assigns victims of one NF subgraph to one worker, which
-// makes a worker's keys mostly shard-local and cross-worker collisions
-// rare; when they do collide, only the colliding shard is contended, not
-// the whole table.
+// The memo is sharded: keys hash onto power-of-two shards, each its own
+// sync.Map, so workers touching different regions of the deployment graph
+// never serialize on one global mutex — and a *completed* entry is served
+// by a single atomic load from the sync.Map's read-only map, no lock at
+// all. The mutex inside each sync.Map is only taken on the miss path
+// (insertion), which happens once per key for the life of the window.
 //
 // Determinism: every cached value is a pure function of its key over the
 // immutable trace index, so the cache's contents never depend on which
 // worker populated them or in what order. The budget scaling applied at use
 // sites reproduces the pre-memoization arithmetic expression for expression,
 // keeping scores bit-identical across worker counts.
+//
+// Cross-window carry: the streaming path keeps the memo alive across
+// sliding windows. Between two windows (single-threaded — the previous
+// window's workers have all joined), Engine.CarryMemo walks the tables,
+// evicts entries whose periods reach into evicted history, and remaps the
+// survivors' journey/arrival indices onto the new window's merged store.
+// Survivors are stamped carried, so the reused-hit counter can report how
+// much work the carry actually saved.
 
 // periodKey identifies a queuing period at a component. For a fixed store
 // and queue threshold, (comp, start, end) uniquely determines the period.
@@ -66,13 +73,11 @@ type flight[V any] struct {
 	shards [memoShards]flightShard[V]
 }
 
-// flightShard is one lock domain of the table. The pad spaces shards a
-// cache line apart so two workers hitting adjacent shards do not false-
-// share the mutex word.
+// flightShard is one shard: a sync.Map of periodKey → *flightCall[V].
+// sync.Map fits this workload exactly — per-key write-once, then read-many:
+// after an entry is promoted to the read map, hits cost one atomic load.
 type flightShard[V any] struct {
-	mu sync.Mutex
-	m  map[periodKey]*flightCall[V]
-	_  [64 - 16]byte // pad to one cache line
+	m sync.Map
 }
 
 type flightCall[V any] struct {
@@ -82,46 +87,40 @@ type flightCall[V any] struct {
 	// mid-flight (the panic is contained further up; see below). The write
 	// happens before close(done), so waiters reading after <-done see it.
 	ok bool
+	// carried marks an entry rebound from a previous window by CarryMemo.
+	// Written only between window runs (single-threaded), read during
+	// runs — the monitor goroutine starts the window's workers after the
+	// rebind, which orders the write before every read.
+	carried bool
 }
 
-// do returns fn()'s value for k, computing it at most once. hits/misses
-// are nil-safe observability counters (memo effectiveness is the pipeline's
-// main cache-health signal). The shard lock is held only for the map
-// lookup/insert — never across fn or the wait — so the critical section is
-// a few dozen nanoseconds regardless of how expensive the decomposition is.
+// do returns fn()'s value for k, computing it at most once. hits/misses/
+// reused are nil-safe observability counters (memo effectiveness is the
+// pipeline's main cache-health signal; reused counts hits on entries
+// carried over from a previous window). The fast path for a completed
+// entry is a lock-free sync.Map load; the per-shard mutex inside sync.Map
+// is only touched on first insertion of a key.
 //
 // Panic safety: when fn panics, the flight is unpoisoned — the key is
 // removed so later callers recompute, and waiters already blocked on the
 // flight are released and compute fn themselves instead of trusting a
 // half-built value. The panic itself keeps unwinding to the per-victim
 // containment boundary (resilience.Contain); do never swallows it.
-func (f *flight[V]) do(k periodKey, hits, misses *obs.Counter, fn func() V) V {
+func (f *flight[V]) do(k periodKey, hits, misses, reused *obs.Counter, fn func() V) V {
 	sh := &f.shards[shardOf(k)]
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[periodKey]*flightCall[V])
-	}
-	if c, ok := sh.m[k]; ok {
-		sh.mu.Unlock()
-		hits.Add(1)
-		<-c.done
-		if c.ok {
-			return c.val
-		}
-		// The first flight panicked before producing a value; fall through
-		// to an independent computation in this caller's own containment
-		// scope.
-		return fn()
+	if v, ok := sh.m.Load(k); ok {
+		return f.await(v.(*flightCall[V]), hits, reused, fn)
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
-	sh.m[k] = c
-	sh.mu.Unlock()
+	if prev, loaded := sh.m.LoadOrStore(k, c); loaded {
+		return f.await(prev.(*flightCall[V]), hits, reused, fn)
+	}
 	misses.Add(1)
 	defer func() {
 		if !c.ok {
-			sh.mu.Lock()
-			delete(sh.m, k)
-			sh.mu.Unlock()
+			// fn panicked: unpoison. CompareAndDelete (not Delete) so a
+			// racing re-insertion under the same key is never clobbered.
+			sh.m.CompareAndDelete(k, c)
 			close(c.done)
 		}
 	}()
@@ -129,6 +128,50 @@ func (f *flight[V]) do(k periodKey, hits, misses *obs.Counter, fn func() V) V {
 	c.ok = true
 	close(c.done)
 	return c.val
+}
+
+// await joins an existing flight: count the hit, wait for the value, and
+// fall back to an independent computation if the flight died mid-air.
+func (f *flight[V]) await(c *flightCall[V], hits, reused *obs.Counter, fn func() V) V {
+	hits.Add(1)
+	if c.carried {
+		reused.Add(1)
+	}
+	<-c.done
+	if c.ok {
+		return c.val
+	}
+	return fn()
+}
+
+// rebind walks every completed entry, applying keep: entries it rejects
+// are deleted, survivors get their (possibly remapped) value written back
+// in place and are stamped carried. In-flight or poisoned entries are
+// dropped. Returns the survivor count. Must only be called between window
+// runs — it mutates cached values without synchronization beyond the
+// caller's single-threadedness.
+func (f *flight[V]) rebind(keep func(k periodKey, v V) (V, bool)) int {
+	kept := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.m.Range(func(key, value any) bool {
+			c := value.(*flightCall[V])
+			if !c.ok {
+				sh.m.Delete(key)
+				return true
+			}
+			nv, ok := keep(key.(periodKey), c.val)
+			if !ok {
+				sh.m.Delete(key)
+				return true
+			}
+			c.val = nv
+			c.carried = true
+			kept++
+			return true
+		})
+	}
+	return kept
 }
 
 // propPath is the budget-independent timespan decomposition of one upstream
@@ -162,7 +205,8 @@ type diagMemo struct {
 // memoFor returns the engine's diagnosis cache for st, creating it when the
 // engine sees st for the first time. Engines are typically bound to one
 // store for their lifetime (the experiments' rank-scoring loops, the
-// pipeline); a store switch just drops the old cache.
+// pipeline); a store switch just drops the old cache — unless the caller
+// re-bound it explicitly with CarryMemo (the streaming path).
 func (e *Engine) memoFor(st *tracestore.Store) *diagMemo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -171,4 +215,111 @@ func (e *Engine) memoFor(st *tracestore.Store) *diagMemo {
 		e.memo = &diagMemo{}
 	}
 	return e.memo
+}
+
+// MemoRemap describes how the previous window's merged store maps onto the
+// new one, so cached journey/arrival indices can be shifted instead of
+// recomputed. The shifts are uniform because eviction only ever removes
+// whole segments from the *front* of the window: every evicted journey and
+// arrival precedes every retained one in the merged arrays.
+type MemoRemap struct {
+	// NewStart is the new window's data start. Cached entries whose
+	// period starts before it may reference evicted history and must go.
+	NewStart simtime.Time
+	// JourneyShift is how many journeys were evicted since the previous
+	// window.
+	JourneyShift int
+	// ArrivalShift[comp], indexed by previous-window CompID (valid for
+	// the new window too — CarryMemo requires the interner be a prefix),
+	// is how many arrivals at comp were evicted.
+	ArrivalShift []int32
+}
+
+// ResetMemo binds the engine to st with a fresh, empty diagnosis cache,
+// dropping anything carried. The streaming path calls it when carry is
+// unsound: the interner changed shape, or a nonzero queue threshold makes
+// cached periods depend on the (moving) window start.
+func (e *Engine) ResetMemo(st *tracestore.Store) {
+	e.mu.Lock()
+	e.memoStore = st
+	e.memo = &diagMemo{}
+	e.mu.Unlock()
+}
+
+// CarryMemo rebinds the engine's diagnosis cache onto the next window's
+// merged store: entries whose periods live entirely in retained history
+// survive with their journey/arrival indices shifted per rm; the rest are
+// evicted. Returns the survivor count. Call only between window runs, and
+// only when the previous window's CompIDs remain valid for st (interner
+// prefix property) and the queue threshold is zero — otherwise ResetMemo.
+//
+// Validity argument, per table:
+//   - prop/periodJ keys are (comp, period start, period end). A period
+//     starting at or after the new data start saw identical arrivals and
+//     reads in both windows (eviction removes only whole leading
+//     segments), so its decomposition is unchanged up to the uniform
+//     index shifts applied here.
+//   - split keys are (comp, anchor). A surviving entry's period (when
+//     non-nil) must itself start in retained history; a nil entry records
+//     "no queuing period at this anchor", which eviction cannot falsify —
+//     removing older arrivals never creates a period where none was — so
+//     nil entries survive on the anchor check alone.
+func (e *Engine) CarryMemo(st *tracestore.Store, rm MemoRemap) int {
+	e.mu.Lock()
+	memo := e.memo
+	prev := e.memoStore
+	e.memoStore = st
+	if memo == nil {
+		memo = &diagMemo{}
+		e.memo = memo
+	}
+	e.mu.Unlock()
+	if prev == nil || prev == st {
+		return 0
+	}
+	arrShift := func(comp tracestore.CompID) int {
+		if comp >= 0 && int(comp) < len(rm.ArrivalShift) {
+			return int(rm.ArrivalShift[comp])
+		}
+		return 0
+	}
+	kept := memo.prop.rebind(func(k periodKey, v []propPath) ([]propPath, bool) {
+		if k.start < rm.NewStart {
+			return nil, false
+		}
+		for i := range v {
+			// Each cached []propPath owns its pathStats (collectPaths
+			// allocates fresh per decomposition), so the in-place shift
+			// runs exactly once per entry.
+			js := v[i].path.journeys
+			for j := range js {
+				js[j] -= rm.JourneyShift
+			}
+		}
+		return v, true
+	})
+	kept += memo.split.rebind(func(k periodKey, v *splitResult) (*splitResult, bool) {
+		if k.end < rm.NewStart {
+			return nil, false
+		}
+		if v != nil && v.qp != nil {
+			if v.qp.Start < rm.NewStart {
+				return nil, false
+			}
+			d := arrShift(v.qp.Comp)
+			v.qp.ArrivalFirst -= d
+			v.qp.ArrivalLast -= d
+		}
+		return v, true
+	})
+	kept += memo.periodJ.rebind(func(k periodKey, v []int) ([]int, bool) {
+		if k.start < rm.NewStart {
+			return nil, false
+		}
+		for i := range v {
+			v[i] -= rm.JourneyShift
+		}
+		return v, true
+	})
+	return kept
 }

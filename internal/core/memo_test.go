@@ -3,9 +3,11 @@ package core
 import (
 	"sync"
 	"sync/atomic"
-
-	"microscope/internal/simtime"
 	"testing"
+
+	"microscope/internal/obs"
+	"microscope/internal/simtime"
+	"microscope/internal/tracestore"
 )
 
 // TestFlightComputesOnce: any number of concurrent and sequential do()
@@ -24,7 +26,7 @@ func TestFlightComputesOnce(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			<-start
-			results[g] = f.do(k, nil, nil, func() int {
+			results[g] = f.do(k, nil, nil, nil, func() int {
 				return int(calls.Add(1)) * 100
 			})
 		}(g)
@@ -40,7 +42,7 @@ func TestFlightComputesOnce(t *testing.T) {
 		}
 	}
 	// A later call is a pure cache hit.
-	if v := f.do(k, nil, nil, func() int { t.Fatal("recomputed"); return 0 }); v != 100 {
+	if v := f.do(k, nil, nil, nil, func() int { t.Fatal("recomputed"); return 0 }); v != 100 {
 		t.Fatalf("cached value = %d", v)
 	}
 }
@@ -56,8 +58,8 @@ func TestFlightDistinctKeys(t *testing.T) {
 	for s := int64(0); shardOf(k2) != shardOf(k1); s++ {
 		k2.start = simtime.Time(s)
 	}
-	v1 := f.do(k1, nil, nil, func() int { return 11 })
-	v2 := f.do(k2, nil, nil, func() int { return 22 })
+	v1 := f.do(k1, nil, nil, nil, func() int { return 11 })
+	v2 := f.do(k2, nil, nil, nil, func() int { return 22 })
 	if v1 != 11 || v2 != 22 {
 		t.Fatalf("colliding-shard keys conflated: %d %d", v1, v2)
 	}
@@ -79,7 +81,7 @@ func TestFlightSlowComputationDoesNotBlockShard(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		f.do(k1, nil, nil, func() int {
+		f.do(k1, nil, nil, nil, func() int {
 			close(entered)
 			<-release
 			return 1
@@ -87,7 +89,7 @@ func TestFlightSlowComputationDoesNotBlockShard(t *testing.T) {
 	}()
 	<-entered
 	// k1's fn is in flight and parked. k2 on the same shard must proceed.
-	if v := f.do(k2, nil, nil, func() int { return 2 }); v != 2 {
+	if v := f.do(k2, nil, nil, nil, func() int { return 2 }); v != 2 {
 		t.Fatalf("same-shard key blocked or conflated: %d", v)
 	}
 	close(release)
@@ -111,7 +113,7 @@ func TestFlightPanicUnpoisons(t *testing.T) {
 			}
 			close(panicked)
 		}()
-		f.do(k, nil, nil, func() int {
+		f.do(k, nil, nil, nil, func() int {
 			close(inFlight)
 			<-release
 			panic("chaos")
@@ -123,7 +125,7 @@ func TestFlightPanicUnpoisons(t *testing.T) {
 	// its own value.
 	waiterDone := make(chan int, 1)
 	go func() {
-		waiterDone <- f.do(k, nil, nil, func() int { return 42 })
+		waiterDone <- f.do(k, nil, nil, nil, func() int { return 42 })
 	}()
 	close(release)
 	<-panicked
@@ -133,9 +135,110 @@ func TestFlightPanicUnpoisons(t *testing.T) {
 	// The key is unpoisoned: a later caller computes fresh (or reuses the
 	// waiter's committed value — both are sound; what it must not do is
 	// hang or observe the panicked flight).
-	v := f.do(k, nil, nil, func() int { return 7 })
+	v := f.do(k, nil, nil, nil, func() int { return 7 })
 	if v != 42 && v != 7 {
 		t.Fatalf("post-panic value = %d", v)
+	}
+}
+
+// TestFlightReadContention: completed entries are served through the
+// sync.Map read-only fast path — no shard lock on the hit path. The test
+// hammers a small hot set from many goroutines while cold keys stream in
+// on the side, and checks every read is correct and every call is
+// accounted as exactly one hit or miss.
+func TestFlightReadContention(t *testing.T) {
+	var f flight[int]
+	reg := obs.New()
+	hits, misses := reg.Counter("t_hits"), reg.Counter("t_misses")
+
+	// Seed the hot set; each value encodes its key.
+	const hot = 8
+	for i := 0; i < hot; i++ {
+		k := periodKey{comp: tracestore.CompID(i), start: 1, end: 2}
+		f.do(k, hits, misses, nil, func() int { return 1000 + i })
+	}
+
+	const goroutines = 16
+	const reads = 2000
+	var wg sync.WaitGroup
+	var bad atomic.Int32
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < reads; i++ {
+				ki := (g + i) % hot
+				k := periodKey{comp: tracestore.CompID(ki), start: 1, end: 2}
+				if v := f.do(k, hits, misses, nil, func() int { return -1 }); v != 1000+ki {
+					bad.Add(1)
+				}
+				if i%64 == 0 {
+					// A cold insert on the side must not disturb hot reads.
+					ck := periodKey{comp: tracestore.CompID(100 + g), start: simtime.Time(i), end: simtime.Time(i + 1)}
+					f.do(ck, hits, misses, nil, func() int { return 0 })
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d contended reads returned wrong values", n)
+	}
+	total := hits.Value() + misses.Value()
+	want := int64(hot + goroutines*(reads+(reads+63)/64))
+	if total != want {
+		t.Fatalf("hit/miss accounting lost calls: %d + %d = %d, want %d",
+			hits.Value(), misses.Value(), total, want)
+	}
+}
+
+// TestFlightRebind: rebind keeps entries the callback accepts (remapping
+// their values and marking them carried, so later hits count as reused),
+// evicts the rest, and drops never-completed entries unconditionally.
+func TestFlightRebind(t *testing.T) {
+	var f flight[int]
+	for i := 0; i < 10; i++ {
+		k := periodKey{comp: 1, start: simtime.Time(i), end: simtime.Time(i + 1)}
+		f.do(k, nil, nil, nil, func() int { return i })
+	}
+	kept := f.rebind(func(k periodKey, v int) (int, bool) {
+		if k.start < 5 {
+			return 0, false
+		}
+		return v + 100, true
+	})
+	if kept != 5 {
+		t.Fatalf("rebind kept %d entries, want 5", kept)
+	}
+	reg := obs.New()
+	hits, misses, reused := reg.Counter("t_hits"), reg.Counter("t_misses"), reg.Counter("t_reused")
+	for i := 0; i < 10; i++ {
+		k := periodKey{comp: 1, start: simtime.Time(i), end: simtime.Time(i + 1)}
+		v := f.do(k, hits, misses, reused, func() int { return -i })
+		if i < 5 {
+			if v != -i {
+				t.Fatalf("evicted key %d not recomputed: %d", i, v)
+			}
+		} else if v != i+100 {
+			t.Fatalf("kept key %d lost its remapped value: %d", i, v)
+		}
+	}
+	if hits.Value() != 5 || misses.Value() != 5 {
+		t.Fatalf("hits=%d misses=%d, want 5/5", hits.Value(), misses.Value())
+	}
+	// Every surviving entry was carried across the rebind: its hits count
+	// as reused (the microscope_stream_memo_reused_hits_total signal).
+	if reused.Value() != 5 {
+		t.Fatalf("reused=%d, want 5", reused.Value())
+	}
+	// A fresh computation after the rebind is not "carried".
+	f.do(periodKey{comp: 2, start: 0, end: 1}, hits, misses, reused, func() int { return 1 })
+	f.do(periodKey{comp: 2, start: 0, end: 1}, hits, misses, reused, func() int { return 1 })
+	if reused.Value() != 5 {
+		t.Fatalf("fresh post-rebind entry counted as reused: %d", reused.Value())
 	}
 }
 

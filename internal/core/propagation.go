@@ -66,7 +66,7 @@ func (d *diagnoser) propagate(f tracestore.CompID, qp *tracestore.QueuingPeriod,
 	// with single-flight semantics and only the linear budget scaling
 	// happens per call. The computing caller's arena supplies the walk
 	// scratch; the cached value never references it.
-	pps := d.memo.prop.do(periodKey{comp: f, start: qp.Start, end: qp.End}, d.memoHits, d.memoMisses, func() []propPath {
+	pps := d.memo.prop.do(periodKey{comp: f, start: qp.Start, end: qp.End}, d.memoHits, d.memoMisses, d.memoReused, func() []propPath {
 		return d.decomposePeriod(f, qp, &a.cs)
 	})
 	out := make([]propagated, 0, len(pps))

@@ -1,0 +1,177 @@
+// Package epochstamp checks free-list recycling discipline in the
+// epoch-stamped shell pattern the streaming trace index introduced: a
+// shell popped off a free list (a slice field or variable whose name
+// contains "free") carries the previous occupant's buffers and epoch, so
+// it must be visibly re-stamped in the same function before it escapes —
+// otherwise readers holding the old epoch alias the recycled memory and
+// stale segment state leaks into a new window.
+//
+// Accepted stamp evidence for a popped shell v: v.reset(...)/v.Reset(...)
+// calls (tracestore's Segment.reset(epoch) is the canonical form), any
+// call whose name contains "reset" or "stamp" taking v as receiver or
+// argument, or a direct assignment to an epoch-like field of v
+// (v.epoch/v.gen/v.generation/v.version = ...).
+package epochstamp
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"microscope/internal/lint/analysis"
+)
+
+// Analyzer is the free-list epoch-stamp discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochstamp",
+	Doc: "flags values popped from a free list that escape without a reset " +
+		"or epoch-stamp call",
+	Run: run,
+}
+
+var freeName = regexp.MustCompile(`(?i)free`)
+var stampName = regexp.MustCompile(`(?i)reset|stamp`)
+var epochField = regexp.MustCompile(`(?i)^(epoch|gen|generation|version)$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc inspects one function body for free-list pops bound directly
+// in it (nested func literals are their own functions).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, rhs := range as.Rhs {
+			if !isFreePop(rhs) || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				pass.Reportf(rhs.Pos(), "free-list pop must be bound to a variable so the epoch stamp can be verified")
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if !stamped(pass, body, obj) {
+				pass.Reportf(rhs.Pos(), "recycled shell %s escapes without a reset or epoch stamp: stale state and the old epoch survive reuse", id.Name)
+			}
+		}
+	})
+}
+
+// isFreePop reports whether rhs indexes into a container whose name
+// contains "free" (s.free[n-1], freeShells[i], ...). Re-slices
+// (s.free[:n-1], the truncation half of a pop) are not pops.
+func isFreePop(rhs ast.Expr) bool {
+	ix, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	switch x := ast.Unparen(ix.X).(type) {
+	case *ast.Ident:
+		return freeName.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return freeName.MatchString(x.Sel.Name)
+	}
+	return false
+}
+
+// stamped scans the whole function body (nested literals included, so a
+// deferred stamp counts) for re-stamp proof about obj.
+func stamped(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.reset(...) / v.Restamp(...): stamp method on the shell.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				stampName.MatchString(sel.Sel.Name) && rootedAt(pass, sel.X, obj) {
+				found = true
+			}
+			// resetShell(v) / stamp(v, e): stamp helper taking the shell.
+			if name := calleeName(n); name != "" && stampName.MatchString(name) && argRefs(pass, n, obj) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			// v.epoch = ...: direct epoch-field restamp.
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok &&
+					epochField.MatchString(sel.Sel.Name) && rootedAt(pass, sel.X, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootedAt reports whether e is obj or a selector/index chain rooted at obj.
+func rootedAt(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.ObjectOf(x) == obj
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func argRefs(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	for _, a := range call.Args {
+		if rootedAt(pass, a, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// walkShallow visits every node in body without descending into nested
+// function literals.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

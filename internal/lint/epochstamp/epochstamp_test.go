@@ -1,0 +1,12 @@
+package epochstamp_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/epochstamp"
+)
+
+func TestEpochStamp(t *testing.T) {
+	analysistest.Run(t, epochstamp.Analyzer, "a")
+}

@@ -1,0 +1,91 @@
+// Package a is the epochstamp analyzer fixture: free-list shells
+// recycled with and without a visible re-stamp.
+package a
+
+type shell struct {
+	epoch   uint64
+	records []int
+}
+
+func (g *shell) reset(epoch uint64) {
+	g.epoch = epoch
+	g.records = g.records[:0]
+}
+
+type stream struct {
+	free  []*shell
+	epoch uint64
+}
+
+// okResetMethod is the sanctioned pattern: pop, then reset(epoch).
+func (s *stream) okResetMethod() *shell {
+	var g *shell
+	if n := len(s.free); n > 0 {
+		g = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		g = &shell{}
+	}
+	s.epoch++
+	g.reset(s.epoch)
+	return g
+}
+
+// okDirectEpochField stamps the epoch field by hand.
+func (s *stream) okDirectEpochField() *shell {
+	g := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.epoch++
+	g.epoch = s.epoch
+	g.records = g.records[:0]
+	return g
+}
+
+func restamp(g *shell, epoch uint64) {
+	g.reset(epoch)
+}
+
+// okStampHelper routes the shell through a stamp helper.
+func (s *stream) okStampHelper() *shell {
+	g := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	restamp(g, s.epoch+1)
+	return g
+}
+
+// okDeferredStamp stamps in a deferred closure: still this function.
+func (s *stream) okDeferredStamp() *shell {
+	g := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	defer func() { g.reset(s.epoch) }()
+	return g
+}
+
+// badNoStamp hands out a recycled shell still carrying the previous
+// occupant's epoch and buffers.
+func (s *stream) badNoStamp() *shell {
+	g := s.free[len(s.free)-1] // want `recycled shell g escapes without a reset or epoch stamp`
+	s.free = s.free[:len(s.free)-1]
+	return g
+}
+
+// badPartialScrub truncates a buffer but never restamps the epoch: old
+// readers still match the recycled shell.
+func (s *stream) badPartialScrub() *shell {
+	g := s.free[len(s.free)-1] // want `recycled shell g escapes without a reset or epoch stamp`
+	s.free = s.free[:len(s.free)-1]
+	g.records = g.records[:0]
+	return g
+}
+
+// badUnbound discards the popped shell without binding it, so no stamp
+// can ever be verified.
+func (s *stream) badUnbound() {
+	_ = s.free[len(s.free)-1] // want `free-list pop must be bound to a variable`
+}
+
+// okNotAFreeList: ordinary slice indexing is none of our business.
+func pick(shells []*shell) *shell {
+	g := shells[len(shells)-1]
+	return g
+}

@@ -10,6 +10,7 @@ import (
 	"microscope/internal/lint/compid"
 	"microscope/internal/lint/containment"
 	"microscope/internal/lint/determinism"
+	"microscope/internal/lint/epochstamp"
 	"microscope/internal/lint/obssafe"
 	"microscope/internal/lint/poolreset"
 	"microscope/internal/lint/sorttotal"
@@ -21,6 +22,7 @@ func Analyzers() []*analysis.Analyzer {
 		compid.Analyzer,
 		containment.Analyzer,
 		determinism.Analyzer,
+		epochstamp.Analyzer,
 		obssafe.Analyzer,
 		poolreset.Analyzer,
 		sorttotal.Analyzer,

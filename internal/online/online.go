@@ -79,6 +79,13 @@ type Config struct {
 	// (scopes "stage:<name>" and "victim:<i>"). The chaos harness injects
 	// deterministic faults through it; never set in production.
 	ChaosHook func(scope string)
+	// Incremental routes window analysis through the retained streaming
+	// index (pipeline.StreamState): records are sealed into epoch segments
+	// once, expired segments are evicted wholesale, and the diagnosis memo
+	// is carried across windows. Every window's report is byte-identical
+	// to a cold segment-wise rebuild of the same window (DESIGN.md §11);
+	// the win is not re-reconstructing the overlap every window.
+	Incremental bool
 }
 
 func (c *Config) setDefaults() {
@@ -138,6 +145,11 @@ type Monitor struct {
 	// shared staged pipeline with patterns skipped (the monitor merges raw
 	// causes itself).
 	pcfg pipeline.Config
+
+	// stream is the retained incremental index (nil in batch mode). It is
+	// advanced on every flush — including skipped rungs and empty windows —
+	// so its watermark and eviction horizon track the monitor's.
+	stream *pipeline.StreamState
 
 	// pending is the bounded ingest ring (unbounded when RingCapacity=0).
 	pending *resilience.Ring[collector.BatchRecord]
@@ -268,6 +280,15 @@ func New(meta collector.Meta, cfg Config) *Monitor {
 		pending:   resilience.NewRing[collector.BatchRecord](cfg.Resilience.RingCapacity),
 		lastAlert: make(map[alertKey]simtime.Time),
 		nextFlush: simtime.Time(cfg.Window),
+	}
+	if cfg.Incremental {
+		ss, err := pipeline.NewStreamState(meta, cfg.Window, cfg.Overlap, m.pcfg)
+		if err != nil {
+			// Geometry the stream grid cannot express (nonpositive window,
+			// negative overlap); a misconfiguration, not a runtime condition.
+			panic("online: incremental mode: " + err.Error())
+		}
+		m.stream = ss
 	}
 	reg := obs.Or(cfg.Obs)
 	if cfg.Resilience.MemSoftBytes > 0 || cfg.Resilience.MemHardBytes > 0 {
@@ -481,6 +502,10 @@ func (m *Monitor) flushWindow() []Alert {
 	// Records in the window (all pending up to end).
 	cut := m.pending.Search(func(p collector.BatchRecord) bool { return p.At > end })
 	if cut == 0 {
+		// Nothing new and no retained overlap records: the incremental
+		// index still has to see the boundary so eviction keeps pace with
+		// the watermark (a stream gap must drain retained segments).
+		m.advanceStream(end, nil)
 		return nil
 	}
 
@@ -504,6 +529,13 @@ func (m *Monitor) flushWindow() []Alert {
 	if level >= resilience.Skipped {
 		m.stats.WindowsSkipped++
 		m.obsSkipped.Inc()
+		// A skipped window is still ingested: the streaming index's
+		// watermark must track the flush boundary through overload or the
+		// next diagnosed window would mis-assign the skipped records.
+		if m.stream != nil {
+			m.winScratch = m.pending.CopyRange(m.winScratch[:0], 0, cut)
+			m.advanceStream(end, m.winScratch)
+		}
 		m.retainOverlap(end)
 		return nil
 	}
@@ -525,7 +557,11 @@ func (m *Monitor) flushWindow() []Alert {
 		if m.cfg.ChaosHook != nil {
 			m.cfg.ChaosHook("window:" + strconv.Itoa(m.stats.Windows-1))
 		}
-		res, runErr = pipeline.RunContext(ctx, tr, pcfg)
+		if m.stream != nil {
+			res, runErr = m.stream.RunWindow(ctx, end, m.winScratch, level)
+		} else {
+			res, runErr = pipeline.RunContext(ctx, tr, pcfg)
+		}
 	}
 	if m.cfg.Resilience.ContainPanics {
 		// Window-granularity containment: a panic anywhere in the
@@ -545,8 +581,18 @@ func (m *Monitor) flushWindow() []Alert {
 	m.stats.ContainedPanics += int(res.ContainedPanics)
 	health := res.Health
 	m.lastHealth, m.hasHealth = health, true
-	m.stats.Unmatched += health.Recon.Unmatched
-	m.stats.Quarantined += health.Recon.Quarantined
+	if m.stream != nil {
+		// Seal-time totals from the stream: each record is reconstructed
+		// exactly once, so the counters are monotone across watermark
+		// resyncs and never double-count the overlap region (the batch
+		// path re-reconstructs it every window and inflates both).
+		sst := m.stream.Stats()
+		m.stats.Unmatched = sst.Recon.Unmatched
+		m.stats.Quarantined = sst.Recon.Quarantined
+	} else {
+		m.stats.Unmatched += health.Recon.Unmatched
+		m.stats.Quarantined += health.Recon.Quarantined
+	}
 	diags := res.Diagnoses
 	m.stats.Victims += len(diags)
 	m.obsVictims.Add(int64(len(diags)))
@@ -621,6 +667,33 @@ func (m *Monitor) flushWindow() []Alert {
 
 	m.retainOverlap(end)
 	return out
+}
+
+// advanceStream runs an ingest-only advance of the incremental index (no
+// diagnosis): the Skipped rung seals recs into grid segments and evicts
+// the expired horizon, keeping the stream's watermark on the monitor's
+// flush boundary. No-op in batch mode. A contained ingest panic
+// quarantines the stream's view of the window; the already-counted skip
+// stands.
+func (m *Monitor) advanceStream(end simtime.Time, recs []collector.BatchRecord) {
+	if m.stream == nil {
+		return
+	}
+	if _, err := m.stream.RunWindow(context.Background(), end, recs, resilience.Skipped); err != nil {
+		if resilience.IsPanic(err) {
+			m.stats.WindowsQuarantined++
+			m.obsQuarantined.Inc()
+		}
+	}
+}
+
+// StreamStats returns the incremental index's cumulative seal-time
+// accounting; ok is false in batch mode.
+func (m *Monitor) StreamStats() (st tracestore.StreamStats, ok bool) {
+	if m.stream == nil {
+		return tracestore.StreamStats{}, false
+	}
+	return m.stream.Stats(), true
 }
 
 // retainOverlap drops buffered records before the overlap tail of the

@@ -214,14 +214,14 @@ func TestWatermarkResyncAfterGap(t *testing.T) {
 		t.Fatalf("clean prefix tripped the plausibility guard: %+v", st)
 	}
 	// A lone corrupt far-future timestamp is dropped, no resync...
-	m.Feed([]collector.BatchRecord{rec(100, simtime.Time(99 * w))})
+	m.Feed([]collector.BatchRecord{rec(100, simtime.Time(99*w))})
 	if st := m.Stats(); st.ImplausibleDropped != 1 || st.WatermarkResyncs != 0 {
 		t.Fatalf("lone corrupt timestamp not dropped cleanly: %+v", st)
 	}
 	// ...and the next in-horizon record resets the consistency run, so the
 	// lone corruption cannot count toward the resumed stream's run below
 	// even though it happens to land near it.
-	m.Feed([]collector.BatchRecord{rec(101, simtime.Time(2*w) + 1)})
+	m.Feed([]collector.BatchRecord{rec(101, simtime.Time(2*w)+1)})
 	// The stream resumes 100 windows out — far beyond MaxLookahead. The
 	// first ResyncAfter-1 resumed records are still dropped; the run's
 	// completing record is accepted, the watermark jumps, and everything
@@ -243,6 +243,126 @@ func TestWatermarkResyncAfterGap(t *testing.T) {
 	}
 	if got := st.Records - before; got != 6 {
 		t.Fatalf("post-gap records accepted = %d, want 6 — the stream is still poisoned: %+v", got, st)
+	}
+}
+
+// TestMonitorIncremental: the incremental monitor must detect the same
+// interrupt episodes the batch monitor does over the same feed, while the
+// streaming index tracks every flush (including gaps) and its seal-time
+// health counters stay monotone.
+func TestMonitorIncremental(t *testing.T) {
+	tr := monitoredRun(t, []simtime.Time{
+		simtime.Time(150 * simtime.Millisecond),
+		simtime.Time(400 * simtime.Millisecond),
+	})
+	run := func(incremental bool) ([]Alert, Stats) {
+		m := New(tr.Meta, Config{Incremental: incremental})
+		var alerts []Alert
+		const chunk = 5000
+		for i := 0; i < len(tr.Records); i += chunk {
+			end := i + chunk
+			if end > len(tr.Records) {
+				end = len(tr.Records)
+			}
+			alerts = append(alerts, m.Feed(tr.Records[i:end])...)
+		}
+		alerts = append(alerts, m.Flush()...)
+		if incremental {
+			st, ok := m.StreamStats()
+			if !ok {
+				t.Fatal("incremental monitor has no stream stats")
+			}
+			if st.Records == 0 || st.SealedSegments == 0 {
+				t.Fatalf("stream never ingested: %+v", st)
+			}
+			if st.RetainedSegments > 8 {
+				t.Fatalf("eviction not keeping pace: %+v", st)
+			}
+		} else if _, ok := m.StreamStats(); ok {
+			t.Fatal("batch monitor reports stream stats")
+		}
+		return alerts, m.Stats()
+	}
+	countFW := func(alerts []Alert) int {
+		n := 0
+		for _, a := range alerts {
+			if a.Comp == "fw1" && a.Kind == core.CulpritLocalProcessing {
+				n++
+			}
+		}
+		return n
+	}
+	ba, bs := run(false)
+	ia, is := run(true)
+	if got, want := countFW(ia), countFW(ba); got != want {
+		t.Errorf("incremental found %d fw1 episodes, batch found %d\nincremental: %v\nbatch: %v", got, want, ia, ba)
+	}
+	if is.Windows != bs.Windows || is.Records != bs.Records {
+		t.Errorf("ingest accounting diverged: incremental %+v, batch %+v", is, bs)
+	}
+	// The batch path re-reconstructs the overlap every window and inflates
+	// unmatched counts; the stream seals each record once, so its total
+	// can only be lower or equal.
+	if is.Unmatched > bs.Unmatched {
+		t.Errorf("seal-once unmatched %d exceeds batch double-counted %d", is.Unmatched, bs.Unmatched)
+	}
+}
+
+// TestMonitorIncrementalMonotoneCounters: Unmatched/Quarantined come from
+// the stream's seal-time totals in incremental mode, so they stay monotone
+// across watermark resyncs (the batch path's per-window += could replay
+// overlap damage after a resync jump).
+func TestMonitorIncrementalMonotoneCounters(t *testing.T) {
+	w := simtime.Duration(100 * simtime.Microsecond)
+	m := New(collector.Meta{
+		Components: []collector.ComponentMeta{
+			{Name: "src", Kind: "source"},
+			{Name: "nf1", Kind: "nf", PeakRate: simtime.MPPS(1), Egress: true},
+		},
+		Edges:    []collector.Edge{{From: "src", To: "nf1"}},
+		MaxBatch: 32,
+	}, Config{
+		Window:       w,
+		Overlap:      w / 5,
+		MaxLookahead: 4 * w,
+		ResyncAfter:  2,
+		Incremental:  true,
+	})
+	// Each burst leaves one unmatched read (dequeue IPID matches no
+	// arrival), straddling flush boundaries via the overlap.
+	burst := func(at simtime.Time, id uint16) []collector.BatchRecord {
+		return []collector.BatchRecord{
+			{Comp: "src", Queue: "nf1.in", At: at, IPIDs: []uint16{id}, Dir: collector.DirWrite},
+			{Comp: "nf1", At: at + 10, IPIDs: []uint16{id + 1000}, Dir: collector.DirRead},
+		}
+	}
+	prev := 0
+	check := func() {
+		um := m.Stats().Unmatched
+		if um < prev {
+			t.Fatalf("Unmatched went backwards: %d -> %d", prev, um)
+		}
+		prev = um
+	}
+	for i := 0; i < 6; i++ {
+		m.Feed(burst(simtime.Time(i)*simtime.Time(w)+simtime.Time(w)/2, uint16(i+1)))
+		check()
+	}
+	// Resync jump: the stream gap exceeds MaxLookahead; after ResyncAfter
+	// consistent records the watermark leaps. Counters must not replay.
+	far := simtime.Time(200 * w)
+	m.Feed(burst(far, 50))
+	m.Feed(burst(far+simtime.Time(w)/4, 51))
+	m.Feed(burst(far+simtime.Time(w), 52))
+	m.Feed(burst(far+2*simtime.Time(w), 53))
+	check()
+	if m.Stats().WatermarkResyncs == 0 {
+		t.Fatalf("gap did not resync: %+v", m.Stats())
+	}
+	m.Flush()
+	check()
+	if prev == 0 {
+		t.Fatal("no unmatched reads ever counted — the probe is inert")
 	}
 }
 

@@ -175,7 +175,11 @@ type run struct {
 	began time.Time
 }
 
-func newRun(cfg Config) *run {
+// resolveConfig normalizes a pipeline config — worker-count and
+// containment/chaos fan-out into the stage configs, registry resolution
+// and push-down — without side effects, so holders of long-lived state
+// (the incremental stream) can resolve once without counting a run.
+func resolveConfig(cfg Config) (Config, *obs.Registry) {
 	if cfg.Workers != 0 {
 		cfg.Diagnosis.Workers = cfg.Workers
 		cfg.Patterns.Workers = cfg.Workers
@@ -198,6 +202,13 @@ func newRun(cfg Config) *run {
 		if cfg.Patterns.Obs == nil {
 			cfg.Patterns.Obs = reg
 		}
+	}
+	return cfg, reg
+}
+
+func newRun(cfg Config) *run {
+	cfg, reg := resolveConfig(cfg)
+	if reg != nil {
 		reg.Counter("microscope_pipeline_runs_total").Inc()
 	}
 	//mslint:allow nondet spans and stage timings are observability metadata; diagnosis payloads never read them
@@ -289,12 +300,18 @@ func (r *run) finish() *Result {
 // runStore executes stages 2–5 against r.res.Store, honouring the
 // degradation ladder: each level peels stages off the tail of the run.
 func (r *run) runStore(ctx context.Context) (*Result, error) {
+	return r.runStoreWith(ctx, core.NewEngine(r.cfg.Diagnosis))
+}
+
+// runStoreWith is runStore with an injected diagnosis engine. The offline
+// paths hand it a fresh engine per run; the incremental streaming path
+// injects a long-lived engine whose memo is carried across windows.
+func (r *run) runStoreWith(ctx context.Context, eng *core.Engine) (*Result, error) {
 	r.res.Degradation = r.cfg.Degrade
 	if r.cfg.Degrade >= resilience.Skipped {
 		return r.finish(), nil
 	}
 	st := r.res.Store
-	eng := core.NewEngine(r.cfg.Diagnosis)
 	if err := r.stage(ctx, "index", func() {
 		r.res.Index = st.Index(r.cfg.Diagnosis.QueueThreshold)
 	}); err != nil {

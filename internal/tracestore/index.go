@@ -21,12 +21,13 @@ type Index struct {
 	// for (0 = the paper's base queuing-period definition).
 	QueueThreshold int
 
-	// delayStats holds per-NF queue-delay running statistics for the §4.1
-	// abnormality test, indexed by CompID and accumulated in journey order
-	// (Welford folds are order-sensitive, and victim selection must not
-	// depend on who built the index). An entry with N()==0 means the
-	// component had no read hops.
-	delayStats []stats.Welford
+	// delayStats holds per-NF queue-delay statistics for the §4.1
+	// abnormality test, indexed by CompID. Delays are kept as exact
+	// integer moments (stats.Moments) so the streaming path can merge
+	// per-epoch partial summaries and land on bit-identical values to a
+	// full sequential scan. An entry with N()==0 means the component had
+	// no read hops.
+	delayStats []stats.Moments
 	// sortedLatencies are delivered-journey latencies, ascending, for
 	// percentile thresholds.
 	sortedLatencies []float64
@@ -42,12 +43,12 @@ type Index struct {
 func (ix *Index) Store() *Store { return ix.store }
 
 // DelayStats returns the per-NF queue-delay statistics for comp, or nil.
-func (ix *Index) DelayStats(comp string) *stats.Welford {
+func (ix *Index) DelayStats(comp string) *stats.Moments {
 	return ix.DelayStatsID(ix.store.CompIDOf(comp))
 }
 
 // DelayStatsID is DelayStats for an interned component.
-func (ix *Index) DelayStatsID(comp CompID) *stats.Welford {
+func (ix *Index) DelayStatsID(comp CompID) *stats.Moments {
 	if comp < 0 || int(comp) >= len(ix.delayStats) {
 		return nil
 	}
@@ -90,7 +91,7 @@ func (s *Store) buildIndex(queueThreshold int) *Index {
 	ix := &Index{
 		store:          s,
 		QueueThreshold: queueThreshold,
-		delayStats:     make([]stats.Welford, len(s.views)),
+		delayStats:     make([]stats.Moments, len(s.views)),
 	}
 	var latencies []float64
 	for i := range s.Journeys {
@@ -100,7 +101,7 @@ func (s *Store) buildIndex(queueThreshold int) *Index {
 			if hop.ReadAt == 0 && hop.DepartAt == 0 {
 				continue
 			}
-			ix.delayStats[hop.Comp].Add(float64(hop.ReadAt.Sub(hop.ArriveAt)))
+			ix.delayStats[hop.Comp].Add(int64(hop.ReadAt.Sub(hop.ArriveAt)))
 			if hop.DepartAt > ix.traceEnd {
 				ix.traceEnd = hop.DepartAt
 			}

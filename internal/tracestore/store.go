@@ -120,6 +120,11 @@ type Store struct {
 
 	recon ReconStats
 
+	// recCount overrides the Health record count for merged window
+	// stores, whose Trace carries no records of its own (the stream
+	// keeps records per segment; the merge only sums their counts).
+	recCount int
+
 	// mu guards the lazily built shared indexes below. The per-threshold
 	// diagnosis indexes and the flow index are built once and immutable
 	// afterwards, so holders never need the lock to read them.
@@ -350,8 +355,12 @@ func (s *Store) ReconStats() ReconStats { return s.recon }
 // Health returns the merged trace-quality summary. Meaningful after
 // Reconstruct (before it, the recon counters are zero).
 func (s *Store) Health() Health {
+	n := len(s.Trace.Records)
+	if n == 0 {
+		n = s.recCount
+	}
 	return Health{
-		Records:   len(s.Trace.Records),
+		Records:   n,
 		Journeys:  len(s.Journeys),
 		Integrity: s.Trace.Integrity,
 		Recon:     s.recon,
@@ -410,9 +419,13 @@ func (s *Store) RecordObs(reg *obs.Registry) {
 
 // String renders a short summary.
 func (s *Store) String() string {
+	n := len(s.Trace.Records)
+	if n == 0 {
+		n = s.recCount
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "tracestore: %d records, %d journeys (%d matched, %d reordered, %d lookahead, %d unmatched)",
-		len(s.Trace.Records), len(s.Journeys),
+		n, len(s.Journeys),
 		s.recon.Matched, s.recon.Reordered, s.recon.LookaheadFix, s.recon.Unmatched)
 	return b.String()
 }

@@ -1,0 +1,826 @@
+package tracestore
+
+import (
+	"fmt"
+	"sort"
+
+	"microscope/internal/collector"
+	"microscope/internal/simtime"
+	"microscope/internal/stats"
+)
+
+// This file is the incremental sliding-window trace index: the streaming
+// counterpart to Build+Reconstruct+Index that stops rebuilding the world
+// every window.
+//
+// The stream partitions time into *epoch segments* along a fixed grid
+// derived from the monitor's window geometry (window W, overlap O). Two
+// boundary families exist:
+//
+//	flush boundaries  F = { k·W }       — a record at exactly k·W belongs
+//	                                      LEFT (the window it closes),
+//	                                      matching the monitor's
+//	                                      strictly-greater flush loop;
+//	retain boundaries R = { k·W − O }   — a record at exactly k·W−O
+//	                                      belongs RIGHT, matching the
+//	                                      monitor's At ≥ end−O overlap
+//	                                      retention.
+//
+// Every sliding window [end−W−O, end] is an exact union of grid segments,
+// and the eviction horizon end−W−O is always a boundary, so advancing the
+// window retires whole segments in O(1) — no survivor copying, ever.
+//
+// Each segment is sealed exactly once, when the watermark passes it: its
+// records are copied, Build+Reconstruct runs over just those records, and
+// mergeable summaries (exact per-NF delay moments, sorted delivered
+// latencies, trace end, queuing-period search arrays) are computed and
+// frozen. A window is then assembled by a pure concatenation merge of its
+// sealed segments — per-record work happens once per record, not once per
+// window it slides through.
+//
+// Window-assembly semantics: journeys are reconstructed within a segment,
+// so a packet whose hops straddle a segment boundary contributes one
+// (partial) journey per segment, and its dequeue legs on the far side
+// count as unmatched. This is a *shared* semantic of both the incremental
+// path and the cold reference rebuild (RebuildWindow), which re-runs
+// Build+Reconstruct per segment from the same retained records — the
+// equivalence contract ("byte-identical reports to a full rebuild of the
+// same window") is over this common grid.
+
+// StreamConfig fixes a stream's window geometry and index threshold.
+type StreamConfig struct {
+	// Window is the flush period W; window ends are multiples of it.
+	Window simtime.Duration
+	// Overlap is the retained-history overlap O carried across flushes.
+	// It may equal or exceed Window: the grid's retain-boundary lattice
+	// {k·W − O} is W-periodic in O, so a long analysis span sliding at a
+	// short reporting cadence (e.g. 1 ms alerts over 5 ms of context) is
+	// the same grid with a deeper retention horizon.
+	Overlap simtime.Duration
+	// QueueThreshold is the §7 period threshold the per-window index is
+	// assembled for (0 = the paper's base definition).
+	QueueThreshold int
+}
+
+// Segment is one sealed grid segment: an owned copy of its records, the
+// per-segment reconstructed store (compacted after sealing), and the
+// mergeable summaries the window assembly consumes. Shells are recycled
+// through the stream's free list; reset restamps the epoch and truncates
+// every buffer before reuse.
+type Segment struct {
+	// epoch is the generation stamp: monotonically increasing across the
+	// stream's lifetime, rewritten on every reuse so a stale reference to
+	// a recycled shell is detectable.
+	epoch uint64
+	// [lo, hi] grid span. point marks a degenerate dual-boundary segment
+	// owning exactly the instant lo == hi.
+	lo, hi simtime.Time
+	point  bool
+
+	// records is the owned copy of the segment's records, time-sorted.
+	records []collector.BatchRecord
+	// st is the segment-local reconstructed store. After sealing it is
+	// compacted: build-only tables (read/write/deliver entries, tuples,
+	// record→arrival maps) are dropped; journeys, arrivals, reads, and
+	// the warmed period index survive for the window merge.
+	st *Store
+
+	// Mergeable summaries, frozen at seal time.
+	moments   []stats.Moments // per segment-local CompID queue-delay moments
+	latencies []float64       // delivered latencies, ascending
+	traceEnd  simtime.Time    // latest non-skipped hop departure
+	bytes     int64           // retained-size estimate
+}
+
+// reset prepares a (possibly recycled) shell for reuse: restamp the
+// generation epoch and truncate every buffer. Reuse without this reset is
+// the bug class the mslint epochstamp analyzer exists to catch.
+func (g *Segment) reset(epoch uint64) {
+	g.epoch = epoch
+	g.lo, g.hi, g.point = 0, 0, false
+	g.records = g.records[:0]
+	g.st = nil
+	g.moments = g.moments[:0]
+	g.latencies = g.latencies[:0]
+	g.traceEnd = 0
+	g.bytes = 0
+}
+
+// StreamStats is the stream's accounting snapshot. The cumulative fields
+// are seal-time totals: every record is sealed into exactly one segment,
+// so unlike per-window health (whose overlap double-counts and whose
+// counters reset at watermark resyncs) they are monotone for the life of
+// the stream.
+type StreamStats struct {
+	// SealedSegments / DirtyComps / EvictedSegments describe the most
+	// recent Advance: segments sealed, distinct components that received
+	// records, segments retired.
+	SealedSegments  int
+	DirtyComps      int
+	EvictedSegments int
+
+	// EvictedTotal / RetainedSegments / RetainedBytes describe current
+	// retention.
+	EvictedTotal     int
+	RetainedSegments int
+	RetainedBytes    int64
+
+	// Records / Journeys / Recon / Integrity are cumulative seal-time
+	// totals (monotone).
+	Records   int64
+	Journeys  int64
+	Recon     ReconStats
+	Integrity collector.Integrity
+}
+
+// WindowRemap tells a memo holder how to translate state cached against
+// the previous Window() result onto the new one, or that it cannot.
+type WindowRemap struct {
+	// First marks the stream's first assembled window (nothing to carry).
+	First bool
+	// Compatible reports that the previous window's interner is a prefix
+	// of the new one, so previous CompIDs remain valid. When false,
+	// carried state must be dropped wholesale.
+	Compatible bool
+	// NewStart is the new window's data start (end − W − O): cached
+	// periods starting before it may reference evicted history.
+	NewStart simtime.Time
+	// JourneyShift is how many journeys were evicted since the previous
+	// window: carried journey indices shift down by it.
+	JourneyShift int
+	// ArrivalShift[comp] (indexed by *previous-window* CompID) is how
+	// many arrivals at comp were evicted since the previous window.
+	ArrivalShift []int32
+}
+
+// Stream is the retained sliding-window state: sealed segments in time
+// order, a recycled-shell free list, and cumulative accounting. It is not
+// goroutine-safe; the online monitor drives it from its single ingest
+// goroutine.
+type Stream struct {
+	meta collector.Meta
+	w, o simtime.Duration
+	thr  int
+
+	segs  []*Segment
+	free  []*Segment
+	epoch uint64
+
+	// sealedTo is the high watermark: records at or before it are sealed
+	// (flush-boundary typed: At == sealedTo belongs to sealed history).
+	sealedTo simtime.Time
+
+	last StreamStats
+
+	// Pending remap deltas accumulated by evictions since the last
+	// Window() call, keyed by component name so they survive interner
+	// changes between windows.
+	pendJourneyShift int
+	pendArrShift     map[string]int //mslint:allow compid remap bookkeeping across windows; keyed by name so deltas survive interner changes
+	prevNames        []string
+	prevByName       map[string]CompID //mslint:allow compid remap bookkeeping across windows; resolved once per window, not hot-path
+	havePrev         bool
+}
+
+// NewStream creates an empty stream for the given deployment meta and
+// window geometry. Window must be positive and Overlap non-negative.
+func NewStream(meta collector.Meta, cfg StreamConfig) (*Stream, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("stream: window must be positive, got %v", cfg.Window)
+	}
+	if cfg.Overlap < 0 {
+		return nil, fmt.Errorf("stream: overlap must be non-negative, got %v", cfg.Overlap)
+	}
+	if cfg.QueueThreshold < 0 {
+		cfg.QueueThreshold = 0
+	}
+	return &Stream{
+		meta: meta,
+		w:    cfg.Window,
+		o:    cfg.Overlap,
+		thr:  cfg.QueueThreshold,
+		// -1, not 0: a record at exactly t=0 is not yet sealed (no
+		// window has ever flushed), and Advance's already-sealed guard
+		// is boundary-typed (At <= sealedTo).
+		sealedTo:     -1,
+		pendArrShift: make(map[string]int), //mslint:allow compid remap bookkeeping across windows; keyed by name so deltas survive interner changes
+	}, nil
+}
+
+// SealedTo returns the stream's seal watermark.
+func (s *Stream) SealedTo() simtime.Time { return s.sealedTo }
+
+// Stats returns the current accounting snapshot.
+func (s *Stream) Stats() StreamStats { return s.last }
+
+// segOf returns the grid segment owning time t, by boundary arithmetic
+// (never a boundary walk, so a resync gap of any size costs nothing).
+func (s *Stream) segOf(t simtime.Time) (lo, hi simtime.Time, point bool) {
+	w, o := int64(s.w), int64(s.o)
+	tt := int64(t)
+	if tt < 0 {
+		tt = 0
+	}
+	onF := tt%w == 0
+	// t == 0 is an F boundary but has no window to its left; treating it
+	// as dual parks it in a point segment evicted on the normal schedule.
+	onR := o > 0 && ((tt+o)%w == 0 || tt == 0)
+	switch {
+	case onF && o == 0:
+		// No overlap: F and R coincide; every boundary is dual.
+		return t, t, true
+	case onF && onR:
+		return t, t, true
+	case onF:
+		// Flush boundary: belongs LEFT, segment ends here.
+		return simtime.Time(prevBoundary(tt, w, o)), t, false
+	case onR:
+		// Retain boundary: belongs RIGHT, segment starts here.
+		return t, simtime.Time(nextBoundary(tt, w, o)), false
+	default:
+		return simtime.Time(prevBoundary(tt, w, o)), simtime.Time(nextBoundary(tt, w, o)), false
+	}
+}
+
+// prevBoundary is the largest grid boundary < tt (clamped at 0).
+func prevBoundary(tt, w, o int64) int64 {
+	f := ((tt - 1) / w) * w // tt >= 1 when called off-boundary-left
+	if tt <= 0 {
+		return 0
+	}
+	b := f
+	if o > 0 {
+		if r := ((tt-1+o)/w)*w - o; r >= 0 && r > b {
+			b = r
+		}
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// nextBoundary is the smallest grid boundary > tt.
+func nextBoundary(tt, w, o int64) int64 {
+	b := ((tt + w) / w) * w // smallest multiple of w >= tt+1 for tt >= 0
+	if tt%w == 0 {
+		b = tt + w
+	}
+	if o > 0 {
+		if r := ((tt+o+w)/w)*w - o; r > tt && r < b {
+			b = r
+		}
+	}
+	return b
+}
+
+// Advance seals every record with sealedTo < At ≤ end into grid segments,
+// moves the watermark to end, and retires segments that fell wholly below
+// the retention horizon end − W − O. end must be a flush boundary (a
+// multiple of W); records already at or before the watermark are ignored
+// (they were sealed by an earlier Advance — the monitor's retained overlap
+// re-presents them every flush).
+func (s *Stream) Advance(end simtime.Time, recs []collector.BatchRecord) StreamStats {
+	s.last.SealedSegments = 0
+	s.last.DirtyComps = 0
+	s.last.EvictedSegments = 0
+
+	// Drop the already-sealed prefix/stragglers and anything beyond end.
+	live := recs[:0:0]
+	sorted := true
+	var prev simtime.Time
+	for i := range recs {
+		r := &recs[i]
+		if r.At <= s.sealedTo || r.At > end {
+			continue
+		}
+		if r.At < prev {
+			sorted = false
+		}
+		prev = r.At
+		live = append(live, *r)
+	}
+	if !sorted {
+		// Mirror sortedTrace: stable by At, counting inversions as
+		// resorts so the cumulative integrity stays meaningful.
+		n := 0
+		for i := 1; i < len(live); i++ {
+			if live[i].At < live[i-1].At {
+				n++
+			}
+		}
+		sort.SliceStable(live, func(i, j int) bool { return live[i].At < live[j].At })
+		s.last.Integrity.Resorted += n
+	}
+
+	dirty := make(map[string]struct{}) //mslint:allow compid dirty set spans segments whose CompIDs are per-segment; names are the stable identity
+	for start := 0; start < len(live); {
+		lo, hi, point := s.segOf(live[start].At)
+		stop := start + 1
+		for stop < len(live) {
+			l2, _, p2 := s.segOf(live[stop].At)
+			if l2 != lo || p2 != point {
+				break
+			}
+			stop++
+		}
+		s.seal(lo, hi, point, live[start:stop], dirty)
+		start = stop
+	}
+	s.last.DirtyComps = len(dirty)
+
+	if end > s.sealedTo {
+		s.sealedTo = end
+	}
+	s.evict(s.sealedTo - simtime.Time(s.w+s.o))
+
+	s.last.RetainedSegments = len(s.segs)
+	s.last.RetainedBytes = 0
+	for _, g := range s.segs {
+		s.last.RetainedBytes += g.bytes
+	}
+	return s.last
+}
+
+// seal builds one segment from its owned record copy and freezes its
+// mergeable summaries.
+func (s *Stream) seal(lo, hi simtime.Time, point bool, recs []collector.BatchRecord, dirty map[string]struct{}) { //mslint:allow compid dirty set spans segments whose CompIDs are per-segment; names are the stable identity
+	g := s.takeSegment()
+	g.lo, g.hi, g.point = lo, hi, point
+	g.records = append(g.records, recs...)
+
+	tr := &collector.Trace{Meta: s.meta, Records: g.records}
+	st := Build(tr)
+	st.Reconstruct()
+	g.st = st
+
+	// Per-NF delay moments, delivered latencies, trace end — the same
+	// scan buildIndex performs, but once per record instead of once per
+	// window the record slides through.
+	for len(g.moments) < len(st.views) {
+		g.moments = append(g.moments, stats.Moments{})
+	}
+	for i := range st.Journeys {
+		j := &st.Journeys[i]
+		for h := range j.Hops {
+			hop := &j.Hops[h]
+			if hop.ReadAt == 0 && hop.DepartAt == 0 {
+				continue
+			}
+			g.moments[hop.Comp].Add(int64(hop.ReadAt.Sub(hop.ArriveAt)))
+			if hop.DepartAt > g.traceEnd {
+				g.traceEnd = hop.DepartAt
+			}
+		}
+		if j.Delivered {
+			g.latencies = append(g.latencies, float64(j.Latency()))
+		}
+	}
+	sort.Float64s(g.latencies)
+
+	// Warm the queuing-period search arrays, then compact: build-only
+	// tables are dead weight once journeys and the period index exist.
+	for _, v := range st.views {
+		st.periodIndexOf(v)
+		if len(v.Arrivals) > 0 || len(v.Reads) > 0 {
+			dirty[v.Name] = struct{}{}
+		}
+		v.ReadEntries = nil
+		v.WriteEntries = nil
+		v.WriteDest = nil
+		v.DeliverEntries = nil
+		v.Tuples = nil
+	}
+	st.recDest = nil
+	st.arrBase = nil
+
+	g.bytes = g.sizeBytes()
+	s.segs = append(s.segs, g)
+	s.last.SealedSegments++
+	s.last.Records += int64(len(g.records))
+	s.last.Journeys += int64(len(st.Journeys))
+	addRecon(&s.last.Recon, st.recon)
+	addIntegrity(&s.last.Integrity, st.Trace.Integrity)
+}
+
+// takeSegment pops a recycled shell (or allocates one) and stamps it with
+// a fresh generation epoch via reset before handing it out.
+func (s *Stream) takeSegment() *Segment {
+	var g *Segment
+	if n := len(s.free); n > 0 {
+		g = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		g = &Segment{}
+	}
+	s.epoch++
+	g.reset(s.epoch)
+	return g
+}
+
+// evict retires segments wholly below start (the retention horizon) in
+// O(1) per segment, accumulating the remap deltas the next Window() call
+// hands to memo holders. start is always a grid boundary, so segments are
+// never split: a non-point segment survives iff any of it lies strictly
+// above start (its lo is then ≥ start by grid alignment), a point segment
+// iff its instant is still in [start, ...].
+func (s *Stream) evict(start simtime.Time) {
+	n := 0
+	for n < len(s.segs) {
+		g := s.segs[n]
+		keep := g.hi > start
+		if g.point {
+			keep = g.lo >= start
+		}
+		if keep {
+			break
+		}
+		s.pendJourneyShift += len(g.st.Journeys)
+		for _, v := range g.st.views {
+			if len(v.Arrivals) > 0 {
+				s.pendArrShift[v.Name] += len(v.Arrivals)
+			}
+		}
+		s.retire(g)
+		n++
+	}
+	if n > 0 {
+		s.segs = append(s.segs[:0], s.segs[n:]...)
+		s.last.EvictedSegments += n
+		s.last.EvictedTotal += n
+	}
+}
+
+// retire drops a segment's store and parks the shell on the free list.
+func (s *Stream) retire(g *Segment) {
+	g.st = nil
+	s.free = append(s.free, g)
+}
+
+// Window assembles the merged store for the window ending at end from the
+// retained sealed segments, with the diagnosis index preset from the
+// per-segment summaries (no re-scan of history), and returns the remap
+// that carries memo state forward from the previous Window() call.
+func (s *Stream) Window(end simtime.Time) (*Store, WindowRemap) {
+	stores := make([]*Store, len(s.segs))
+	for i, g := range s.segs {
+		stores[i] = g.st
+	}
+	m := s.mergeStores(stores, s.segs)
+
+	rm := WindowRemap{NewStart: end - simtime.Time(s.w+s.o)}
+	if !s.havePrev {
+		rm.First = true
+	} else {
+		rm.Compatible = namesPrefix(s.prevNames, m.names)
+		if rm.Compatible {
+			rm.JourneyShift = s.pendJourneyShift
+			rm.ArrivalShift = make([]int32, len(s.prevNames))
+			for name, d := range s.pendArrShift {
+				if id, ok := s.prevByName[name]; ok {
+					rm.ArrivalShift[id] = int32(d)
+				} else {
+					// An evicted component the previous window never
+					// interned cannot be remapped; drop wholesale.
+					rm.Compatible = false
+				}
+			}
+		}
+	}
+	s.pendJourneyShift = 0
+	clear(s.pendArrShift)
+	s.prevNames = m.names
+	s.prevByName = m.byName
+	s.havePrev = true
+	return m, rm
+}
+
+// RebuildWindow is the cold reference path: re-run Build+Reconstruct over
+// every retained segment's records and merge, with no summary reuse and
+// no preset index. The equivalence suite holds the incremental Window()
+// output to byte-identical reports against this.
+func (s *Stream) RebuildWindow() *Store {
+	stores := make([]*Store, len(s.segs))
+	for i, g := range s.segs {
+		tr := &collector.Trace{Meta: s.meta, Records: g.records}
+		st := Build(tr)
+		st.Reconstruct()
+		stores[i] = st
+	}
+	return s.mergeStores(stores, nil)
+}
+
+// namesPrefix reports whether prev is a prefix of cur.
+func namesPrefix(prev, cur []string) bool {
+	if len(prev) > len(cur) {
+		return false
+	}
+	for i := range prev {
+		if prev[i] != cur[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeStores concatenates per-segment stores into one fresh window store.
+// When segs is non-nil the diagnosis index is preset from the sealed
+// summaries (incremental path); when nil the merged store is left to build
+// its index by scanning (cold reference path). Both paths produce
+// identical journeys/arrivals/reads tables, and the preset index is
+// bit-identical to the scanned one: delay moments merge exactly
+// (stats.Moments), sorted-latency k-way merge equals sort-of-concat, and
+// the period arrays concatenate positionally.
+func (s *Stream) mergeStores(stores []*Store, segs []*Segment) *Store {
+	maxBatch := s.meta.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	m := &Store{
+		Trace:    &collector.Trace{Meta: s.meta},
+		MaxBatch: maxBatch,
+		byName:   make(map[string]CompID, len(s.meta.Components)+1), //mslint:allow compid this IS the merged-store interner, mirroring Build
+		srcID:    NoComp,
+	}
+	// Interner: declared components first (Build's stable order), then
+	// each segment's undeclared components in segment order — which is
+	// exactly the record-appearance order Build would intern them in.
+	for i := range s.meta.Components {
+		m.view(s.meta.Components[i].Name)
+	}
+	for _, e := range s.meta.Edges {
+		m.view(e.From)
+		m.view(e.To)
+	}
+	for _, st := range stores {
+		for _, v := range st.views {
+			m.view(v.Name)
+		}
+	}
+	n := len(m.views)
+
+	// Per-component meta tables, mirroring Build.
+	m.peaks = make([]simtime.Rate, n)
+	m.kinds = make([]string, n)
+	m.downs = make([][]CompID, n)
+	m.ups = make([][]CompID, n)
+	for id, v := range m.views {
+		m.kinds[id] = v.Name
+		if v.Meta != nil {
+			m.peaks[id] = v.Meta.PeakRate
+			if v.Meta.Kind != "" {
+				m.kinds[id] = v.Meta.Kind
+			}
+		}
+	}
+	for _, e := range s.meta.Edges {
+		from, to := m.byName[e.From], m.byName[e.To]
+		m.downs[from] = append(m.downs[from], to)
+		m.ups[to] = append(m.ups[to], from)
+	}
+	if id, ok := m.byName[collector.SourceName]; ok {
+		m.srcID = id
+	}
+
+	// Remap and offset tables: remap[k] maps segment-k CompIDs to merged
+	// ones; arrOff/readsOff[k][mid] are the merged-array positions where
+	// segment k's arrivals/reads at merged comp mid land; journeyOff[k]
+	// rebases journey indices.
+	K := len(stores)
+	remap := make([][]CompID, K)
+	arrOff := make([][]int32, K)
+	readsOff := make([][]int32, K)
+	entryOff := make([][]int, K)
+	journeyOff := make([]int, K)
+	arrCount := make([]int, n)
+	readCount := make([]int, n)
+	entryCount := make([]int, n)
+	totalJ, totalH, totalRec := 0, 0, 0
+	for k, st := range stores {
+		remap[k] = make([]CompID, len(st.views))
+		arrOff[k] = make([]int32, n)
+		readsOff[k] = make([]int32, n)
+		entryOff[k] = make([]int, n)
+		for _, v := range st.views {
+			mid := m.byName[v.Name]
+			remap[k][v.ID] = mid
+			arrOff[k][mid] = int32(arrCount[mid])
+			readsOff[k][mid] = int32(readCount[mid])
+			entryOff[k][mid] = entryCount[mid]
+			arrCount[mid] += len(v.Arrivals)
+			readCount[mid] += len(v.Reads)
+			for i := range v.Reads {
+				entryCount[mid] += v.Reads[i].N
+			}
+		}
+		journeyOff[k] = totalJ
+		totalJ += len(st.Journeys)
+		totalH += len(st.hopArena)
+		totalRec += len(st.Trace.Records)
+	}
+
+	for mid, mv := range m.views {
+		if arrCount[mid] > 0 {
+			mv.Arrivals = make([]Arrival, arrCount[mid])
+		}
+		if readCount[mid] > 0 {
+			mv.Reads = make([]ReadEvent, readCount[mid])
+		}
+	}
+	for k, st := range stores {
+		for _, v := range st.views {
+			mid := remap[k][v.ID]
+			mv := m.views[mid]
+			base := int(arrOff[k][mid])
+			for i, a := range v.Arrivals {
+				if a.From >= 0 {
+					a.From = remap[k][a.From]
+				}
+				if a.Journey >= 0 {
+					a.Journey += journeyOff[k]
+				}
+				mv.Arrivals[base+i] = a
+			}
+			rbase := int(readsOff[k][mid])
+			eoff := entryOff[k][mid]
+			for i, r := range v.Reads {
+				r.FirstEntry += eoff
+				mv.Reads[rbase+i] = r
+			}
+		}
+	}
+
+	// Journeys: concat into a fresh arena, remapping comp IDs and the
+	// arrival/read-event back-references onto the merged arrays.
+	m.Journeys = make([]Journey, 0, totalJ)
+	m.hopArena = make([]JourneyHop, totalH)
+	pos := 0
+	for k, st := range stores {
+		for i := range st.Journeys {
+			j := st.Journeys[i]
+			start := pos
+			for h := range j.Hops {
+				hop := j.Hops[h]
+				mid := remap[k][hop.Comp]
+				hop.Comp = mid
+				hop.Arrival += int(arrOff[k][mid])
+				if hop.ReadEvent >= 0 {
+					hop.ReadEvent += int(readsOff[k][mid])
+				}
+				m.hopArena[pos] = hop
+				pos++
+			}
+			j.Hops = m.hopArena[start:pos:pos]
+			m.Journeys = append(m.Journeys, j)
+		}
+		addRecon(&m.recon, st.recon)
+		addIntegrity(&m.Trace.Integrity, st.Trace.Integrity)
+	}
+	m.recCount = totalRec
+
+	if segs == nil {
+		return m
+	}
+
+	// Incremental extras: preset the queuing-period search arrays and the
+	// diagnosis index from the sealed summaries.
+	for mid, mv := range m.views {
+		pi := &periodIndex{readCum: make([]int, 0, readCount[mid]+1)}
+		pi.readCum = append(pi.readCum, 0)
+		if arrCount[mid] > 0 {
+			pi.arrivalTimes = make([]simtime.Time, 0, arrCount[mid])
+		}
+		if readCount[mid] > 0 {
+			pi.readTimes = make([]simtime.Time, 0, readCount[mid])
+		}
+		for _, st := range stores {
+			v := st.ViewID(compIDIn(st, m.names[mid]))
+			if v == nil {
+				continue
+			}
+			vp := v.pidx // warmed at seal time
+			if vp == nil {
+				vp = st.periodIndexOf(v)
+			}
+			pi.arrivalTimes = append(pi.arrivalTimes, vp.arrivalTimes...)
+			pi.drainTimes = append(pi.drainTimes, vp.drainTimes...)
+			pi.readTimes = append(pi.readTimes, vp.readTimes...)
+			for i := 1; i < len(vp.readCum); i++ {
+				pi.readCum = append(pi.readCum, pi.readCum[len(pi.readCum)-1]+vp.readCum[i]-vp.readCum[i-1])
+			}
+		}
+		mv.pidx = pi
+	}
+
+	ix := &Index{store: m, QueueThreshold: s.thr, delayStats: make([]stats.Moments, n)}
+	lats := make([][]float64, 0, K)
+	for k, g := range segs {
+		for c := range g.moments {
+			ix.delayStats[remap[k][c]].Merge(g.moments[c])
+		}
+		if g.traceEnd > ix.traceEnd {
+			ix.traceEnd = g.traceEnd
+		}
+		if len(g.latencies) > 0 {
+			lats = append(lats, g.latencies)
+		}
+	}
+	ix.sortedLatencies = mergeSortedFloats(lats)
+	ix.closures = m.buildClosures()
+	m.indexes = map[int]*Index{s.thr: ix}
+	if s.thr > 0 {
+		for _, mv := range m.views {
+			tl := m.timelineOf(mv)
+			tl.lastLEFor(s.thr)
+		}
+	}
+	return m
+}
+
+// compIDIn resolves name in a segment store (NoComp when absent).
+func compIDIn(st *Store, name string) CompID {
+	if id, ok := st.byName[name]; ok {
+		return id
+	}
+	return NoComp
+}
+
+// mergeSortedFloats k-way merges ascending runs into one ascending slice;
+// equal multisets make it value-identical to sorting the concatenation.
+func mergeSortedFloats(runs [][]float64) []float64 {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]float64, len(runs[0]))
+		copy(out, runs[0])
+		return out
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	cur := make([]float64, 0, total)
+	cur = append(cur, runs[0]...)
+	buf := make([]float64, 0, total)
+	for _, r := range runs[1:] {
+		buf = buf[:0]
+		i, j := 0, 0
+		for i < len(cur) && j < len(r) {
+			if cur[i] <= r[j] {
+				buf = append(buf, cur[i])
+				i++
+			} else {
+				buf = append(buf, r[j])
+				j++
+			}
+		}
+		buf = append(buf, cur[i:]...)
+		buf = append(buf, r[j:]...)
+		cur, buf = buf, cur
+	}
+	out := make([]float64, len(cur))
+	copy(out, cur)
+	return out
+}
+
+// sizeBytes estimates the segment's retained footprint (records + the
+// surviving compacted store arrays). An estimate, not an accounting —
+// used for the retained-bytes gauge and the steady-state heap bound.
+func (g *Segment) sizeBytes() int64 {
+	b := int64(len(g.records)) * 56
+	for i := range g.records {
+		b += int64(len(g.records[i].IPIDs))*2 + int64(len(g.records[i].Tuples))*16
+	}
+	if g.st != nil {
+		b += int64(len(g.st.hopArena)) * 56
+		b += int64(len(g.st.Journeys)) * 72
+		for _, v := range g.st.views {
+			b += int64(len(v.Arrivals)) * 24
+			b += int64(len(v.Reads)) * 32
+			if v.pidx != nil {
+				b += int64(len(v.pidx.arrivalTimes)+len(v.pidx.drainTimes)+len(v.pidx.readTimes))*8 + int64(len(v.pidx.readCum))*8
+			}
+		}
+	}
+	b += int64(len(g.latencies)) * 8
+	b += int64(len(g.moments)) * 32
+	return b
+}
+
+func addRecon(dst *ReconStats, src ReconStats) {
+	dst.Matched += src.Matched
+	dst.Reordered += src.Reordered
+	dst.LookaheadFix += src.LookaheadFix
+	dst.Unmatched += src.Unmatched
+	dst.DupCollisions += src.DupCollisions
+	dst.Quarantined += src.Quarantined
+}
+
+func addIntegrity(dst *collector.Integrity, src collector.Integrity) {
+	dst.DecodeSkipped += src.DecodeSkipped
+	dst.DecodeResyncs += src.DecodeResyncs
+	dst.Resorted += src.Resorted
+	dst.DroppedRecords += src.DroppedRecords
+	dst.TruncatedRecords += src.TruncatedRecords
+}
