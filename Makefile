@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all bench-stream scale-check stream-check obs-smoke soak soak-smoke
+.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all bench-stream scale-check stream-check obs-smoke soak soak-smoke serve-smoke
 
 # The full pre-submit gate.
-check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke soak-smoke stream-check
+check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke soak-smoke stream-check serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -109,3 +109,12 @@ soak:
 # pre-submit gate and CI.
 soak-smoke:
 	$(GO) test -race -short -timeout 10m ./internal/resilience/chaostest
+
+# The serving tier's fast gate under -race: the msserve daemon smoke
+# (boot tenant from a spec file, HTTP ingest/report, graceful drain),
+# the HTTP API lifecycle, the backpressure contract, and the hook
+# runner's retry/breaker/containment behaviour. The heavyweight
+# 8-tenant fingerprint-isolation soak runs in `make race` with the rest
+# of the suite.
+serve-smoke:
+	$(GO) test -race -timeout 10m -run 'TestServeSmoke|TestServeHTTPLifecycle|TestServeBinaryIngest|TestBackpressure|TestShutdownUnderLoad|TestHook' ./cmd/msserve ./internal/serve

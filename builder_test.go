@@ -83,7 +83,7 @@ func TestBuilderDiagnosisWorks(t *testing.T) {
 		d := DiagnoseOne(st, Victim{
 			Journey: i, Comp: "vpn", ArriveAt: hop.ArriveAt,
 			QueueDelay: hop.ReadAt.Sub(hop.ArriveAt),
-		}, DiagnosisConfig{})
+		})
 		checked++
 		if len(d.Causes) > 0 && d.Causes[0].Comp == "nat" && d.Causes[0].Kind == CulpritLocalProcessing {
 			blamed++
@@ -154,7 +154,7 @@ func TestReportRenderSmoke(t *testing.T) {
 	wl.InjectBurst(Burst{At: Time(simtime.Millisecond), Flow: wl.PickFlow(0), Count: 500})
 	dep.Replay(wl)
 	dep.Run(50 * simtime.Millisecond)
-	rep := Diagnose(dep.Trace(), DiagnosisConfig{})
+	rep := Diagnose(dep.Trace())
 	out := rep.Render()
 	for _, want := range []string{"Microscope report", "victims diagnosed", "Top culprits"} {
 		if !strings.Contains(out, want) {

@@ -23,6 +23,7 @@ import (
 	"microscope/internal/plot"
 	"microscope/internal/report"
 	"microscope/internal/simtime"
+	"microscope/internal/spec"
 )
 
 func main() {
@@ -39,8 +40,21 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot aggregated across all runs to this file on exit")
+		specPath   = flag.String("spec", "", "load engine knobs from this pipeline spec (explicit flags override it)")
 	)
 	flag.Parse()
+	if *specPath != "" {
+		sp, err := spec.Load(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs := sp.Resolved()
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["workers"] {
+			*workers = rs.Diagnosis.Workers
+		}
+	}
 	if *fig == "" && !*all {
 		flag.Usage()
 		return

@@ -4,6 +4,13 @@
 //
 //	msdiag -trace /tmp/trace -threshold 0.01 -percentile 99
 //
+// Engine knobs can also come from a declarative pipeline spec (the same
+// document msserve tenants are created from): -spec file.json loads it,
+// and any flag given explicitly on the command line overrides the spec's
+// value. -dump-spec prints the fully resolved spec for the effective
+// configuration and exits — the round trip from flags to a document a
+// tenant can be created with.
+//
 // With -netmedic it additionally prints the baseline's per-victim ranking
 // for comparison.
 package main
@@ -26,6 +33,7 @@ import (
 	"microscope/internal/patterns"
 	"microscope/internal/pipeline"
 	"microscope/internal/simtime"
+	"microscope/internal/spec"
 	"microscope/internal/tracestore"
 )
 
@@ -50,8 +58,54 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, histograms, spans) to this file on exit")
+		specPath   = flag.String("spec", "", "load engine knobs from this pipeline spec (explicit flags override it)")
+		dumpSpec   = flag.Bool("dump-spec", false, "print the resolved pipeline spec for the effective configuration and exit")
 	)
 	flag.Parse()
+
+	// Spec-or-flags precedence: the spec supplies defaults, any flag the
+	// user typed wins. flag.Visit only sees explicitly-set flags.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	sp := &spec.PipelineSpec{Version: spec.Version}
+	if *specPath != "" {
+		loaded, err := spec.Load(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp = loaded.Resolved()
+		if !set["percentile"] {
+			*percentile = sp.Diagnosis.VictimPercentile
+		}
+		if !set["max-victims"] {
+			*maxVictims = sp.Diagnosis.MaxVictims
+		}
+		if !set["threshold"] {
+			*threshold = sp.Diagnosis.PatternThreshold
+		}
+		if !set["workers"] {
+			*workers = sp.Diagnosis.Workers
+		}
+		if !set["force-loss"] {
+			*forceLoss = sp.Diagnosis.LossVictimsWhenDegraded
+		}
+	}
+	if *dumpSpec {
+		sp.Diagnosis.VictimPercentile = *percentile
+		sp.Diagnosis.MaxVictims = *maxVictims
+		sp.Diagnosis.PatternThreshold = *threshold
+		sp.Diagnosis.Workers = *workers
+		sp.Diagnosis.LossVictimsWhenDegraded = *forceLoss
+		if err := sp.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		doc, err := sp.Resolved().Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(doc)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -18,8 +18,14 @@
 // pending windows are flushed, final stats printed, and the HTTP server
 // shut down gracefully.
 //
+// Streaming geometry, alerting, and resilience knobs can also come from
+// a declarative pipeline spec (the same document msserve tenants use):
+// -spec file.json loads it, and any flag given explicitly on the command
+// line overrides the spec's value.
+//
 //	mslive -dur 500ms -window 100ms
 //	mslive -dur 2s -listen :9090 -hold 30s -ring-cap 200000 -window-deadline 2s
+//	mslive -dur 2s -spec tenant.json
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"microscope/internal/online"
 	"microscope/internal/resilience"
 	"microscope/internal/simtime"
+	"microscope/internal/spec"
 	"microscope/internal/traffic"
 )
 
@@ -63,8 +70,44 @@ func main() {
 		deadline = flag.Duration("window-deadline", 0, "wall-clock budget per analysis window; an overrunning window is skipped and counted (0 = none)")
 		maxMem   = flag.Int64("max-mem", 0, "heap hard watermark in MiB; crossing half of it degrades diagnosis one rung, crossing it two (0 = off)")
 		incr     = flag.Bool("incremental", true, "use the incremental sliding-window index (seal each record once, carry the diagnosis memo) instead of rebuilding every window")
+		specPath = flag.String("spec", "", "load streaming/resilience knobs from this pipeline spec (explicit flags override it)")
 	)
 	flag.Parse()
+
+	if *specPath != "" {
+		sp, err := spec.Load(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs := sp.Resolved()
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["window"] {
+			// The monitor's analysis window is the spec's flush cadence.
+			*window = rs.Stream.Slide.Std()
+		}
+		if !set["min-score"] {
+			*minScore = rs.Stream.MinScore
+		}
+		if !set["workers"] {
+			*workers = rs.Diagnosis.Workers
+		}
+		if !set["incremental"] && rs.Stream.Incremental != nil {
+			*incr = *rs.Stream.Incremental
+		}
+		if !set["ring-cap"] {
+			*ringCap = rs.Resilience.RingCapacity
+		}
+		if !set["shed-policy"] && rs.Resilience.ShedPolicy != "" {
+			*shedPol = rs.Resilience.ShedPolicy
+		}
+		if !set["window-deadline"] {
+			*deadline = rs.Resilience.WindowDeadline.Std()
+		}
+		if !set["max-mem"] {
+			*maxMem = rs.Resilience.MaxMemBytes >> 20
+		}
+	}
 
 	policy, err := resilience.ParseShedPolicy(*shedPol)
 	if err != nil {

@@ -1,0 +1,118 @@
+// Command msserve is Microscope as a service: one daemon hosting many
+// concurrent diagnosis tenants, each a self-contained pipeline described
+// by a declarative JSON spec uploaded over HTTP. Tenants are created with
+// a spec (stage selection, engine knobs, streaming geometry, resilience,
+// topology, remediation hooks), fed collector records in batches or as a
+// binary stream, and queried for per-window reports and alerts. Each
+// tenant owns its own incremental stream state behind bounded ingest; a
+// full ingest queue answers 429 + Retry-After instead of buffering
+// without bound, and ranked-culprit changes fire the spec's webhook/exec
+// remediation hooks with capped backoff and a circuit breaker.
+//
+//	msserve -listen :9090
+//	curl -X PUT --data-binary @tenant.json localhost:9090/tenants/acme
+//	curl -X POST --data-binary @records.json localhost:9090/tenants/acme/records
+//	curl localhost:9090/tenants/acme/report
+//
+// SIGINT/SIGTERM shut down gracefully: every tenant's stream drains (the
+// final partial window is flushed, hooks quiesce) before the HTTP server
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"microscope/internal/serve"
+	"microscope/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msserve: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable daemon body: ready (when non-nil) receives the
+// bound listen address once the API is serving, and ctx cancellation
+// triggers the graceful multi-tenant drain.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("msserve", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", ":9090", "serve the tenant API on this address")
+		maxTenants = fs.Int("max-tenants", serve.DefaultMaxTenants, "bound on concurrent tenants")
+		specPath   = fs.String("spec", "", "create this tenant at boot from a spec file (spec.tenant names it)")
+		drainTO    = fs.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain of all tenants")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(serve.ServerConfig{MaxTenants: *maxTenants})
+	if *specPath != "" {
+		sp, err := spec.Load(*specPath)
+		if err != nil {
+			return err
+		}
+		id := sp.Tenant
+		if id == "" {
+			return fmt.Errorf("%s: spec.tenant must name the boot tenant", *specPath)
+		}
+		if _, err := srv.Create(id, sp); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "tenant %s created from %s\n", id, *specPath)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "serving tenant API on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful multi-tenant drain: every tenant's queue empties and its
+	// final partial window flushes, hooks quiesce, and only then does the
+	// HTTP server close — so a client that got a 202 never loses that
+	// ingest to shutdown.
+	fmt.Fprintln(stdout, "draining tenants...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stdout, "drain: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	for _, st := range srv.List() {
+		fmt.Fprintf(stdout, "tenant %s: windows=%d victims=%d alerts=%d shed=%d\n",
+			st.ID, st.Stats.Windows, st.Stats.Victims, st.Stats.Alerts, st.Stats.RecordsShed)
+	}
+	fmt.Fprintln(stdout, "bye")
+	return nil
+}

@@ -27,7 +27,7 @@ func ExampleDiagnose() {
 	dep.Replay(wl)
 	dep.Run(100 * microscope.Millisecond)
 
-	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+	rep := microscope.Diagnose(dep.Trace())
 	top := rep.TopCauses(1)
 	fmt.Printf("top culprit: %s/%s\n", top[0].Comp, top[0].Kind)
 	// Output: top culprit: source/traffic
@@ -74,7 +74,7 @@ func ExampleDeployment_InjectBug() {
 	dep.Replay(wl)
 	dep.Run(100 * microscope.Millisecond)
 
-	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+	rep := microscope.Diagnose(dep.Trace())
 	top := rep.TopCauses(1)
 	fmt.Printf("verdict: %s/%s\n", top[0].Comp, top[0].Kind)
 	// Output: verdict: fw1/processing

@@ -56,7 +56,7 @@ func main() {
 	dep.Replay(wl)
 	dep.Run(200 * microscope.Millisecond)
 
-	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+	rep := microscope.Diagnose(dep.Trace())
 	fmt.Print(rep.Render())
 
 	// The verdict the blame game needed: the firewall's local

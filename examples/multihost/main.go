@@ -54,7 +54,7 @@ func main() {
 	st := microscope.Reconstruct(fixed)
 	fmt.Printf("with alignment:    %s\n", st.String())
 
-	rep := microscope.DiagnoseStore(st, microscope.DiagnosisConfig{})
+	rep := microscope.DiagnoseStore(st)
 	fmt.Println()
 	fmt.Print(rep.Render())
 

@@ -98,7 +98,7 @@ func main() {
 		d := microscope.DiagnoseOne(st, microscope.Victim{
 			Journey: i, Comp: "vpn", ArriveAt: hop.ArriveAt, QueueDelay: delay,
 			Tuple: j.Tuple, HasTuple: true,
-		}, microscope.DiagnosisConfig{})
+		})
 		if len(d.Causes) > 0 && d.Causes[0].Comp == "nat" &&
 			d.Causes[0].Kind == microscope.CulpritLocalProcessing {
 			natBlamed++
@@ -108,7 +108,7 @@ func main() {
 		flowAVictims, natBlamed)
 
 	// The full report over all victims tells the same story.
-	rep := microscope.DiagnoseStore(st, microscope.DiagnosisConfig{})
+	rep := microscope.DiagnoseStore(st)
 	fmt.Println()
 	fmt.Print(rep.Render())
 }

@@ -43,7 +43,7 @@ func main() {
 
 	// 4. Diagnose: journey reconstruction, queuing-period analysis,
 	//    pattern aggregation.
-	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+	rep := microscope.Diagnose(dep.Trace())
 	fmt.Println()
 	fmt.Print(rep.Render())
 

@@ -41,10 +41,9 @@ func main() {
 	fmt.Printf("replayed %d packets at 1.6 Mpps; %d delivered, %d dropped\n",
 		st.Emitted, st.Delivered, st.Dropped)
 
-	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{
-		VictimPercentile: 99.9,
-		MaxVictims:       500,
-	})
+	rep := microscope.Diagnose(dep.Trace(),
+		microscope.WithVictimPercentile(99.9),
+		microscope.WithMaxVictims(500))
 	fmt.Printf("\ndiagnosed %d tail-latency victims\n", len(rep.Diagnoses))
 
 	// How many victims were hurt by a different NF than the one where

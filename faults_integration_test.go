@@ -38,7 +38,7 @@ func TestDiagnosisSurvivesRecordLoss(t *testing.T) {
 	}
 	tr, _ := evalRunWithInterrupt(t)
 
-	lossless := Diagnose(tr, DiagnosisConfig{})
+	lossless := Diagnose(tr)
 	want := lossless.TopCauses(1)
 	if len(want) == 0 {
 		t.Fatal("lossless run found no culprits")
@@ -52,7 +52,7 @@ func TestDiagnosisSurvivesRecordLoss(t *testing.T) {
 		if fst.Dropped == 0 {
 			t.Fatalf("rate %.2f: nothing dropped", rate)
 		}
-		rep := Diagnose(lossy, DiagnosisConfig{})
+		rep := Diagnose(lossy)
 		h := rep.Health
 		if !h.Degraded() {
 			t.Fatalf("rate %.2f: lossy trace not reported degraded: %v", rate, h)
@@ -112,7 +112,7 @@ func TestDiagnosisSurvivesStreamCorruption(t *testing.T) {
 	if damaged.Integrity.DecodeSkipped == 0 {
 		t.Skip("bit flips landed harmlessly at this seed/rate")
 	}
-	rep := Diagnose(damaged, DiagnosisConfig{})
+	rep := Diagnose(damaged)
 	if !rep.Health.Degraded() {
 		t.Fatalf("corrupted stream not reported degraded: %v", rep.Health)
 	}
@@ -140,7 +140,7 @@ func TestDiagnosisUnderCombinedFaults(t *testing.T) {
 	if fst.Dropped == 0 || fst.Truncated == 0 || fst.Duplicated == 0 || fst.Reordered == 0 || fst.Skewed == 0 {
 		t.Fatalf("fault models inactive: %+v", fst)
 	}
-	rep := Diagnose(lossy, DiagnosisConfig{})
+	rep := Diagnose(lossy)
 	if rep.Health.Records == 0 {
 		t.Fatalf("empty health: %v", rep.Health)
 	}

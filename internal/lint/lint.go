@@ -14,6 +14,7 @@ import (
 	"microscope/internal/lint/obssafe"
 	"microscope/internal/lint/poolreset"
 	"microscope/internal/lint/sorttotal"
+	"microscope/internal/lint/specconfig"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -26,5 +27,6 @@ func Analyzers() []*analysis.Analyzer {
 		obssafe.Analyzer,
 		poolreset.Analyzer,
 		sorttotal.Analyzer,
+		specconfig.Analyzer,
 	}
 }

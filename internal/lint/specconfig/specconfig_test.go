@@ -1,0 +1,12 @@
+package specconfig_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/specconfig"
+)
+
+func TestSpecConfig(t *testing.T) {
+	analysistest.Run(t, specconfig.Analyzer, "a")
+}

@@ -1,0 +1,46 @@
+// Package a is the specconfig analyzer fixture: library code reaching
+// for the command line or the environment instead of explicit config.
+package a
+
+import (
+	"flag"
+	"os"
+)
+
+// Config is how a library package should take its knobs.
+type Config struct {
+	Threshold float64
+	TraceDir  string
+}
+
+var threshold = flag.Float64("threshold", 0.01, "nope") // want `flag\.Float64 in library package`
+
+func parseArgs() {
+	fs := flag.NewFlagSet("lib", flag.ContinueOnError) // want `flag\.NewFlagSet in library package`
+	dir := fs.String("dir", "", "nope")                // want `flag\.String in library package`
+	fs.Parse(os.Args[1:])                              // want `flag\.Parse in library package`
+	_, _ = dir, threshold
+}
+
+func fromEnv() Config {
+	c := Config{TraceDir: os.Getenv("MS_TRACE_DIR")} // want `os\.Getenv in library package`
+	if v, ok := os.LookupEnv("MS_THRESHOLD"); ok {   // want `os\.LookupEnv in library package`
+		_ = v
+	}
+	for range os.Environ() { // want `os\.Environ in library package`
+	}
+	_ = os.ExpandEnv("$HOME/trace") // want `os\.ExpandEnv in library package`
+	return c
+}
+
+//mslint:allow specconfig test-only escape hatch documented in the helper
+var debugEnv = os.Getenv("MS_DEBUG")
+
+// Plain os use that is not environment state stays legal.
+func fileIO(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

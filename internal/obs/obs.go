@@ -21,6 +21,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,10 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	tracer   *Tracer
+	// labels, when non-empty, is a rendered Prometheus label list (e.g.
+	// `tenant="acme"`) merged into every metric name at registration —
+	// the per-tenant dimension the serving tier multiplexes on.
+	labels string
 }
 
 // New creates an empty registry with a default-capacity span tracer.
@@ -70,6 +75,62 @@ func New() *Registry {
 	}
 }
 
+// NewLabeled creates a registry that stamps every metric registered
+// through it with the given label pairs (key, value, key, value, ...).
+// Instrumented code keeps using plain metric names; a labeled registry
+// turns `microscope_monitor_records_total` into
+// `microscope_monitor_records_total{tenant="acme"}`, and names that
+// already carry labels get the pairs merged in front. This is how one
+// process hosting many tenants keeps their series apart without threading
+// a label argument through every instrument site.
+func NewLabeled(kv ...string) *Registry {
+	r := New()
+	r.labels = renderLabels(kv)
+	return r
+}
+
+// Labels returns the registry's rendered label list ("" when unlabeled or
+// nil).
+func (r *Registry) Labels() string {
+	if r == nil {
+		return ""
+	}
+	return r.labels
+}
+
+// renderLabels formats pairs as a Prometheus label list body. Values are
+// escaped per the exposition format (backslash, quote, newline). An odd
+// trailing key is ignored.
+func renderLabels(kv []string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		v := kv[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// decorate merges the registry's labels into a metric name. Called with
+// the registration mutex NOT required (pure function of the name).
+func (r *Registry) decorate(name string) string {
+	if r.labels == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i+1] + r.labels + "," + name[i+1:]
+	}
+	return name + "{" + r.labels + "}"
+}
+
 // Counter returns the named counter, registering it on first use. Names
 // may carry a Prometheus label suffix, e.g.
 // `microscope_pipeline_stage_ns{stage="index"}`; the label set is treated
@@ -78,6 +139,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	name = r.decorate(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.counters[name]
@@ -94,6 +156,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	name = r.decorate(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g := r.gauges[name]
@@ -110,6 +173,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	name = r.decorate(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.hists[name]

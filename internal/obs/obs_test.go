@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -220,5 +221,57 @@ func BenchmarkObsHistogram(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(time.Duration(i))
+	}
+}
+
+// TestLabeledRegistry checks the per-tenant label dimension: a labeled
+// registry decorates every metric name with its label pairs, merging into
+// existing label sets, and the exposition formats stay well-formed.
+func TestLabeledRegistry(t *testing.T) {
+	r := NewLabeled("tenant", "acme")
+	if got := r.Labels(); got != `tenant="acme"` {
+		t.Fatalf("Labels() = %q", got)
+	}
+	r.Counter("microscope_monitor_records_total").Add(3)
+	r.Gauge(`microscope_pipeline_stage_ns{stage="index"}`).Set(7)
+	r.Histogram("microscope_window_ns").Observe(time.Microsecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`microscope_monitor_records_total{tenant="acme"} 3`,
+		`microscope_pipeline_stage_ns{tenant="acme",stage="index"} 7`,
+		`microscope_window_ns_count{tenant="acme"} 1`,
+		`microscope_window_ns_bucket{tenant="acme",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same plain name, two labeled registries: independent series.
+	r2 := NewLabeled("tenant", "beta")
+	r2.Counter("microscope_monitor_records_total").Add(5)
+	if v := r.Counter("microscope_monitor_records_total").Value(); v != 3 {
+		t.Errorf("label bleed: acme counter = %d, want 3", v)
+	}
+
+	// Label values are escaped, not trusted.
+	re := NewLabeled("tenant", `ev"il\`+"\n")
+	re.Counter("x").Inc()
+	var eb strings.Builder
+	if err := re.WritePrometheus(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `x{tenant="ev\"il\\\n"} 1`; !strings.Contains(eb.String(), want) {
+		t.Errorf("escaping: got %q, want contains %q", eb.String(), want)
+	}
+
+	// An unlabeled registry is unchanged.
+	if New().Labels() != "" || (*Registry)(nil).Labels() != "" {
+		t.Error("unlabeled/nil registry must report empty labels")
 	}
 }

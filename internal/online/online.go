@@ -74,6 +74,13 @@ type Config struct {
 	// pre-resilience behaviour (unbounded buffering, full diagnosis,
 	// panics propagate).
 	Resilience resilience.Config
+	// OnWindow, when non-nil, observes every successfully diagnosed
+	// window: the flush boundary and the full pipeline Result, before
+	// alert merging. Called synchronously from the feed goroutine — the
+	// serving tier captures per-window reports (and their fingerprints)
+	// here. Skipped and quarantined windows never fire it; they produce
+	// no Result.
+	OnWindow func(end simtime.Time, res *pipeline.Result)
 	// ChaosHook, when non-nil, fires with scope "window:<n>" before each
 	// window's analysis and is forwarded into the per-window pipeline
 	// (scopes "stage:<name>" and "victim:<i>"). The chaos harness injects
@@ -596,6 +603,9 @@ func (m *Monitor) flushWindow() []Alert {
 	diags := res.Diagnoses
 	m.stats.Victims += len(diags)
 	m.obsVictims.Add(int64(len(diags)))
+	if m.cfg.OnWindow != nil {
+		m.cfg.OnWindow(end, res)
+	}
 
 	// Merge culprits across the window's victims.
 	type acc struct {

@@ -27,7 +27,7 @@ func BenchmarkDiagnosePipeline(b *testing.B) {
 			b.ReportAllocs() // bytes/op and allocs/op always, -benchmem or not
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rep := microscope.DiagnoseStore(st, microscope.DiagnosisConfig{MaxVictims: 300, Workers: w})
+				rep := microscope.DiagnoseStore(st, microscope.WithMaxVictims(300), microscope.WithWorkers(w))
 				victims = len(rep.Diagnoses)
 			}
 			b.ReportMetric(float64(victims)*float64(b.N)/b.Elapsed().Seconds(), "victims/s")

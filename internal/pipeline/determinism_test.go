@@ -87,7 +87,7 @@ func TestPipelineDeterminism(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			tr := buildTrace(seed, dur)
 
-			cfg := microscope.DiagnosisConfig{MaxVictims: 300}
+			cfg := microscope.Options{MaxVictims: 300}
 			cfg.Workers = 1
 			seq := microscope.Diagnose(tr, cfg)
 			cfg.Workers = 8
@@ -230,7 +230,7 @@ func TestPipelineStages(t *testing.T) {
 		dur = 8 * simtime.Millisecond
 	}
 	tr := buildTrace(3, dur)
-	rep := microscope.Diagnose(tr, microscope.DiagnosisConfig{MaxVictims: 100})
+	rep := microscope.Diagnose(tr, microscope.WithMaxVictims(100))
 	want := []string{"reconstruct", "index", "victims", "diagnose", "patterns"}
 	if len(rep.Stages) != len(want) {
 		t.Fatalf("got %d stages, want %d: %+v", len(rep.Stages), len(want), rep.Stages)

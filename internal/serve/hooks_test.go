@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"microscope/internal/obs"
+	"microscope/internal/online"
+	"microscope/internal/resilience"
+	"microscope/internal/simtime"
+	"microscope/internal/spec"
+)
+
+func testAlert(score float64) online.Alert {
+	return online.Alert{
+		WindowEnd: simtime.Time(100 * simtime.Millisecond),
+		Comp:      "fw1",
+		Score:     score,
+		Victims:   7,
+		Onset:     simtime.Time(42 * simtime.Millisecond),
+	}
+}
+
+// runnerHarness wires a hookRunner to fake transports and a fake clock.
+type runnerHarness struct {
+	mu     sync.Mutex
+	posts  []string // delivered payloads
+	execs  [][]string
+	fail   int // fail this many deliveries before succeeding
+	failed int
+	sleeps []time.Duration
+	now    time.Time
+	reg    *obs.Registry
+	r      *hookRunner
+}
+
+func newRunnerHarness(t *testing.T, hooks []spec.HookSpec, retry resilience.RetryPolicy) *runnerHarness {
+	t.Helper()
+	h := &runnerHarness{reg: obs.New(), now: time.Unix(1000, 0)}
+	env := hookEnv{
+		post: func(_ context.Context, url string, body []byte) error {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if h.failed < h.fail {
+				h.failed++
+				return errors.New("receiver down")
+			}
+			h.posts = append(h.posts, string(body))
+			return nil
+		},
+		run: func(_ context.Context, argv []string, body []byte) error {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			h.execs = append(h.execs, append([]string{string(body)}, argv...))
+			return nil
+		},
+		now: func() time.Time {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return h.now
+		},
+		sleep: func(d time.Duration) {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			h.sleeps = append(h.sleeps, d)
+		},
+	}
+	h.r = newHookRunner("acme", hooks, retry, h.reg, env)
+	t.Cleanup(func() { h.r.quiesce(context.Background()) })
+	return h
+}
+
+func (h *runnerHarness) deliverAndWait(t *testing.T, alerts []online.Alert) {
+	t.Helper()
+	h.r.fire(alerts)
+	if err := h.r.quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (h *runnerHarness) counter(name string) int64 { return h.reg.Counter(name).Value() }
+
+// TestHookDeliveryAndPayload: a webhook fires once per qualifying alert
+// with the full payload; a below-threshold alert is filtered.
+func TestHookDeliveryAndPayload(t *testing.T) {
+	h := newRunnerHarness(t, []spec.HookSpec{
+		{Name: "pager", Type: "webhook", URL: "http://pager/hook", MinScore: 500},
+	}, resilience.RetryPolicy{})
+	h.deliverAndWait(t, []online.Alert{testAlert(900), testAlert(100)})
+
+	if len(h.posts) != 1 {
+		t.Fatalf("%d deliveries, want 1 (MinScore must filter)", len(h.posts))
+	}
+	var p HookPayload
+	if err := json.Unmarshal([]byte(h.posts[0]), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Tenant != "acme" || p.Hook != "pager" || p.Comp != "fw1" || p.Score != 900 || p.Victims != 7 {
+		t.Fatalf("payload: %+v", p)
+	}
+	if got := h.counter("microscope_hooks_fired_total"); got != 1 {
+		t.Fatalf("fired counter = %d", got)
+	}
+}
+
+// TestHookRetryBackoff: transient failures are retried with backoff and
+// the delivery ultimately succeeds without counting as a hook failure.
+func TestHookRetryBackoff(t *testing.T) {
+	h := newRunnerHarness(t, []spec.HookSpec{
+		{Name: "flaky", Type: "webhook", URL: "http://flaky/hook"},
+	}, resilience.RetryPolicy{MaxAttempts: 4, Base: time.Millisecond, Seed: 1})
+	h.fail = 2
+	h.deliverAndWait(t, []online.Alert{testAlert(900)})
+
+	if len(h.posts) != 1 {
+		t.Fatalf("%d successful deliveries, want 1", len(h.posts))
+	}
+	if len(h.sleeps) != 2 {
+		t.Fatalf("%d backoff sleeps, want 2 (two transient failures)", len(h.sleeps))
+	}
+	if h.sleeps[1] <= h.sleeps[0] {
+		t.Fatalf("backoff did not grow: %v", h.sleeps)
+	}
+	if got := h.counter("microscope_hooks_failed_total"); got != 0 {
+		t.Fatalf("failed counter = %d after a recovered delivery", got)
+	}
+}
+
+// TestHookBreaker: maxFailures exhausted deliveries open the breaker
+// (subsequent alerts are counted, not attempted); after the cooldown a
+// half-open probe goes out, and its success closes the breaker again.
+func TestHookBreaker(t *testing.T) {
+	hook := spec.HookSpec{
+		Name: "dead", Type: "webhook", URL: "http://dead/hook",
+		MaxFailures: 2,
+		Cooldown:    spec.Duration(30 * time.Second),
+	}
+	// MaxAttempts 1: no in-delivery retries, so each alert is one attempt.
+	h := newRunnerHarness(t, []spec.HookSpec{hook}, resilience.RetryPolicy{MaxAttempts: 1})
+	h.fail = 1 << 30 // receiver stays down
+
+	h.r.fire([]online.Alert{testAlert(900), testAlert(901)}) // opens the breaker
+	h.r.fire([]online.Alert{testAlert(902)})                 // breaker short-circuits
+	// Wait for the queue to drain without closing it: poll the counters.
+	waitFor(t, func() bool {
+		return h.counter("microscope_hooks_breaker_open_total") == 1
+	}, "breaker never short-circuited")
+	if got := h.counter("microscope_hooks_failed_total"); got != 2 {
+		t.Fatalf("failed counter = %d, want 2", got)
+	}
+	h.mu.Lock()
+	attempted := h.failed
+	h.mu.Unlock()
+	if attempted != 2 {
+		t.Fatalf("receiver saw %d attempts, want 2 (third alert must not reach it)", attempted)
+	}
+
+	// Cooldown elapses and the receiver recovers: the half-open probe
+	// succeeds and closes the breaker.
+	h.mu.Lock()
+	h.now = h.now.Add(31 * time.Second)
+	h.fail = h.failed // stop failing
+	h.mu.Unlock()
+	h.deliverAndWait(t, []online.Alert{testAlert(903)})
+	if len(h.posts) != 1 {
+		t.Fatalf("half-open probe: %d deliveries, want 1", len(h.posts))
+	}
+	if got := h.counter("microscope_hooks_fired_total"); got != 1 {
+		t.Fatalf("fired counter = %d", got)
+	}
+}
+
+// TestHookExecAndFanout: an exec hook gets the payload on stdin, and
+// multiple hooks each see every qualifying alert.
+func TestHookExecAndFanout(t *testing.T) {
+	h := newRunnerHarness(t, []spec.HookSpec{
+		{Name: "web", Type: "webhook", URL: "http://a/hook"},
+		{Name: "script", Type: "exec", Command: []string{"/usr/bin/remediate", "--tenant", "acme"}},
+	}, resilience.RetryPolicy{})
+	h.deliverAndWait(t, []online.Alert{testAlert(900)})
+
+	if len(h.posts) != 1 || len(h.execs) != 1 {
+		t.Fatalf("posts=%d execs=%d, want 1 each", len(h.posts), len(h.execs))
+	}
+	if h.execs[0][1] != "/usr/bin/remediate" {
+		t.Fatalf("exec argv: %v", h.execs[0][1:])
+	}
+	var p HookPayload
+	if err := json.Unmarshal([]byte(h.execs[0][0]), &p); err != nil {
+		t.Fatalf("exec stdin is not the JSON payload: %v", err)
+	}
+	if p.Hook != "script" {
+		t.Fatalf("exec payload hook = %q", p.Hook)
+	}
+}
+
+// TestHookPanicContained: a panicking transport is contained, counted as
+// a failure, and the runner keeps delivering to other hooks.
+func TestHookPanicContained(t *testing.T) {
+	reg := obs.New()
+	var delivered []string
+	var mu sync.Mutex
+	env := hookEnv{
+		post: func(_ context.Context, url string, body []byte) error {
+			if url == "http://boom/hook" {
+				panic("transport bug")
+			}
+			mu.Lock()
+			delivered = append(delivered, url)
+			mu.Unlock()
+			return nil
+		},
+		sleep: func(time.Duration) {},
+	}
+	r := newHookRunner("acme", []spec.HookSpec{
+		{Name: "boom", Type: "webhook", URL: "http://boom/hook"},
+		{Name: "ok", Type: "webhook", URL: "http://ok/hook"},
+	}, resilience.RetryPolicy{MaxAttempts: 1}, reg, env)
+	r.fire([]online.Alert{testAlert(900)})
+	if err := r.quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(delivered) != 1 || delivered[0] != "http://ok/hook" {
+		t.Fatalf("healthy hook deliveries: %v", delivered)
+	}
+	if got := reg.Counter("microscope_hooks_failed_total").Value(); got != 1 {
+		t.Fatalf("failed counter = %d, want 1 (the contained panic)", got)
+	}
+}
+
+// TestHookOverflowDrops: a flooded hook queue drops batches instead of
+// blocking the caller.
+func TestHookOverflowDrops(t *testing.T) {
+	reg := obs.New()
+	block := make(chan struct{})
+	env := hookEnv{
+		post: func(context.Context, string, []byte) error {
+			<-block
+			return nil
+		},
+		sleep: func(time.Duration) {},
+	}
+	r := newHookRunner("acme", []spec.HookSpec{
+		{Name: "slow", Type: "webhook", URL: "http://slow/hook"},
+	}, resilience.RetryPolicy{MaxAttempts: 1}, reg, env)
+	// One batch in flight + hookQueueCap queued; everything beyond drops.
+	for i := 0; i < hookQueueCap+16; i++ {
+		r.fire([]online.Alert{testAlert(900)})
+	}
+	waitFor(t, func() bool {
+		return reg.Counter("microscope_hooks_dropped_total").Value() > 0
+	}, "overflow never dropped")
+	close(block)
+	if err := r.quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHookEndToEnd: a tenant whose trace contains a fault delivers the
+// resulting alerts through its spec'd webhook — the full path from
+// ingest through diagnosis to remediation.
+func TestHookEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var payloads []HookPayload
+	env := hookEnv{
+		post: func(_ context.Context, url string, body []byte) error {
+			var p HookPayload
+			if err := json.Unmarshal(body, &p); err != nil {
+				return err
+			}
+			mu.Lock()
+			payloads = append(payloads, p)
+			mu.Unlock()
+			return nil
+		},
+		sleep: func(time.Duration) {},
+	}
+	tr := chainTrace(t, 3, []simtime.Time{simtime.Time(150 * simtime.Millisecond)})
+	sp := tenantSpec(tr, func(s *spec.PipelineSpec) {
+		s.Tenant = "hooked"
+		s.Hooks = []spec.HookSpec{{Name: "pager", Type: "webhook", URL: "http://pager/hook"}}
+	})
+	srv := NewServer(ServerConfig{hookEnv: env})
+	tn, err := srv.Create("hooked", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, tn, tr.Records, 20000)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(payloads) == 0 {
+		t.Fatal("fault produced no hook deliveries")
+	}
+	if p := payloads[0]; p.Tenant != "hooked" || p.Hook != "pager" || p.Comp != "fw1" {
+		t.Fatalf("payload: %+v", p)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

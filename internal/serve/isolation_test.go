@@ -1,0 +1,340 @@
+// Multi-tenant isolation: the serving tier's core promise is that
+// co-residency is invisible in the output. A tenant's reports must be
+// byte-identical (by window fingerprint) whether it runs alone on an
+// idle server or beside seven noisy neighbours, whether its engine uses
+// one worker or eight, and whether or not a neighbour is drowning in
+// overload and panicking hooks.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"microscope/internal/collector"
+	"microscope/internal/simtime"
+	"microscope/internal/spec"
+)
+
+const isolationTenants = 8
+
+// tenantWorkload is one tenant's deterministic input: its own seed
+// (distinct flows), its own interrupt schedule, and spec knobs that
+// differ per tenant so the pipelines are genuinely heterogeneous.
+type tenantWorkload struct {
+	id    string
+	trace *collector.Trace
+	spec  *spec.PipelineSpec
+}
+
+func isolationWorkloads(t testing.TB) []tenantWorkload {
+	t.Helper()
+	out := make([]tenantWorkload, isolationTenants)
+	for i := range out {
+		seed := int64(100 + i)
+		var ints []simtime.Time
+		// Half the tenants see a fault; stagger onsets so windows differ.
+		if i%2 == 0 {
+			ints = []simtime.Time{simtime.Time(int64(100+30*i) * int64(simtime.Millisecond))}
+		}
+		tr := chainTrace(t, seed, ints)
+		sp := tenantSpec(tr, func(s *spec.PipelineSpec) {
+			s.Tenant = fmt.Sprintf("tenant-%d", i)
+			// Vary the engine knobs per tenant so specs are distinct.
+			s.Diagnosis.VictimPercentile = 99 + float64(i%3)*0.4
+			s.Diagnosis.MaxVictims = 150 + 25*i
+			s.Stream.Slide = spec.Duration(int64(50 * simtime.Millisecond))
+			s.Stream.Overlap = spec.Duration(int64(10 * simtime.Millisecond))
+		})
+		out[i] = tenantWorkload{id: sp.Tenant, trace: tr, spec: sp}
+	}
+	return out
+}
+
+// withWorkers clones a workload's spec with a different engine width —
+// the fingerprints must not depend on it.
+func (w tenantWorkload) withWorkers(n int) *spec.PipelineSpec {
+	s := w.spec.Clone()
+	s.Diagnosis.Workers = n
+	return s
+}
+
+// soloFingerprints runs one workload alone on a fresh server and
+// returns its window fingerprints in order.
+func soloFingerprints(t testing.TB, w tenantWorkload) []string {
+	t.Helper()
+	srv := NewServer(ServerConfig{})
+	tn, err := srv.Create(w.id, w.withWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, tn, w.trace.Records, 5000)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprints(tn)
+}
+
+func fingerprints(tn *Tenant) []string {
+	reps := tn.Reports(0)
+	fps := make([]string, len(reps))
+	for i, r := range reps {
+		fps[i] = r.Fingerprint
+	}
+	return fps
+}
+
+// TestMultiTenantIsolation: 8 tenants with distinct seeds and specs fed
+// concurrently produce, window for window, the same fingerprints each
+// produced running solo — and solo runs use Workers=1 while the shared
+// server runs Workers=8, so the identity also covers the parallel
+// engine. Run under -race this doubles as the data-race gate for the
+// serving tier.
+func TestMultiTenantIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant soak")
+	}
+	work := isolationWorkloads(t)
+
+	want := make([][]string, isolationTenants)
+	for i, w := range work {
+		want[i] = soloFingerprints(t, w)
+		if len(want[i]) == 0 {
+			t.Fatalf("tenant %s: solo run produced no windows", w.id)
+		}
+	}
+
+	srv := NewServer(ServerConfig{})
+	tenants := make([]*Tenant, isolationTenants)
+	for i, w := range work {
+		tn, err := srv.Create(w.id, w.withWorkers(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[i] = tn
+	}
+	var wg sync.WaitGroup
+	for i, w := range work {
+		wg.Add(1)
+		go func(tn *Tenant, recs []collector.BatchRecord) {
+			defer wg.Done()
+			feedAll(t, tn, recs, 5000)
+		}(tenants[i], w.trace.Records)
+	}
+	wg.Wait()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range work {
+		got := fingerprints(tenants[i])
+		if len(got) != len(want[i]) {
+			t.Fatalf("tenant %s: %d windows concurrent vs %d solo", work[i].id, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Errorf("tenant %s window %d: fingerprint diverged between solo and concurrent runs", work[i].id, j)
+			}
+		}
+	}
+}
+
+// TestChaosTenantDoesNotLeak: one tenant is set up to suffer — a tiny
+// ingest ring that sheds constantly, a panicking webhook transport —
+// while a healthy tenant runs beside it. The healthy tenant's window
+// fingerprints must equal its solo baseline exactly, and the server must
+// survive the hook panics.
+func TestChaosTenantDoesNotLeak(t *testing.T) {
+	healthy := tenantWorkload{
+		trace: chainTrace(t, 42, []simtime.Time{simtime.Time(150 * simtime.Millisecond)}),
+	}
+	healthy.spec = tenantSpec(healthy.trace, func(s *spec.PipelineSpec) { s.Tenant = "healthy" })
+	healthy.id = "healthy"
+	want := soloFingerprints(t, healthy)
+
+	env := hookEnv{
+		post: func(ctx context.Context, url string, body []byte) error {
+			panic("chaos transport")
+		},
+	}
+	srv := NewServer(ServerConfig{hookEnv: env})
+	chaosTrace := chainTrace(t, 43, []simtime.Time{
+		simtime.Time(100 * simtime.Millisecond),
+		simtime.Time(200 * simtime.Millisecond),
+		simtime.Time(300 * simtime.Millisecond),
+	})
+	chaosSpec := tenantSpec(chaosTrace, func(s *spec.PipelineSpec) {
+		s.Tenant = "chaos"
+		s.Resilience.RingCapacity = 64 // tiny: constant shedding
+		s.Resilience.ShedPolicy = "drop-oldest"
+		s.Hooks = []spec.HookSpec{{Name: "boom", Type: "webhook", URL: "http://unreachable.invalid/hook"}}
+	})
+	chaos, err := srv.Create("chaos", chaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := srv.Create("healthy", healthy.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		feedAll(t, tn, healthy.trace.Records, 5000)
+	}()
+	go func() {
+		defer wg.Done()
+		// The chaos tenant's ingest may shed; just keep pushing.
+		for i := 0; i < len(chaosTrace.Records); i += 2000 {
+			end := i + 2000
+			if end > len(chaosTrace.Records) {
+				end = len(chaosTrace.Records)
+			}
+			for chaos.Enqueue(chaosTrace.Records[i:end]) != nil {
+			}
+		}
+	}()
+	wg.Wait()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	got := fingerprints(tn)
+	if len(got) != len(want) {
+		t.Fatalf("healthy tenant: %d windows beside chaos vs %d solo", len(got), len(want))
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Errorf("healthy tenant window %d: fingerprint diverged beside chaos neighbour", j)
+		}
+	}
+	// The chaos tenant itself must have survived (drained without
+	// wedging) and its panicking hooks must be visible in its metrics.
+	st := chaos.Status()
+	if st.Stats.Windows == 0 && st.Stats.RecordsShed == 0 {
+		t.Error("chaos tenant neither diagnosed nor shed anything — overload never happened")
+	}
+	if v := chaos.Reg.Counter("microscope_hooks_failed_total").Value(); st.Stats.Alerts > 0 && v == 0 {
+		t.Errorf("chaos tenant: %d alerts but no failed hook deliveries recorded", st.Stats.Alerts)
+	}
+}
+
+// TestTenantMemoryBudget: a tenant with a spec'd memory budget keeps its
+// retained stream bytes under that budget throughout a sustained feed.
+func TestTenantMemoryBudget(t *testing.T) {
+	tr := chainTrace(t, 77, []simtime.Time{simtime.Time(150 * simtime.Millisecond)})
+	const budget = 8 << 20
+	sp := tenantSpec(tr, func(s *spec.PipelineSpec) {
+		s.Tenant = "capped"
+		s.Resilience.RingCapacity = 4096
+		s.Resilience.MaxMemBytes = budget
+	})
+	srv := NewServer(ServerConfig{})
+	tn, err := srv.Create("capped", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := int64(0)
+	for i := 0; i < len(tr.Records); i += 2000 {
+		end := i + 2000
+		if end > len(tr.Records) {
+			end = len(tr.Records)
+		}
+		for tn.Enqueue(tr.Records[i:end]) != nil {
+		}
+		// Synchronize with the feed goroutine so the retained-bytes gauge
+		// reflects everything enqueued so far, then sample.
+		if err := tn.Flush(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if v := tn.Status().RetainedBytes; v > peak {
+			peak = v
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := tn.Status(); st.MemBudgetBytes != budget {
+		t.Fatalf("status budget = %d, want %d", st.MemBudgetBytes, budget)
+	}
+	if peak > budget {
+		t.Fatalf("retained bytes peaked at %d, over the %d budget", peak, budget)
+	}
+	if peak == 0 {
+		t.Fatal("retained-bytes gauge never moved; budget check is vacuous")
+	}
+}
+
+// TestShutdownUnderLoad: Server.Shutdown while feeders are mid-flight
+// must (a) process every record that was accepted, (b) flush the final
+// partial window, and (c) reject ingest that arrives after the drain.
+func TestShutdownUnderLoad(t *testing.T) {
+	tr := chainTrace(t, 55, []simtime.Time{simtime.Time(150 * simtime.Millisecond)})
+	srv := NewServer(ServerConfig{})
+	const n = 4
+	tenants := make([]*Tenant, n)
+	accepted := make([]int, n)
+	for i := 0; i < n; i++ {
+		tn, err := srv.Create(fmt.Sprintf("load-%d", i), tenantSpec(tr, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[i] = tn
+	}
+
+	var wg sync.WaitGroup
+	started := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tn := tenants[i]
+			for off := 0; off < len(tr.Records); off += 1000 {
+				end := off + 1000
+				if end > len(tr.Records) {
+					end = len(tr.Records)
+				}
+				err := tn.Enqueue(tr.Records[off:end])
+				if err != nil {
+					// Backpressure: retry; stopped: shutdown won the race.
+					if err == ErrBackpressure {
+						off -= 1000
+						continue
+					}
+					return
+				}
+				accepted[i] += end - off
+				if off == 0 {
+					select {
+					case started <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}(i)
+	}
+	<-started // at least one feeder is mid-flight
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	for i, tn := range tenants {
+		st := tn.Status()
+		if st.Stats.Records != accepted[i] {
+			t.Errorf("tenant %d: accepted %d records but processed %d", i, accepted[i], st.Stats.Records)
+		}
+		if accepted[i] > 0 && st.Stats.Windows == 0 {
+			t.Errorf("tenant %d: accepted %d records but flushed no windows on drain", i, accepted[i])
+		}
+		if err := tn.Enqueue(tr.Records[:1]); err != ErrStopped {
+			t.Errorf("tenant %d: post-drain enqueue = %v, want ErrStopped", i, err)
+		}
+	}
+	if _, err := srv.Create("late", tenantSpec(tr, nil)); err != ErrDraining {
+		t.Errorf("post-shutdown create = %v, want ErrDraining", err)
+	}
+}

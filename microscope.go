@@ -30,8 +30,11 @@
 //	wl.InjectBurst(microscope.Burst{At: microscope.Time(3 * microscope.Millisecond), Flow: wl.PickFlow(0), Count: 800})
 //	dep.Replay(wl)
 //	dep.Run(50 * simtime.Millisecond)
-//	rep := microscope.Diagnose(dep.Trace(), microscope.DiagnosisConfig{})
+//	rep := microscope.Diagnose(dep.Trace())
 //	fmt.Print(rep.Render())
+//
+// Entry points take functional options (WithWorkers, WithMaxVictims, ...)
+// or a declarative PipelineSpec via WithSpec; see options.go and spec.go.
 package microscope
 
 import (
@@ -129,6 +132,14 @@ func PPS(v float64) Rate { return simtime.PPS(v) }
 func IP(a, b, c, d byte) uint32 { return packet.IPFromOctets(a, b, c, d) }
 
 // DiagnosisConfig tunes the offline diagnosis (see core.Config).
+//
+// Deprecated: DiagnosisConfig predates the options API and remains only
+// for source compatibility — it still satisfies Option, so existing
+// Diagnose(tr, DiagnosisConfig{...}) call sites keep compiling and behave
+// identically. New code should pass functional options (WithWorkers,
+// WithVictimPercentile, ...) or a declarative PipelineSpec via WithSpec;
+// Options is the canonical resolved form and PipelineSpec the canonical
+// serialized form.
 type DiagnosisConfig struct {
 	// VictimPercentile selects latency victims (default 99).
 	VictimPercentile float64

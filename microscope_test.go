@@ -31,7 +31,7 @@ func TestQuickstartPipeline(t *testing.T) {
 		t.Fatalf("delivery broken: %+v", st)
 	}
 
-	rep := Diagnose(dep.Trace(), DiagnosisConfig{})
+	rep := Diagnose(dep.Trace())
 	if len(rep.Diagnoses) == 0 {
 		t.Fatal("no diagnoses")
 	}
@@ -66,7 +66,7 @@ func TestEvalDeploymentAndNetMedic(t *testing.T) {
 	dep.Run(100 * simtime.Millisecond)
 
 	st := Reconstruct(dep.Trace())
-	victims := Victims(st, DiagnosisConfig{})
+	victims := Victims(st)
 	if len(victims) == 0 {
 		t.Fatal("no victims")
 	}
@@ -129,7 +129,7 @@ func TestInjectBugViaAPI(t *testing.T) {
 	dep.Replay(wl)
 	dep.Run(100 * simtime.Millisecond)
 
-	rep := Diagnose(dep.Trace(), DiagnosisConfig{})
+	rep := Diagnose(dep.Trace())
 	top := rep.TopCauses(2)
 	if len(top) == 0 || top[0].Comp != "fw1" || top[0].Kind != CulpritLocalProcessing {
 		t.Errorf("bug not blamed: %+v", top)
