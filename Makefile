@@ -1,19 +1,34 @@
 GO ?= go
 
-.PHONY: check vet lint build test race race-pipeline fuzz bench bench-smoke bench-all bench-stream scale-check stream-check obs-smoke soak soak-smoke serve-smoke
+.PHONY: check vet lint lint-budget build test race race-pipeline race-serve fuzz bench bench-smoke bench-all bench-stream scale-check stream-check obs-smoke soak soak-smoke serve-smoke
 
 # The full pre-submit gate.
-check: vet lint build race race-pipeline fuzz obs-smoke bench-smoke soak-smoke stream-check serve-smoke
+check: vet lint-budget build race race-pipeline race-serve fuzz obs-smoke bench-smoke soak-smoke stream-check serve-smoke
 
 vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants (determinism, sort totality, CompID discipline,
-# obs handle safety, pool reset) enforced by the mslint analyzer suite.
+# obs handle safety, pool reset, lock ordering, goroutine lifetimes,
+# context flow) enforced by the mslint analyzer suite.
 # Suppress a finding with `//mslint:allow <analyzer> <reason>` on the
 # flagged line or the line above it.
 lint:
 	$(GO) run ./cmd/mslint ./...
+
+# Lint with a wall-clock budget: the interprocedural analyzers run a
+# whole-program fixpoint, and this keeps that pass from quietly rotting
+# CI. 60s covers the `go run` compile of cmd/mslint plus the analysis
+# itself with generous slack (the pass is ~seconds today).
+LINT_BUDGET_SECS ?= 60
+lint-budget:
+	@start=$$(date +%s); \
+	$(MAKE) lint || exit $$?; \
+	end=$$(date +%s); elapsed=$$((end - start)); \
+	echo "lint took $${elapsed}s (budget $(LINT_BUDGET_SECS)s)"; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECS) ]; then \
+		echo "lint-budget: FAIL: make lint exceeded $(LINT_BUDGET_SECS)s"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -29,6 +44,13 @@ race:
 # than the partition scheduler's default chunking assumes.
 race-pipeline:
 	$(GO) test -race -timeout 30m -cpu=1,4,8 ./internal/pipeline
+
+# The multi-tenant serving tier at the same GOMAXPROCS spread: tenant
+# registry, drain fan-out, hook runner, and backpressure interleave
+# differently at one P than at eight, and the goroutine-leak checks in
+# these tests only mean something when the schedules vary.
+race-serve:
+	$(GO) test -race -timeout 30m -cpu=1,4,8 ./internal/serve/...
 
 # The decoder must survive adversarial bytes; crashers land in
 # internal/collector/testdata/fuzz/ and become regression inputs.

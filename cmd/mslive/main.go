@@ -71,8 +71,13 @@ func main() {
 		maxMem   = flag.Int64("max-mem", 0, "heap hard watermark in MiB; crossing half of it degrades diagnosis one rung, crossing it two (0 = off)")
 		incr     = flag.Bool("incremental", true, "use the incremental sliding-window index (seal each record once, carry the diagnosis memo) instead of rebuilding every window")
 		specPath = flag.String("spec", "", "load streaming/resilience knobs from this pipeline spec (explicit flags override it)")
+		contend  = flag.Bool("contention-profile", false, "sample mutex/block contention so /debug/pprof/mutex and /debug/pprof/block on -listen carry data")
 	)
 	flag.Parse()
+
+	if *contend {
+		obs.EnableContentionProfiling(0, 0)
+	}
 
 	if *specPath != "" {
 		sp, err := spec.Load(*specPath)

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"microscope/internal/obs"
 	"microscope/internal/serve"
 	"microscope/internal/spec"
 )
@@ -57,9 +58,14 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		maxTenants = fs.Int("max-tenants", serve.DefaultMaxTenants, "bound on concurrent tenants")
 		specPath   = fs.String("spec", "", "create this tenant at boot from a spec file (spec.tenant names it)")
 		drainTO    = fs.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain of all tenants")
+		contend    = fs.Bool("contention-profile", false, "sample mutex/block contention so /debug/pprof/mutex and /debug/pprof/block carry data")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *contend {
+		obs.EnableContentionProfiling(0, 0)
+		defer obs.DisableContentionProfiling()
 	}
 
 	srv := serve.NewServer(serve.ServerConfig{MaxTenants: *maxTenants})

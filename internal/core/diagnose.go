@@ -103,6 +103,7 @@ func (d *diagnoser) acquireArena() *workerArena {
 // worker count.
 func (e *Engine) Diagnose(st *tracestore.Store) []Diagnosis {
 	d := e.newDiagnoser(st)
+	//mslint:allow ctxflow non-ctx convenience wrapper; cancellable path is DiagnoseVictimsContext
 	out, _, _ := e.diagnosePartitioned(context.Background(), d, d.findVictims())
 	return out
 }
@@ -111,6 +112,7 @@ func (e *Engine) Diagnose(st *tracestore.Store) []Diagnosis {
 // "operators define the victim packets" mode) with the same parallel
 // fan-out as Diagnose. Output order matches the input victim order.
 func (e *Engine) DiagnoseVictims(st *tracestore.Store, victims []Victim) []Diagnosis {
+	//mslint:allow ctxflow non-ctx convenience wrapper; cancellable path is DiagnoseVictimsContext
 	out, _, _ := e.diagnosePartitioned(context.Background(), e.newDiagnoser(st), victims)
 	return out
 }

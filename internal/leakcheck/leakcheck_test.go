@@ -1,0 +1,49 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDiffSeesNewGoroutine exercises the snapshot/diff machinery directly
+// (arming Check with a real leak would fail the test by design).
+func TestDiffSeesNewGoroutine(t *testing.T) {
+	before := snapshot()
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	defer close(stop)
+
+	leaked := diff(snapshot(), before)
+	if len(leaked) != 1 {
+		t.Fatalf("diff reported %d leaked goroutines, want 1:\n%v", len(leaked), leaked)
+	}
+}
+
+// TestCheckToleratesExitingGoroutine: a goroutine that finishes within
+// the grace window is not a leak.
+func TestCheckToleratesExitingGoroutine(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// Return while the goroutine is still alive; the cleanup's grace
+	// retry must absorb it.
+	_ = done
+}
+
+func TestGoroutineID(t *testing.T) {
+	id, ok := goroutineID("goroutine 42 [running]:\nmain.main()")
+	if !ok || id != "42" {
+		t.Fatalf("goroutineID = %q, %v", id, ok)
+	}
+	if _, ok := goroutineID("not a stack"); ok {
+		t.Fatal("accepted a non-stack")
+	}
+}

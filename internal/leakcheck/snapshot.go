@@ -1,0 +1,75 @@
+package leakcheck
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// snapshot captures every live goroutine's stack, keyed by goroutine ID.
+func snapshot() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := map[string]string{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if id, ok := goroutineID(g); ok {
+			out[id] = g
+		}
+	}
+	return out
+}
+
+// goroutineID extracts the N of a "goroutine N [state]:" header.
+func goroutineID(stack string) (string, bool) {
+	rest, ok := strings.CutPrefix(stack, "goroutine ")
+	if !ok {
+		return "", false
+	}
+	i := strings.IndexByte(rest, ' ')
+	if i <= 0 {
+		return "", false
+	}
+	return rest[:i], true
+}
+
+// diff returns the stacks present in after but not before, excluding
+// runtime/testing infrastructure, sorted for deterministic output.
+func diff(after, before map[string]string) []string {
+	var leaked []string
+	for id, g := range after {
+		if _, existed := before[id]; existed {
+			continue
+		}
+		if infrastructure(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// infrastructure reports goroutines the runtime or test harness may start
+// at any moment and that are not the test's to join.
+func infrastructure(stack string) bool {
+	for _, frag := range []string{
+		"testing.(*T).Run(",      // a parent test blocked on subtests
+		"testing.(*T).Parallel(", // a queued parallel test
+		"runtime.ReadTrace(",
+		"runtime/pprof.",
+		"os/signal.signal_recv(",
+		"os/signal.loop(",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}

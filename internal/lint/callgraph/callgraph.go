@@ -1,0 +1,404 @@
+// Package callgraph is the whole-program layer under mslint's
+// interprocedural analyzers (lockorder, golifetime, ctxflow). It builds a
+// call graph over every package the loader parsed from source — function
+// declarations plus every function literal, linked by static calls, go
+// spawns, defers, literal-argument edges, and conservative interface
+// dispatch — and attaches a per-function Summary (locks acquired and held
+// at call sites, blocking channel operations, goroutines spawned, context
+// cancellation signals received, channels closed) propagated to a fixpoint
+// across the edges.
+//
+// Like the rest of internal/lint it is stdlib-only (go/ast + go/types); no
+// SSA, no x/tools. The abstractions are deliberately coarse and the
+// direction of every approximation is chosen per use: properties that
+// *suppress* findings (a reachable ctx.Done() select, WaitGroup
+// accounting) are over-approximated, properties that *produce* findings
+// (lock-order edges, blocking ops under a lock) come only from shapes the
+// walker can prove, so a finding is worth reading. The known soundness
+// caveats are documented in DESIGN.md §13:
+//
+//   - Function identity is keyed by (package path, receiver type name,
+//     name) strings, not object pointers: the loader type-checks each root
+//     package from source while its importers see export data, so the same
+//     function is represented by distinct types.Func objects. String keys
+//     unify them.
+//   - Interface dispatch is conservative: a call through a module-internal
+//     interface method grows edges to every loaded concrete method with
+//     the same name and compatible signature. Calls through stdlib
+//     interfaces (io.Writer, context.Context, ...) grow no edges.
+//   - Lock and channel identity is go/types field identity (all instances
+//     of a struct type share one lock class, as in kernel lockdep), which
+//     both enables cross-function order checking and conflates distinct
+//     instances of the same type.
+//   - Reflection and unresolved function values are invisible; analyzers
+//     treat an unresolved callee as "unknown", never as "safe".
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"microscope/internal/lint/loader"
+)
+
+// EdgeKind classifies how control may flow from caller to callee.
+type EdgeKind int
+
+const (
+	// KindCall is an ordinary static call.
+	KindCall EdgeKind = iota
+	// KindGo is a go-statement spawn: the callee runs concurrently, so
+	// blocking does not propagate back across this edge.
+	KindGo
+	// KindDefer is a deferred call (runs at function exit).
+	KindDefer
+	// KindFuncArg marks a function literal that appears inside this
+	// function (as a call argument, composite literal field, return
+	// value, ...): the enclosing function may cause it to run, so
+	// summary bits flow across the edge conservatively.
+	KindFuncArg
+	// KindDynamic is a conservative interface-dispatch edge to one
+	// possible implementer.
+	KindDynamic
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindGo:
+		return "go"
+	case KindDefer:
+		return "defer"
+	case KindFuncArg:
+		return "funcarg"
+	case KindDynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// Edge is one caller→callee link.
+type Edge struct {
+	Kind   EdgeKind
+	Site   token.Pos
+	Callee *Node
+}
+
+// Spawn records one go statement in a function body.
+type Spawn struct {
+	Site token.Pos
+	// Callee is the spawned function when the walker could resolve it (a
+	// function literal, a static function or method, a method value, or a
+	// local variable bound to one of those); nil when the goroutine runs
+	// through a dynamic function value.
+	Callee *Node
+	// Desc renders the spawned expression for diagnostics.
+	Desc string
+}
+
+// Node is one function in the program: a declared function or method, or
+// a function literal.
+type Node struct {
+	// Key is the stable cross-package identity (see package doc).
+	Key string
+	// Name is the human-readable form used in diagnostics.
+	Name string
+	Pkg  *loader.Package
+	// Decl is set for declared functions, Lit for literals.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Sig  *types.Signature
+	Body *ast.BlockStmt
+
+	Calls  []Edge
+	Spawns []Spawn
+
+	Summary Summary
+}
+
+// Pos is the node's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return token.NoPos
+}
+
+// Program is the whole-program view shared by every analyzer pass of one
+// driver run.
+type Program struct {
+	Fset *token.FileSet
+	// nodes in deterministic construction order (packages sorted by
+	// import path, files and declarations in source order, literals in
+	// walk order).
+	nodes  []*Node
+	byKey  map[string]*Node
+	byPkg  map[*types.Package][]*Node
+	closed map[string]bool // channel keys some loaded function closes
+	// keyNames maps member keys (locks, channels) to short display names
+	// for diagnostics.
+	keyNames map[string]string
+
+	// methodsByName indexes loaded concrete methods for conservative
+	// interface dispatch.
+	methodsByName map[string][]*Node
+
+	cacheMu sync.Mutex
+	cache   map[string]any
+}
+
+// Nodes returns every function in deterministic order.
+func (p *Program) Nodes() []*Node { return p.nodes }
+
+// PkgNodes returns the functions declared in pkg (including literals
+// nested in them), in deterministic order.
+func (p *Program) PkgNodes(pkg *types.Package) []*Node { return p.byPkg[pkg] }
+
+// NodeByFunc resolves a types.Func (from any type-checking universe of
+// this load) to its node, or nil when its body was not loaded from
+// source.
+func (p *Program) NodeByFunc(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return p.byKey[funcKey(fn)]
+}
+
+// NodeByKey resolves a node by its stable key, or nil.
+func (p *Program) NodeByKey(key string) *Node { return p.byKey[key] }
+
+// ChanCloses reports whether some loaded function closes the channel
+// identified by key.
+func (p *Program) ChanCloses(key string) bool { return p.closed[key] }
+
+// KeyName renders a lock/channel member key for diagnostics.
+func (p *Program) KeyName(key string) string {
+	if n, ok := p.keyNames[key]; ok {
+		return n
+	}
+	return key
+}
+
+// KeyNames renders a list of member keys for diagnostics.
+func (p *Program) KeyNames(keys []string) string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = p.KeyName(k)
+	}
+	return strings.Join(out, ", ")
+}
+
+// Cache memoizes whole-program computations (e.g. lockorder's global
+// order graph) across the per-package analyzer passes of one run.
+func (p *Program) Cache(key string, build func() any) any {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	//mslint:allow lockorder single-flight memoization: build must run under the lock, and builders only read the immutable program
+	v := build()
+	p.cache[key] = v
+	return v
+}
+
+// Build constructs the program over the loaded packages and computes
+// every summary to fixpoint.
+func Build(pkgs []*loader.Package) *Program {
+	p := &Program{
+		byKey:         map[string]*Node{},
+		byPkg:         map[*types.Package][]*Node{},
+		closed:        map[string]bool{},
+		keyNames:      map[string]string{},
+		methodsByName: map[string][]*Node{},
+		cache:         map[string]any{},
+	}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	// Pass 1: a node per declared function, so cross-package calls
+	// resolve regardless of processing order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &Node{
+					Key:  funcKey(fn),
+					Name: prettyName(fn),
+					Pkg:  pkg,
+					Decl: fd,
+					Sig:  fn.Type().(*types.Signature),
+					Body: fd.Body,
+				}
+				if prev := p.byKey[n.Key]; prev != nil {
+					// Build-tag twins or redeclaration: keep the first,
+					// deterministically.
+					continue
+				}
+				p.addNode(n)
+				if recv := n.Sig.Recv(); recv != nil {
+					if _, isIface := recv.Type().Underlying().(*types.Interface); !isIface {
+						p.methodsByName[fn.Name()] = append(p.methodsByName[fn.Name()], n)
+					}
+				}
+			}
+		}
+	}
+	// Pass 2: walk every declared body, creating literal nodes and edges
+	// and collecting direct summary facts.
+	for _, n := range append([]*Node(nil), p.nodes...) {
+		w := &fnWalker{prog: p, pkg: n.Pkg, node: n, bindings: map[types.Object]*Node{}}
+		w.walkBody()
+	}
+	// Pass 3: propagate summaries to fixpoint.
+	p.computeSummaries()
+	return p
+}
+
+func (p *Program) addNode(n *Node) {
+	p.nodes = append(p.nodes, n)
+	p.byKey[n.Key] = n
+	p.byPkg[n.Pkg.Types] = append(p.byPkg[n.Pkg.Types], n)
+}
+
+// funcKey derives the stable identity of a declared function or method.
+// The loader type-checks each root package from source while importers of
+// that package read export data, so the same function appears as distinct
+// *types.Func objects; this string form unifies them.
+func funcKey(fn *types.Func) string {
+	path := "_"
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return path + "." + recvTypeName(sig.Recv().Type()) + "." + fn.Name()
+	}
+	return path + "." + fn.Name()
+}
+
+func prettyName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = shortPath(fn.Pkg().Path()) + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return pkg + recvTypeName(sig.Recv().Type()) + "." + fn.Name()
+	}
+	return pkg + fn.Name()
+}
+
+// shortPath trims the module prefix for readable diagnostics.
+func shortPath(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func recvTypeName(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return "interface"
+	}
+	return t.String()
+}
+
+// isStdlibPath reports whether an import path is standard library (no dot
+// in the first path element, the usual go/build heuristic).
+func isStdlibPath(path string) bool {
+	first := path
+	if i := strings.Index(path, "/"); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".") && !strings.HasPrefix(path, "testdata")
+}
+
+// implementers resolves a call through a module-internal interface method
+// to every loaded concrete method with the same name and a compatible
+// signature (parameter/result shapes compared as fully-qualified strings,
+// receiver excluded — types.Identical is unusable across the loader's
+// per-package type-checking universes).
+func (p *Program) implementers(iface *types.Func) []*Node {
+	want := signatureShape(iface.Type().(*types.Signature))
+	var out []*Node
+	for _, cand := range p.methodsByName[iface.Name()] {
+		if signatureShape(cand.Sig) == want {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// signatureShape renders a signature's parameters and results with full
+// package-path qualification, ignoring the receiver, so structurally
+// identical methods from different type-check universes compare equal.
+func signatureShape(sig *types.Signature) string {
+	qual := func(pkg *types.Package) string { return pkg.Path() }
+	var b strings.Builder
+	tuple := func(t *types.Tuple) {
+		b.WriteByte('(')
+		for i := 0; i < t.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(types.TypeString(t.At(i).Type(), qual))
+		}
+		b.WriteByte(')')
+	}
+	tuple(sig.Params())
+	tuple(sig.Results())
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	return b.String()
+}
+
+// exprString renders a short form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.FuncLit:
+		return "func literal"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// sortedKeys returns the keys of a string-keyed set in sorted order (map
+// iteration order must never reach diagnostics).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

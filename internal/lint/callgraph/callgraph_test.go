@@ -1,0 +1,123 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/callgraph"
+	"microscope/internal/lint/loader"
+)
+
+func buildShapes(t *testing.T) *callgraph.Program {
+	t.Helper()
+	p, err := loader.LoadDir("testdata/src/shapes")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build([]*loader.Package{p})
+}
+
+func node(t *testing.T, prog *callgraph.Program, key string) *callgraph.Node {
+	t.Helper()
+	n := prog.NodeByKey(key)
+	if n == nil {
+		t.Fatalf("no node %q", key)
+	}
+	return n
+}
+
+func edgesTo(n *callgraph.Node, kind callgraph.EdgeKind) []string {
+	var out []string
+	for _, e := range n.Calls {
+		if e.Kind == kind && e.Callee != nil {
+			out = append(out, e.Callee.Key)
+		}
+	}
+	return out
+}
+
+func TestClosurePassedToPool(t *testing.T) {
+	prog := buildShapes(t)
+	use := node(t, prog, "testdata/shapes.UseDo")
+
+	if got := edgesTo(use, callgraph.KindCall); len(got) != 1 || got[0] != "testdata/shapes.Do" {
+		t.Fatalf("UseDo call edges = %v, want [testdata/shapes.Do]", got)
+	}
+	// The closure argument becomes a literal node linked by a funcarg
+	// edge, so its summary flows into UseDo.
+	if got := edgesTo(use, callgraph.KindFuncArg); len(got) != 1 || got[0] != "testdata/shapes.UseDo$1" {
+		t.Fatalf("UseDo funcarg edges = %v, want [testdata/shapes.UseDo$1]", got)
+	}
+
+	do := node(t, prog, "testdata/shapes.Do")
+	if !do.Summary.Blocking {
+		t.Error("Do should be Blocking: it calls wg.Wait")
+	}
+	worker := node(t, prog, "testdata/shapes.Do$1")
+	if !worker.Summary.WGDone {
+		t.Error("Do's worker literal should be WGDone-accounted")
+	}
+	if len(do.Spawns) != 1 || do.Spawns[0].Callee != worker {
+		t.Fatalf("Do spawns = %+v, want one spawn of its worker literal", do.Spawns)
+	}
+}
+
+func TestInterfaceDispatchConservative(t *testing.T) {
+	prog := buildShapes(t)
+	disp := node(t, prog, "testdata/shapes.Dispatch")
+
+	got := edgesTo(disp, callgraph.KindDynamic)
+	want := map[string]bool{
+		"testdata/shapes.Fast.Step": true,
+		"testdata/shapes.Slow.Step": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Dispatch dynamic edges = %v, want both implementers", got)
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Errorf("unexpected dynamic edge to %q", k)
+		}
+	}
+	// Slow.Step blocks on a channel receive; conservative dispatch must
+	// propagate that to the call site's function.
+	if !disp.Summary.Blocking {
+		t.Error("Dispatch should be Blocking via the Slow.Step implementer")
+	}
+}
+
+func TestMethodValueBindingAndSpawn(t *testing.T) {
+	prog := buildShapes(t)
+	mv := node(t, prog, "testdata/shapes.MethodValue")
+	bump := node(t, prog, "testdata/shapes.T.bump")
+
+	if got := edgesTo(mv, callgraph.KindCall); len(got) != 1 || got[0] != bump.Key {
+		t.Fatalf("MethodValue call edges = %v, want [%s]", got, bump.Key)
+	}
+	if len(mv.Spawns) != 1 || mv.Spawns[0].Callee != bump {
+		t.Fatalf("MethodValue spawns = %+v, want resolved go f() -> T.bump", mv.Spawns)
+	}
+	if len(bump.Summary.Acquires) != 1 || bump.Summary.Acquires[0] != "testdata/shapes.T.mu" {
+		t.Fatalf("T.bump acquires = %v, want [testdata/shapes.T.mu]", bump.Summary.Acquires)
+	}
+	// Acquisition propagates over the call edge but not the go edge alone;
+	// the call edge is present here, so MethodValue acquires it too.
+	if len(mv.Summary.Acquires) != 1 || mv.Summary.Acquires[0] != "testdata/shapes.T.mu" {
+		t.Fatalf("MethodValue acquires = %v, want [testdata/shapes.T.mu]", mv.Summary.Acquires)
+	}
+}
+
+func TestOrderEdgeExtraction(t *testing.T) {
+	prog := buildShapes(t)
+	both := node(t, prog, "testdata/shapes.L.both")
+
+	es := both.Summary.OrderEdges
+	if len(es) != 1 {
+		t.Fatalf("L.both order edges = %+v, want exactly one", es)
+	}
+	if es[0].From != "testdata/shapes.L.a" || es[0].To != "testdata/shapes.L.b" {
+		t.Fatalf("order edge = %s -> %s, want L.a -> L.b", es[0].From, es[0].To)
+	}
+	if name := prog.KeyName(es[0].From); name != "L.a" {
+		t.Fatalf("display name for %s = %q, want L.a", es[0].From, name)
+	}
+}

@@ -1,0 +1,907 @@
+// Per-function summaries: one body walk collects the direct facts each
+// interprocedural analyzer consumes — lock acquisition order, blocking
+// channel operations performed while a lock is held, goroutine spawns,
+// cancellation signals received, channels closed — and a fixpoint pass
+// propagates the transitive bits (Blocking, TermSignal, WGDone,
+// UnboundedLoop, Acquires) across call edges.
+//
+// The walker tracks the held-lock set in statement order: straight-line
+// Lock/Unlock pairs update it in place, nested control flow (branches,
+// loops, select clauses) is walked with a copy and the fall-through set is
+// the union of the branch exit sets — a branch ending in `return` does not
+// fall through and contributes nothing, and non-exhaustive branching (an
+// `if` without `else`, a `switch`/`select` body that may not run) keeps
+// the incoming set too. So `if cond { mu.Unlock(); return }` leaves the
+// lock held afterwards, while a select whose every clause unlocks releases
+// it. `defer mu.Unlock()` keeps the lock in the held set for the rest of
+// the body, which is exactly the window the order and held-across checks
+// care about.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"microscope/internal/lint/loader"
+)
+
+// Summary is one function's analysis facts. The Held*/Order/Recv fields
+// are direct (this body only); the boolean/set fields are transitive
+// after Build returns.
+type Summary struct {
+	// Blocking: the function may block on a channel operation, a select
+	// without default, a range over a channel, or sync.WaitGroup.Wait /
+	// sync.Cond.Wait — directly or via a (non-go) callee.
+	Blocking bool
+	// TermSignal: the function receives from ctx.Done() or from a
+	// channel some loaded function closes — a provable termination path
+	// for a goroutine running it.
+	TermSignal bool
+	// WGDone: the function calls sync.WaitGroup.Done, i.e. it is
+	// accounted to a WaitGroup join.
+	WGDone bool
+	// UnboundedLoop: the function contains a loop with no structural
+	// bound (`for {}`, `for cond {}`, or a range over a channel).
+	// Three-clause counting loops and ranges over data are treated as
+	// bounded — a deliberate under-approximation so golifetime findings
+	// stay high-signal.
+	UnboundedLoop bool
+	// Acquires is the set of lock keys the function may acquire,
+	// directly or via callees, sorted.
+	Acquires []string
+
+	// Direct records, for lockorder:
+	OrderEdges []OrderEdge
+	HeldCalls  []HeldCall
+	HeldBlocks []HeldBlock
+
+	// Direct signal facts, resolved against the global close set:
+	RecvCtxDone bool
+	RecvChans   []string
+	ClosesChans []string
+
+	acquiresSet map[string]bool
+}
+
+// OrderEdge records "To acquired while From was held" at Site (the
+// acquisition of To).
+type OrderEdge struct {
+	From, To string
+	Site     token.Pos
+}
+
+// HeldCall records a call made while at least one lock was held.
+type HeldCall struct {
+	Site token.Pos
+	Held []string
+	// Callee is the resolved target; nil means the call went through a
+	// dynamic function value (a callback or hook).
+	Callee *Node
+	// Desc renders the call for diagnostics.
+	Desc string
+	// Callback marks a call through a func-typed value (field, param,
+	// variable) that could not be resolved statically.
+	Callback bool
+}
+
+// HeldBlock records a direct blocking operation performed while at least
+// one lock was held.
+type HeldBlock struct {
+	Site token.Pos
+	Held []string
+	Op   string
+}
+
+// held is the ordered set of lock keys currently held during the walk.
+type held struct {
+	keys []string
+}
+
+func (h *held) copyOf() *held { return &held{keys: append([]string(nil), h.keys...)} }
+
+func (h *held) add(k string) {
+	for _, have := range h.keys {
+		if have == k {
+			return
+		}
+	}
+	h.keys = append(h.keys, k)
+}
+
+func (h *held) remove(k string) {
+	for i, have := range h.keys {
+		if have == k {
+			h.keys = append(h.keys[:i], h.keys[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *held) snapshot() []string { return append([]string(nil), h.keys...) }
+
+// fnWalker walks one function body, collecting direct summary facts and
+// creating nodes for nested function literals.
+type fnWalker struct {
+	prog *Program
+	pkg  *loader.Package
+	node *Node
+	// bindings maps local variables to the function value they were
+	// assigned (a literal, a static function, or a method value), so
+	// `f := t.run; go f()` resolves.
+	bindings map[types.Object]*Node
+	litN     int
+}
+
+func (w *fnWalker) walkBody() {
+	if w.node.Body == nil {
+		return
+	}
+	h := &held{}
+	w.stmts(w.node.Body.List, h)
+}
+
+func (w *fnWalker) stmts(list []ast.Stmt, h *held) {
+	for _, s := range list {
+		w.stmt(s, h)
+	}
+}
+
+func (w *fnWalker) stmt(s ast.Stmt, h *held) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(st.X, h)
+	case *ast.SendStmt:
+		w.expr(st.Chan, h)
+		w.expr(st.Value, h)
+		w.blockingOp(st.Arrow, "channel send", h)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.expr(rhs, h)
+		}
+		for _, lhs := range st.Lhs {
+			w.expr(lhs, h)
+		}
+		w.captureBindings(st.Lhs, st.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.expr(v, h)
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				w.captureBindings(lhs, vs.Values)
+			}
+		}
+	case *ast.GoStmt:
+		w.goStmt(st, h)
+	case *ast.DeferStmt:
+		w.deferStmt(st, h)
+	case *ast.SelectStmt:
+		w.selectStmt(st, h)
+	case *ast.RangeStmt:
+		w.expr(st.X, h)
+		if t := w.pkg.Info.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.node.Summary.UnboundedLoop = true
+				w.recvFrom(st.X)
+				w.blockingOp(st.For, "range over channel", h)
+			}
+		}
+		body := h.copyOf()
+		w.stmts(st.Body.List, body)
+		w.mergeExits(h, true, branchExit(body, st.Body.List))
+	case *ast.ForStmt:
+		w.stmt(st.Init, h)
+		// `for {}` and `for cond {}` have no structural bound; the
+		// classic three-clause counting loop is treated as bounded.
+		if !isThreeClause(st) {
+			w.node.Summary.UnboundedLoop = true
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, h)
+		}
+		body := h.copyOf()
+		w.stmts(st.Body.List, body)
+		w.stmt(st.Post, body)
+		w.mergeExits(h, true, branchExit(body, st.Body.List))
+	case *ast.IfStmt:
+		w.stmt(st.Init, h)
+		w.expr(st.Cond, h)
+		then := h.copyOf()
+		w.stmts(st.Body.List, then)
+		exits := []*held{branchExit(then, st.Body.List)}
+		if st.Else != nil {
+			els := h.copyOf()
+			w.stmt(st.Else, els)
+			elseList := []ast.Stmt{st.Else}
+			if blk, ok := st.Else.(*ast.BlockStmt); ok {
+				elseList = blk.List
+			}
+			exits = append(exits, branchExit(els, elseList))
+		}
+		w.mergeExits(h, st.Else == nil, exits...)
+	case *ast.SwitchStmt:
+		w.stmt(st.Init, h)
+		if st.Tag != nil {
+			w.expr(st.Tag, h)
+		}
+		exhaustive := false
+		var exits []*held
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				exhaustive = true
+			}
+			branch := h.copyOf()
+			for _, e := range cc.List {
+				w.expr(e, branch)
+			}
+			w.stmts(cc.Body, branch)
+			exits = append(exits, branchExit(branch, cc.Body))
+		}
+		w.mergeExits(h, !exhaustive, exits...)
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init, h)
+		w.stmt(st.Assign, h)
+		exhaustive := false
+		var exits []*held
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				exhaustive = true
+			}
+			branch := h.copyOf()
+			w.stmts(cc.Body, branch)
+			exits = append(exits, branchExit(branch, cc.Body))
+		}
+		w.mergeExits(h, !exhaustive, exits...)
+	case *ast.BlockStmt:
+		w.stmts(st.List, h)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, h)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.expr(r, h)
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X, h)
+	}
+}
+
+// isThreeClause reports the classic bounded counting loop
+// `for i := 0; i < n; i++`.
+func isThreeClause(st *ast.ForStmt) bool {
+	return st.Init != nil && st.Cond != nil && st.Post != nil
+}
+
+// branchExit converts a walked branch copy into its fall-through exit
+// set: nil when the branch ends in a return and so never falls through.
+func branchExit(b *held, list []ast.Stmt) *held {
+	if len(list) > 0 {
+		if _, ok := list[len(list)-1].(*ast.ReturnStmt); ok {
+			return nil
+		}
+	}
+	return b
+}
+
+// mergeExits replaces h with the union of the surviving branch exit sets;
+// withOriginal additionally keeps h's incoming keys (non-exhaustive
+// branching — the statement may not run any branch). When every branch
+// returns and the branching was exhaustive, h is left unchanged: the code
+// after it is unreachable.
+func (w *fnWalker) mergeExits(h *held, withOriginal bool, exits ...*held) {
+	merged := &held{}
+	if withOriginal {
+		for _, k := range h.keys {
+			merged.add(k)
+		}
+	}
+	any := withOriginal
+	for _, e := range exits {
+		if e == nil {
+			continue
+		}
+		any = true
+		for _, k := range e.keys {
+			merged.add(k)
+		}
+	}
+	if !any {
+		return
+	}
+	h.keys = merged.keys
+}
+
+// selectStmt: a select without a default commits to blocking; the comm
+// clauses still contribute their signal receives either way.
+func (w *fnWalker) selectStmt(st *ast.SelectStmt, h *held) {
+	hasDefault := false
+	for _, c := range st.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		w.blockingOp(st.Select, "select", h)
+	}
+	var exits []*held
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CommClause)
+		branch := h.copyOf()
+		switch comm := cc.Comm.(type) {
+		case nil:
+		case *ast.SendStmt:
+			w.expr(comm.Chan, branch)
+			w.expr(comm.Value, branch)
+		case *ast.ExprStmt:
+			w.commRecv(comm.X, branch)
+		case *ast.AssignStmt:
+			for _, rhs := range comm.Rhs {
+				w.commRecv(rhs, branch)
+			}
+		}
+		w.stmts(cc.Body, branch)
+		exits = append(exits, branchExit(branch, cc.Body))
+	}
+	// A select executes exactly one clause (or blocks forever), so the
+	// merge is exhaustive.
+	w.mergeExits(h, false, exits...)
+}
+
+// commRecv handles the `<-ch` of a select comm clause without counting it
+// as an independent blocking op (the select already did).
+func (w *fnWalker) commRecv(e ast.Expr, h *held) {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		w.recvFrom(u.X)
+		w.expr(u.X, h)
+		return
+	}
+	w.expr(e, h)
+}
+
+func (w *fnWalker) goStmt(st *ast.GoStmt, h *held) {
+	callee, desc := w.resolveFuncValue(st.Call.Fun)
+	if callee != nil {
+		w.node.Calls = append(w.node.Calls, Edge{Kind: KindGo, Site: st.Go, Callee: callee})
+	}
+	w.node.Spawns = append(w.node.Spawns, Spawn{Site: st.Go, Callee: callee, Desc: desc})
+	for _, a := range st.Call.Args {
+		w.expr(a, h)
+	}
+	if _, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); !ok {
+		w.exprShallow(st.Call.Fun, h)
+	}
+}
+
+func (w *fnWalker) deferStmt(st *ast.DeferStmt, h *held) {
+	call := st.Call
+	if key, op := w.lockOp(call); key != "" {
+		// `defer mu.Unlock()` releases at return: the lock stays in the
+		// held set for the remainder of the body, which is the window the
+		// checks care about. A (rare) `defer mu.Lock()` is ignored.
+		_ = op
+		for _, a := range call.Args {
+			w.expr(a, h)
+		}
+		return
+	}
+	if w.closeCall(call) {
+		return
+	}
+	if w.syncCall(call, st.Defer, &held{}) {
+		return
+	}
+	if callee, _ := w.resolveFuncValue(call.Fun); callee != nil {
+		w.node.Calls = append(w.node.Calls, Edge{Kind: KindDefer, Site: st.Defer, Callee: callee})
+	}
+	for _, a := range call.Args {
+		w.expr(a, h)
+	}
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); !ok {
+		w.exprShallow(call.Fun, h)
+	}
+}
+
+// captureBindings records `f := <func value>` so later `f()` / `go f()`
+// resolve. Only whole-identifier single assignments are tracked.
+func (w *fnWalker) captureBindings(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i := range lhs {
+		id, ok := lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if target, _ := w.resolveFuncValue(rhs[i]); target != nil {
+			w.bindings[obj] = target
+		}
+	}
+}
+
+// resolveFuncValue resolves an expression used as a function value: a
+// literal (creating its node), a static function or method (including a
+// method value), or a bound local variable. Returns nil for anything
+// dynamic.
+func (w *fnWalker) resolveFuncValue(e ast.Expr) (*Node, string) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		return w.litNode(x), "func literal"
+	case *ast.Ident:
+		if obj := w.pkg.Info.Uses[x]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				return w.prog.NodeByFunc(fn), x.Name
+			}
+			if n := w.bindings[obj]; n != nil {
+				return n, x.Name
+			}
+		}
+		return nil, x.Name
+	case *ast.SelectorExpr:
+		if fn, ok := w.pkg.Info.Uses[x.Sel].(*types.Func); ok {
+			return w.prog.NodeByFunc(fn), exprString(x)
+		}
+		return nil, exprString(x)
+	}
+	return nil, exprString(e)
+}
+
+// litNode creates (once) the node for a function literal and walks its
+// body with a fresh held set; the parent gets a KindFuncArg edge so the
+// literal's summary flows into the parent's transitive bits.
+func (w *fnWalker) litNode(lit *ast.FuncLit) *Node {
+	w.litN++
+	sig, _ := w.pkg.Info.TypeOf(lit).(*types.Signature)
+	n := &Node{
+		Key:  w.node.Key + "$" + itoa(w.litN),
+		Name: w.node.Name + "$" + itoa(w.litN),
+		Pkg:  w.pkg,
+		Lit:  lit,
+		Sig:  sig,
+		Body: lit.Body,
+	}
+	w.prog.addNode(n)
+	child := &fnWalker{prog: w.prog, pkg: w.pkg, node: n, bindings: w.bindings}
+	child.walkBody()
+	return n
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// expr walks an expression, dispatching calls, receives, and literals.
+func (w *fnWalker) expr(e ast.Expr, h *held) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.call(x, h)
+	case *ast.FuncLit:
+		n := w.litNode(x)
+		w.node.Calls = append(w.node.Calls, Edge{Kind: KindFuncArg, Site: x.Pos(), Callee: n})
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			w.recvFrom(x.X)
+			w.blockingOp(x.OpPos, "channel receive", h)
+		}
+		w.expr(x.X, h)
+	case *ast.ParenExpr:
+		w.expr(x.X, h)
+	case *ast.SelectorExpr:
+		w.expr(x.X, h)
+	case *ast.BinaryExpr:
+		w.expr(x.X, h)
+		w.expr(x.Y, h)
+	case *ast.IndexExpr:
+		w.expr(x.X, h)
+		w.expr(x.Index, h)
+	case *ast.IndexListExpr:
+		w.expr(x.X, h)
+	case *ast.SliceExpr:
+		w.expr(x.X, h)
+		w.expr(x.Low, h)
+		w.expr(x.High, h)
+		w.expr(x.Max, h)
+	case *ast.StarExpr:
+		w.expr(x.X, h)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X, h)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.expr(el, h)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(x.Value, h)
+	}
+}
+
+// exprShallow walks only the receiver chain of a call target (for go/defer
+// targets whose call itself was handled specially).
+func (w *fnWalker) exprShallow(e ast.Expr, h *held) {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		w.expr(sel.X, h)
+	}
+}
+
+// call is the central dispatcher: close(), Lock/Unlock family, sync
+// Wait/Done, static calls, interface dispatch, literal invocation, bound
+// locals, and dynamic callbacks.
+func (w *fnWalker) call(call *ast.CallExpr, h *held) {
+	if w.closeCall(call) {
+		return
+	}
+	if key, op := w.lockOp(call); key != "" {
+		if op == "lock" {
+			for _, from := range h.keys {
+				w.node.Summary.OrderEdges = append(w.node.Summary.OrderEdges,
+					OrderEdge{From: from, To: key, Site: call.Pos()})
+			}
+			h.add(key)
+			if w.node.Summary.acquiresSet == nil {
+				w.node.Summary.acquiresSet = map[string]bool{}
+			}
+			w.node.Summary.acquiresSet[key] = true
+		} else {
+			h.remove(key)
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			w.expr(sel.X, h)
+		}
+		return
+	}
+	if w.syncCall(call, call.Pos(), h) {
+		return
+	}
+
+	fun := ast.Unparen(call.Fun)
+	var staticFn *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj := w.pkg.Info.Uses[f]
+		switch o := obj.(type) {
+		case *types.Func:
+			staticFn = o
+		case *types.Builtin, *types.TypeName:
+			w.walkArgs(call, h)
+			return
+		default:
+			if o != nil {
+				if bound := w.bindings[o]; bound != nil {
+					w.addCall(bound, call.Pos(), h, f.Name)
+					w.walkArgs(call, h)
+					return
+				}
+				if _, isVar := o.(*types.Var); isVar {
+					w.dynamicCall(call.Pos(), h, f.Name)
+					w.walkArgs(call, h)
+					return
+				}
+			}
+			w.walkArgs(call, h)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := w.pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			staticFn = fn
+		} else if v, ok := w.pkg.Info.Uses[f.Sel].(*types.Var); ok {
+			// Call through a func-typed field: a hook/callback.
+			_ = v
+			w.dynamicCall(call.Pos(), h, exprString(f))
+			w.expr(f.X, h)
+			w.walkArgs(call, h)
+			return
+		}
+		w.expr(f.X, h)
+	case *ast.FuncLit:
+		n := w.litNode(f)
+		w.addCall(n, call.Pos(), h, "func literal")
+		w.walkArgs(call, h)
+		return
+	default:
+		// Conversion or computed function value.
+		w.expr(fun, h)
+		w.walkArgs(call, h)
+		return
+	}
+
+	if staticFn == nil {
+		w.walkArgs(call, h)
+		return
+	}
+	if recv := recvOf(staticFn); recv != nil {
+		if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+			// Interface dispatch: conservative edges to loaded
+			// implementers, but only for module-internal interfaces —
+			// stdlib interfaces (io.Writer, context.Context, ...) would
+			// drag in every same-named method.
+			if staticFn.Pkg() != nil && !isStdlibPath(staticFn.Pkg().Path()) {
+				for _, impl := range w.prog.implementers(staticFn) {
+					w.node.Calls = append(w.node.Calls, Edge{Kind: KindDynamic, Site: call.Pos(), Callee: impl})
+				}
+			}
+			w.walkArgs(call, h)
+			return
+		}
+	}
+	if n := w.prog.NodeByFunc(staticFn); n != nil {
+		w.addCall(n, call.Pos(), h, prettyName(staticFn))
+	}
+	w.walkArgs(call, h)
+}
+
+func (w *fnWalker) walkArgs(call *ast.CallExpr, h *held) {
+	for _, a := range call.Args {
+		w.expr(a, h)
+	}
+}
+
+func (w *fnWalker) addCall(callee *Node, site token.Pos, h *held, desc string) {
+	w.node.Calls = append(w.node.Calls, Edge{Kind: KindCall, Site: site, Callee: callee})
+	if len(h.keys) > 0 {
+		w.node.Summary.HeldCalls = append(w.node.Summary.HeldCalls, HeldCall{
+			Site: site, Held: h.snapshot(), Callee: callee, Desc: desc,
+		})
+	}
+}
+
+func (w *fnWalker) dynamicCall(site token.Pos, h *held, desc string) {
+	if len(h.keys) > 0 {
+		w.node.Summary.HeldCalls = append(w.node.Summary.HeldCalls, HeldCall{
+			Site: site, Held: h.snapshot(), Desc: desc, Callback: true,
+		})
+	}
+}
+
+func (w *fnWalker) blockingOp(site token.Pos, op string, h *held) {
+	w.node.Summary.Blocking = true
+	if len(h.keys) > 0 {
+		w.node.Summary.HeldBlocks = append(w.node.Summary.HeldBlocks, HeldBlock{
+			Site: site, Held: h.snapshot(), Op: op,
+		})
+	}
+}
+
+// recvFrom records the identity of a received-from channel, including the
+// ctx.Done() shape.
+func (w *fnWalker) recvFrom(ch ast.Expr) {
+	ch = ast.Unparen(ch)
+	if call, ok := ch.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				w.node.Summary.RecvCtxDone = true
+				return
+			}
+		}
+		return
+	}
+	if key, ok := w.memberKey(ch); ok {
+		w.node.Summary.RecvChans = append(w.node.Summary.RecvChans, key)
+	}
+}
+
+// closeCall records close(ch) and reports whether call was one.
+func (w *fnWalker) closeCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	if _, builtin := w.pkg.Info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	if len(call.Args) == 1 {
+		if key, ok := w.memberKey(call.Args[0]); ok {
+			w.node.Summary.ClosesChans = append(w.node.Summary.ClosesChans, key)
+		}
+	}
+	return true
+}
+
+// lockOp classifies a call as a sync mutex acquire/release and returns
+// the lock key. TryLock is ignored: it cannot deadlock.
+func (w *fnWalker) lockOp(call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	k, ok := w.memberKey(sel.X)
+	if !ok {
+		return "", ""
+	}
+	return k, op
+}
+
+// syncCall handles the remaining sync-package shapes: WaitGroup.Wait and
+// Cond.Wait block; WaitGroup.Done accounts the goroutine.
+func (w *fnWalker) syncCall(call *ast.CallExpr, site token.Pos, h *held) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Wait":
+		w.blockingOp(site, "sync."+recvTypeName(recvOf(fn).Type())+".Wait", h)
+		w.expr(sel.X, h)
+		return true
+	case "Done":
+		if recvTypeName(recvOf(fn).Type()) == "WaitGroup" {
+			w.node.Summary.WGDone = true
+		}
+		w.expr(sel.X, h)
+		return true
+	}
+	return false
+}
+
+func recvOf(fn *types.Func) *types.Var {
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		return sig.Recv()
+	}
+	return nil
+}
+
+// memberKey derives a stable identity for a mutex or channel operand:
+//   - a struct field (s.mu, t.in): "pkgpath.RecvType.field" — field
+//     identity, shared by every instance of the type (the lockdep-style
+//     lock-class abstraction);
+//   - a package-level var: "pkgpath.name";
+//   - a local of a named non-sync struct type (an embedded mutex locked
+//     through its owner, `s.Lock()`): "pkgpath.Type" — type identity, so
+//     two methods locking the same receiver type agree;
+//   - any other local (e.g. `var mu sync.Mutex`): keyed by declaration
+//     position, unique per variable.
+func (w *fnWalker) memberKey(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		v, ok := w.pkg.Info.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		pkgPath := "_"
+		if v.Pkg() != nil {
+			pkgPath = v.Pkg().Path()
+		}
+		if v.IsField() {
+			recv := recvTypeName(w.pkg.Info.TypeOf(x.X))
+			return w.noteName(pkgPath+"."+recv+"."+v.Name(), recv+"."+v.Name()), true
+		}
+		return w.noteName(pkgPath+"."+v.Name(), shortPath(pkgPath)+"."+v.Name()), true
+	case *ast.Ident:
+		v, ok := w.pkg.Info.Uses[x].(*types.Var)
+		if !ok {
+			if dv, ok := w.pkg.Info.Defs[x].(*types.Var); ok {
+				v = dv
+			} else {
+				return "", false
+			}
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return w.noteName(v.Pkg().Path()+"."+v.Name(), shortPath(v.Pkg().Path())+"."+v.Name()), true
+		}
+		t := types.Unalias(v.Type())
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(ptr.Elem())
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return w.noteName(named.Obj().Pkg().Path()+"."+named.Obj().Name(), named.Obj().Name()), true
+			}
+		}
+		return w.noteName("local:"+itoa(int(v.Pos())), v.Name()), true
+	}
+	return "", false
+}
+
+// noteName records the display name for a member key and returns the key.
+func (w *fnWalker) noteName(key, name string) string {
+	if _, ok := w.prog.keyNames[key]; !ok {
+		w.prog.keyNames[key] = name
+	}
+	return key
+}
+
+// computeSummaries resolves signal receives against the global close set
+// and propagates the transitive bits across call edges to fixpoint.
+func (p *Program) computeSummaries() {
+	for _, n := range p.nodes {
+		for _, c := range n.Summary.ClosesChans {
+			p.closed[c] = true
+		}
+	}
+	for _, n := range p.nodes {
+		s := &n.Summary
+		if s.RecvCtxDone {
+			s.TermSignal = true
+		}
+		for _, c := range s.RecvChans {
+			if p.closed[c] {
+				s.TermSignal = true
+			}
+		}
+		if s.acquiresSet == nil {
+			s.acquiresSet = map[string]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.nodes {
+			s := &n.Summary
+			for _, e := range n.Calls {
+				if e.Callee == nil || e.Kind == KindGo {
+					continue
+				}
+				cs := &e.Callee.Summary
+				if cs.Blocking && !s.Blocking {
+					s.Blocking = true
+					changed = true
+				}
+				if cs.TermSignal && !s.TermSignal {
+					s.TermSignal = true
+					changed = true
+				}
+				if cs.WGDone && !s.WGDone {
+					s.WGDone = true
+					changed = true
+				}
+				if cs.UnboundedLoop && !s.UnboundedLoop {
+					s.UnboundedLoop = true
+					changed = true
+				}
+				for k := range cs.acquiresSet {
+					if !s.acquiresSet[k] {
+						s.acquiresSet[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, n := range p.nodes {
+		n.Summary.Acquires = sortedKeys(n.Summary.acquiresSet)
+	}
+}

@@ -1,0 +1,67 @@
+// Fixture exercising the call-graph shapes the serve/pipeline code
+// actually uses: closures handed to a par.Do-style pool, interface
+// dispatch, method values (called and spawned), and lock order capture.
+package shapes
+
+import "sync"
+
+// Do mirrors internal/par.Do: the worker literal is WaitGroup-accounted
+// and invokes the caller's closure through a dynamic parameter.
+func Do(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			f(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func UseDo(items []int) int {
+	sum := 0
+	Do(len(items), func(i int) {
+		sum += items[i]
+	})
+	return sum
+}
+
+type runner interface{ Step(int) int }
+
+type Fast struct{}
+
+func (Fast) Step(x int) int { return x }
+
+type Slow struct{ c chan int }
+
+func (s Slow) Step(x int) int { return x + <-s.c }
+
+func Dispatch(r runner, x int) int { return r.Step(x) }
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *T) bump() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+func MethodValue(t *T) {
+	f := t.bump
+	f()
+	go f()
+}
+
+type L struct{ a, b sync.Mutex }
+
+func (l *L) both() {
+	l.a.Lock()
+	l.b.Lock()
+	l.b.Unlock()
+	l.a.Unlock()
+}

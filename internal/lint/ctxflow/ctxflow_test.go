@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/ctxflow"
+)
+
+func TestLibraryPackage(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "a")
+}
+
+func TestMainPackage(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "m")
+}

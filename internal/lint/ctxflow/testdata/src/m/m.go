@@ -1,0 +1,27 @@
+// Fixture for ctxflow rule 2 in package main: rule 1 is off (main owns
+// its roots), but a function that received a ctx still must not mint a
+// fresh root for a blocking callee.
+package main
+
+import "context"
+
+func recv(ctx context.Context, c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func handle(ctx context.Context, c chan int) int {
+	return recv(context.Background(), c) // want `m\.handle receives a ctx but passes context\.Background\(\) to blocking callee m\.recv`
+}
+
+func main() {
+	ctx := context.Background() // ok: main owns the process root
+	c := make(chan int, 1)
+	c <- 1
+	_ = handle(ctx, c)
+	_ = recv(ctx, c)
+}

@@ -1,0 +1,59 @@
+// Package golifetime requires every goroutine spawned in a library
+// package to have a provable termination path. The call-graph summary of
+// the spawned function (transitive, so the signal may live in a callee)
+// must show one of:
+//
+//   - a receive from ctx.Done() or from a channel some loaded function
+//     closes (TermSignal),
+//   - accounting to a sync.WaitGroup join (WGDone), or
+//   - no structurally unbounded loop at all — straight-line goroutines
+//     and bounded counting loops terminate on their own.
+//
+// Goroutines spawned through a dynamic function value the walker cannot
+// resolve are findings too: "unknown" is never "safe". Package main is
+// exempt — a process's top-level loops live exactly as long as the
+// process — as are test files.
+package golifetime
+
+import (
+	"strings"
+
+	"microscope/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "golifetime",
+	Aliases: []string{"goroutine"},
+	Doc: "every go statement in a library package must spawn a function " +
+		"with a provable termination path (ctx.Done()/close-signal select, " +
+		"WaitGroup accounting, or no unbounded loop)",
+	NeedsProgram: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, n := range pass.Prog.PkgNodes(pass.Pkg) {
+		for _, sp := range n.Spawns {
+			if strings.HasSuffix(pass.Fset.Position(sp.Site).Filename, "_test.go") {
+				continue
+			}
+			if sp.Callee == nil {
+				pass.Reportf(sp.Site,
+					"goroutine spawned through dynamic value %s: termination cannot be verified; spawn a static function or document with an allow",
+					sp.Desc)
+				continue
+			}
+			s := &sp.Callee.Summary
+			if s.TermSignal || s.WGDone || !s.UnboundedLoop {
+				continue
+			}
+			pass.Reportf(sp.Site,
+				"goroutine %s has no provable termination path: it loops without selecting on ctx.Done() or a closed-signal channel and is not accounted to a WaitGroup",
+				sp.Desc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package golifetime_test
+
+import (
+	"testing"
+
+	"microscope/internal/lint/analysistest"
+	"microscope/internal/lint/golifetime"
+)
+
+func TestGoLifetime(t *testing.T) {
+	analysistest.Run(t, golifetime.Analyzer, "a")
+}

@@ -1,0 +1,118 @@
+// Fixture for golifetime: goroutines with provable termination paths
+// (close-signal select, ctx.Done(), closed-channel range, WaitGroup
+// accounting, straight-line bodies) stay silent; unbounded loops with no
+// signal and dynamic spawns are findings.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type W struct {
+	stop chan struct{}
+	data chan int
+	wg   sync.WaitGroup
+}
+
+// loop selects on a close signal that Close delivers: provable.
+func (w *W) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case v := <-w.data:
+			_ = v
+		}
+	}
+}
+
+func (w *W) Start() {
+	go w.loop() // ok: selects on w.stop, closed in Close
+}
+
+func (w *W) Close() { close(w.stop) }
+
+// drain ranges over a channel CloseData closes; resolved through a
+// method-value binding.
+func (w *W) drain() {
+	for range w.data {
+	}
+}
+
+func (w *W) StartDrain() {
+	d := w.drain
+	go d() // ok: w.data is closed in CloseData
+}
+
+func (w *W) CloseData() { close(w.data) }
+
+func ctxWorker(ctx context.Context, in chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+func StartCtx(ctx context.Context, in chan int) {
+	go ctxWorker(ctx, in) // ok: selects on ctx.Done()
+}
+
+func StartLit(ctx context.Context, in chan int) {
+	go func() { // ok: the literal selects on ctx.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (w *W) StartPool() {
+	for i := 0; i < 4; i++ {
+		w.wg.Add(1)
+		go func() { // ok: accounted to w.wg
+			defer w.wg.Done()
+			for range w.data {
+			}
+		}()
+	}
+	w.wg.Wait()
+}
+
+func oneshot(c chan int) {
+	go func() { c <- 1 }() // ok: straight-line body, no unbounded loop
+}
+
+func spin() {
+	for {
+	}
+}
+
+func StartSpin() {
+	go spin() // want `goroutine spin has no provable termination path`
+}
+
+type B struct{ in chan int }
+
+// pump ranges over a channel nothing in this program ever closes.
+func (b *B) pump() {
+	for v := range b.in {
+		_ = v
+	}
+}
+
+func (b *B) StartPump() {
+	go b.pump() // want `goroutine b\.pump has no provable termination path`
+}
+
+func Run(f func()) {
+	go f() // want `goroutine spawned through dynamic value f`
+}

@@ -9,8 +9,11 @@ import (
 	"microscope/internal/lint/analysis"
 	"microscope/internal/lint/compid"
 	"microscope/internal/lint/containment"
+	"microscope/internal/lint/ctxflow"
 	"microscope/internal/lint/determinism"
 	"microscope/internal/lint/epochstamp"
+	"microscope/internal/lint/golifetime"
+	"microscope/internal/lint/lockorder"
 	"microscope/internal/lint/obssafe"
 	"microscope/internal/lint/poolreset"
 	"microscope/internal/lint/sorttotal"
@@ -22,8 +25,11 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		compid.Analyzer,
 		containment.Analyzer,
+		ctxflow.Analyzer,
 		determinism.Analyzer,
 		epochstamp.Analyzer,
+		golifetime.Analyzer,
+		lockorder.Analyzer,
 		obssafe.Analyzer,
 		poolreset.Analyzer,
 		sorttotal.Analyzer,

@@ -1,0 +1,146 @@
+// Package lockorder derives a global mutex-acquisition order graph from
+// the call-graph summaries and reports order inversions (potential
+// deadlocks) plus any lock held across an operation that can stall it:
+// a channel op, a Wait, a dynamic hook/callback invocation, or a callee
+// that may block.
+//
+// Lock identity is the lockdep-style class abstraction from
+// callgraph.memberKey: every instance of a struct type shares one lock
+// class, so an A→B order in one function and B→A in another collide even
+// when the concrete instances differ. That is deliberate — instance-level
+// reasoning is out of reach without SSA — and it means a reported cycle is
+// "these two classes are acquired in both orders somewhere", which is the
+// invariant worth keeping even when today's instances happen to be
+// disjoint.
+package lockorder
+
+import (
+	"microscope/internal/lint/analysis"
+	"microscope/internal/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "lockorder",
+	Aliases: []string{"deadlock"},
+	Doc: "report mutex acquisition-order cycles and locks held across " +
+		"blocking operations, Waits, or dynamic callbacks — the deadlock " +
+		"shapes a single-function analyzer cannot see",
+	NeedsProgram: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog := pass.Prog
+	g := prog.Cache("lockorder.graph", func() any { return buildGraph(prog) }).(*graph)
+	for _, n := range prog.PkgNodes(pass.Pkg) {
+		s := &n.Summary
+		for _, e := range s.OrderEdges {
+			if g.reaches(e.To, e.From) {
+				pass.Reportf(e.Site,
+					"lock order cycle: %s acquired while %s is held, and the opposite order occurs elsewhere",
+					prog.KeyName(e.To), prog.KeyName(e.From))
+			}
+		}
+		for _, hb := range s.HeldBlocks {
+			pass.Reportf(hb.Site, "%s held across %s", lockNoun(prog, hb.Held), hb.Op)
+		}
+		for _, hc := range s.HeldCalls {
+			if hc.Callback {
+				pass.Reportf(hc.Site,
+					"%s held across dynamic call %s (a callback may block or re-enter the lock)",
+					lockNoun(prog, hc.Held), hc.Desc)
+				continue
+			}
+			if hc.Callee == nil {
+				continue
+			}
+			cs := &hc.Callee.Summary
+			for _, from := range hc.Held {
+				for _, to := range cs.Acquires {
+					if to == from {
+						pass.Reportf(hc.Site,
+							"possible self-deadlock: call to %s re-acquires %s, already held",
+							hc.Desc, prog.KeyName(to))
+						continue
+					}
+					if g.reaches(to, from) {
+						pass.Reportf(hc.Site,
+							"lock order cycle: call to %s acquires %s while %s is held, and the opposite order occurs elsewhere",
+							hc.Desc, prog.KeyName(to), prog.KeyName(from))
+					}
+				}
+			}
+			if cs.Blocking {
+				pass.Reportf(hc.Site, "%s held across call to %s, which may block",
+					lockNoun(prog, hc.Held), hc.Desc)
+			}
+		}
+	}
+	return nil
+}
+
+func lockNoun(prog *callgraph.Program, held []string) string {
+	if len(held) == 1 {
+		return "lock " + prog.KeyName(held[0])
+	}
+	return "locks " + prog.KeyNames(held)
+}
+
+// graph is the program-wide acquired-while-held relation over lock keys:
+// an edge From→To for every site where To is acquired with From held,
+// whether in one body (OrderEdges) or across a call (a held call whose
+// callee transitively acquires To).
+type graph struct {
+	succ map[string][]string
+}
+
+func buildGraph(prog *callgraph.Program) *graph {
+	g := &graph{succ: map[string][]string{}}
+	seen := map[[2]string]bool{}
+	add := func(from, to string) {
+		if from == to || seen[[2]string{from, to}] {
+			return
+		}
+		seen[[2]string{from, to}] = true
+		g.succ[from] = append(g.succ[from], to)
+	}
+	for _, n := range prog.Nodes() {
+		for _, e := range n.Summary.OrderEdges {
+			add(e.From, e.To)
+		}
+		for _, hc := range n.Summary.HeldCalls {
+			if hc.Callee == nil {
+				continue
+			}
+			for _, from := range hc.Held {
+				for _, to := range hc.Callee.Summary.Acquires {
+					add(from, to)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// reaches reports whether to is reachable from from over order edges.
+func (g *graph) reaches(from, to string) bool {
+	if from == to {
+		return true
+	}
+	visited := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.succ[cur] {
+			if next == to {
+				return true
+			}
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}

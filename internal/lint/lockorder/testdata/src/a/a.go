@@ -1,0 +1,114 @@
+// Fixture for lockorder: a seeded two-mutex deadlock (a/b acquired in
+// both orders), locks held across channel ops, Waits, dynamic callbacks,
+// blocking callees, re-entrant helpers — and the non-blocking shapes that
+// must stay silent.
+package a
+
+import "sync"
+
+type S struct {
+	a    sync.Mutex
+	b    sync.Mutex
+	mu   sync.Mutex
+	hook func()
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+// lockAB and lockBA together seed the classic AB/BA deadlock.
+func (s *S) lockAB() {
+	s.a.Lock()
+	s.b.Lock() // want `lock order cycle: S\.b acquired while S\.a is held`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) lockBA() {
+	s.b.Lock()
+	s.a.Lock() // want `lock order cycle: S\.a acquired while S\.b is held`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// nestedCycle closes the same cycle across a call: the callee acquires b
+// while the caller holds a.
+func (s *S) acquireB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) nestedCycle() {
+	s.a.Lock()
+	s.acquireB() // want `lock order cycle: call to a\.S\.acquireB acquires S\.b while S\.a is held`
+	s.a.Unlock()
+}
+
+func (s *S) sendHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `lock S\.mu held across channel send`
+	s.mu.Unlock()
+}
+
+func (s *S) waitHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `lock S\.mu held across sync\.WaitGroup\.Wait`
+}
+
+func (s *S) callbackHeld() {
+	s.mu.Lock()
+	s.hook() // want `lock S\.mu held across dynamic call s\.hook`
+	s.mu.Unlock()
+}
+
+func (s *S) recvOne() int {
+	return <-s.ch
+}
+
+func (s *S) callBlockingHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recvOne() // want `lock S\.mu held across call to a\.S\.recvOne, which may block`
+}
+
+func (s *S) lockMu() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *S) reenter() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockMu() // want `possible self-deadlock: call to a\.S\.lockMu re-acquires S\.mu`
+}
+
+// tryEnqueue is non-blocking under the lock: select with default. Silent.
+func (s *S) tryEnqueue(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// branchRelease unlocks on every branch before blocking. Silent: the
+// held-set merge sees the lock released on all fall-through paths.
+func (s *S) branchRelease(v int) {
+	s.mu.Lock()
+	if v > 0 {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.ch <- v
+}
+
+// single holds one lock over pure computation. Silent.
+func (s *S) single() int {
+	s.a.Lock()
+	defer s.a.Unlock()
+	return 1
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestContentionProfilingToggle(t *testing.T) {
+	defer DisableContentionProfiling()
+
+	EnableContentionProfiling(0, 0) // zeros take the defaults
+	if got := runtime.SetMutexProfileFraction(-1); got != DefaultMutexProfileFraction {
+		t.Fatalf("mutex profile fraction = %d, want default %d", got, DefaultMutexProfileFraction)
+	}
+
+	EnableContentionProfiling(9, 250_000)
+	if got := runtime.SetMutexProfileFraction(-1); got != 9 {
+		t.Fatalf("mutex profile fraction = %d, want 9", got)
+	}
+
+	DisableContentionProfiling()
+	if got := runtime.SetMutexProfileFraction(-1); got != 0 {
+		t.Fatalf("mutex profile fraction after disable = %d, want 0", got)
+	}
+}

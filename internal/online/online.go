@@ -553,6 +553,7 @@ func (m *Monitor) flushWindow() []Alert {
 	tr := &collector.Trace{Meta: m.meta, Records: m.winScratch}
 	pcfg := m.pcfg
 	pcfg.Degrade = level
+	//mslint:allow ctxflow push-driven monitor owns its window deadline; no caller ctx exists on the feed path
 	ctx := context.Background()
 	cancel := func() {}
 	if d := m.cfg.Resilience.WindowDeadline; d > 0 {
@@ -689,6 +690,7 @@ func (m *Monitor) advanceStream(end simtime.Time, recs []collector.BatchRecord) 
 	if m.stream == nil {
 		return
 	}
+	//mslint:allow ctxflow push-driven monitor has no caller ctx; window deadlines are applied inside RunWindow
 	if _, err := m.stream.RunWindow(context.Background(), end, recs, resilience.Skipped); err != nil {
 		if resilience.IsPanic(err) {
 			m.stats.WindowsQuarantined++

@@ -5,6 +5,7 @@ import (
 
 	"microscope/internal/collector"
 	"microscope/internal/core"
+	"microscope/internal/leakcheck"
 	"microscope/internal/nfsim"
 	"microscope/internal/packet"
 	"microscope/internal/resilience"
@@ -43,6 +44,7 @@ func monitoredRun(t *testing.T, interruptsAt []simtime.Time) *collector.Trace {
 }
 
 func TestMonitorAlertsOnInterrupts(t *testing.T) {
+	leakcheck.Check(t)
 	tr := monitoredRun(t, []simtime.Time{
 		simtime.Time(150 * simtime.Millisecond),
 		simtime.Time(400 * simtime.Millisecond),
@@ -251,6 +253,7 @@ func TestWatermarkResyncAfterGap(t *testing.T) {
 // streaming index tracks every flush (including gaps) and its seal-time
 // health counters stay monotone.
 func TestMonitorIncremental(t *testing.T) {
+	leakcheck.Check(t)
 	tr := monitoredRun(t, []simtime.Time{
 		simtime.Time(150 * simtime.Millisecond),
 		simtime.Time(400 * simtime.Millisecond),

@@ -176,6 +176,7 @@ type culpritKey struct {
 
 // Aggregate runs the two-phase aggregation and returns the ranked patterns.
 func Aggregate(rels []Relation, cfg Config) []Pattern {
+	//mslint:allow ctxflow non-ctx convenience wrapper; cancellable path is AggregateContext
 	out, _ := AggregateContext(context.Background(), rels, cfg)
 	return out
 }

@@ -128,6 +128,7 @@ type Result struct {
 
 // Run executes the full pipeline on a collected trace.
 func Run(tr *collector.Trace, cfg Config) *Result {
+	//mslint:allow ctxflow non-ctx convenience wrapper; cancellable path is RunContext
 	res, _ := RunContext(context.Background(), tr, cfg)
 	return res
 }
@@ -152,6 +153,7 @@ func RunContext(ctx context.Context, tr *collector.Trace, cfg Config) (*Result, 
 
 // RunStore executes stages 2–5 on an already-reconstructed store.
 func RunStore(st *tracestore.Store, cfg Config) *Result {
+	//mslint:allow ctxflow non-ctx convenience wrapper; cancellable path is RunStoreContext
 	res, _ := RunStoreContext(context.Background(), st, cfg)
 	return res
 }

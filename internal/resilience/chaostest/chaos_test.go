@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"microscope/internal/collector"
+	"microscope/internal/leakcheck"
 	"microscope/internal/online"
 	"microscope/internal/resilience"
 	"microscope/internal/simtime"
@@ -27,6 +28,7 @@ func soakWindows(t *testing.T) int {
 // obs, memory stays bounded, and windows outside the blast radius (plus
 // margin) alert byte-identically to a fault-free baseline run.
 func TestChaosSoak(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := Config{Windows: soakWindows(t), Workers: 8}
 	s := BuildStream(cfg)
 
@@ -122,6 +124,7 @@ func TestChaosSoak(t *testing.T) {
 // outside the blast radius alert byte-identically to a fault-free
 // incremental baseline — carried segments, carried memo, chaos and all.
 func TestChaosSoakIncremental(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := Config{Windows: soakWindows(t), Workers: 8, Incremental: true}
 	s := BuildStream(cfg)
 

@@ -336,6 +336,7 @@ func (s *Stream) Run(chaos *Chaos) *Result {
 		}
 	}
 	seen := 0
+	//mslint:allow ctxflow the chaos harness is the root of its own run; soak cancellation is the test deadline
 	res.Err = online.FeedSource(context.Background(), mon, src, func(a online.Alert) {
 		res.Alerts = append(res.Alerts, a)
 		w := s.windowIndex(a.WindowEnd) - 1 // WindowEnd is exclusive: end of window w is (w+1)*Window

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"microscope/internal/leakcheck"
 )
 
 func TestLevelString(t *testing.T) {
@@ -202,6 +204,7 @@ func TestRingDropFrontReleasesSlots(t *testing.T) {
 }
 
 func TestContainConvertsPanic(t *testing.T) {
+	leakcheck.Check(t)
 	err := Contain("stage:test", func() { panic("boom") })
 	if err == nil {
 		t.Fatal("panic not contained")

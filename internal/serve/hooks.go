@@ -106,6 +106,12 @@ type hookRunner struct {
 	queue chan []online.Alert
 	done  chan struct{}
 
+	// ctx is the root under every delivery attempt and retry sleep;
+	// quiesce cancels it when its own deadline expires, so an in-flight
+	// retry aborts instead of outliving the tenant's drain.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	breakers []breaker // parallel to hooks; owned by the runner goroutine
 
 	cFired   *obs.Counter
@@ -115,6 +121,8 @@ type hookRunner struct {
 }
 
 func newHookRunner(tenant string, hooks []spec.HookSpec, retry resilience.RetryPolicy, reg *obs.Registry, env hookEnv) *hookRunner {
+	//mslint:allow ctxflow the runner root spans the tenant's lifetime, not a request; quiesce cancels it on drain timeout
+	ctx, cancel := context.WithCancel(context.Background())
 	r := &hookRunner{
 		tenant:   tenant,
 		hooks:    hooks,
@@ -122,6 +130,8 @@ func newHookRunner(tenant string, hooks []spec.HookSpec, retry resilience.RetryP
 		env:      env.withDefaults(),
 		queue:    make(chan []online.Alert, hookQueueCap),
 		done:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
 		breakers: make([]breaker, len(hooks)),
 		cFired:   reg.Counter("microscope_hooks_fired_total"),
 		cFailed:  reg.Counter("microscope_hooks_failed_total"),
@@ -154,14 +164,19 @@ func (r *hookRunner) fire(alerts []online.Alert) {
 func (r *hookRunner) quiesce(ctx context.Context) error {
 	select {
 	case <-r.done:
+		r.cancel()
 		return nil // already quiesced
 	default:
 	}
 	close(r.queue)
 	select {
 	case <-r.done:
+		r.cancel()
 		return nil
 	case <-ctx.Done():
+		// Drain deadline passed: abort the in-flight delivery and fail the
+		// remaining queue fast rather than let retries outlive the tenant.
+		r.cancel()
 		return ctx.Err()
 	}
 }
@@ -216,7 +231,7 @@ func (r *hookRunner) deliver(i int, a online.Alert) {
 		timeout = spec.DefaultHookTimeout
 	}
 	attempt := func() error {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ctx, cancel := context.WithTimeout(r.ctx, timeout)
 		defer cancel()
 		if h.Type == "exec" {
 			return r.env.run(ctx, h.Command, payload)
@@ -228,7 +243,7 @@ func (r *hookRunner) deliver(i int, a online.Alert) {
 		// Every delivery error is transient from the retry policy's view:
 		// the receiver may simply not be up yet. The breaker, not the
 		// retry loop, handles receivers that stay down.
-		dErr = r.retry.Run(context.Background(), "hook "+h.Name, func() error {
+		dErr = r.retry.Run(r.ctx, "hook "+h.Name, func() error {
 			if derr := attempt(); derr != nil {
 				return resilience.Transient(derr)
 			}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"microscope/internal/leakcheck"
 	"microscope/internal/obs"
 	"microscope/internal/online"
 	"microscope/internal/resilience"
@@ -265,6 +266,7 @@ func TestHookOverflowDrops(t *testing.T) {
 // resulting alerts through its spec'd webhook — the full path from
 // ingest through diagnosis to remediation.
 func TestHookEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	var mu sync.Mutex
 	var payloads []HookPayload
 	env := hookEnv{

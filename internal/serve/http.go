@@ -17,6 +17,9 @@
 //	GET    /tenants/{id}/alerts      retained alerts
 //	GET    /tenants/{id}/metrics     this tenant's exposition only
 //	GET    /tenants/{id}/healthz     this tenant's trace-quality liveness
+//	GET    /debug/pprof/...          the standard Go profiling endpoints
+//	                                 (mutex/block carry data when the
+//	                                 daemon runs with -contention-profile)
 //
 // Backpressure contract: when a tenant's ingest queue is full the POST
 // returns 429 with a Retry-After header — the PR-6 bounded-ingest
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"microscope/internal/collector"
@@ -84,6 +88,12 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.List())

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"microscope/internal/collector"
+	"microscope/internal/leakcheck"
 	"microscope/internal/simtime"
 	"microscope/internal/spec"
 )
@@ -95,6 +96,7 @@ func TestMultiTenantIsolation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-tenant soak")
 	}
+	leakcheck.Check(t)
 	work := isolationWorkloads(t)
 
 	want := make([][]string, isolationTenants)
@@ -272,6 +274,7 @@ func TestTenantMemoryBudget(t *testing.T) {
 // must (a) process every record that was accepted, (b) flush the final
 // partial window, and (c) reject ingest that arrives after the drain.
 func TestShutdownUnderLoad(t *testing.T) {
+	leakcheck.Check(t)
 	tr := chainTrace(t, 55, []simtime.Time{simtime.Time(150 * simtime.Millisecond)})
 	srv := NewServer(ServerConfig{})
 	const n = 4

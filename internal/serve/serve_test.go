@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"microscope/internal/collector"
+	"microscope/internal/leakcheck"
 	"microscope/internal/nfsim"
 	"microscope/internal/packet"
+	"microscope/internal/resilience"
 	"microscope/internal/simtime"
 	"microscope/internal/spec"
 	"microscope/internal/traffic"
@@ -323,6 +325,7 @@ func TestServeRejectsSpecWithoutTopology(t *testing.T) {
 
 // TestTenantLimit: the server bounds concurrent tenants.
 func TestTenantLimit(t *testing.T) {
+	leakcheck.Check(t)
 	tr := chainTrace(t, 9, nil)
 	srv := NewServer(ServerConfig{MaxTenants: 2})
 	for i := 0; i < 2; i++ {
@@ -374,5 +377,44 @@ func mustDecode(t testing.TB, resp *http.Response, wantCode int, v any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShutdownSurvivesDrainPanic: a tenant whose drain panics must not
+// hang the shutdown join — the panic is contained and reported, and the
+// healthy tenants still drain to completion.
+func TestShutdownSurvivesDrainPanic(t *testing.T) {
+	leakcheck.Check(t)
+	tr := chainTrace(t, 11, nil)
+	srv := NewServer(ServerConfig{})
+	bad, err := srv.Create("bad", tenantSpec(tr, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := srv.Create("good", tenantSpec(tr, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, good, tr.Records, 512)
+	bad.drainHook = func() { panic("drain boom") }
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(context.Background()) }()
+	select {
+	case err := <-done:
+		if err == nil || !resilience.IsPanic(err) {
+			t.Fatalf("Shutdown error = %v, want the contained drain panic", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Shutdown hung on a panicking tenant drain")
+	}
+	if err := good.drain(context.Background()); err != nil {
+		t.Fatalf("healthy tenant not drained after Shutdown: %v", err)
+	}
+	// Release the panicking tenant's feed goroutine so the test itself
+	// leaks nothing.
+	bad.drainHook = nil
+	if err := bad.drain(context.Background()); err != nil {
+		t.Fatalf("cleanup drain: %v", err)
 	}
 }

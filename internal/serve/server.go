@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"microscope/internal/obs"
+	"microscope/internal/resilience"
 	"microscope/internal/spec"
 )
 
@@ -190,7 +191,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	errc := make(chan error, len(ts))
 	for _, t := range ts {
-		go func(t *Tenant) { errc <- t.drain(ctx) }(t)
+		go func(t *Tenant) {
+			// A panicking drain must still report to the join: without
+			// containment the send is skipped and Shutdown hangs forever
+			// waiting for this tenant's slot.
+			var err error
+			if perr := resilience.Contain("drain:"+t.ID, func() { err = t.drain(ctx) }); perr != nil {
+				err = perr
+			}
+			errc <- err
+		}(t)
 	}
 	var firstErr error
 	for range ts {

@@ -118,6 +118,10 @@ type Tenant struct {
 	in    chan feedMsg
 	done  chan struct{} // feed goroutine exited
 
+	// drainHook, when non-nil, runs at the top of drain — tests use it to
+	// inject a drain-time panic. Never set in production paths.
+	drainHook func()
+
 	budget int64 // spec max_mem_bytes
 
 	mu        sync.Mutex
@@ -285,6 +289,9 @@ func (t *Tenant) Flush(ctx context.Context) error {
 // drain stops ingest, lets the feed goroutine finish the queue and flush
 // the final window, and quiesces the hook runner. Safe to call twice.
 func (t *Tenant) drain(ctx context.Context) error {
+	if t.drainHook != nil {
+		t.drainHook()
+	}
 	t.mu.Lock()
 	if t.stopped {
 		t.mu.Unlock()

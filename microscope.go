@@ -194,6 +194,7 @@ type PipelineStage = pipeline.StageTiming
 // a legacy DiagnosisConfig / Options struct applied wholesale; with no
 // options every knob takes its documented default.
 func Diagnose(tr *Trace, opts ...Option) *Report {
+	//mslint:allow ctxflow non-ctx convenience wrapper; cancellable path is DiagnoseContext
 	rep, _ := DiagnoseContext(context.Background(), tr, opts...)
 	return rep
 }
@@ -217,6 +218,7 @@ func Reconstruct(tr *Trace) *Store {
 // DiagnoseStore runs the staged pipeline (index → victims → diagnose →
 // patterns) on an already-reconstructed store.
 func DiagnoseStore(st *Store, opts ...Option) *Report {
+	//mslint:allow ctxflow non-ctx convenience wrapper; cancellable path is DiagnoseStoreContext
 	rep, _ := DiagnoseStoreContext(context.Background(), st, opts...)
 	return rep
 }
